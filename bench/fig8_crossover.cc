@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 8: double-defect resource usage normalized to the planar
+ * baseline, for (a) the serial SQ application and (b) the parallel
+ * IM application, across computation sizes at pP = 1e-8.
+ *
+ * Expected shape: the qubit ratio stays above 1 (planar tiles are
+ * smaller); the time ratio falls with size (braids are distance-
+ * insensitive, swap chains are not); planar wins below the
+ * cross-over of the qubits x time product and double-defect wins
+ * above it; the IM cross-over lands decades later than SQ's because
+ * braid congestion hurts the parallel app (Section 7.2).
+ */
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "estimate/crossover.h"
+
+namespace {
+
+using namespace qsurf;
+
+void
+sweep(apps::AppKind app)
+{
+    qec::Technology tech = qec::tech_points::futureOptimistic();
+    estimate::ResourceModel model(app, tech);
+
+    Table t(std::string("Figure 8: double-defect / planar ratios, ")
+            + apps::appSpec(app).name + " (pP = 1e-8)");
+    t.header({"size (1/pL)", "qubit ratio", "time ratio",
+              "qubitsXtime", "favored"});
+    for (double kq = 1e2; kq <= 1e24; kq *= 100) {
+        auto r = model.ratios(kq);
+        t.addRow(Table::num(kq), Table::fixed(r.qubits, 2),
+                 Table::fixed(r.time, 2),
+                 Table::fixed(r.spacetime, 2),
+                 r.spacetime > 1 ? "planar" : "double-defect");
+    }
+    t.print(std::cout);
+
+    auto x = estimate::crossoverSize(model);
+    std::cout << apps::appSpec(app).name << " cross-over point: "
+              << (x ? Table::num(*x) : std::string("beyond 1e24"))
+              << " logical ops\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    sweep(apps::AppKind::SQ);
+    sweep(apps::AppKind::IsingFull);
+
+    qec::Technology tech = qec::tech_points::futureOptimistic();
+    auto sq = estimate::crossoverSize(
+        estimate::ResourceModel(apps::AppKind::SQ, tech));
+    auto im = estimate::crossoverSize(
+        estimate::ResourceModel(apps::AppKind::IsingFull, tech));
+    if (sq && im)
+        std::cout << "Shape check: IM cross-over / SQ cross-over = "
+                  << Table::num(*im / *sq)
+                  << "x (paper: the IM cross-over occurs at a much "
+                     "larger computation size).\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section 8.1: pipelined just-in-time EPR distribution.
+ *
+ * Sweeps the lookahead window on a teleport-heavy workload and
+ * reports the live-EPR footprint (space) against schedule length
+ * (time).  Expected shape: a well-chosen window cuts the EPR qubit
+ * footprint by an order of magnitude or more versus prefetch-all
+ * (the paper reports up to ~24x) while adding only a few percent of
+ * latency; too small a window starves teleports instead.
+ */
+
+#include <iostream>
+
+#include "apps/apps.h"
+#include "circuit/decompose.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "planar/planar.h"
+
+int
+main()
+{
+    using namespace qsurf;
+    setQuiet(true);
+
+    // SHA-1 keeps words migrating between SIMD regions, giving a
+    // teleport stream spread across the whole run.
+    apps::GenOptions gopts;
+    gopts.problem_size = 16;
+    gopts.max_iterations = 20;
+    circuit::Circuit circ = circuit::decompose(
+        apps::generate(apps::AppKind::SHA1, gopts));
+
+    planar::SimdArchOptions aopts;
+    aopts.num_regions = 4;
+    aopts.num_qubits = circ.numQubits();
+    planar::SimdArch arch(aopts);
+    planar::SimdSchedule sched = planar::scheduleSimd(circ, arch);
+
+    // Constrain channel bandwidth so prefetch-all pays queueing.
+    planar::EprOptions base;
+    base.bandwidth = 32;
+    base.window_steps = 0;
+    planar::EprResult all = planar::simulateEpr(sched, arch, base);
+
+    Table t("Section 8.1: EPR lookahead-window sweep (SHA-1, "
+            + std::to_string(sched.teleports.size())
+            + " teleports over " + std::to_string(sched.steps)
+            + " steps)");
+    t.header({"window (steps)", "peak live EPRs", "avg live EPRs",
+              "stall cycles", "schedule cycles",
+              "qubit saving vs prefetch-all", "latency overhead"});
+
+    auto report = [&](const char *label, planar::EprResult r) {
+        double saving = r.avg_live_eprs > 0
+            ? all.avg_live_eprs / r.avg_live_eprs
+            : 0.0;
+        double overhead = static_cast<double>(r.schedule_cycles)
+                / static_cast<double>(all.schedule_cycles)
+            - 1.0;
+        t.addRow(label, r.peak_live_eprs,
+                 Table::fixed(r.avg_live_eprs, 2), r.stall_cycles,
+                 r.schedule_cycles, Table::fixed(saving, 1),
+                 Table::fixed(100 * overhead, 1) + "%");
+    };
+
+    report("prefetch-all", all);
+    for (int w : {256, 64, 16, 8, 4, 2, 1}) {
+        planar::EprOptions opts = base;
+        opts.window_steps = w;
+        report(std::to_string(w).c_str(),
+               planar::simulateEpr(sched, arch, opts));
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "Shape check: a mid-sized window keeps latency within a "
+           "few percent of\nprefetch-all while shrinking the live-"
+           "EPR footprint sharply (paper: ~24x qubit\nsavings at "
+           "<= ~4% latency); a window of 1 starves teleports "
+           "instead.\n";
+    return 0;
+}

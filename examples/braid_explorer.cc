@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Braid-policy explorer: generate one of the paper's workloads and
+ * sweep the seven braid prioritization policies of Section 6.3,
+ * showing how event interleaving, interaction-aware layout and
+ * priority heuristics close the gap to the critical path.
+ *
+ *   $ ./braid_explorer [app] [problem_size] [iterations]
+ *
+ * where app is one of: gse, sq, sha1, im-semi, im-full.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.h"
+#include "apps/apps.h"
+#include "braid/scheduler.h"
+#include "circuit/decompose.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace qsurf;
+
+apps::AppKind
+parseApp(const char *name)
+{
+    if (!std::strcmp(name, "gse"))
+        return apps::AppKind::GSE;
+    if (!std::strcmp(name, "sq"))
+        return apps::AppKind::SQ;
+    if (!std::strcmp(name, "sha1"))
+        return apps::AppKind::SHA1;
+    if (!std::strcmp(name, "im-semi"))
+        return apps::AppKind::IsingSemi;
+    if (!std::strcmp(name, "im-full"))
+        return apps::AppKind::IsingFull;
+    fatal("unknown app '", name,
+          "' (expected gse|sq|sha1|im-semi|im-full)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qsurf;
+
+    apps::AppKind kind =
+        argc > 1 ? parseApp(argv[1]) : apps::AppKind::IsingSemi;
+    apps::GenOptions gopts;
+    gopts.problem_size = argc > 2 ? std::atoi(argv[2]) : 36;
+    gopts.max_iterations = argc > 3 ? std::atoi(argv[3]) : 3;
+
+    circuit::Circuit circ =
+        circuit::decompose(apps::generate(kind, gopts));
+    std::cout << "Workload: " << apps::appSpec(kind).name << ", "
+              << circ.numQubits() << " logical qubits, "
+              << circ.size() << " Clifford+T ops\n\n";
+
+    Table t("Policy sweep (code distance 5)");
+    t.header({"policy", "what it adds", "sched cycles", "sched/CP",
+              "mesh util"});
+    const char *desc[] = {
+        "nothing (events in program order)",
+        "event interleaving",
+        "+ interaction-aware layout",
+        "+ criticality priority",
+        "+ longest-braid priority",
+        "+ closing-braids-first priority",
+        "all combined (Section 6.3)",
+    };
+    for (int p = 0; p < braid::num_policies; ++p) {
+        braid::BraidOptions opts;
+        opts.code_distance = 5;
+        auto r = braid::scheduleBraids(
+            circ, static_cast<braid::Policy>(p), opts);
+        t.addRow(braid::policyName(static_cast<braid::Policy>(p)),
+                 desc[p], r.schedule_cycles,
+                 Table::fixed(r.ratio(), 2),
+                 Table::fixed(r.mesh_utilization, 3));
+    }
+    t.print(std::cout);
+    return 0;
+}

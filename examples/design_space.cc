@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Design-space explorer: "I want to run application X with N logical
+ * operations on technology with error rate pP — which surface code
+ * should I build, and what will it cost?"
+ *
+ *   $ ./design_space [app] [log10_ops] [p_physical]
+ *
+ * e.g. ./design_space sq 12 1e-5
+ */
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "estimate/crossover.h"
+
+namespace {
+
+using namespace qsurf;
+
+apps::AppKind
+parseApp(const char *name)
+{
+    if (!std::strcmp(name, "gse"))
+        return apps::AppKind::GSE;
+    if (!std::strcmp(name, "sq"))
+        return apps::AppKind::SQ;
+    if (!std::strcmp(name, "sha1"))
+        return apps::AppKind::SHA1;
+    if (!std::strcmp(name, "im-semi"))
+        return apps::AppKind::IsingSemi;
+    if (!std::strcmp(name, "im-full"))
+        return apps::AppKind::IsingFull;
+    fatal("unknown app '", name,
+          "' (expected gse|sq|sha1|im-semi|im-full)");
+}
+
+void
+describe(const estimate::ResourceEstimate &e, const char *label)
+{
+    Table t(label);
+    t.header({"metric", "value"});
+    t.addRow("code distance d", e.code_distance);
+    t.addRow("logical qubits", Table::num(e.logical_qubits));
+    t.addRow("total tiles (data+factories)",
+             Table::num(e.total_tiles));
+    t.addRow("physical qubits", Table::num(e.physical_qubits));
+    t.addRow("congestion inflation",
+             Table::fixed(e.congestion_inflation, 2));
+    t.addRow("execution time (s)", Table::num(e.seconds));
+    t.addRow("space-time (qubit-seconds)", Table::num(e.spaceTime()));
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qsurf;
+
+    apps::AppKind kind =
+        argc > 1 ? parseApp(argv[1]) : apps::AppKind::SQ;
+    double log_ops = argc > 2 ? std::atof(argv[2]) : 10.0;
+    double pp = argc > 3 ? std::atof(argv[3]) : 1e-6;
+    double kq = std::pow(10.0, log_ops);
+
+    qec::Technology tech;
+    tech.p_physical = pp;
+    estimate::ResourceModel model(kind, tech);
+
+    std::cout << "Application " << apps::appSpec(kind).name << ", "
+              << Table::num(kq) << " logical ops, pP = "
+              << Table::num(pp) << "\n\n";
+
+    describe(model.estimate(qec::CodeKind::Planar, kq),
+             "Planar code on the Multi-SIMD architecture");
+    describe(model.estimate(qec::CodeKind::DoubleDefect, kq),
+             "Double-defect code on the tiled architecture");
+
+    auto ratios = model.ratios(kq);
+    std::cout << "qubits x time ratio (double-defect / planar): "
+              << Table::fixed(ratios.spacetime, 2) << " -> build the "
+              << (ratios.spacetime > 1 ? "PLANAR" : "DOUBLE-DEFECT")
+              << " machine\n";
+
+    auto x = estimate::crossoverSize(model);
+    std::cout << "favorability cross-over for this app/technology: "
+              << (x ? Table::num(*x) : std::string("beyond 1e24"))
+              << " logical ops\n";
+    return 0;
+}

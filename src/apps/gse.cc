@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ground State Estimation generator (Table 2, [80]).
+ *
+ * Structure: iterative phase estimation.  A single readout ancilla is
+ * entangled with each of the m system qubits in turn through an
+ * exp(i θ Z⊗Z) term (CNOT - Rz - CNOT), giving the long serial
+ * dependence chain through the ancilla that makes GSE the paper's
+ * most serial workload (parallelism factor ~1.2): only the basis
+ * changes on system qubits overlap with the ancilla chain.
+ */
+
+#include "apps/apps.h"
+
+namespace qsurf::apps {
+
+circuit::Circuit
+generateGse(const GenOptions &opts)
+{
+    int m = opts.problem_size;
+    int iters = opts.max_iterations > 0 ? opts.max_iterations : m;
+
+    // Qubits: m system qubits + 1 phase-readout ancilla.
+    circuit::Circuit circ("GSE", m + 1);
+    int32_t anc = m;
+
+    using circuit::GateKind;
+    for (int it = 0; it < iters; ++it) {
+        circ.addGate(GateKind::PrepZ, anc);
+        circ.addGate(GateKind::H, anc);
+        for (int i = 0; i < m; ++i) {
+            // Basis change on the system qubit overlaps with the
+            // previous term's work on the ancilla (every 3rd term,
+            // keeping the ideal-parallelism factor near 1.2).
+            if (i % 3 == 0)
+                circ.addGate(GateKind::H, i);
+            circ.addGate(GateKind::CNOT, i, anc);
+            circ.addRz(0.1 + 0.01 * i, anc);
+            circ.addGate(GateKind::CNOT, i, anc);
+        }
+        circ.addGate(GateKind::H, anc);
+        circ.addGate(GateKind::MeasZ, anc);
+    }
+    return circ;
+}
+
+} // namespace qsurf::apps

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SHA-1 round-function generator (Table 2, [55]).
+ *
+ * Structure: the quantum SHA-1 circuit is dominated by bitwise word
+ * operations on 32-bit words — per round a 32-wide layer of Toffolis
+ * (the choice/majority function), several 32-wide CNOT layers (word
+ * XORs for the message schedule), and a log-depth prefix adder.
+ * Bitwise word parallelism is what gives SHA-1 its high parallelism
+ * factor (~29 in Table 2); the adder contributes the serial tail.
+ */
+
+#include "apps/apps.h"
+
+namespace qsurf::apps {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+/** Word-level circuit emitter for a given word width. */
+class WordOps
+{
+  public:
+    WordOps(Circuit &circ, int word_bits)
+        : circ(circ), w(word_bits) {}
+
+    /** Bit i of word @p word in the flat register file. */
+    int32_t
+    bit(int word, int i) const
+    {
+        return static_cast<int32_t>(word * w + i);
+    }
+
+    /** Wide XOR layer: dst ^= src (independent CNOTs). */
+    void
+    wordXor(int src, int dst)
+    {
+        for (int i = 0; i < w; ++i)
+            circ.addGate(GateKind::CNOT, bit(src, i), bit(dst, i));
+    }
+
+    /** Wide choice-function layer: f ^= (a AND b) bitwise. */
+    void
+    wordAnd(int a, int b, int f)
+    {
+        for (int i = 0; i < w; ++i)
+            circ.addGate(GateKind::Toffoli, bit(a, i), bit(b, i),
+                         bit(f, i));
+    }
+
+    /**
+     * Log-depth carry structure inspired by Brent-Kung prefix
+     * adders: dst += src.  Carries combine pairwise over log2(w)
+     * levels, each level a parallel layer of Toffolis over disjoint
+     * bit groups.
+     */
+    void
+    prefixAdd(int src, int dst, int carry)
+    {
+        for (int stride = 1; stride < w; stride *= 2)
+            for (int i = 0; i + stride < w; i += 2 * stride)
+                circ.addGate(GateKind::Toffoli, bit(src, i),
+                             bit(dst, i), bit(carry, i + stride));
+        wordXor(src, dst);
+        for (int i = 1; i < w; ++i)
+            circ.addGate(GateKind::CNOT, bit(carry, i), bit(dst, i));
+        for (int stride = w / 2; stride >= 1; stride /= 2)
+            for (int i = 0; i + stride < w; i += 2 * stride)
+                circ.addGate(GateKind::Toffoli, bit(src, i),
+                             bit(dst, i), bit(carry, i + stride));
+    }
+
+  private:
+    Circuit &circ;
+    int w;
+};
+
+} // namespace
+
+circuit::Circuit
+generateSha1(const GenOptions &opts)
+{
+    // Problem size is the word width (32 for real SHA-1; the design
+    // sweeps scale it); iterations are hash rounds.
+    int word_bits = opts.problem_size;
+    int rounds = opts.max_iterations > 0 ? opts.max_iterations : 16;
+
+    // Words: a,b,c,d,e state (0-4), f scratch (5), carry scratch (6),
+    // and a 4-word message-schedule window (7-10).
+    constexpr int num_words = 11;
+    Circuit circ("SHA-1", num_words * word_bits);
+    constexpr int wa = 0, wb = 1, wc = 2, wd = 3, we = 4;
+    constexpr int wf = 5, wcarry = 6, wsched = 7;
+    WordOps ops(circ, word_bits);
+
+    for (int r = 0; r < rounds; ++r) {
+        int w0 = wsched + r % 4;
+        int w1 = wsched + (r + 1) % 4;
+        int w2 = wsched + (r + 2) % 4;
+
+        // Message schedule expansion: w0 ^= w1 ^ w2 (two wide layers).
+        ops.wordXor(w1, w0);
+        ops.wordXor(w2, w0);
+
+        // Round function f = Ch(b, c, d) ~ (b AND c) XOR (b AND d).
+        ops.wordAnd(wb, wc, wf);
+        ops.wordAnd(wb, wd, wf);
+
+        // e += f + w0 (two adders); rotations are free re-wirings.
+        ops.prefixAdd(wf, we, wcarry);
+        ops.prefixAdd(w0, we, wcarry);
+
+        // Uncompute f for the next round.
+        ops.wordAnd(wb, wd, wf);
+        ops.wordAnd(wb, wc, wf);
+
+        // Rotate the state registers: model as word swaps, which the
+        // backend lowers to parallel qubit swaps.
+        for (int i = 0; i < word_bits; ++i)
+            circ.addGate(GateKind::Swap, ops.bit(wa, i),
+                         ops.bit(we, i));
+    }
+    for (int i = 0; i < word_bits; ++i)
+        circ.addGate(GateKind::MeasZ, ops.bit(wa, i));
+    return circ;
+}
+
+} // namespace qsurf::apps

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Square Root generator (Table 2, [32]).
+ *
+ * Structure: Grover search for the square root of an n-bit number.
+ * Each Grover round is a (mostly serial) oracle built from Toffoli
+ * ripple chains over the work register, followed by the diffusion
+ * operator whose H/X layers are wide but whose multi-controlled
+ * phase is again a serial Toffoli ladder.  The mix lands the ideal
+ * parallelism factor near the paper's 1.5.
+ */
+
+#include <cmath>
+
+#include "apps/apps.h"
+
+namespace qsurf::apps {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+/** Serial Toffoli ripple: and-accumulate x into the work register. */
+void
+emitOracle(Circuit &circ, int n, int32_t flag)
+{
+    // Work qubits hold partial products of the squaring circuit; the
+    // ripple makes each Toffoli depend on the previous one's output.
+    for (int i = 0; i + 1 < n; ++i)
+        circ.addGate(GateKind::Toffoli, i, n + i, n + i + 1);
+    circ.addGate(GateKind::CZ, n + n - 1, flag);
+    // Uncompute the ripple.
+    for (int i = n - 2; i >= 0; --i)
+        circ.addGate(GateKind::Toffoli, i, n + i, n + i + 1);
+}
+
+/** Grover diffusion on the input register. */
+void
+emitDiffusion(Circuit &circ, int n)
+{
+    for (int i = 0; i < n; ++i)
+        circ.addGate(GateKind::H, i);
+    for (int i = 0; i < n; ++i)
+        circ.addGate(GateKind::X, i);
+    // Multi-controlled Z via a Toffoli ladder into the work register.
+    for (int i = 0; i + 1 < n; ++i)
+        circ.addGate(GateKind::Toffoli, i, n + i, n + i + 1);
+    circ.addGate(GateKind::Z, n + n - 1);
+    for (int i = n - 2; i >= 0; --i)
+        circ.addGate(GateKind::Toffoli, i, n + i, n + i + 1);
+    for (int i = 0; i < n; ++i)
+        circ.addGate(GateKind::X, i);
+    for (int i = 0; i < n; ++i)
+        circ.addGate(GateKind::H, i);
+}
+
+} // namespace
+
+circuit::Circuit
+generateSq(const GenOptions &opts)
+{
+    int n = opts.problem_size;
+    // Natural Grover round count is ceil(pi/4 * 2^(n/2)).
+    auto natural = static_cast<int>(
+        std::ceil(std::pow(2.0, n / 2.0) * 3.14159265 / 4.0));
+    int rounds = opts.max_iterations > 0
+        ? std::min(opts.max_iterations, natural)
+        : natural;
+
+    // Qubits: n input, n work, 1 oracle flag.
+    Circuit circ("SQ", 2 * n + 1);
+    int32_t flag = 2 * n;
+
+    for (int i = 0; i < n; ++i)
+        circ.addGate(GateKind::H, i);
+    circ.addGate(GateKind::X, flag);
+    circ.addGate(GateKind::H, flag);
+
+    for (int r = 0; r < rounds; ++r) {
+        emitOracle(circ, n, flag);
+        emitDiffusion(circ, n);
+    }
+    for (int i = 0; i < n; ++i)
+        circ.addGate(GateKind::MeasZ, i);
+    return circ;
+}
+
+} // namespace qsurf::apps

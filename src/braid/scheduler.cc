@@ -1,0 +1,553 @@
+#include "braid/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "circuit/dag.h"
+#include "circuit/schedule.h"
+#include "common/logging.h"
+#include "network/route.h"
+
+namespace qsurf::braid {
+
+const char *
+policyName(Policy policy)
+{
+    static const char *names[num_policies] = {
+        "Policy 0", "Policy 1", "Policy 2", "Policy 3",
+        "Policy 4", "Policy 5", "Policy 6",
+    };
+    auto i = static_cast<size_t>(policy);
+    panicIf(i >= num_policies, "bad policy ", static_cast<int>(policy));
+    return names[i];
+}
+
+namespace {
+
+using circuit::GateKind;
+
+/** How an op uses the machine. */
+enum class OpClass : uint8_t
+{
+    Local, ///< 1-qubit non-T gate: tile-local, d cycles.
+    TGate, ///< T/Tdag: one braid to a factory, d+1 cycles.
+    TwoQ,  ///< 2-qubit gate: two braid segments, 2d+2 cycles.
+};
+
+/** Progress of one op through its stages. */
+enum class Stage : uint8_t
+{
+    Blocked,    ///< Dependencies outstanding.
+    Ready,      ///< First segment (or local body) may start.
+    Seg1Active, ///< First braid segment stabilizing.
+    Seg2Ready,  ///< Second segment may start (closing braid).
+    Seg2Active, ///< Second braid segment stabilizing.
+    Done,
+};
+
+struct OpRec
+{
+    OpClass cls = OpClass::Local;
+    Stage stage = Stage::Blocked;
+    int32_t qa = -1;
+    int32_t qb = -1;
+    int pending_preds = 0;
+    int wait = 0;          ///< Cycles spent failing to place.
+    int est_len = 0;       ///< Manhattan estimate for Policy 4/6.
+    network::Path route;   ///< Currently claimed route.
+};
+
+/** Priority-queue entry; smaller sorts first. */
+struct Entry
+{
+    int64_t k1 = 0;
+    int64_t k2 = 0;
+    int64_t k3 = 0;
+    uint64_t seq = 0;
+    int op = 0;
+
+    friend bool
+    operator<(const Entry &a, const Entry &b)
+    {
+        if (a.k1 != b.k1)
+            return a.k1 < b.k1;
+        if (a.k2 != b.k2)
+            return a.k2 < b.k2;
+        if (a.k3 != b.k3)
+            return a.k3 < b.k3;
+        if (a.seq != b.seq)
+            return a.seq < b.seq;
+        return a.op < b.op;
+    }
+};
+
+OpClass
+classify(const circuit::Gate &g)
+{
+    if (consumesMagicState(g.kind))
+        return OpClass::TGate;
+    int arity = g.arity();
+    fatalIf(arity > 2, "gate ", circuit::gateName(g.kind),
+            " must be decomposed before braid scheduling");
+    return arity == 2 ? OpClass::TwoQ : OpClass::Local;
+}
+
+uint64_t
+opLatency(OpClass cls, int d)
+{
+    switch (cls) {
+      case OpClass::Local:
+        return static_cast<uint64_t>(d);
+      case OpClass::TGate:
+        return static_cast<uint64_t>(d) + 1;
+      case OpClass::TwoQ:
+        return 2 * static_cast<uint64_t>(d) + 2;
+    }
+    panic("bad OpClass");
+}
+
+/** The simulator. */
+class Simulator
+{
+  public:
+    Simulator(const circuit::Circuit &circ, Policy policy,
+              const BraidOptions &opts)
+        : circ(circ), policy(policy), opts(opts), dag(circ),
+          graph(circuit::interactionGraph(circ)),
+          arch(graph, makeArchOptions(policy, opts)),
+          mesh(arch.makeMesh())
+    {
+        crit = circuit::criticality(dag);
+        buildOps();
+        if (opts.magic_production_cycles > 0) {
+            factory_stock.assign(
+                static_cast<size_t>(arch.numFactories()),
+                opts.magic_buffer_capacity);
+            factory_next_ready.assign(
+                static_cast<size_t>(arch.numFactories()),
+                static_cast<uint64_t>(opts.magic_production_cycles));
+        }
+        // Policy 6 treats the top criticality quartile as "highest
+        // criticality" (short-first); the rest go long-first.
+        std::vector<int> sorted_crit = crit;
+        std::sort(sorted_crit.begin(), sorted_crit.end());
+        crit_threshold = sorted_crit.empty()
+            ? 0
+            : sorted_crit[sorted_crit.size() * 3 / 4];
+    }
+
+    BraidResult
+    run()
+    {
+        seedReady();
+        uint64_t completed = 0;
+        auto total = static_cast<uint64_t>(circ.size());
+
+        while (completed < total) {
+            fatalIf(cycle > opts.max_cycles,
+                    "braid simulation exceeded ", opts.max_cycles,
+                    " cycles; likely a configuration problem");
+            replenishFactories();
+            placementPhase();
+            mesh.tick();
+            ++cycle;
+            completed += completionPhase();
+        }
+
+        BraidResult out;
+        out.schedule_cycles = cycle;
+        out.critical_path_cycles =
+            braidCriticalPath(circ, opts.code_distance);
+        out.mesh_utilization = mesh.utilization();
+        out.braids_placed = braids_placed;
+        out.placement_failures = placement_failures;
+        out.yx_fallbacks = yx_fallbacks;
+        out.bfs_detours = bfs_detours;
+        out.drops = drops;
+        out.magic_starvations = magic_starvations;
+        out.layout_cost = arch.layoutCost(graph);
+        return out;
+    }
+
+  private:
+    static TiledArchOptions
+    makeArchOptions(Policy policy, const BraidOptions &opts)
+    {
+        TiledArchOptions a;
+        a.tiles_per_factory = opts.tiles_per_factory;
+        a.optimized_layout = static_cast<int>(policy) >= 2;
+        a.seed = opts.seed;
+        return a;
+    }
+
+    void
+    buildOps()
+    {
+        ops.resize(static_cast<size_t>(circ.size()));
+        for (int i = 0; i < circ.size(); ++i) {
+            const circuit::Gate &g = circ.gate(i);
+            OpRec &op = ops[static_cast<size_t>(i)];
+            op.cls = classify(g);
+            op.qa = g.qubit[0];
+            op.qb = g.arity() == 2 ? g.qubit[1] : -1;
+            op.pending_preds =
+                static_cast<int>(dag.preds(i).size());
+            op.est_len = estimateLength(op);
+        }
+    }
+
+    int
+    estimateLength(const OpRec &op) const
+    {
+        switch (op.cls) {
+          case OpClass::Local:
+            return 0;
+          case OpClass::TGate: {
+            int f = arch.factoriesByDistance(op.qa).front();
+            return manhattan(arch.terminal(op.qa),
+                             arch.factoryTerminal(f));
+          }
+          case OpClass::TwoQ:
+            return manhattan(arch.terminal(op.qa),
+                             arch.terminal(op.qb));
+        }
+        panic("bad OpClass");
+    }
+
+    void
+    seedReady()
+    {
+        for (int i = 0; i < circ.size(); ++i)
+            if (ops[static_cast<size_t>(i)].pending_preds == 0)
+                makeReady(i, Stage::Ready);
+    }
+
+    void
+    makeReady(int i, Stage stage)
+    {
+        ops[static_cast<size_t>(i)].stage = stage;
+        ops[static_cast<size_t>(i)].wait = 0;
+        ready.insert(makeEntry(i));
+    }
+
+    Entry
+    makeEntry(int i)
+    {
+        const OpRec &op = ops[static_cast<size_t>(i)];
+        Entry e;
+        e.seq = next_seq++;
+        e.op = i;
+        bool closing = op.stage == Stage::Seg2Ready;
+        switch (policy) {
+          case Policy::ProgramOrder:
+          case Policy::Interleave:
+          case Policy::Layout:
+            // FIFO by readiness.
+            break;
+          case Policy::Criticality:
+            e.k1 = -crit[static_cast<size_t>(i)];
+            break;
+          case Policy::Length:
+            e.k1 = -op.est_len;
+            break;
+          case Policy::Type:
+            e.k1 = closing ? 0 : 1;
+            break;
+          case Policy::Combined:
+            e.k1 = closing ? 0 : 1;
+            e.k2 = -crit[static_cast<size_t>(i)];
+            e.k3 = crit[static_cast<size_t>(i)] >= crit_threshold
+                ? op.est_len   // highest criticality: short first.
+                : -op.est_len; // lower criticality: long first.
+            break;
+        }
+        return e;
+    }
+
+    /**
+     * Try to claim a route for op @p i (stage-appropriate segment).
+     * Escalates XY -> YX -> BFS with the op's wait time.
+     */
+    bool
+    tryPlace(int i)
+    {
+        OpRec &op = ops[static_cast<size_t>(i)];
+        if (op.cls == OpClass::Local) {
+            activate(i, opts.code_distance);
+            return true;
+        }
+
+        Coord src = arch.terminal(op.qa);
+        // Candidate destinations: (router, factory index or -1).
+        std::vector<std::pair<Coord, int>> dsts;
+        if (op.cls == OpClass::TwoQ) {
+            dsts.emplace_back(arch.terminal(op.qb), -1);
+        } else {
+            // T gate: nearest factories first; consider up to 3 once
+            // the op has been waiting.
+            auto order = arch.factoriesByDistance(op.qa);
+            size_t limit = op.wait >= opts.adapt_timeout
+                ? std::min<size_t>(3, order.size())
+                : 1;
+            bool any_stock = false;
+            for (size_t f = 0; f < limit; ++f) {
+                int fac = order[f];
+                if (!hasMagicState(fac))
+                    continue;
+                any_stock = true;
+                dsts.emplace_back(arch.factoryTerminal(fac), fac);
+            }
+            if (!any_stock) {
+                ++magic_starvations;
+                return false;
+            }
+        }
+
+        bool closing = op.stage == Stage::Seg2Ready;
+        for (const auto &[dst, factory] : dsts) {
+            // Figure 5: the two segments take different geometries;
+            // we open part 1 XY-first and part 2 YX-first.
+            network::Path first = closing ? network::yxRoute(src, dst)
+                                          : network::xyRoute(src, dst);
+            if (mesh.routeFree(first, i)) {
+                consumeMagicState(factory);
+                claim(i, first);
+                return true;
+            }
+            if (op.wait >= opts.adapt_timeout) {
+                network::Path second = closing
+                    ? network::xyRoute(src, dst)
+                    : network::yxRoute(src, dst);
+                if (mesh.routeFree(second, i)) {
+                    ++yx_fallbacks;
+                    consumeMagicState(factory);
+                    claim(i, second);
+                    return true;
+                }
+            }
+            if (op.wait >= opts.bfs_timeout) {
+                auto detour = network::adaptiveRoute(mesh, src, dst, i);
+                if (detour) {
+                    ++bfs_detours;
+                    consumeMagicState(factory);
+                    claim(i, *detour);
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /** @return true when factory @p f can supply a magic state now. */
+    bool
+    hasMagicState(int f) const
+    {
+        if (opts.magic_production_cycles <= 0)
+            return true;
+        return factory_stock[static_cast<size_t>(f)] > 0;
+    }
+
+    /** Take one state from factory @p f (no-op when unlimited). */
+    void
+    consumeMagicState(int f)
+    {
+        if (opts.magic_production_cycles <= 0 || f < 0)
+            return;
+        auto &stock = factory_stock[static_cast<size_t>(f)];
+        panicIf(stock <= 0, "consumed magic state from empty factory");
+        --stock;
+    }
+
+    /** Advance distillation pipelines (Section 4.3). */
+    void
+    replenishFactories()
+    {
+        if (opts.magic_production_cycles <= 0)
+            return;
+        for (size_t f = 0; f < factory_stock.size(); ++f) {
+            while (factory_next_ready[f] <= cycle) {
+                factory_stock[f] = std::min(
+                    factory_stock[f] + 1, opts.magic_buffer_capacity);
+                factory_next_ready[f] += static_cast<uint64_t>(
+                    opts.magic_production_cycles);
+            }
+        }
+    }
+
+    void
+    claim(int i, network::Path path)
+    {
+        OpRec &op = ops[static_cast<size_t>(i)];
+        mesh.claim(path, i);
+        op.route = std::move(path);
+        ++braids_placed;
+        // Braid open consumes one cycle, then d stabilization rounds.
+        activate(i, opts.code_distance + 1);
+    }
+
+    void
+    activate(int i, int duration)
+    {
+        OpRec &op = ops[static_cast<size_t>(i)];
+        op.stage = op.stage == Stage::Seg2Ready ? Stage::Seg2Active
+                                                : Stage::Seg1Active;
+        expiry.emplace(cycle + static_cast<uint64_t>(duration), i);
+    }
+
+    /** Greedy placement, policy-ordered; Policy 0 is one-at-a-time. */
+    void
+    placementPhase()
+    {
+        if (policy == Policy::ProgramOrder) {
+            programOrderPlacement();
+            return;
+        }
+
+        int failures = 0;
+        std::vector<int> dropped;
+        auto it = ready.begin();
+        while (it != ready.end()
+               && failures < opts.max_attempts_per_cycle) {
+            int i = it->op;
+            if (tryPlace(i)) {
+                it = ready.erase(it);
+                continue;
+            }
+            ++failures;
+            ++placement_failures;
+            OpRec &op = ops[static_cast<size_t>(i)];
+            ++op.wait;
+            if (op.wait >= opts.drop_timeout) {
+                // Drop and re-inject at the back of the queue.
+                ++drops;
+                op.wait = 0;
+                it = ready.erase(it);
+                dropped.push_back(i);
+                continue;
+            }
+            ++it;
+        }
+        for (int i : dropped)
+            ready.insert(makeEntry(i));
+    }
+
+    /**
+     * Policy 0: only the program-order-next event may start, at most
+     * one per cycle; nothing may bypass a blocked event.
+     */
+    void
+    programOrderPlacement()
+    {
+        auto head = ready.end();
+        for (auto it = ready.begin(); it != ready.end(); ++it)
+            if (head == ready.end() || it->op < head->op)
+                head = it;
+        if (head == ready.end())
+            return;
+
+        int i = head->op;
+        if (tryPlace(i)) {
+            ready.erase(head);
+            return;
+        }
+        ++placement_failures;
+        OpRec &op = ops[static_cast<size_t>(i)];
+        ++op.wait;
+        if (op.wait >= opts.drop_timeout) {
+            // Dropping is meaningless under strict order; keep the
+            // route-adaptivity escalation armed and count the event.
+            ++drops;
+            op.wait = opts.bfs_timeout;
+        }
+    }
+
+    /** Retire expired segments; returns number of ops completed. */
+    uint64_t
+    completionPhase()
+    {
+        uint64_t completed = 0;
+        while (!expiry.empty() && expiry.top().first <= cycle) {
+            int i = expiry.top().second;
+            expiry.pop();
+            OpRec &op = ops[static_cast<size_t>(i)];
+            if (!op.route.empty()) {
+                mesh.release(op.route, i);
+                op.route = network::Path{};
+            }
+            if (op.cls == OpClass::TwoQ
+                && op.stage == Stage::Seg1Active) {
+                makeReady(i, Stage::Seg2Ready);
+                continue;
+            }
+            op.stage = Stage::Done;
+            ++completed;
+            for (int s : dag.succs(i))
+                if (--ops[static_cast<size_t>(s)].pending_preds == 0)
+                    makeReady(s, Stage::Ready);
+        }
+        return completed;
+    }
+
+    const circuit::Circuit &circ;
+    Policy policy;
+    const BraidOptions &opts;
+    circuit::Dag dag;
+    circuit::InteractionGraph graph;
+    TiledArch arch;
+    network::Mesh mesh;
+
+    std::vector<OpRec> ops;
+    std::vector<int> crit;
+    int crit_threshold = 0;
+    std::set<Entry> ready;
+    uint64_t next_seq = 0;
+    // (expire cycle, op), earliest first.
+    std::priority_queue<std::pair<uint64_t, int>,
+                        std::vector<std::pair<uint64_t, int>>,
+                        std::greater<>>
+        expiry;
+    uint64_t cycle = 0;
+
+    std::vector<int> factory_stock;
+    std::vector<uint64_t> factory_next_ready;
+
+    uint64_t braids_placed = 0;
+    uint64_t placement_failures = 0;
+    uint64_t yx_fallbacks = 0;
+    uint64_t bfs_detours = 0;
+    uint64_t drops = 0;
+    uint64_t magic_starvations = 0;
+};
+
+} // namespace
+
+uint64_t
+braidCriticalPath(const circuit::Circuit &circ, int d)
+{
+    fatalIf(d < 1, "code distance must be >= 1, got ", d);
+    circuit::Dag dag(circ);
+    std::vector<uint64_t> finish(static_cast<size_t>(circ.size()), 0);
+    uint64_t best = 0;
+    for (int i = 0; i < circ.size(); ++i) {
+        uint64_t start = 0;
+        for (int p : dag.preds(i))
+            start = std::max(start, finish[static_cast<size_t>(p)]);
+        uint64_t lat = opLatency(classify(circ.gate(i)), d);
+        finish[static_cast<size_t>(i)] = start + lat;
+        best = std::max(best, finish[static_cast<size_t>(i)]);
+    }
+    return best;
+}
+
+BraidResult
+scheduleBraids(const circuit::Circuit &circ, Policy policy,
+               const BraidOptions &opts)
+{
+    fatalIf(circ.empty(), "cannot schedule an empty circuit");
+    fatalIf(opts.code_distance < 1, "code distance must be >= 1");
+    return Simulator(circ, policy, opts).run();
+}
+
+} // namespace qsurf::braid

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Braid scheduling via message passing (Sections 6.1 and 6.3).
+ *
+ * The 3-D space-time braid volume is overconstrained to a 2-D
+ * circuit-switched routing problem: each 2-qubit logical operation
+ * becomes two braid segments (Figure 5's part 1 / part 2) that claim
+ * an entire route atomically, hold it for d stabilization cycles and
+ * release it; each T gate becomes one braid to a magic-state factory
+ * tile.  A dependence-driven ready queue issues braids greedily each
+ * cycle; the priority Policies 0-6 of Section 6.3 order the queue.
+ *
+ * The simulation discovers a static schedule that is replayed at
+ * execution time, so the routing heuristics need not be deadlock- or
+ * livelock-free (Section 6.1): a braid that cannot be placed simply
+ * retries, adapts its route (XY -> YX -> breadth-first detour) and is
+ * eventually dropped/re-injected at the back of the queue.
+ */
+
+#ifndef QSURF_BRAID_SCHEDULER_H
+#define QSURF_BRAID_SCHEDULER_H
+
+#include <cstdint>
+
+#include "braid/tiled_arch.h"
+#include "circuit/circuit.h"
+
+namespace qsurf::braid {
+
+/** The braid prioritization policies of Section 6.3. */
+enum class Policy : int
+{
+    ProgramOrder = 0, ///< No optimization; events in program order.
+    Interleave = 1,   ///< Events interleave; ops in program order.
+    Layout = 2,       ///< Interleave + interaction-aware layout.
+    Criticality = 3,  ///< + sort by highest criticality first.
+    Length = 4,       ///< + sort by longest braid first.
+    Type = 5,         ///< + sort closing braids before opening.
+    Combined = 6,     ///< All of the above (see Section 6.3).
+};
+
+/** All policies in order, for sweeps. */
+inline constexpr int num_policies = 7;
+
+/** @return "Policy N". */
+const char *policyName(Policy policy);
+
+/** Simulation knobs. */
+struct BraidOptions
+{
+    /** Code distance d: braid stabilization time in cycles. */
+    int code_distance = 5;
+
+    /** Data tiles per magic-state factory tile. */
+    int tiles_per_factory = 8;
+
+    /** Cycles an op waits before trying the YX route. */
+    int adapt_timeout = 4;
+
+    /** Cycles before falling back to the adaptive BFS detour. */
+    int bfs_timeout = 8;
+
+    /** Cycles before the op is dropped and re-injected. */
+    int drop_timeout = 16;
+
+    /** Cap on failed placement attempts per cycle. */
+    int max_attempts_per_cycle = 64;
+
+    /**
+     * Cycles a factory needs to distill one magic state; 0 means
+     * production is never the bottleneck (Section 4.3's factories
+     * sized off the critical path).  Non-zero values expose the
+     * space-vs-time factory tradeoff as an ablation.
+     */
+    int magic_production_cycles = 0;
+
+    /** Distilled states a factory can buffer. */
+    int magic_buffer_capacity = 2;
+
+    /** Safety bound on simulated cycles. */
+    uint64_t max_cycles = 100'000'000;
+
+    /** Layout RNG seed. */
+    uint64_t seed = 1;
+};
+
+/** Results of one braid-scheduling run (one Figure 6 bar). */
+struct BraidResult
+{
+    /** Total cycles to complete the program. */
+    uint64_t schedule_cycles = 0;
+
+    /** Dependence-limited lower bound (unbounded resources). */
+    uint64_t critical_path_cycles = 0;
+
+    /** Average fraction of mesh links busy (Figure 6 red curve). */
+    double mesh_utilization = 0;
+
+    /** Braid segments successfully placed. */
+    uint64_t braids_placed = 0;
+
+    /** Failed placement attempts (route conflicts). */
+    uint64_t placement_failures = 0;
+
+    /** Placements that needed the YX fallback. */
+    uint64_t yx_fallbacks = 0;
+
+    /** Placements that needed the BFS detour. */
+    uint64_t bfs_detours = 0;
+
+    /** Drop/re-inject events. */
+    uint64_t drops = 0;
+
+    /** T placements refused because no factory had a state ready. */
+    uint64_t magic_starvations = 0;
+
+    /** Interaction-weighted layout cost (Section 6.2 objective). */
+    double layout_cost = 0;
+
+    /** @return schedule length / critical path (Figure 6 blue bar). */
+    double
+    ratio() const
+    {
+        return critical_path_cycles
+            ? static_cast<double>(schedule_cycles)
+                / static_cast<double>(critical_path_cycles)
+            : 0.0;
+    }
+};
+
+/**
+ * Dependence-limited critical path of @p circ in braid cycles, using
+ * the same latency model as the simulator: 1-qubit ops d, T gates
+ * d+1 (factory braid), 2-qubit ops 2d+2 (two braid segments).
+ */
+uint64_t braidCriticalPath(const circuit::Circuit &circ, int d);
+
+/**
+ * Simulate braid scheduling of @p circ (which must already be
+ * decomposed to Clifford+T) under @p policy.
+ */
+BraidResult scheduleBraids(const circuit::Circuit &circ, Policy policy,
+                           const BraidOptions &opts = {});
+
+} // namespace qsurf::braid
+
+#endif // QSURF_BRAID_SCHEDULER_H

@@ -1,0 +1,118 @@
+#include "braid/tiled_arch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qsurf::braid {
+
+namespace {
+
+/** Convert the interaction graph into a partitioner graph. */
+partition::Graph
+toPartitionGraph(const circuit::InteractionGraph &ig)
+{
+    partition::Graph g(ig.num_qubits);
+    for (const auto &[pair, w] : ig.edges)
+        g.addEdge(pair.first, pair.second,
+                  static_cast<int64_t>(w));
+    return g;
+}
+
+} // namespace
+
+Coord
+TiledArch::tileCenter(const Coord &tile)
+{
+    return Coord{2 * tile.x + 1, 2 * tile.y + 1};
+}
+
+TiledArch::TiledArch(const circuit::InteractionGraph &graph,
+                     const TiledArchOptions &opts)
+{
+    nq = graph.num_qubits;
+    fatalIf(nq < 1, "tiled architecture needs at least one qubit");
+    fatalIf(opts.tiles_per_factory < 1,
+            "tiles_per_factory must be >= 1");
+
+    // Near-square data region plus one factory column on the right.
+    auto [dw, dh] = partition::gridShape(nq);
+    int nfac = std::max(1, nq / opts.tiles_per_factory);
+    tw = dw + 1;
+    th = std::max(dh, std::min(nfac, dh));
+
+    // Factory tiles: rightmost column, spread top to bottom.
+    nfac = std::min(nfac, th);
+    for (int i = 0; i < nfac; ++i) {
+        int y = nfac == 1 ? th / 2
+                          : i * (th - 1) / (nfac - 1);
+        factories.push_back(Coord{tw - 1, y});
+    }
+
+    // Data-qubit placement on the data region.
+    qubit_tile.resize(static_cast<size_t>(nq));
+    partition::GridLayout layout;
+    if (opts.optimized_layout) {
+        partition::Graph pg = toPartitionGraph(graph);
+        layout = partition::layoutOnGrid(pg, dw, dh, opts.seed);
+    } else {
+        layout = partition::naiveLayout(nq, dw, dh);
+    }
+    for (int q = 0; q < nq; ++q)
+        qubit_tile[static_cast<size_t>(q)] =
+            layout.position[static_cast<size_t>(q)];
+}
+
+Coord
+TiledArch::tileOf(int32_t q) const
+{
+    panicIf(q < 0 || q >= nq, "qubit ", q, " out of range");
+    return qubit_tile[static_cast<size_t>(q)];
+}
+
+Coord
+TiledArch::terminal(int32_t q) const
+{
+    return tileCenter(tileOf(q));
+}
+
+Coord
+TiledArch::factoryTerminal(int f) const
+{
+    panicIf(f < 0 || f >= numFactories(), "factory ", f,
+            " out of range");
+    return tileCenter(factories[static_cast<size_t>(f)]);
+}
+
+std::vector<int>
+TiledArch::factoriesByDistance(int32_t q) const
+{
+    Coord tile = tileOf(q);
+    std::vector<int> order(factories.size());
+    for (size_t i = 0; i < factories.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return manhattan(tile, factories[static_cast<size_t>(a)])
+             < manhattan(tile, factories[static_cast<size_t>(b)]);
+    });
+    return order;
+}
+
+network::Mesh
+TiledArch::makeMesh() const
+{
+    return network::Mesh(2 * tw + 1, 2 * th + 1);
+}
+
+double
+TiledArch::layoutCost(const circuit::InteractionGraph &graph) const
+{
+    double sum = 0;
+    for (const auto &[pair, w] : graph.edges)
+        sum += static_cast<double>(w)
+             * manhattan(tileOf(pair.first), tileOf(pair.second));
+    return sum;
+}
+
+} // namespace qsurf::braid

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tiled architecture for double-defect QEC (Section 4.5, Figure 3b).
+ *
+ * One tile per logical qubit on a 2-D grid; braid channels run
+ * between tiles and through them.  The routing mesh places a router
+ * at every tile center and every channel point between tiles — a
+ * (2W+1) x (2H+1) router grid for a W x H tile grid — so braids
+ * between distinct tiles never contend on terminals, only on the
+ * shared channel fabric.  Dedicated magic-state factory tiles sit in
+ * a right-hand column, supplying surrounding tiles (Figure 3b).
+ */
+
+#ifndef QSURF_BRAID_TILED_ARCH_H
+#define QSURF_BRAID_TILED_ARCH_H
+
+#include <vector>
+
+#include "circuit/interaction.h"
+#include "common/geometry.h"
+#include "network/mesh.h"
+#include "partition/layout.h"
+
+namespace qsurf::braid {
+
+/** Configuration of the tiled double-defect machine. */
+struct TiledArchOptions
+{
+    /** Data tiles per magic-state factory tile (1:8 by default). */
+    int tiles_per_factory = 8;
+
+    /** Use the interaction-aware layout (Policies 2+). */
+    bool optimized_layout = false;
+
+    /** Layout RNG seed. */
+    uint64_t seed = 1;
+};
+
+/**
+ * The tile grid: placement of logical data qubits and factory tiles,
+ * plus the mapping from tiles to routing-mesh coordinates.
+ */
+class TiledArch
+{
+  public:
+    /**
+     * Build the machine for @p graph (one vertex per logical qubit),
+     * sizing a near-square grid of data tiles plus a factory column.
+     */
+    TiledArch(const circuit::InteractionGraph &graph,
+              const TiledArchOptions &opts);
+
+    /** @return number of logical data qubits. */
+    int numQubits() const { return nq; }
+
+    /** @return tile-grid width (including the factory column). */
+    int tileWidth() const { return tw; }
+
+    /** @return tile-grid height. */
+    int tileHeight() const { return th; }
+
+    /** @return number of magic-state factory tiles. */
+    int numFactories() const { return static_cast<int>(factories.size()); }
+
+    /** @return router coordinate of qubit @p q's tile center. */
+    Coord terminal(int32_t q) const;
+
+    /** @return router coordinate of factory @p f's tile center. */
+    Coord factoryTerminal(int f) const;
+
+    /**
+     * @return factory indices sorted by Manhattan distance from the
+     * tile of @p q (nearest first).
+     */
+    std::vector<int> factoriesByDistance(int32_t q) const;
+
+    /** @return a routing mesh sized for this machine (fresh state). */
+    network::Mesh makeMesh() const;
+
+    /** @return tile-grid position of qubit @p q. */
+    Coord tileOf(int32_t q) const;
+
+    /**
+     * @return sum of interaction-weighted Manhattan tile distances —
+     * the layout objective of Section 6.2.
+     */
+    double layoutCost(const circuit::InteractionGraph &graph) const;
+
+  private:
+    static Coord tileCenter(const Coord &tile);
+
+    int nq;
+    int tw;
+    int th;
+    std::vector<Coord> qubit_tile;
+    std::vector<Coord> factories;
+};
+
+} // namespace qsurf::braid
+
+#endif // QSURF_BRAID_TILED_ARCH_H

@@ -1,0 +1,105 @@
+#include "circuit/circuit.h"
+
+#include "common/logging.h"
+
+namespace qsurf::circuit {
+
+Circuit::Circuit(int num_qubits)
+{
+    fatalIf(num_qubits < 0, "negative qubit count ", num_qubits);
+    nq = num_qubits;
+}
+
+Circuit::Circuit(std::string name, int num_qubits)
+    : Circuit(num_qubits)
+{
+    label = std::move(name);
+}
+
+void
+Circuit::ensureQubits(int num_qubits)
+{
+    nq = std::max(nq, num_qubits);
+}
+
+void
+Circuit::validate(const Gate &g) const
+{
+    int arity = g.arity();
+    for (int i = 0; i < arity; ++i) {
+        int32_t q = g.qubit[static_cast<size_t>(i)];
+        fatalIf(q < 0 || q >= nq, "gate ", gateName(g.kind), " operand ",
+                i, " = ", q, " out of range [0,", nq, ")");
+    }
+    // Operands of one gate must be distinct qubits.
+    for (int i = 0; i < arity; ++i)
+        for (int j = i + 1; j < arity; ++j)
+            fatalIf(g.qubit[static_cast<size_t>(i)]
+                        == g.qubit[static_cast<size_t>(j)],
+                    "gate ", gateName(g.kind),
+                    " repeats operand qubit ",
+                    g.qubit[static_cast<size_t>(i)]);
+}
+
+int
+Circuit::addGate(GateKind kind, int32_t a, int32_t b, int32_t c)
+{
+    Gate g;
+    g.kind = kind;
+    g.qubit = {a, b, c};
+    return addGate(g);
+}
+
+int
+Circuit::addRz(double angle, int32_t q)
+{
+    Gate g;
+    g.kind = GateKind::Rz;
+    g.angle = angle;
+    g.qubit = {q, -1, -1};
+    return addGate(g);
+}
+
+int
+Circuit::addGate(const Gate &g)
+{
+    validate(g);
+    ops.push_back(g);
+    return static_cast<int>(ops.size()) - 1;
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    ensureQubits(other.numQubits());
+    ops.reserve(ops.size() + other.ops.size());
+    for (const Gate &g : other.ops)
+        addGate(g);
+}
+
+OpCounts
+Circuit::counts() const
+{
+    OpCounts c;
+    c.total = ops.size();
+    for (const Gate &g : ops) {
+        switch (g.arity()) {
+          case 1:
+            ++c.single_qubit;
+            break;
+          case 2:
+            ++c.two_qubit;
+            break;
+          default:
+            ++c.three_qubit;
+            break;
+        }
+        if (consumesMagicState(g.kind))
+            ++c.t_gates;
+        if (isMeasurement(g.kind))
+            ++c.measurements;
+    }
+    return c;
+}
+
+} // namespace qsurf::circuit

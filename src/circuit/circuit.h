@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Flat logical circuit IR.
+ *
+ * A Circuit is an ordered list of gates over logical qubit ids
+ * 0..numQubits()-1.  Program order is a valid topological order of the
+ * dependence DAG (src/circuit/dag.h); the backends never reorder gates
+ * whose operands overlap.
+ */
+
+#ifndef QSURF_CIRCUIT_CIRCUIT_H
+#define QSURF_CIRCUIT_CIRCUIT_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gates.h"
+
+namespace qsurf::circuit {
+
+/** One logical gate instance inside a Circuit. */
+struct Gate
+{
+    GateKind kind = GateKind::H;
+    /** Rotation angle; only meaningful for Rz. */
+    double angle = 0.0;
+    /** Operand qubit ids; only the first gateArity(kind) are valid. */
+    std::array<int32_t, 3> qubit{{-1, -1, -1}};
+
+    /** @return operand count. */
+    int arity() const { return gateArity(kind); }
+
+    /** @return span over the valid operands. */
+    std::span<const int32_t>
+    operands() const
+    {
+        return {qubit.data(), static_cast<size_t>(arity())};
+    }
+
+    /** @return true when @p q is an operand. */
+    bool
+    touches(int32_t q) const
+    {
+        for (int32_t v : operands())
+            if (v == q)
+                return true;
+        return false;
+    }
+};
+
+/** Aggregate gate statistics for a circuit. */
+struct OpCounts
+{
+    uint64_t total = 0;        ///< All gates.
+    uint64_t single_qubit = 0; ///< Arity-1 gates (incl. prep/measure).
+    uint64_t two_qubit = 0;    ///< Arity-2 gates.
+    uint64_t three_qubit = 0;  ///< Toffolis (pre-decomposition only).
+    uint64_t t_gates = 0;      ///< Magic-state consumers (T/Tdag).
+    uint64_t measurements = 0; ///< MeasZ/MeasX.
+};
+
+/**
+ * A flat gate list over logical qubits, the unit of exchange between
+ * the frontend (src/qasm) and the backends (src/braid, src/planar).
+ */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** @param num_qubits number of logical qubits, fixed up front. */
+    explicit Circuit(int num_qubits);
+
+    /** @param name circuit label used in reports. */
+    Circuit(std::string name, int num_qubits);
+
+    /** @return number of logical qubits. */
+    int numQubits() const { return nq; }
+
+    /** @return circuit label (possibly empty). */
+    const std::string &name() const { return label; }
+
+    /** Set the circuit label. */
+    void setName(std::string n) { label = std::move(n); }
+
+    /** Grow the qubit count (never shrinks). */
+    void ensureQubits(int num_qubits);
+
+    /**
+     * Append a gate.
+     *
+     * @param kind  opcode.
+     * @param a,b,c operand qubits; pass only as many as the arity.
+     * @return index of the new gate.
+     */
+    int addGate(GateKind kind, int32_t a, int32_t b = -1, int32_t c = -1);
+
+    /** Append an Rz with an explicit angle. */
+    int addRz(double angle, int32_t q);
+
+    /** Append a pre-built gate (validated). */
+    int addGate(const Gate &g);
+
+    /** Append every gate of @p other (qubit ids unchanged). */
+    void append(const Circuit &other);
+
+    /** @return gate at index @p i. */
+    const Gate &gate(int i) const { return ops.at(static_cast<size_t>(i)); }
+
+    /** @return number of gates. */
+    int size() const { return static_cast<int>(ops.size()); }
+
+    /** @return true when the circuit has no gates. */
+    bool empty() const { return ops.empty(); }
+
+    /** @return all gates in program order. */
+    const std::vector<Gate> &gates() const { return ops; }
+
+    /** @return aggregate op statistics. */
+    OpCounts counts() const;
+
+    auto begin() const { return ops.begin(); }
+    auto end() const { return ops.end(); }
+
+  private:
+    void validate(const Gate &g) const;
+
+    std::string label;
+    int nq = 0;
+    std::vector<Gate> ops;
+};
+
+} // namespace qsurf::circuit
+
+#endif // QSURF_CIRCUIT_CIRCUIT_H

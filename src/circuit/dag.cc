@@ -1,0 +1,55 @@
+#include "circuit/dag.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qsurf::circuit {
+
+Dag::Dag(const Circuit &circ)
+{
+    auto n = static_cast<size_t>(circ.size());
+    preds_.resize(n);
+    succs_.resize(n);
+
+    // last[q] = index of the most recent gate touching qubit q.
+    std::vector<int> last(static_cast<size_t>(circ.numQubits()), -1);
+
+    for (int i = 0; i < circ.size(); ++i) {
+        const Gate &g = circ.gate(i);
+        auto &p = preds_[static_cast<size_t>(i)];
+        for (int32_t q : g.operands()) {
+            int prev = last[static_cast<size_t>(q)];
+            if (prev >= 0 && std::find(p.begin(), p.end(), prev) == p.end())
+                p.push_back(prev);
+            last[static_cast<size_t>(q)] = i;
+        }
+        for (int prev : p)
+            succs_[static_cast<size_t>(prev)].push_back(i);
+    }
+
+    for (int i = 0; i < circ.size(); ++i) {
+        if (preds_[static_cast<size_t>(i)].empty())
+            roots_.push_back(i);
+        if (succs_[static_cast<size_t>(i)].empty())
+            sinks_.push_back(i);
+    }
+}
+
+std::vector<int>
+Dag::inDegrees() const
+{
+    std::vector<int> deg(preds_.size());
+    for (size_t i = 0; i < preds_.size(); ++i)
+        deg[i] = static_cast<int>(preds_[i].size());
+    return deg;
+}
+
+std::vector<int>
+Dag::topologicalOrder() const
+{
+    std::vector<int> order(preds_.size());
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+} // namespace qsurf::circuit

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dependence DAG over a Circuit.
+ *
+ * Two gates depend on each other iff they share an operand qubit; the
+ * earlier one (in program order) is the predecessor.  Only the most
+ * recent toucher of each qubit generates an edge, which yields the
+ * standard transitive reduction per qubit wire.
+ */
+
+#ifndef QSURF_CIRCUIT_DAG_H
+#define QSURF_CIRCUIT_DAG_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qsurf::circuit {
+
+/** Immutable dependence DAG built from a Circuit. */
+class Dag
+{
+  public:
+    /** Build the DAG for @p circ (O(gates * arity)). */
+    explicit Dag(const Circuit &circ);
+
+    /** @return number of nodes (== circ.size()). */
+    int size() const { return static_cast<int>(preds_.size()); }
+
+    /** @return predecessor gate indices of node @p i. */
+    const std::vector<int> &preds(int i) const
+    {
+        return preds_[static_cast<size_t>(i)];
+    }
+
+    /** @return successor gate indices of node @p i. */
+    const std::vector<int> &succs(int i) const
+    {
+        return succs_[static_cast<size_t>(i)];
+    }
+
+    /** @return nodes with no predecessors. */
+    const std::vector<int> &roots() const { return roots_; }
+
+    /** @return nodes with no successors. */
+    const std::vector<int> &sinks() const { return sinks_; }
+
+    /** @return in-degree of each node (copy, for ready-queue seeds). */
+    std::vector<int> inDegrees() const;
+
+    /**
+     * @return a topological order; program order already is one, so
+     * this is the identity permutation (kept for interface clarity).
+     */
+    std::vector<int> topologicalOrder() const;
+
+  private:
+    std::vector<std::vector<int>> preds_;
+    std::vector<std::vector<int>> succs_;
+    std::vector<int> roots_;
+    std::vector<int> sinks_;
+};
+
+} // namespace qsurf::circuit
+
+#endif // QSURF_CIRCUIT_DAG_H

@@ -1,0 +1,112 @@
+#include "circuit/decompose.h"
+
+#include "common/logging.h"
+
+namespace qsurf::circuit {
+
+namespace {
+
+/** Append the 15-gate Clifford+T Toffoli network (Nielsen & Chuang). */
+void
+emitToffoli(Circuit &out, int32_t a, int32_t b, int32_t c)
+{
+    out.addGate(GateKind::H, c);
+    out.addGate(GateKind::CNOT, b, c);
+    out.addGate(GateKind::Tdag, c);
+    out.addGate(GateKind::CNOT, a, c);
+    out.addGate(GateKind::T, c);
+    out.addGate(GateKind::CNOT, b, c);
+    out.addGate(GateKind::Tdag, c);
+    out.addGate(GateKind::CNOT, a, c);
+    out.addGate(GateKind::T, b);
+    out.addGate(GateKind::T, c);
+    out.addGate(GateKind::H, c);
+    out.addGate(GateKind::CNOT, a, b);
+    out.addGate(GateKind::T, a);
+    out.addGate(GateKind::Tdag, b);
+    out.addGate(GateKind::CNOT, a, b);
+}
+
+/**
+ * Append a deterministic H/T string standing in for the Clifford+T
+ * approximation of Rz(angle).  The exact string does not matter for
+ * architecture studies — only its length and T count do — so we emit
+ * a fixed pattern keyed off the angle for determinism.
+ */
+void
+emitRz(Circuit &out, const DecomposeConfig &cfg, double angle, int32_t q)
+{
+    int len = cfg.rz_sequence_length;
+    auto t_count = static_cast<int>(len * cfg.rz_t_fraction);
+    // Alternate T-ish and H gates; flip T/Tdag with the angle sign.
+    GateKind t_kind = angle >= 0 ? GateKind::T : GateKind::Tdag;
+    int emitted_t = 0;
+    for (int i = 0; i < len; ++i) {
+        if (emitted_t < t_count && i % 2 == 0) {
+            out.addGate(t_kind, q);
+            ++emitted_t;
+        } else {
+            out.addGate(i % 4 == 1 ? GateKind::H : GateKind::S, q);
+        }
+    }
+}
+
+} // namespace
+
+Circuit
+decompose(const Circuit &circ, const DecomposeConfig &cfg)
+{
+    fatalIf(cfg.rz_sequence_length < 1,
+            "rz_sequence_length must be positive, got ",
+            cfg.rz_sequence_length);
+
+    Circuit out(circ.name(), circ.numQubits());
+    for (const Gate &g : circ) {
+        switch (g.kind) {
+          case GateKind::Toffoli:
+            emitToffoli(out, g.qubit[0], g.qubit[1], g.qubit[2]);
+            break;
+          case GateKind::Rz:
+            emitRz(out, cfg, g.angle, g.qubit[0]);
+            break;
+          case GateKind::Swap:
+            if (cfg.expand_swap) {
+                out.addGate(GateKind::CNOT, g.qubit[0], g.qubit[1]);
+                out.addGate(GateKind::CNOT, g.qubit[1], g.qubit[0]);
+                out.addGate(GateKind::CNOT, g.qubit[0], g.qubit[1]);
+            } else {
+                out.addGate(g);
+            }
+            break;
+          default:
+            out.addGate(g);
+            break;
+        }
+    }
+    return out;
+}
+
+uint64_t
+decomposedSize(const Circuit &circ, const DecomposeConfig &cfg)
+{
+    uint64_t n = 0;
+    for (const Gate &g : circ) {
+        switch (g.kind) {
+          case GateKind::Toffoli:
+            n += 15;
+            break;
+          case GateKind::Rz:
+            n += static_cast<uint64_t>(cfg.rz_sequence_length);
+            break;
+          case GateKind::Swap:
+            n += cfg.expand_swap ? 3 : 1;
+            break;
+          default:
+            n += 1;
+            break;
+        }
+    }
+    return n;
+}
+
+} // namespace qsurf::circuit

@@ -1,0 +1,118 @@
+#include "circuit/gates.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace qsurf::circuit {
+
+namespace {
+
+struct GateInfo
+{
+    GateKind kind;
+    const char *name;
+    int arity;
+    bool magic;
+    bool meas;
+    bool prep;
+    bool clifford;
+    bool decompose;
+};
+
+constexpr std::array<GateInfo, num_gate_kinds> gate_table{{
+    {GateKind::H,       "H",       1, false, false, false, true,  false},
+    {GateKind::X,       "X",       1, false, false, false, true,  false},
+    {GateKind::Y,       "Y",       1, false, false, false, true,  false},
+    {GateKind::Z,       "Z",       1, false, false, false, true,  false},
+    {GateKind::S,       "S",       1, false, false, false, true,  false},
+    {GateKind::Sdag,    "Sdag",    1, false, false, false, true,  false},
+    {GateKind::T,       "T",       1, true,  false, false, false, false},
+    {GateKind::Tdag,    "Tdag",    1, true,  false, false, false, false},
+    {GateKind::Rz,      "Rz",      1, false, false, false, false, true},
+    {GateKind::CNOT,    "CNOT",    2, false, false, false, true,  false},
+    {GateKind::CZ,      "CZ",      2, false, false, false, true,  false},
+    {GateKind::Swap,    "Swap",    2, false, false, false, true,  false},
+    {GateKind::Toffoli, "Toffoli", 3, false, false, false, false, true},
+    {GateKind::PrepZ,   "PrepZ",   1, false, false, true,  true,  false},
+    {GateKind::PrepX,   "PrepX",   1, false, false, true,  true,  false},
+    {GateKind::MeasZ,   "MeasZ",   1, false, true,  false, true,  false},
+    {GateKind::MeasX,   "MeasX",   1, false, true,  false, true,  false},
+}};
+
+const GateInfo &
+info(GateKind kind)
+{
+    auto idx = static_cast<size_t>(kind);
+    panicIf(idx >= gate_table.size(), "bad GateKind ", idx);
+    panicIf(gate_table[idx].kind != kind, "gate table out of order");
+    return gate_table[idx];
+}
+
+} // namespace
+
+int
+gateArity(GateKind kind)
+{
+    return info(kind).arity;
+}
+
+const std::string &
+gateName(GateKind kind)
+{
+    static std::array<std::string, num_gate_kinds> names = [] {
+        std::array<std::string, num_gate_kinds> out;
+        for (const auto &g : gate_table)
+            out[static_cast<size_t>(g.kind)] = g.name;
+        return out;
+    }();
+    return names[static_cast<size_t>(kind)];
+}
+
+std::optional<GateKind>
+gateFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, GateKind> lookup = [] {
+        std::unordered_map<std::string, GateKind> out;
+        for (const auto &g : gate_table)
+            out.emplace(g.name, g.kind);
+        return out;
+    }();
+    auto it = lookup.find(name);
+    if (it == lookup.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+consumesMagicState(GateKind kind)
+{
+    return info(kind).magic;
+}
+
+bool
+isMeasurement(GateKind kind)
+{
+    return info(kind).meas;
+}
+
+bool
+isPreparation(GateKind kind)
+{
+    return info(kind).prep;
+}
+
+bool
+isClifford(GateKind kind)
+{
+    return info(kind).clifford;
+}
+
+bool
+needsDecomposition(GateKind kind)
+{
+    return info(kind).decompose;
+}
+
+} // namespace qsurf::circuit

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The logical-level gate set (QASM ISA of Section 5.3).
+ *
+ * The set is the standard fault-tolerant basis: Clifford gates,
+ * the T gate (which consumes a magic state, Section 2.2), arbitrary
+ * Z-rotations (decomposed to Clifford+T before backend mapping),
+ * preparation and measurement.
+ */
+
+#ifndef QSURF_CIRCUIT_GATES_H
+#define QSURF_CIRCUIT_GATES_H
+
+#include <optional>
+#include <string>
+
+namespace qsurf::circuit {
+
+/** Logical gate opcodes. */
+enum class GateKind : uint8_t
+{
+    H,          ///< Hadamard.
+    X,          ///< Pauli-X (bit flip).
+    Y,          ///< Pauli-Y.
+    Z,          ///< Pauli-Z (phase flip).
+    S,          ///< Phase gate (Z^1/2).
+    Sdag,       ///< Inverse phase gate.
+    T,          ///< Z^1/4; consumes one magic state.
+    Tdag,       ///< Inverse T; consumes one magic state.
+    Rz,         ///< Z-rotation by an arbitrary angle (pre-decomposition).
+    CNOT,       ///< Controlled-NOT (2 qubits: control, target).
+    CZ,         ///< Controlled-Z (2 qubits).
+    Swap,       ///< Swap (2 qubits).
+    Toffoli,    ///< Doubly-controlled NOT (3 qubits, pre-decomposition).
+    PrepZ,      ///< Initialize |0>.
+    PrepX,      ///< Initialize |+>.
+    MeasZ,      ///< Z-basis measurement.
+    MeasX,      ///< X-basis measurement.
+};
+
+/** Number of distinct GateKind values (for table sizing). */
+inline constexpr int num_gate_kinds = 17;
+
+/** @return number of qubit operands of @p kind (1, 2 or 3). */
+int gateArity(GateKind kind);
+
+/** @return canonical mnemonic, e.g. "CNOT". */
+const std::string &gateName(GateKind kind);
+
+/** @return the GateKind for a mnemonic, or nullopt if unknown. */
+std::optional<GateKind> gateFromName(const std::string &name);
+
+/** @return true for T/Tdag — gates that consume a magic state. */
+bool consumesMagicState(GateKind kind);
+
+/** @return true for MeasZ/MeasX. */
+bool isMeasurement(GateKind kind);
+
+/** @return true for PrepZ/PrepX. */
+bool isPreparation(GateKind kind);
+
+/** @return true for gates in the Clifford group (cheap transversally). */
+bool isClifford(GateKind kind);
+
+/**
+ * @return true when the gate must be expanded by decompose() before
+ * backend mapping (Rz, Toffoli).
+ */
+bool needsDecomposition(GateKind kind);
+
+} // namespace qsurf::circuit
+
+#endif // QSURF_CIRCUIT_GATES_H

@@ -1,0 +1,160 @@
+#include "circuit/peephole.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qsurf::circuit {
+
+namespace {
+
+/** @return the kind that cancels @p kind on identical operands. */
+std::optional<GateKind>
+inverseOf(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::CNOT:
+      case GateKind::CZ:
+      case GateKind::Swap:
+        return kind; // self-inverse.
+      case GateKind::S:
+        return GateKind::Sdag;
+      case GateKind::Sdag:
+        return GateKind::S;
+      case GateKind::T:
+        return GateKind::Tdag;
+      case GateKind::Tdag:
+        return GateKind::T;
+      default:
+        return std::nullopt;
+    }
+}
+
+/** CZ and Swap are symmetric in their operands; CNOT is not. */
+bool
+sameOperands(const Gate &a, const Gate &b)
+{
+    if (a.arity() != b.arity())
+        return false;
+    if (a.kind == GateKind::CZ || a.kind == GateKind::Swap) {
+        auto amin = std::minmax(a.qubit[0], a.qubit[1]);
+        auto bmin = std::minmax(b.qubit[0], b.qubit[1]);
+        return amin == bmin;
+    }
+    for (int i = 0; i < a.arity(); ++i)
+        if (a.qubit[static_cast<size_t>(i)]
+            != b.qubit[static_cast<size_t>(i)])
+            return false;
+    return true;
+}
+
+/** One rewrite pass; returns true when anything changed. */
+bool
+pass(std::vector<Gate> &gates, PeepholeStats &stats)
+{
+    constexpr double angle_eps = 1e-12;
+    bool changed = false;
+    auto n = gates.size();
+    std::vector<char> dead(n, 0);
+    // last[q]: index of the latest live gate touching wire q.
+    std::vector<int> last;
+
+    auto grow = [&last](int32_t q) {
+        if (static_cast<size_t>(q) >= last.size())
+            last.resize(static_cast<size_t>(q) + 1, -1);
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        if (dead[i])
+            continue;
+        Gate &g = gates[i];
+
+        // Find the unique wire-adjacent predecessor, if any: every
+        // operand's last toucher must be the same live gate.
+        int prev = -2;
+        bool uniform = true;
+        for (int32_t q : g.operands()) {
+            grow(q);
+            int p = last[static_cast<size_t>(q)];
+            if (prev == -2)
+                prev = p;
+            else if (prev != p)
+                uniform = false;
+        }
+
+        bool rewrote = false;
+        if (uniform && prev >= 0 && !dead[static_cast<size_t>(prev)]) {
+            Gate &pg = gates[static_cast<size_t>(prev)];
+            // The predecessor must touch no wires beyond g's (else
+            // removing the pair would reorder across those wires).
+            bool same_support = sameOperands(pg, g);
+            if (same_support) {
+                auto inv = inverseOf(pg.kind);
+                if (inv && *inv == g.kind) {
+                    dead[static_cast<size_t>(prev)] = 1;
+                    dead[i] = 1;
+                    ++stats.cancelled_pairs;
+                    rewrote = true;
+                } else if (pg.kind == GateKind::Rz
+                           && g.kind == GateKind::Rz) {
+                    g.angle += pg.angle;
+                    dead[static_cast<size_t>(prev)] = 1;
+                    ++stats.merged_rotations;
+                    if (std::abs(g.angle) < angle_eps)
+                        dead[i] = 1;
+                    rewrote = true;
+                }
+            }
+        }
+        changed |= rewrote;
+
+        // Update wire heads: cancelled pairs expose the gate before
+        // them, which we conservatively mark unknown (-1) — the next
+        // pass will see through it.
+        for (int32_t q : g.operands())
+            last[static_cast<size_t>(q)] =
+                dead[i] ? -1 : static_cast<int>(i);
+    }
+
+    if (changed) {
+        std::vector<Gate> kept;
+        kept.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            if (!dead[i])
+                kept.push_back(gates[i]);
+        gates = std::move(kept);
+    }
+    return changed;
+}
+
+} // namespace
+
+Circuit
+peephole(const Circuit &circ, PeepholeStats *stats, int max_passes)
+{
+    fatalIf(max_passes < 1, "max_passes must be >= 1");
+    PeepholeStats local;
+    std::vector<Gate> gates = circ.gates();
+
+    for (int p = 0; p < max_passes; ++p) {
+        ++local.passes;
+        if (!pass(gates, local))
+            break;
+    }
+
+    Circuit out(circ.name(), circ.numQubits());
+    for (const Gate &g : gates)
+        out.addGate(g);
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace qsurf::circuit

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Logical-level peephole optimization (the frontend's "Logical Op.
+ * Estimate" stage of Figure 4 reduces operation counts before
+ * error-correction overheads multiply them — Section 5.4: "a reduced
+ * operation count yields multiplicative benefits").
+ *
+ * Two rewrites, applied to fixpoint:
+ *  - cancellation of adjacent self-inverse / inverse pairs on the
+ *    same wire(s): H·H, X·X, Y·Y, Z·Z, S·Sdag, T·Tdag, CNOT·CNOT,
+ *    CZ·CZ, Swap·Swap;
+ *  - merging of adjacent Rz rotations on the same wire (angles add;
+ *    a merged angle of ~0 cancels entirely).
+ *
+ * "Adjacent" means no other gate touches any shared operand between
+ * the two — exactly wire adjacency in the dependence DAG.
+ */
+
+#ifndef QSURF_CIRCUIT_PEEPHOLE_H
+#define QSURF_CIRCUIT_PEEPHOLE_H
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+
+namespace qsurf::circuit {
+
+/** Statistics from one peephole() run. */
+struct PeepholeStats
+{
+    uint64_t cancelled_pairs = 0; ///< Inverse pairs removed.
+    uint64_t merged_rotations = 0; ///< Rz pairs fused.
+    int passes = 0;               ///< Passes until fixpoint.
+};
+
+/**
+ * Optimize @p circ to fixpoint (bounded by @p max_passes).
+ *
+ * @param circ       input circuit.
+ * @param stats      optional out-param for rewrite counts.
+ * @param max_passes safety bound on fixpoint iteration.
+ * @return the optimized circuit (semantics preserved).
+ */
+Circuit peephole(const Circuit &circ, PeepholeStats *stats = nullptr,
+                 int max_passes = 16);
+
+} // namespace qsurf::circuit
+
+#endif // QSURF_CIRCUIT_PEEPHOLE_H

@@ -1,0 +1,67 @@
+#include "circuit/schedule.h"
+
+#include <algorithm>
+
+namespace qsurf::circuit {
+
+LevelSchedule
+levelize(const Dag &dag)
+{
+    auto n = static_cast<size_t>(dag.size());
+    LevelSchedule out;
+    out.asap.assign(n, 0);
+    out.alap.assign(n, 0);
+
+    // Program order is topological, so a forward sweep fixes ASAP...
+    for (int i = 0; i < dag.size(); ++i)
+        for (int p : dag.preds(i))
+            out.asap[static_cast<size_t>(i)] = std::max(
+                out.asap[static_cast<size_t>(i)],
+                out.asap[static_cast<size_t>(p)] + 1);
+
+    for (size_t i = 0; i < n; ++i)
+        out.depth = std::max(out.depth, out.asap[i] + 1);
+
+    // ...and a backward sweep fixes ALAP.
+    std::fill(out.alap.begin(), out.alap.end(), out.depth - 1);
+    for (int i = dag.size() - 1; i >= 0; --i)
+        for (int s : dag.succs(i))
+            out.alap[static_cast<size_t>(i)] = std::min(
+                out.alap[static_cast<size_t>(i)],
+                out.alap[static_cast<size_t>(s)] - 1);
+
+    return out;
+}
+
+std::vector<int>
+criticality(const Dag &dag)
+{
+    auto n = static_cast<size_t>(dag.size());
+    std::vector<int> height(n, 0);
+    for (int i = dag.size() - 1; i >= 0; --i)
+        for (int s : dag.succs(i))
+            height[static_cast<size_t>(i)] = std::max(
+                height[static_cast<size_t>(i)],
+                height[static_cast<size_t>(s)] + 1);
+    return height;
+}
+
+ParallelismProfile
+parallelismProfile(const Circuit &circ)
+{
+    Dag dag(circ);
+    LevelSchedule sched = levelize(dag);
+
+    ParallelismProfile out;
+    out.depth = sched.depth;
+    out.total_gates = static_cast<uint64_t>(circ.size());
+    out.gates_per_level.assign(static_cast<size_t>(sched.depth), 0);
+    for (int level : sched.asap)
+        ++out.gates_per_level[static_cast<size_t>(level)];
+    out.factor = sched.depth
+        ? static_cast<double>(circ.size()) / sched.depth
+        : 0.0;
+    return out;
+}
+
+} // namespace qsurf::circuit

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Logical-level schedule analysis (the "Logical-Level Analysis" stage
+ * of Figure 4): ASAP/ALAP levels, critical path, per-gate criticality,
+ * and the parallelism profile that feeds Table 2 and the backend
+ * priority policies.
+ */
+
+#ifndef QSURF_CIRCUIT_SCHEDULE_H
+#define QSURF_CIRCUIT_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+
+namespace qsurf::circuit {
+
+/** Result of levelized (unit-latency list) scheduling. */
+struct LevelSchedule
+{
+    /** Earliest level of each gate (unit latency per level). */
+    std::vector<int> asap;
+    /** Latest level of each gate without stretching the schedule. */
+    std::vector<int> alap;
+    /** Critical-path length in levels (== max asap + 1). */
+    int depth = 0;
+
+    /** @return slack (alap - asap) of gate @p i. */
+    int
+    slack(int i) const
+    {
+        return alap[static_cast<size_t>(i)] - asap[static_cast<size_t>(i)];
+    }
+};
+
+/** Compute ASAP/ALAP levels with unit gate latency. */
+LevelSchedule levelize(const Dag &dag);
+
+/**
+ * Per-gate criticality: the height of the gate (longest path from the
+ * gate to any sink, in gates).  This is the metric Policy 3 sorts by
+ * ("how many future operations depend on it" — Section 6.3).
+ */
+std::vector<int> criticality(const Dag &dag);
+
+/** Parallelism statistics of a circuit (Table 2). */
+struct ParallelismProfile
+{
+    /** Number of gates eligible at each ASAP level. */
+    std::vector<int> gates_per_level;
+    /** Critical-path depth in levels. */
+    int depth = 0;
+    /** Total gates. */
+    uint64_t total_gates = 0;
+    /**
+     * Average number of logical operations concurrently executable
+     * under ideal (resource-unconstrained) scheduling — the paper's
+     * "parallelism factor".
+     */
+    double factor = 0;
+};
+
+/** Compute the ideal-parallelizability profile of a circuit. */
+ParallelismProfile parallelismProfile(const Circuit &circ);
+
+} // namespace qsurf::circuit
+
+#endif // QSURF_CIRCUIT_SCHEDULE_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small 2-D integer geometry helpers shared by the layout, network and
+ * braid modules.  Tiles and routers both live on integer grids.
+ */
+
+#ifndef QSURF_COMMON_GEOMETRY_H
+#define QSURF_COMMON_GEOMETRY_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace qsurf {
+
+/** An (x, y) position on an integer grid. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    friend bool operator==(const Coord &a, const Coord &b) = default;
+    friend auto operator<=>(const Coord &a, const Coord &b) = default;
+};
+
+/** @return the Manhattan (L1) distance between two grid points. */
+inline int
+manhattan(const Coord &a, const Coord &b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/** @return the Chebyshev (L-infinity) distance between two points. */
+inline int
+chebyshev(const Coord &a, const Coord &b)
+{
+    return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Coord &c)
+{
+    return os << "(" << c.x << "," << c.y << ")";
+}
+
+/**
+ * Row-major linearization of a grid coordinate.
+ *
+ * @param c     the coordinate; must satisfy 0 <= c.x < width.
+ * @param width grid width in columns.
+ */
+inline int
+linearIndex(const Coord &c, int width)
+{
+    return c.y * width + c.x;
+}
+
+/** Inverse of linearIndex(). */
+inline Coord
+fromLinearIndex(int index, int width)
+{
+    return Coord{index % width, index / width};
+}
+
+} // namespace qsurf
+
+template <>
+struct std::hash<qsurf::Coord>
+{
+    size_t
+    operator()(const qsurf::Coord &c) const noexcept
+    {
+        // Knuth multiplicative mix of the two 32-bit halves.
+        uint64_t k = (static_cast<uint64_t>(static_cast<uint32_t>(c.x))
+                      << 32)
+                     | static_cast<uint32_t>(c.y);
+        return static_cast<size_t>(k * 0x9e3779b97f4a7c15ULL);
+    }
+};
+
+#endif // QSURF_COMMON_GEOMETRY_H

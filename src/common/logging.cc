@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace qsurf {
+
+namespace {
+
+bool quiet_flag = false;
+
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quiet_flag = q;
+}
+
+bool
+quiet()
+{
+    return quiet_flag;
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    // fatal/panic always print; status messages honour the quiet flag.
+    bool is_error = tag[0] == 'f' || tag[0] == 'p';
+    if (quiet_flag && !is_error)
+        return;
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace qsurf

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 idiom.
+ *
+ * Severity contract (mirrors gem5's base/logging.hh):
+ *  - inform(): status the user should know about, nothing is wrong.
+ *  - warn():   something is off but the run can continue.
+ *  - fatal():  the run cannot continue because of a *user* error
+ *              (bad configuration, malformed input).  Throws
+ *              FatalError so tests can assert on it.
+ *  - panic():  an internal invariant was violated — a qsurf bug.
+ *              Throws PanicError.
+ */
+
+#ifndef QSURF_COMMON_LOGGING_H
+#define QSURF_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qsurf {
+
+/** Error thrown by fatal(): a user-correctable condition. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Error thrown by panic(): an internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Print an informational status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort the current operation due to a user error.
+ *
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/**
+ * Abort because an internal invariant does not hold (a qsurf bug).
+ *
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/** fatal() unless @p cond holds. */
+template <typename Cond, typename... Args>
+void
+fatalIf(const Cond &cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** panic() unless @p cond holds. */
+template <typename Cond, typename... Args>
+void
+panicIf(const Cond &cond, Args &&...args)
+{
+    if (cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** Globally silence inform()/warn() output (benches set this). */
+void setQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool quiet();
+
+} // namespace qsurf
+
+#endif // QSURF_COMMON_LOGGING_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic choices in qsurf (tie-breaking, synthetic workload
+ * generation, partitioner restarts) draw from this xoshiro256**
+ * generator so that every run is reproducible from a seed.
+ */
+
+#ifndef QSURF_COMMON_RNG_H
+#define QSURF_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace qsurf {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded via
+ * splitmix64.  Deterministic across platforms, unlike std::mt19937
+ * paired with std::uniform_int_distribution.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        uint64_t x = seed;
+        for (auto &word : state)
+            word = splitmix64(x);
+    }
+
+    /** @return the next raw 64-bit draw. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state[1] * 5, 7) * 9;
+        uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** @return uniform integer in [0, bound) via Lemire reduction. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Unbiased multiply-shift; the slight modulo bias of the naive
+        // approach would be irrelevant here, but this is just as cheap.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace qsurf
+
+#endif // QSURF_COMMON_RNG_H

@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace qsurf {
+
+void
+Accumulator::add(double x)
+{
+    ++n;
+    total += x;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel variance combination.
+    uint64_t na = n, nb = other.n;
+    double delta = other.mu - mu;
+    uint64_t nt = na + nb;
+    mu += delta * static_cast<double>(nb) / static_cast<double>(nt);
+    m2 += other.m2 + delta * delta
+        * static_cast<double>(na) * static_cast<double>(nb)
+        / static_cast<double>(nt);
+    n = nt;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+double
+Accumulator::variance() const
+{
+    if (n < 2)
+        return 0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo_, double hi_, int bins_)
+    : lo(lo_), hi(hi_)
+{
+    fatalIf(bins_ < 1, "histogram needs at least 1 bin, got ", bins_);
+    fatalIf(hi_ <= lo_, "histogram range is empty: [", lo_, ",", hi_, ")");
+    counts.assign(static_cast<size_t>(bins_), 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++n;
+    double w = (hi - lo) / static_cast<double>(counts.size());
+    auto bin = static_cast<long>(std::floor((x - lo) / w));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<size_t>(bin)];
+}
+
+double
+Histogram::binLow(int i) const
+{
+    double w = (hi - lo) / static_cast<double>(counts.size());
+    return lo + w * i;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (n == 0)
+        return lo;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    target = std::max<uint64_t>(target, 1);
+    uint64_t seen = 0;
+    for (int i = 0; i < bins(); ++i) {
+        seen += counts[static_cast<size_t>(i)];
+        if (seen >= target)
+            return binLow(i);
+    }
+    return hi;
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << n << " p50=" << quantile(0.5) << " p90=" << quantile(0.9)
+       << " p99=" << quantile(0.99);
+    return os.str();
+}
+
+} // namespace qsurf

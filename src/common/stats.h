@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the simulators to report
+ * utilization, latency and queue-depth distributions.
+ */
+
+#ifndef QSURF_COMMON_STATS_H
+#define QSURF_COMMON_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsurf {
+
+/**
+ * Single-pass accumulator for mean/min/max/variance (Welford's
+ * algorithm, numerically stable).
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** @return number of samples added so far. */
+    uint64_t count() const { return n; }
+
+    /** @return sum of all samples. */
+    double sum() const { return total; }
+
+    /** @return sample mean, or 0 when empty. */
+    double mean() const { return n ? total / static_cast<double>(n) : 0; }
+
+    /** @return unbiased sample variance, or 0 with < 2 samples. */
+    double variance() const;
+
+    /** @return sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample, or +inf when empty. */
+    double min() const { return lo; }
+
+    /** @return largest sample, or -inf when empty. */
+    double max() const { return hi; }
+
+  private:
+    uint64_t n = 0;
+    double total = 0;
+    double mu = 0;
+    double m2 = 0;
+    double lo = 1e300;
+    double hi = -1e300;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); samples outside the range land in
+ * saturating edge bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    inclusive lower bound of the first bin.
+     * @param hi    exclusive upper bound of the last bin.
+     * @param bins  number of equal-width bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, int bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return count in bin @p i. */
+    uint64_t binCount(int i) const { return counts.at(i); }
+
+    /** @return inclusive lower edge of bin @p i. */
+    double binLow(int i) const;
+
+    /** @return number of bins. */
+    int bins() const { return static_cast<int>(counts.size()); }
+
+    /** @return total samples. */
+    uint64_t count() const { return n; }
+
+    /** @return x such that roughly fraction @p q of samples are below. */
+    double quantile(double q) const;
+
+    /** Render as a compact single-line summary for logs. */
+    std::string summary() const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    uint64_t n = 0;
+};
+
+} // namespace qsurf
+
+#endif // QSURF_COMMON_STATS_H

@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace qsurf {
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    head = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    panicIf(!head.empty() && cells.size() != head.size(),
+            "table '", caption, "': row width ", cells.size(),
+            " != header width ", head.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+std::string
+Table::fixed(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(head.size());
+    for (size_t i = 0; i < head.size(); ++i)
+        width[i] = head[i].size();
+    for (const auto &r : body)
+        for (size_t i = 0; i < r.size(); ++i) {
+            if (i >= width.size())
+                width.resize(i + 1, 0);
+            width[i] = std::max(width[i], r[i].size());
+        }
+
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        os << "  ";
+        for (size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << std::string(width[i] - r[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    os << "== " << caption << " ==\n";
+    if (!head.empty()) {
+        emit_row(head);
+        size_t total = 2;
+        for (size_t w : width)
+            total += w + 2;
+        os << "  " << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : body)
+        emit_row(r);
+    os << "\n";
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    if (!head.empty())
+        emit(head);
+    for (const auto &r : body)
+        emit(r);
+}
+
+} // namespace qsurf

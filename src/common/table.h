@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal tabular report writer.  Benches use this to print the same
+ * rows/series the paper's tables and figures report, in both aligned
+ * ASCII (for humans) and CSV (for replotting).
+ */
+
+#ifndef QSURF_COMMON_TABLE_H
+#define QSURF_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qsurf {
+
+/** A column-aligned table with a title and header row. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title) : caption(std::move(title)) {}
+
+    /** Set the header row; resets column count. */
+    void header(std::vector<std::string> cols);
+
+    /** Append one data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format arbitrary streamable cells into a row. */
+    template <typename... Cells>
+    void
+    addRow(const Cells &...cells)
+    {
+        row({formatCell(cells)...});
+    }
+
+    /** Render as aligned ASCII. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows, no caption). */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows. */
+    size_t rows() const { return body.size(); }
+
+    /** Format a double with trailing-zero trimming, like "%.4g". */
+    static std::string num(double v);
+
+    /** Format a double with fixed precision. */
+    static std::string fixed(double v, int digits);
+
+  private:
+    template <typename T>
+    static std::string formatCell(const T &v);
+
+    std::string caption;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+template <typename T>
+std::string
+Table::formatCell(const T &v)
+{
+    if constexpr (std::is_same_v<T, std::string>) {
+        return v;
+    } else if constexpr (std::is_convertible_v<T, const char *>) {
+        return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+        return num(static_cast<double>(v));
+    } else {
+        return std::to_string(v);
+    }
+}
+
+} // namespace qsurf
+
+#endif // QSURF_COMMON_TABLE_H

@@ -1,0 +1,47 @@
+#include "estimate/crossover.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qsurf::estimate {
+
+std::optional<double>
+crossoverSize(const ResourceModel &model, const CrossoverOptions &opts)
+{
+    fatalIf(opts.kq_min < 1 || opts.kq_max <= opts.kq_min,
+            "bad crossover sweep range [", opts.kq_min, ",",
+            opts.kq_max, "]");
+    fatalIf(opts.points_per_decade < 1,
+            "points_per_decade must be >= 1");
+
+    double step = std::pow(10.0, 1.0 / opts.points_per_decade);
+    for (double kq = opts.kq_min; kq <= opts.kq_max; kq *= step)
+        if (model.ratios(kq).spacetime <= 1.0)
+            return kq;
+    return std::nullopt;
+}
+
+std::vector<BoundaryPoint>
+favorabilityBoundary(apps::AppKind app, double p_min, double p_max,
+                     int points, const ModelConstants &constants,
+                     const CrossoverOptions &opts)
+{
+    fatalIf(points < 2, "need at least 2 boundary points");
+    fatalIf(p_min <= 0 || p_max <= p_min, "bad pP range");
+
+    std::vector<BoundaryPoint> out;
+    double log_min = std::log10(p_min);
+    double log_max = std::log10(p_max);
+    for (int i = 0; i < points; ++i) {
+        double p = std::pow(
+            10.0, log_min + (log_max - log_min) * i / (points - 1));
+        qec::Technology tech;
+        tech.p_physical = p;
+        ResourceModel model(app, tech, constants);
+        out.push_back(BoundaryPoint{p, crossoverSize(model, opts)});
+    }
+    return out;
+}
+
+} // namespace qsurf::estimate

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Crossover analysis (Sections 7.2 and 7.3).
+ *
+ * For each application, the favorability cross-over is the smallest
+ * computation size at which the double-defect space-time product
+ * drops below the planar one (qubits x time ratio crosses 1,
+ * Figure 8).  Sweeping the physical error rate produces the
+ * boundary curves of Figure 9: designs below a curve should use
+ * planar codes, designs above it double-defect codes.
+ */
+
+#ifndef QSURF_ESTIMATE_CROSSOVER_H
+#define QSURF_ESTIMATE_CROSSOVER_H
+
+#include <optional>
+#include <vector>
+
+#include "estimate/model.h"
+
+namespace qsurf::estimate {
+
+/** Sweep bounds for the computation-size axis. */
+struct CrossoverOptions
+{
+    double kq_min = 1e1;          ///< Smallest computation size.
+    double kq_max = 1e24;         ///< Largest computation size.
+    int points_per_decade = 4;    ///< Sweep resolution.
+};
+
+/**
+ * @return the smallest swept computation size where the space-time
+ * ratio (double-defect / planar) is <= 1, or nullopt when planar
+ * stays favorable over the whole sweep range.
+ */
+std::optional<double> crossoverSize(const ResourceModel &model,
+                                    const CrossoverOptions &opts = {});
+
+/** One point of a Figure 9 boundary curve. */
+struct BoundaryPoint
+{
+    double p_physical = 0;          ///< Technology error rate.
+    std::optional<double> crossover; ///< Boundary computation size.
+};
+
+/**
+ * Figure 9: sweep pP from @p p_min to @p p_max (log-spaced,
+ * @p points samples) and record the crossover boundary at each.
+ */
+std::vector<BoundaryPoint> favorabilityBoundary(
+    apps::AppKind app, double p_min = 1e-8, double p_max = 1e-3,
+    int points = 11, const ModelConstants &constants = {},
+    const CrossoverOptions &opts = {});
+
+} // namespace qsurf::estimate
+
+#endif // QSURF_ESTIMATE_CROSSOVER_H

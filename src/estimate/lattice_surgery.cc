@@ -1,0 +1,86 @@
+#include "estimate/lattice_surgery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qsurf::estimate {
+
+ResourceEstimate
+estimateSurgery(const ResourceModel &base, double kq,
+                const SurgeryConstants &sc)
+{
+    fatalIf(kq < 1, "computation size must be >= 1, got ", kq);
+
+    const qec::Technology &tech = base.technology();
+    const apps::AppScaling &scale = base.scaling();
+    const ModelConstants &k = base.constants();
+
+    ResourceEstimate out;
+    out.code_distance =
+        qec::CodeModel::chooseDistance(tech.p_physical, kq);
+    auto d = static_cast<double>(out.code_distance);
+
+    out.logical_qubits = scale.logicalQubits(kq);
+    double parallelism = scale.parallelism(kq);
+    double f_comm =
+        scale.twoQubitFraction() + scale.tFraction();
+    out.logical_depth = kq / parallelism;
+
+    // Surgery keeps the planar architectural overhead (factories,
+    // routing lanes between patches) but no EPR machinery.
+    out.total_tiles = out.logical_qubits
+        * qec::spaceOverheadFactor(qec::CodeKind::DoubleDefect);
+    double mesh_width = std::sqrt(out.total_tiles);
+    double links = 2.0 * mesh_width * (mesh_width + 1.0);
+    double route_len = k.mean_route_factor * mesh_width;
+
+    // A chain across route_len patches costs rounds_per_hop * d
+    // cycles per hop and cannot be prefetched or shortcut.
+    double chain_cycles = sc.rounds_per_hop * d * route_len;
+    out.step_cycles = d + f_comm * chain_cycles;
+
+    // The chain holds its patches for the whole chain duration, so
+    // its link-time demand scales with route length *squared* in
+    // time-space volume terms — braiding-style saturation, paid
+    // over the longer occupancy.
+    double comm_in_flight = parallelism * f_comm;
+    double link_demand = comm_in_flight * route_len
+        * (chain_cycles / (chain_cycles + d));
+    out.congestion_inflation = std::max(
+        1.0, link_demand / (links * sc.max_utilization));
+
+    out.physical_qubits = out.total_tiles * sc.tile_factor
+        * static_cast<double>(
+              qec::planarTileQubits(out.code_distance));
+    out.total_cycles = out.logical_depth * out.step_cycles
+        * out.congestion_inflation;
+    out.seconds = out.total_cycles * tech.surfaceCycleNs() * 1e-9;
+    return out;
+}
+
+int
+ThreeWay::best() const
+{
+    double p = planar.spaceTime();
+    double dd = double_defect.spaceTime();
+    double s = surgery.spaceTime();
+    if (p <= dd && p <= s)
+        return 0;
+    return dd <= s ? 1 : 2;
+}
+
+ThreeWay
+compareThreeWay(const ResourceModel &base, double kq,
+                const SurgeryConstants &sc)
+{
+    ThreeWay out;
+    out.planar = base.estimate(qec::CodeKind::Planar, kq);
+    out.double_defect =
+        base.estimate(qec::CodeKind::DoubleDefect, kq);
+    out.surgery = estimateSurgery(base, kq, sc);
+    return out;
+}
+
+} // namespace qsurf::estimate

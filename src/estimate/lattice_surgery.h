@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lattice-surgery communication model (Section 8.2).
+ *
+ * The paper discusses lattice surgery as the third communication
+ * option: adjacent planar patches merge (turning on the syndrome
+ * measurements along their shared boundary) and split again, and a
+ * chain of merges/splits moves interaction across the machine.
+ * Crucially, "the chain of merges and splits does not have the
+ * benefits of braids (fast movement) nor teleportation
+ * (prefetchability)":
+ *
+ *  - each merge/split round costs d cycles (the boundary syndromes
+ *    must stabilize), so an L-tile chain costs ~2dL cycles — worse
+ *    than a braid (distance-free) and worse than a prefetched
+ *    teleport (constant);
+ *  - the chain occupies every intermediate patch exclusively while
+ *    it runs, like a braid route — so it congests like braiding;
+ *  - none of it can be prefetched, because the merged patches carry
+ *    live data.
+ *
+ * The model below extends the Figure 8/9 analysis with this third
+ * code so the paper's dismissal can be checked quantitatively (see
+ * bench/sec82_lattice_surgery).
+ */
+
+#ifndef QSURF_ESTIMATE_LATTICE_SURGERY_H
+#define QSURF_ESTIMATE_LATTICE_SURGERY_H
+
+#include "estimate/model.h"
+
+namespace qsurf::estimate {
+
+/** Lattice-surgery model constants. */
+struct SurgeryConstants
+{
+    /** Merge + split rounds per chain hop, in units of d cycles. */
+    double rounds_per_hop = 2.0;
+
+    /**
+     * Tile footprint relative to a planar tile: surgery needs the
+     * planar patch plus shared boundary ancilla strips.
+     */
+    double tile_factor = 1.2;
+
+    /**
+     * Chains occupy intermediate patches exclusively; they saturate
+     * like braids (no buffering), not like packet-switched EPR
+     * channels.
+     */
+    double max_utilization = 0.08;
+};
+
+/**
+ * Space/time estimate for lattice-surgery communication on the same
+ * application scaling and technology as @p base.
+ */
+ResourceEstimate estimateSurgery(const ResourceModel &base, double kq,
+                                 const SurgeryConstants &sc = {});
+
+/**
+ * Three-way comparison at one design point: space-time products for
+ * planar/teleportation, double-defect/braiding, and
+ * planar/lattice-surgery.
+ */
+struct ThreeWay
+{
+    ResourceEstimate planar;
+    ResourceEstimate double_defect;
+    ResourceEstimate surgery;
+
+    /** @return 0 = planar, 1 = double-defect, 2 = surgery. */
+    int best() const;
+};
+
+/** Evaluate all three communication schemes at @p kq. */
+ThreeWay compareThreeWay(const ResourceModel &base, double kq,
+                         const SurgeryConstants &sc = {});
+
+} // namespace qsurf::estimate
+
+#endif // QSURF_ESTIMATE_LATTICE_SURGERY_H

@@ -1,0 +1,101 @@
+#include "estimate/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qsurf::estimate {
+
+ResourceModel::ResourceModel(apps::AppKind app_, qec::Technology tech_,
+                             ModelConstants constants)
+    : app(app_), tech(tech_), k(constants), scale(app_)
+{
+    tech.check();
+}
+
+ResourceEstimate
+ResourceModel::estimate(qec::CodeKind code, double kq) const
+{
+    fatalIf(kq < 1, "computation size must be >= 1, got ", kq);
+
+    ResourceEstimate out;
+    out.code_distance = qec::CodeModel::chooseDistance(
+        tech.p_physical, kq);
+    auto d = static_cast<double>(out.code_distance);
+
+    out.logical_qubits = scale.logicalQubits(kq);
+    double parallelism = scale.parallelism(kq);
+    double f2 = scale.twoQubitFraction();
+    double ft = scale.tFraction();
+    double f_comm = f2 + ft;
+    out.logical_depth = kq / parallelism;
+
+    // Machine geometry: data tiles plus the per-code architectural
+    // overhead (factories, buffers, channels), on a square mesh.
+    out.total_tiles =
+        out.logical_qubits * qec::spaceOverheadFactor(code);
+    double mesh_width = std::sqrt(out.total_tiles);
+    double links = 2.0 * mesh_width * (mesh_width + 1.0);
+    double route_len = k.mean_route_factor * mesh_width;
+
+    // Concurrent communicating ops: braids or teleports in flight.
+    double comm_in_flight = parallelism * f_comm;
+
+    if (code == qec::CodeKind::DoubleDefect) {
+        // Braids claim route_len links for d of every d+2 cycles.
+        // Demand beyond the circuit-switched saturation point
+        // serializes braids and stretches the schedule linearly.
+        double link_demand = comm_in_flight * route_len
+            * (d / (d + k.braid_overhead_cycles));
+        out.congestion_inflation = std::max(
+            1.0, link_demand / (links * k.dd_max_utilization));
+
+        // Marginal op latency: the braid segments' stabilization
+        // overlaps the operation's own d rounds (Figure 5), so the
+        // marginal cost per 2-qubit op is the open/close overhead;
+        // route occupancy shows up as congestion, not latency.
+        out.step_cycles = d + f2 * k.braid_overhead_cycles + ft * 1.0;
+        out.physical_qubits = out.total_tiles
+            * static_cast<double>(
+                  qec::doubleDefectTileQubits(out.code_distance));
+    } else {
+        // EPR transport: swap chains of swapHopCycles(d) per tile
+        // hop.  JIT prefetching hides all but unhidden_swap_fraction
+        // of that latency and smooths link demand over the window.
+        double swap_hop = tech.swapHopCycles(out.code_distance);
+        double link_demand = comm_in_flight * route_len * swap_hop
+            / (d * k.epr_smoothing);
+        out.congestion_inflation = std::max(
+            1.0, link_demand / (links * k.planar_max_utilization));
+
+        // Teleports between adjacent regions need no swap transport;
+        // the exposed residue grows with the hops beyond that.
+        double extra_hops = std::max(0.0, route_len - 2.0);
+        double unhidden = k.unhidden_swap_fraction * f_comm
+            * extra_hops * swap_hop / d;
+        out.step_cycles = d + f_comm * k.teleport_cycles + unhidden;
+        out.physical_qubits = out.total_tiles
+            * static_cast<double>(
+                  qec::planarTileQubits(out.code_distance));
+    }
+
+    out.total_cycles = out.logical_depth * out.step_cycles
+        * out.congestion_inflation;
+    out.seconds = out.total_cycles * tech.surfaceCycleNs() * 1e-9;
+    return out;
+}
+
+ResourceModel::Ratios
+ResourceModel::ratios(double kq) const
+{
+    ResourceEstimate dd = estimate(qec::CodeKind::DoubleDefect, kq);
+    ResourceEstimate pl = estimate(qec::CodeKind::Planar, kq);
+    Ratios out;
+    out.qubits = dd.physical_qubits / pl.physical_qubits;
+    out.time = dd.seconds / pl.seconds;
+    out.spacetime = dd.spaceTime() / pl.spaceTime();
+    return out;
+}
+
+} // namespace qsurf::estimate

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Analytic resource model for the design-space sweeps (Section 7).
+ *
+ * Figures 7-9 sweep computation sizes up to 10^24 logical ops, far
+ * beyond direct simulation, so — like the paper — the sweeps run on
+ * an analytic model whose congestion behaviour mirrors the braid and
+ * EPR simulators (the test suite cross-validates them at feasible
+ * scale).  The model captures the paper's communication asymmetry:
+ *
+ *  - Braids are distance-insensitive but exclusive: a braid claims an
+ *    entire route for d stabilization cycles and cannot be
+ *    prefetched, so offered route load beyond the circuit-switched
+ *    saturation point (~22% link utilization, Figure 6) inflates the
+ *    schedule.
+ *
+ *  - Teleportation is cheap at the point of use, but its EPR halves
+ *    ride swap chains whose latency grows with distance and code
+ *    distance; just-in-time prefetching hides most — not all — of
+ *    that latency, and smooths bursts over the lookahead window
+ *    (Section 8.1), so planar congestion saturates much later.
+ */
+
+#ifndef QSURF_ESTIMATE_MODEL_H
+#define QSURF_ESTIMATE_MODEL_H
+
+#include "apps/scaling.h"
+#include "qec/code.h"
+#include "qec/technology.h"
+
+namespace qsurf::estimate {
+
+/** All tunable constants of the analytic model, in one place. */
+struct ModelConstants
+{
+    /** Braid open+close overhead per segment, cycles (Figure 5). */
+    double braid_overhead_cycles = 2.0;
+
+    /** Teleport cost once EPR halves are resident, cycles. */
+    double teleport_cycles = 3.0;
+
+    /**
+     * Circuit-switched braid saturation: the offered-load fraction
+     * at which braid placement conflicts begin stretching the
+     * schedule.  Conflicts dominate well before the ~22% peak link
+     * utilization Figure 6 measures, because braids cannot buffer
+     * or share channels.
+     */
+    double dd_max_utilization = 0.08;
+
+    /** Planar EPR channels saturate much later (packet-like). */
+    double planar_max_utilization = 0.85;
+
+    /**
+     * JIT window smoothing: prefetching spreads EPR transport load
+     * over roughly this many logical steps (Section 8.1).
+     */
+    double epr_smoothing = 8.0;
+
+    /**
+     * Residual exposed swap latency per tile hop, in units of
+     * swap-hop-cycles per code distance (i.e. physical swap steps).
+     * Swap channels are pipelines: consecutive EPRs stream through,
+     * so the exposed residue per teleport is a per-hop pipeline
+     * jitter rather than the full d-proportional chain latency.
+     */
+    double unhidden_swap_fraction = 1.5;
+
+    /** Mean route length as a fraction of mesh width (2/3 for
+     *  uniform random endpoints on a line). */
+    double mean_route_factor = 0.667;
+};
+
+/** Space/time estimate for one (application, code, size) point. */
+struct ResourceEstimate
+{
+    int code_distance = 0;        ///< Chosen d.
+    double logical_qubits = 0;    ///< Data qubits Q.
+    double total_tiles = 0;       ///< Data + factory/buffer tiles.
+    double physical_qubits = 0;   ///< Total physical qubits.
+    double logical_depth = 0;     ///< KQ / parallelism.
+    double step_cycles = 0;       ///< Effective cycles per step.
+    double congestion_inflation = 1; ///< Schedule inflation factor.
+    double total_cycles = 0;      ///< Schedule length in cycles.
+    double seconds = 0;           ///< Wall-clock execution time.
+
+    /** @return the space-time product the paper compares (Fig 8). */
+    double spaceTime() const { return physical_qubits * seconds; }
+};
+
+/**
+ * The analytic model for one application on one technology.
+ */
+class ResourceModel
+{
+  public:
+    ResourceModel(apps::AppKind app, qec::Technology tech,
+                  ModelConstants constants = {});
+
+    /** @return the estimate for @p code at computation size @p kq. */
+    ResourceEstimate estimate(qec::CodeKind code, double kq) const;
+
+    /**
+     * @return double-defect : planar resource ratios at @p kq
+     * (Figure 8's y-axis; >1 means double-defect costs more).
+     */
+    struct Ratios
+    {
+        double qubits = 0;
+        double time = 0;
+        double spacetime = 0;
+    };
+    Ratios ratios(double kq) const;
+
+    /** @return the application scaling model in use. */
+    const apps::AppScaling &scaling() const { return scale; }
+
+    /** @return the technology in use. */
+    const qec::Technology &technology() const { return tech; }
+
+    /** @return the model constants in use. */
+    const ModelConstants &constants() const { return k; }
+
+  private:
+    apps::AppKind app;
+    qec::Technology tech;
+    ModelConstants k;
+    apps::AppScaling scale;
+};
+
+} // namespace qsurf::estimate
+
+#endif // QSURF_ESTIMATE_MODEL_H

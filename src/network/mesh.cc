@@ -1,0 +1,144 @@
+#include "network/mesh.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qsurf::network {
+
+Mesh::Mesh(int width, int height)
+    : w(width), h(height)
+{
+    fatalIf(w < 1 || h < 1, "mesh must be at least 1x1, got ", w, "x",
+            h);
+    node_owner.assign(static_cast<size_t>(w * h), no_owner);
+    // Horizontal links first ((w-1) per row), then vertical.
+    link_owner.assign(static_cast<size_t>((w - 1) * h + w * (h - 1)),
+                      no_owner);
+}
+
+bool
+Mesh::contains(const Coord &c) const
+{
+    return c.x >= 0 && c.x < w && c.y >= 0 && c.y < h;
+}
+
+int
+Mesh::nodeIndex(const Coord &c) const
+{
+    panicIf(!contains(c), "router ", c.x, ",", c.y, " outside ", w, "x",
+            h, " mesh");
+    return linearIndex(c, w);
+}
+
+int
+Mesh::linkIndex(const Coord &a, const Coord &b) const
+{
+    panicIf(manhattan(a, b) != 1, "link endpoints not adjacent");
+    panicIf(!contains(a) || !contains(b), "link endpoint outside mesh");
+    const Coord &lo = a < b ? a : b;
+    if (a.y == b.y)
+        return lo.y * (w - 1) + lo.x;
+    return (w - 1) * h + lo.y * w + lo.x;
+}
+
+int
+Mesh::nodeOwner(const Coord &c) const
+{
+    return node_owner[static_cast<size_t>(nodeIndex(c))];
+}
+
+int
+Mesh::linkOwner(const Coord &a, const Coord &b) const
+{
+    return link_owner[static_cast<size_t>(linkIndex(a, b))];
+}
+
+bool
+Mesh::nodeAvailable(const Coord &c, int owner) const
+{
+    int cur = nodeOwner(c);
+    return cur == no_owner || cur == owner;
+}
+
+bool
+Mesh::linkAvailable(const Coord &a, const Coord &b, int owner) const
+{
+    int cur = linkOwner(a, b);
+    return cur == no_owner || cur == owner;
+}
+
+bool
+Mesh::routeFree(const Path &path, int owner) const
+{
+    if (path.empty())
+        return true;
+    for (const Coord &c : path.nodes)
+        if (!nodeAvailable(c, owner))
+            return false;
+    for (size_t i = 0; i + 1 < path.nodes.size(); ++i)
+        if (!linkAvailable(path.nodes[i], path.nodes[i + 1], owner))
+            return false;
+    return true;
+}
+
+void
+Mesh::claim(const Path &path, int owner)
+{
+    panicIf(owner == no_owner, "cannot claim with the no-owner id");
+    panicIf(!routeFree(path, owner), "claim on a busy route");
+    for (const Coord &c : path.nodes)
+        node_owner[static_cast<size_t>(nodeIndex(c))] = owner;
+    for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+        int li = linkIndex(path.nodes[i], path.nodes[i + 1]);
+        if (link_owner[static_cast<size_t>(li)] == no_owner)
+            ++busy_links;
+        link_owner[static_cast<size_t>(li)] = owner;
+    }
+}
+
+void
+Mesh::release(const Path &path, int owner)
+{
+    for (const Coord &c : path.nodes) {
+        auto &slot = node_owner[static_cast<size_t>(nodeIndex(c))];
+        if (slot == owner)
+            slot = no_owner;
+    }
+    for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+        int li = linkIndex(path.nodes[i], path.nodes[i + 1]);
+        auto &slot = link_owner[static_cast<size_t>(li)];
+        if (slot == owner) {
+            slot = no_owner;
+            --busy_links;
+        }
+    }
+}
+
+void
+Mesh::tick()
+{
+    ++ticks;
+    busy_link_cycles += static_cast<uint64_t>(busy_links);
+}
+
+double
+Mesh::utilization() const
+{
+    if (ticks == 0 || numLinks() == 0)
+        return 0;
+    return static_cast<double>(busy_link_cycles)
+        / (static_cast<double>(ticks) * numLinks());
+}
+
+void
+Mesh::reset()
+{
+    std::fill(node_owner.begin(), node_owner.end(), no_owner);
+    std::fill(link_owner.begin(), link_owner.end(), no_owner);
+    busy_links = 0;
+    ticks = 0;
+    busy_link_cycles = 0;
+}
+
+} // namespace qsurf::network

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Circuit-switched 2-D mesh (Section 6.1).
+ *
+ * Braids are messages routed on the mesh formed by tile corners:
+ * "black defects are messages routed in the mesh, and the tile
+ * corners are routers" (Figure 5).  Braids claim every node and link
+ * of their route atomically when they open (the n-hops-in-1-cycle
+ * property) and release them when they close.  Because defects
+ * cannot coexist closely, there are no buffers and no virtual
+ * channels: a node or link has at most one owner.
+ */
+
+#ifndef QSURF_NETWORK_MESH_H
+#define QSURF_NETWORK_MESH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace qsurf::network {
+
+/** A concrete route: the ordered list of routers it passes through. */
+struct Path
+{
+    std::vector<Coord> nodes;
+
+    /** @return number of links (hops). */
+    int hops() const { return static_cast<int>(nodes.size()) - 1; }
+
+    bool empty() const { return nodes.empty(); }
+
+    /** @return source router. */
+    const Coord &source() const { return nodes.front(); }
+
+    /** @return destination router. */
+    const Coord &dest() const { return nodes.back(); }
+};
+
+/**
+ * The mesh: a width x height grid of routers with unit-capacity
+ * links, exclusive circuit-switched ownership, and busy-time
+ * accounting.
+ */
+class Mesh
+{
+  public:
+    /** No-owner sentinel. */
+    static constexpr int no_owner = -1;
+
+    Mesh(int width, int height);
+
+    int width() const { return w; }
+    int height() const { return h; }
+
+    /** @return total routers. */
+    int numNodes() const { return w * h; }
+
+    /** @return total links. */
+    int numLinks() const { return static_cast<int>(link_owner.size()); }
+
+    /** @return true when @p c is a valid router coordinate. */
+    bool contains(const Coord &c) const;
+
+    /** @return owner of router @p c, or no_owner. */
+    int nodeOwner(const Coord &c) const;
+
+    /** @return owner of the link a-b (must be adjacent routers). */
+    int linkOwner(const Coord &a, const Coord &b) const;
+
+    /**
+     * @return true when every node and link of @p path is free or
+     * already owned by @p owner.
+     */
+    bool routeFree(const Path &path, int owner) const;
+
+    /**
+     * Claim every node and link of @p path for @p owner.
+     * panic()s if any resource is held by someone else — call
+     * routeFree first.
+     */
+    void claim(const Path &path, int owner);
+
+    /** Release every node and link of @p path owned by @p owner. */
+    void release(const Path &path, int owner);
+
+    /** @return true if router @p c is free or owned by @p owner. */
+    bool nodeAvailable(const Coord &c, int owner) const;
+
+    /** @return true if link a-b is free or owned by @p owner. */
+    bool linkAvailable(const Coord &a, const Coord &b, int owner) const;
+
+    /** Advance time one cycle, accumulating busy-link statistics. */
+    void tick();
+
+    /** @return cycles ticked so far. */
+    uint64_t cycles() const { return ticks; }
+
+    /** @return currently claimed links. */
+    int busyLinks() const { return busy_links; }
+
+    /** @return average fraction of links busy per cycle so far. */
+    double utilization() const;
+
+    /** Clear ownership and statistics. */
+    void reset();
+
+  private:
+    int nodeIndex(const Coord &c) const;
+    int linkIndex(const Coord &a, const Coord &b) const;
+
+    int w;
+    int h;
+    std::vector<int> node_owner;
+    std::vector<int> link_owner;
+    int busy_links = 0;
+    uint64_t ticks = 0;
+    uint64_t busy_link_cycles = 0;
+};
+
+} // namespace qsurf::network
+
+#endif // QSURF_NETWORK_MESH_H

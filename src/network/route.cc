@@ -1,0 +1,111 @@
+#include "network/route.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qsurf::network {
+
+namespace {
+
+void
+walkX(Path &path, Coord from, int to_x)
+{
+    int step = to_x > from.x ? 1 : -1;
+    while (from.x != to_x) {
+        from.x += step;
+        path.nodes.push_back(from);
+    }
+}
+
+void
+walkY(Path &path, Coord from, int to_y)
+{
+    int step = to_y > from.y ? 1 : -1;
+    while (from.y != to_y) {
+        from.y += step;
+        path.nodes.push_back(from);
+    }
+}
+
+} // namespace
+
+Path
+xyRoute(const Coord &src, const Coord &dst)
+{
+    Path path;
+    path.nodes.push_back(src);
+    walkX(path, src, dst.x);
+    walkY(path, Coord{dst.x, src.y}, dst.y);
+    return path;
+}
+
+Path
+yxRoute(const Coord &src, const Coord &dst)
+{
+    Path path;
+    path.nodes.push_back(src);
+    walkY(path, src, dst.y);
+    walkX(path, Coord{src.x, dst.y}, dst.x);
+    return path;
+}
+
+std::optional<Path>
+adaptiveRoute(const Mesh &mesh, const Coord &src, const Coord &dst,
+              int owner)
+{
+    fatalIf(!mesh.contains(src) || !mesh.contains(dst),
+            "route endpoint outside the mesh");
+    if (!mesh.nodeAvailable(src, owner)
+        || !mesh.nodeAvailable(dst, owner))
+        return std::nullopt;
+    if (src == dst)
+        return Path{{src}};
+
+    // BFS over free routers/links.
+    std::vector<Coord> prev(
+        static_cast<size_t>(mesh.numNodes()), Coord{-1, -1});
+    std::vector<char> seen(static_cast<size_t>(mesh.numNodes()), 0);
+    auto idx = [&mesh](const Coord &c) {
+        return static_cast<size_t>(linearIndex(c, mesh.width()));
+    };
+
+    std::deque<Coord> frontier{src};
+    seen[idx(src)] = 1;
+    bool found = false;
+    while (!frontier.empty() && !found) {
+        Coord cur = frontier.front();
+        frontier.pop_front();
+        static constexpr std::array<Coord, 4> dirs{
+            {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
+        for (const Coord &d : dirs) {
+            Coord next{cur.x + d.x, cur.y + d.y};
+            if (!mesh.contains(next) || seen[idx(next)])
+                continue;
+            if (!mesh.nodeAvailable(next, owner)
+                || !mesh.linkAvailable(cur, next, owner))
+                continue;
+            seen[idx(next)] = 1;
+            prev[idx(next)] = cur;
+            if (next == dst) {
+                found = true;
+                break;
+            }
+            frontier.push_back(next);
+        }
+    }
+    if (!found)
+        return std::nullopt;
+
+    Path path;
+    for (Coord c = dst; !(c == src); c = prev[idx(c)])
+        path.nodes.push_back(c);
+    path.nodes.push_back(src);
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    return path;
+}
+
+} // namespace qsurf::network

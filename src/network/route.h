@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Route construction: dimension-ordered (XY / YX) paths and the
+ * adaptive breadth-first detour used "to improve forward progress in
+ * a busy network ... after certain timeouts" (Section 6.1).
+ */
+
+#ifndef QSURF_NETWORK_ROUTE_H
+#define QSURF_NETWORK_ROUTE_H
+
+#include <optional>
+
+#include "network/mesh.h"
+
+namespace qsurf::network {
+
+/** @return the X-then-Y dimension-ordered path from src to dst. */
+Path xyRoute(const Coord &src, const Coord &dst);
+
+/** @return the Y-then-X dimension-ordered path from src to dst. */
+Path yxRoute(const Coord &src, const Coord &dst);
+
+/**
+ * Shortest path through currently-free resources, found by BFS.
+ *
+ * @param mesh   the mesh with current ownership state.
+ * @param src    source router.
+ * @param dst    destination router.
+ * @param owner  requester id; resources it already owns count as
+ *               available (needed to re-route its own braid).
+ * @return a free path, or nullopt when src and dst are disconnected
+ *         in the free subgraph.
+ */
+std::optional<Path> adaptiveRoute(const Mesh &mesh, const Coord &src,
+                                  const Coord &dst, int owner);
+
+} // namespace qsurf::network
+
+#endif // QSURF_NETWORK_ROUTE_H

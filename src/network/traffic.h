@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic traffic characterization of the circuit-switched braid
+ * mesh (in the spirit of classic NoC synthetic-traffic studies).
+ *
+ * Braids claim whole routes exclusively and hold them for d cycles,
+ * so the mesh saturates at far lower offered load than a buffered
+ * packet network.  This module measures that saturation point — the
+ * empirical basis for the `dd_max_utilization` constant in the
+ * analytic design-space model (estimate::ModelConstants).
+ */
+
+#ifndef QSURF_NETWORK_TRAFFIC_H
+#define QSURF_NETWORK_TRAFFIC_H
+
+#include <cstdint>
+
+#include "network/mesh.h"
+
+namespace qsurf::network {
+
+/** Classic synthetic traffic patterns. */
+enum class TrafficPattern : uint8_t
+{
+    Uniform,   ///< Uniform random source/destination pairs.
+    Transpose, ///< (x, y) -> (y, x): long diagonal routes.
+    Neighbor,  ///< Destination one hop away: minimal routes.
+    Hotspot,   ///< All destinations at the mesh center.
+};
+
+/** @return a printable name for @p pattern. */
+const char *trafficPatternName(TrafficPattern pattern);
+
+/** Traffic-run configuration. */
+struct TrafficOptions
+{
+    TrafficPattern pattern = TrafficPattern::Uniform;
+
+    /** New route requests per node per cycle (offered load). */
+    double injection_rate = 0.01;
+
+    /** Cycles each granted route is held (the braid's d). */
+    int hold_cycles = 5;
+
+    /** Simulated cycles. */
+    uint64_t cycles = 2000;
+
+    /** Placement attempts per cycle (head-of-queue first). */
+    int max_attempts_per_cycle = 64;
+
+    /** RNG seed. */
+    uint64_t seed = 1;
+};
+
+/** Measured behaviour of one traffic run. */
+struct TrafficResult
+{
+    uint64_t offered = 0;    ///< Requests generated.
+    uint64_t granted = 0;    ///< Routes successfully placed.
+    uint64_t completed = 0;  ///< Routes that ran to release.
+    double mean_wait = 0;    ///< Cycles from request to grant.
+    double utilization = 0;  ///< Average busy-link fraction.
+    double acceptance = 0;   ///< granted / offered.
+};
+
+/**
+ * Drive @p pattern traffic over a fresh width x height mesh and
+ * measure throughput, waiting time and link utilization.
+ */
+TrafficResult runTraffic(int width, int height,
+                         const TrafficOptions &opts = {});
+
+} // namespace qsurf::network
+
+#endif // QSURF_NETWORK_TRAFFIC_H

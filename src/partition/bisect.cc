@@ -1,0 +1,235 @@
+#include "partition/bisect.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/logging.h"
+#include "partition/refine.h"
+
+namespace qsurf::partition {
+
+namespace {
+
+/** One level of the multilevel hierarchy. */
+struct CoarseLevel
+{
+    Graph graph;
+    /** Map from fine vertex to coarse vertex of the next level. */
+    std::vector<int> fine_to_coarse;
+};
+
+/**
+ * Heavy-edge matching: visit vertices in random order, match each
+ * unmatched vertex with its heaviest unmatched neighbour, and
+ * contract matched pairs.
+ */
+CoarseLevel
+coarsen(const Graph &g, Rng &rng)
+{
+    int n = g.size();
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    for (int i = n - 1; i > 0; --i)
+        std::swap(order[static_cast<size_t>(i)],
+                  order[rng.below(static_cast<uint64_t>(i + 1))]);
+
+    std::vector<int> match(static_cast<size_t>(n), -1);
+    for (int v : order) {
+        if (match[static_cast<size_t>(v)] >= 0)
+            continue;
+        int best = -1;
+        int64_t best_w = 0;
+        for (const auto &[u, w] : g.neighbors(v))
+            if (match[static_cast<size_t>(u)] < 0 && w > best_w) {
+                best_w = w;
+                best = u;
+            }
+        if (best >= 0) {
+            match[static_cast<size_t>(v)] = best;
+            match[static_cast<size_t>(best)] = v;
+        } else {
+            match[static_cast<size_t>(v)] = v;
+        }
+    }
+
+    CoarseLevel level;
+    level.fine_to_coarse.assign(static_cast<size_t>(n), -1);
+    int next = 0;
+    for (int v = 0; v < n; ++v) {
+        if (level.fine_to_coarse[static_cast<size_t>(v)] >= 0)
+            continue;
+        int m = match[static_cast<size_t>(v)];
+        level.fine_to_coarse[static_cast<size_t>(v)] = next;
+        level.fine_to_coarse[static_cast<size_t>(m)] = next;
+        ++next;
+    }
+
+    level.graph = Graph(next);
+    std::vector<int64_t> cw(static_cast<size_t>(next), 0);
+    for (int v = 0; v < n; ++v)
+        cw[static_cast<size_t>(
+            level.fine_to_coarse[static_cast<size_t>(v)])] +=
+            g.vertexWeight(v);
+    for (int c = 0; c < next; ++c)
+        level.graph.setVertexWeight(c, cw[static_cast<size_t>(c)]);
+    for (int u = 0; u < n; ++u)
+        for (const auto &[v, w] : g.neighbors(u)) {
+            if (u >= v)
+                continue;
+            int cu = level.fine_to_coarse[static_cast<size_t>(u)];
+            int cv = level.fine_to_coarse[static_cast<size_t>(v)];
+            if (cu != cv)
+                level.graph.addEdge(cu, cv, w);
+        }
+    return level;
+}
+
+/**
+ * Greedy BFS initial partition: grow side 0 from a random seed until
+ * it holds the target weight; ties broken by connection strength.
+ */
+std::vector<int>
+initialPartition(const Graph &g, Rng &rng, int64_t target_w0)
+{
+    int n = g.size();
+    std::vector<int> side(static_cast<size_t>(n), 1);
+    if (n == 0)
+        return side;
+
+    std::vector<char> visited(static_cast<size_t>(n), 0);
+    int64_t w0 = 0;
+    std::deque<int> frontier;
+
+    auto seed_from = [&](int v) {
+        visited[static_cast<size_t>(v)] = 1;
+        frontier.push_back(v);
+    };
+    seed_from(static_cast<int>(rng.below(static_cast<uint64_t>(n))));
+
+    while (w0 < target_w0) {
+        if (frontier.empty()) {
+            // Disconnected graph: seed a new unvisited component.
+            int fresh = -1;
+            for (int v = 0; v < n; ++v)
+                if (!visited[static_cast<size_t>(v)]) {
+                    fresh = v;
+                    break;
+                }
+            if (fresh < 0)
+                break;
+            seed_from(fresh);
+            continue;
+        }
+        int v = frontier.front();
+        frontier.pop_front();
+        side[static_cast<size_t>(v)] = 0;
+        w0 += g.vertexWeight(v);
+        for (const auto &[u, w] : g.neighbors(v)) {
+            (void)w;
+            if (!visited[static_cast<size_t>(u)]) {
+                visited[static_cast<size_t>(u)] = 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    return side;
+}
+
+BalanceConstraint
+makeBalance(const Graph &g, const BisectOptions &opts)
+{
+    auto total = static_cast<double>(g.totalVertexWeight());
+    double target = total * opts.target_fraction;
+    double eps = total * opts.imbalance;
+    // Always allow at least one max-weight vertex of slack so a
+    // feasible assignment exists even for lumpy vertex weights.
+    int64_t max_vw = 1;
+    for (int v = 0; v < g.size(); ++v)
+        max_vw = std::max(max_vw, g.vertexWeight(v));
+    auto slack = std::max<int64_t>(static_cast<int64_t>(eps), max_vw);
+
+    BalanceConstraint b;
+    b.min_side0 = std::max<int64_t>(
+        0, static_cast<int64_t>(target) - slack);
+    b.max_side0 = std::min<int64_t>(
+        static_cast<int64_t>(total),
+        static_cast<int64_t>(target) + slack);
+    return b;
+}
+
+Bisection
+assemble(const Graph &g, std::vector<int> side)
+{
+    Bisection out;
+    out.cut = cutWeight(g, side);
+    for (int v = 0; v < g.size(); ++v)
+        if (side[static_cast<size_t>(v)] == 0)
+            out.side0_weight += g.vertexWeight(v);
+    out.side = std::move(side);
+    return out;
+}
+
+} // namespace
+
+Bisection
+bisect(const Graph &g, Rng &rng, const BisectOptions &opts)
+{
+    fatalIf(opts.target_fraction <= 0 || opts.target_fraction >= 1,
+            "target_fraction must be in (0,1), got ",
+            opts.target_fraction);
+
+    int n = g.size();
+    if (n <= 1)
+        return assemble(g, std::vector<int>(static_cast<size_t>(n), 0));
+
+    // Build the multilevel hierarchy.
+    std::vector<CoarseLevel> levels;
+    const Graph *cur = &g;
+    while (cur->size() > opts.coarsen_threshold) {
+        CoarseLevel level = coarsen(*cur, rng);
+        // Matching failed to shrink the graph (e.g. no edges): stop.
+        if (level.graph.size() >= cur->size())
+            break;
+        levels.push_back(std::move(level));
+        cur = &levels.back().graph;
+    }
+
+    // Initial partition at the coarsest level, with restarts.
+    const Graph &coarsest = levels.empty() ? g : levels.back().graph;
+    auto target_w0 = static_cast<int64_t>(
+        static_cast<double>(coarsest.totalVertexWeight())
+        * opts.target_fraction);
+    BalanceConstraint cb = makeBalance(coarsest, opts);
+
+    std::vector<int> best_side;
+    int64_t best_cut = -1;
+    for (int r = 0; r < std::max(1, opts.restarts); ++r) {
+        std::vector<int> side = initialPartition(coarsest, rng,
+                                                 target_w0);
+        int64_t cut = fmRefine(coarsest, side, cb, opts.refine_passes);
+        if (best_cut < 0 || cut < best_cut) {
+            best_cut = cut;
+            best_side = std::move(side);
+        }
+    }
+
+    // Uncoarsen, refining at every level.
+    for (size_t li = levels.size(); li > 0; --li) {
+        const CoarseLevel &level = levels[li - 1];
+        const Graph &fine =
+            li >= 2 ? levels[li - 2].graph : g;
+        std::vector<int> fine_side(static_cast<size_t>(fine.size()));
+        for (int v = 0; v < fine.size(); ++v)
+            fine_side[static_cast<size_t>(v)] = best_side[
+                static_cast<size_t>(
+                    level.fine_to_coarse[static_cast<size_t>(v)])];
+        BalanceConstraint fb = makeBalance(fine, opts);
+        fmRefine(fine, fine_side, fb, opts.refine_passes);
+        best_side = std::move(fine_side);
+    }
+
+    return assemble(g, std::move(best_side));
+}
+
+} // namespace qsurf::partition

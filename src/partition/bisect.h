@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Balanced 2-way graph bisection: multilevel heavy-edge-matching
+ * coarsening, greedy BFS-based initial partition, and
+ * Fiduccia-Mattheyses refinement at every uncoarsening level — the
+ * same algorithmic recipe as METIS [42], reimplemented from scratch.
+ */
+
+#ifndef QSURF_PARTITION_BISECT_H
+#define QSURF_PARTITION_BISECT_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "partition/graph.h"
+
+namespace qsurf::partition {
+
+/** Tunables for the bisection. */
+struct BisectOptions
+{
+    /**
+     * Target share of total vertex weight in side 0, in [0,1].
+     * 0.5 is a balanced bisection; the grid embedder asks for
+     * uneven splits when a region's two halves differ in capacity.
+     */
+    double target_fraction = 0.5;
+
+    /** Allowed relative imbalance around the target (epsilon). */
+    double imbalance = 0.05;
+
+    /** Stop coarsening below this many vertices. */
+    int coarsen_threshold = 32;
+
+    /** Random restarts of the initial partition at the coarsest level. */
+    int restarts = 4;
+
+    /** FM passes per level. */
+    int refine_passes = 6;
+};
+
+/** Result of a bisection. */
+struct Bisection
+{
+    /** 0/1 side of every vertex. */
+    std::vector<int> side;
+    /** Total edge weight crossing the cut. */
+    int64_t cut = 0;
+    /** Vertex weight placed on side 0. */
+    int64_t side0_weight = 0;
+};
+
+/**
+ * Bisect @p g into two balanced parts minimizing cut weight.
+ *
+ * Deterministic for a given @p rng state.  Handles disconnected
+ * graphs, isolated vertices, and n < 2 (everything on side 0).
+ */
+Bisection bisect(const Graph &g, Rng &rng, const BisectOptions &opts = {});
+
+} // namespace qsurf::partition
+
+#endif // QSURF_PARTITION_BISECT_H

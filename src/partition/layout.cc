@@ -1,0 +1,181 @@
+#include "partition/layout.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qsurf::partition {
+
+namespace {
+
+/** Inclusive cell rectangle. */
+struct Rect
+{
+    int x0, y0, x1, y1;
+
+    int width() const { return x1 - x0 + 1; }
+    int height() const { return y1 - y0 + 1; }
+    int cells() const { return width() * height(); }
+};
+
+/** Recursive bisection placement state. */
+class Placer
+{
+  public:
+    Placer(const Graph &g, GridLayout &layout, Rng &rng)
+        : g(g), layout(layout), rng(rng) {}
+
+    void
+    place(std::vector<int> vertices, const Rect &rect)
+    {
+        panicIf(static_cast<int>(vertices.size()) > rect.cells(),
+                "placer overflow: ", vertices.size(), " vertices in ",
+                rect.cells(), " cells");
+        if (vertices.empty())
+            return;
+        if (rect.cells() == 1) {
+            int v = vertices.front();
+            Coord c{rect.x0, rect.y0};
+            layout.position[static_cast<size_t>(v)] = c;
+            layout.vertex_at[static_cast<size_t>(
+                linearIndex(c, layout.width))] = v;
+            return;
+        }
+
+        // Split along the longer axis.
+        Rect a = rect, b = rect;
+        if (rect.width() >= rect.height()) {
+            int mid = rect.x0 + (rect.width() - 1) / 2;
+            a.x1 = mid;
+            b.x0 = mid + 1;
+        } else {
+            int mid = rect.y0 + (rect.height() - 1) / 2;
+            a.y1 = mid;
+            b.y0 = mid + 1;
+        }
+
+        auto [va, vb] = split(vertices, a.cells(), b.cells());
+        place(std::move(va), a);
+        place(std::move(vb), b);
+    }
+
+  private:
+    /**
+     * Split @p vertices into groups fitting capacities @p cap_a and
+     * @p cap_b by bisecting the induced subgraph.
+     */
+    std::pair<std::vector<int>, std::vector<int>>
+    split(const std::vector<int> &vertices, int cap_a, int cap_b)
+    {
+        int n = static_cast<int>(vertices.size());
+
+        // Build the induced subgraph.
+        std::vector<int> local(static_cast<size_t>(g.size()), -1);
+        for (int i = 0; i < n; ++i)
+            local[static_cast<size_t>(
+                vertices[static_cast<size_t>(i)])] = i;
+        Graph sub(n);
+        for (int i = 0; i < n; ++i) {
+            int u = vertices[static_cast<size_t>(i)];
+            for (const auto &[v, w] : g.neighbors(u)) {
+                int j = local[static_cast<size_t>(v)];
+                if (j > i)
+                    sub.addEdge(i, j, w);
+            }
+        }
+
+        BisectOptions opts;
+        opts.target_fraction = std::clamp(
+            static_cast<double>(cap_a) / (cap_a + cap_b), 0.05, 0.95);
+        Bisection cut = bisect(sub, rng, opts);
+
+        std::vector<int> va, vb;
+        for (int i = 0; i < n; ++i) {
+            int v = vertices[static_cast<size_t>(i)];
+            (cut.side[static_cast<size_t>(i)] == 0 ? va : vb)
+                .push_back(v);
+        }
+
+        // Enforce hard capacities: spill overflow to the other side
+        // (the bisection balance envelope is soft).
+        while (static_cast<int>(va.size()) > cap_a) {
+            vb.push_back(va.back());
+            va.pop_back();
+        }
+        while (static_cast<int>(vb.size()) > cap_b) {
+            va.push_back(vb.back());
+            vb.pop_back();
+        }
+        return {std::move(va), std::move(vb)};
+    }
+
+    const Graph &g;
+    GridLayout &layout;
+    Rng &rng;
+};
+
+GridLayout
+emptyLayout(int num_vertices, int width, int height)
+{
+    fatalIf(width < 1 || height < 1, "grid must be at least 1x1, got ",
+            width, "x", height);
+    fatalIf(num_vertices > width * height, "cannot place ",
+            num_vertices, " vertices on a ", width, "x", height,
+            " grid");
+    GridLayout out;
+    out.width = width;
+    out.height = height;
+    out.position.assign(static_cast<size_t>(num_vertices), Coord{});
+    out.vertex_at.assign(static_cast<size_t>(width * height), -1);
+    return out;
+}
+
+} // namespace
+
+GridLayout
+naiveLayout(int num_vertices, int width, int height)
+{
+    GridLayout out = emptyLayout(num_vertices, width, height);
+    for (int v = 0; v < num_vertices; ++v) {
+        Coord c = fromLinearIndex(v, width);
+        out.position[static_cast<size_t>(v)] = c;
+        out.vertex_at[static_cast<size_t>(v)] = v;
+    }
+    return out;
+}
+
+GridLayout
+layoutOnGrid(const Graph &g, int width, int height, uint64_t seed)
+{
+    GridLayout out = emptyLayout(g.size(), width, height);
+    Rng rng(seed);
+    std::vector<int> all(static_cast<size_t>(g.size()));
+    for (int v = 0; v < g.size(); ++v)
+        all[static_cast<size_t>(v)] = v;
+    Placer(g, out, rng).place(std::move(all),
+                              Rect{0, 0, width - 1, height - 1});
+    return out;
+}
+
+double
+weightedManhattan(const Graph &g, const GridLayout &layout)
+{
+    double sum = 0;
+    for (const Edge &e : g.edges())
+        sum += static_cast<double>(e.w)
+             * manhattan(layout.position[static_cast<size_t>(e.u)],
+                         layout.position[static_cast<size_t>(e.v)]);
+    return sum;
+}
+
+std::pair<int, int>
+gridShape(int n)
+{
+    fatalIf(n < 1, "grid must hold at least one cell, got ", n);
+    int w = static_cast<int>(std::ceil(std::sqrt(
+        static_cast<double>(n))));
+    int h = (n + w - 1) / w;
+    return {w, h};
+}
+
+} // namespace qsurf::partition

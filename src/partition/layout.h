@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Interaction-aware 2-D grid layout (Section 6.2).
+ *
+ * Maps graph vertices (logical qubit tiles) onto grid cells by
+ * recursive bisection: each step splits the current rectangle along
+ * its longer axis and bisects the induced interaction subgraph with
+ * a target fraction matching the two halves' capacities.  The
+ * objective is the sum of edge-weighted Manhattan distances, i.e.
+ * exactly the braid-length objective of the paper.
+ */
+
+#ifndef QSURF_PARTITION_LAYOUT_H
+#define QSURF_PARTITION_LAYOUT_H
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "partition/bisect.h"
+#include "partition/graph.h"
+
+namespace qsurf::partition {
+
+/** A placement of graph vertices onto a width x height grid. */
+struct GridLayout
+{
+    int width = 0;
+    int height = 0;
+    /** Grid position of each vertex. */
+    std::vector<Coord> position;
+    /** Vertex occupying each cell (row-major), or -1. */
+    std::vector<int> vertex_at;
+
+    /** @return the vertex at cell @p c, or -1 when empty. */
+    int
+    at(const Coord &c) const
+    {
+        return vertex_at[static_cast<size_t>(linearIndex(c, width))];
+    }
+};
+
+/**
+ * Naive layout: vertex i at row-major cell i (the paper's baseline
+ * arrangement, used by braid Policies 0 and 1).
+ */
+GridLayout naiveLayout(int num_vertices, int width, int height);
+
+/**
+ * Interaction-optimized layout via recursive bisection.
+ *
+ * @param g      interaction graph; g.size() <= width * height.
+ * @param width  grid width in cells.
+ * @param height grid height in cells.
+ * @param seed   RNG seed (layout is deterministic per seed).
+ */
+GridLayout layoutOnGrid(const Graph &g, int width, int height,
+                        uint64_t seed = 1);
+
+/** @return sum over edges of weight * Manhattan distance. */
+double weightedManhattan(const Graph &g, const GridLayout &layout);
+
+/** @return the smallest near-square (width, height) covering n cells. */
+std::pair<int, int> gridShape(int n);
+
+} // namespace qsurf::partition
+
+#endif // QSURF_PARTITION_LAYOUT_H

@@ -1,0 +1,130 @@
+#include "partition/refine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace qsurf::partition {
+
+namespace {
+
+/**
+ * Gain of moving @p v to the other side: external minus internal
+ * incident weight.
+ */
+int64_t
+moveGain(const Graph &g, const std::vector<int> &side, int v)
+{
+    int64_t gain = 0;
+    for (const auto &[u, w] : g.neighbors(v))
+        gain += side[static_cast<size_t>(u)]
+                        != side[static_cast<size_t>(v)]
+                    ? w
+                    : -w;
+    return gain;
+}
+
+/** One FM pass; returns true if the cut improved. */
+bool
+fmPass(const Graph &g, std::vector<int> &side,
+       const BalanceConstraint &balance, int64_t &side0_weight)
+{
+    int n = g.size();
+    std::vector<int64_t> gain(static_cast<size_t>(n));
+    std::vector<char> locked(static_cast<size_t>(n), 0);
+    for (int v = 0; v < n; ++v)
+        gain[static_cast<size_t>(v)] = moveGain(g, side, v);
+
+    struct Move
+    {
+        int vertex;
+        int64_t gain;
+    };
+    std::vector<Move> sequence;
+    sequence.reserve(static_cast<size_t>(n));
+
+    int64_t w0 = side0_weight;
+    for (int step = 0; step < n; ++step) {
+        // Pick the unlocked, balance-feasible vertex with max gain.
+        int best = -1;
+        int64_t best_gain = std::numeric_limits<int64_t>::min();
+        for (int v = 0; v < n; ++v) {
+            if (locked[static_cast<size_t>(v)])
+                continue;
+            int64_t vw = g.vertexWeight(v);
+            int64_t new_w0 = side[static_cast<size_t>(v)] == 0
+                ? w0 - vw
+                : w0 + vw;
+            if (new_w0 < balance.min_side0 || new_w0 > balance.max_side0)
+                continue;
+            if (gain[static_cast<size_t>(v)] > best_gain) {
+                best_gain = gain[static_cast<size_t>(v)];
+                best = v;
+            }
+        }
+        if (best < 0)
+            break;
+
+        // Tentatively move it and update neighbour gains.
+        int old_side = side[static_cast<size_t>(best)];
+        side[static_cast<size_t>(best)] = 1 - old_side;
+        w0 += old_side == 0 ? -g.vertexWeight(best)
+                            : g.vertexWeight(best);
+        locked[static_cast<size_t>(best)] = 1;
+        sequence.push_back(Move{best, best_gain});
+        for (const auto &[u, w] : g.neighbors(best)) {
+            if (locked[static_cast<size_t>(u)])
+                continue;
+            // Edge (best,u) flips between cut and uncut.
+            if (side[static_cast<size_t>(u)]
+                == side[static_cast<size_t>(best)])
+                gain[static_cast<size_t>(u)] -= 2 * w;
+            else
+                gain[static_cast<size_t>(u)] += 2 * w;
+        }
+    }
+
+    // Find the best prefix of the move sequence.
+    int64_t running = 0, best_total = 0;
+    size_t best_prefix = 0;
+    for (size_t i = 0; i < sequence.size(); ++i) {
+        running += sequence[i].gain;
+        if (running > best_total) {
+            best_total = running;
+            best_prefix = i + 1;
+        }
+    }
+
+    // Roll back moves after the best prefix.
+    for (size_t i = sequence.size(); i > best_prefix; --i) {
+        int v = sequence[i - 1].vertex;
+        int cur = side[static_cast<size_t>(v)];
+        side[static_cast<size_t>(v)] = 1 - cur;
+        w0 += cur == 0 ? -g.vertexWeight(v) : g.vertexWeight(v);
+    }
+    side0_weight = w0;
+    return best_total > 0;
+}
+
+} // namespace
+
+int64_t
+fmRefine(const Graph &g, std::vector<int> &side,
+         const BalanceConstraint &balance, int passes)
+{
+    panicIf(static_cast<int>(side.size()) != g.size(),
+            "side size mismatch in fmRefine");
+
+    int64_t w0 = 0;
+    for (int v = 0; v < g.size(); ++v)
+        if (side[static_cast<size_t>(v)] == 0)
+            w0 += g.vertexWeight(v);
+
+    for (int p = 0; p < passes; ++p)
+        if (!fmPass(g, side, balance, w0))
+            break;
+    return cutWeight(g, side);
+}
+
+} // namespace qsurf::partition

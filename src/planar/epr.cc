@@ -1,0 +1,139 @@
+#include "planar/epr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qsurf::planar {
+
+namespace {
+
+struct Transport
+{
+    size_t event = 0;        ///< Index into sched.teleports.
+    uint64_t launch = 0;     ///< Cycle the pair left the factory.
+    uint64_t arrival = 0;    ///< Cycle both halves are resident.
+};
+
+} // namespace
+
+EprResult
+simulateEpr(const SimdSchedule &sched, const SimdArch &arch,
+            const EprOptions &opts)
+{
+    fatalIf(opts.code_distance < 1, "code distance must be >= 1");
+    fatalIf(opts.swap_hop_cycles <= 0, "swap hop cycles must be > 0");
+
+    int bandwidth = opts.bandwidth > 0 ? opts.bandwidth
+                                       : arch.channelLinks();
+    auto d = static_cast<uint64_t>(opts.code_distance);
+
+    EprResult out;
+    out.teleports = sched.teleports.size();
+
+    // Per-step teleport index ranges (teleports are step-ordered).
+    size_t next_event = 0;
+
+    // Channel occupancy: end times of in-flight transports.
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<>>
+        busy;
+
+    std::vector<Transport> transports(sched.teleports.size());
+    std::vector<char> launched(sched.teleports.size(), 0);
+
+    auto launch = [&](size_t e, uint64_t now) {
+        const TeleportEvent &ev = sched.teleports[e];
+        auto hops = static_cast<double>(
+            arch.eprDistance(ev.src_region, ev.dst_region));
+        auto duration = static_cast<uint64_t>(
+            std::ceil(hops * opts.swap_hop_cycles));
+        // Claim a channel slot: wait for the earliest free one when
+        // all `bandwidth` slots are busy.
+        uint64_t start = now;
+        while (static_cast<int>(busy.size()) >= bandwidth) {
+            start = std::max(start, busy.top());
+            busy.pop();
+        }
+        busy.push(start + duration);
+        transports[e] = Transport{e, now, start + duration};
+        launched[e] = 1;
+    };
+
+    // Infinite window: everything launches at cycle 0 in use order.
+    if (opts.window_steps <= 0)
+        for (size_t e = 0; e < sched.teleports.size(); ++e)
+            launch(e, 0);
+
+    uint64_t now = 0;
+    size_t consume_cursor = 0; // Teleports are ordered by step.
+    for (int step = 0; step < sched.steps; ++step) {
+        // Launch EPRs whose use step enters the lookahead window.
+        if (opts.window_steps > 0) {
+            while (next_event < sched.teleports.size()
+                   && sched.teleports[next_event].step
+                          <= step + opts.window_steps) {
+                launch(next_event, now);
+                ++next_event;
+            }
+        }
+
+        // Teleports consumed at this step and the stall they impose.
+        uint64_t step_start = now;
+        uint64_t ready_at = step_start;
+        size_t first = consume_cursor;
+        while (consume_cursor < sched.teleports.size()
+               && sched.teleports[consume_cursor].step == step) {
+            panicIf(!launched[consume_cursor],
+                    "teleport consumed before launch");
+            ready_at = std::max(
+                ready_at, transports[consume_cursor].arrival);
+            ++consume_cursor;
+        }
+        bool any_teleport = consume_cursor > first;
+
+        uint64_t stall = ready_at - step_start;
+        out.stall_cycles += stall;
+        uint64_t overhead = any_teleport
+            ? static_cast<uint64_t>(opts.teleport_overhead_cycles)
+            : 0;
+        now = step_start + stall + overhead + d;
+        out.nominal_cycles += overhead + d;
+
+        // Consumption happens once the step actually starts.
+        for (size_t e = first; e < consume_cursor; ++e)
+            transports[e].arrival =
+                std::max(transports[e].arrival, step_start + stall);
+    }
+    out.schedule_cycles = now;
+
+    // Live-EPR profile: +1 at launch, -1 at consumption.
+    std::vector<std::pair<uint64_t, int>> deltas;
+    deltas.reserve(2 * transports.size());
+    for (const Transport &t : transports) {
+        deltas.emplace_back(t.launch, +1);
+        deltas.emplace_back(t.arrival, -1);
+    }
+    std::sort(deltas.begin(), deltas.end());
+    int64_t live = 0;
+    uint64_t prev_time = 0;
+    double live_cycles = 0;
+    for (const auto &[time, delta] : deltas) {
+        live_cycles += static_cast<double>(live)
+                     * static_cast<double>(time - prev_time);
+        prev_time = time;
+        live += delta;
+        out.peak_live_eprs = std::max(
+            out.peak_live_eprs, static_cast<uint64_t>(
+                std::max<int64_t>(0, live)));
+    }
+    out.avg_live_eprs = out.schedule_cycles
+        ? live_cycles / static_cast<double>(out.schedule_cycles)
+        : 0.0;
+    return out;
+}
+
+} // namespace qsurf::planar

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Pipelined just-in-time EPR distribution (Sections 4.1, 5.4, 8.1).
+ *
+ * EPR halves are data-independent, so they can be distributed ahead
+ * of need ("prefetched") through the swap channels.  The distributor
+ * walks the dependence-ordered teleport stream with a lookahead
+ * window: each EPR pair is launched when execution reaches
+ * `use_step - window`.  Too small a window starves teleports (stall
+ * cycles); too large a window floods the network and inflates the
+ * live-EPR footprint — the space/time tradeoff Figure-8.1's sweep
+ * quantifies (~24x qubit savings at ~4% latency cost for the right
+ * window).
+ */
+
+#ifndef QSURF_PLANAR_EPR_H
+#define QSURF_PLANAR_EPR_H
+
+#include <cstdint>
+
+#include "planar/simd_arch.h"
+#include "planar/simd_schedule.h"
+
+namespace qsurf::planar {
+
+/** EPR distribution knobs. */
+struct EprOptions
+{
+    /** Lookahead window in logical timesteps; <=0 means "infinite"
+     *  (everything launches at time zero). */
+    int window_steps = 32;
+
+    /** Code distance (logical timestep = d cycles). */
+    int code_distance = 5;
+
+    /** Swap-chain latency per tile hop, in surface-code cycles
+     *  (qec::Technology::swapHopCycles). */
+    double swap_hop_cycles = 5.0;
+
+    /** Fixed teleport cost once the EPR halves are resident. */
+    int teleport_overhead_cycles = 2;
+
+    /** Concurrent EPR transports the channels sustain; 0 means use
+     *  the architecture's channelLinks(). */
+    int bandwidth = 0;
+};
+
+/** Result of one EPR-distribution simulation. */
+struct EprResult
+{
+    /** Total cycles including teleport stalls. */
+    uint64_t schedule_cycles = 0;
+
+    /** Cycles with an ideal (zero-latency) EPR supply. */
+    uint64_t nominal_cycles = 0;
+
+    /** Cycles lost waiting for EPR arrivals. */
+    uint64_t stall_cycles = 0;
+
+    /** Teleports served. */
+    uint64_t teleports = 0;
+
+    /** Peak number of live (launched, unconsumed) EPR pairs. */
+    uint64_t peak_live_eprs = 0;
+
+    /** Time-averaged live EPR pairs. */
+    double avg_live_eprs = 0;
+
+    /** @return fractional latency overhead vs the nominal schedule. */
+    double
+    latencyOverhead() const
+    {
+        return nominal_cycles
+            ? static_cast<double>(schedule_cycles)
+                    / static_cast<double>(nominal_cycles)
+                - 1.0
+            : 0.0;
+    }
+};
+
+/**
+ * Simulate EPR distribution for the teleport stream of @p sched on
+ * machine @p arch.
+ */
+EprResult simulateEpr(const SimdSchedule &sched, const SimdArch &arch,
+                      const EprOptions &opts = {});
+
+} // namespace qsurf::planar
+
+#endif // QSURF_PLANAR_EPR_H

@@ -1,0 +1,48 @@
+#include "planar/planar.h"
+
+#include "circuit/dag.h"
+#include "circuit/schedule.h"
+#include "common/logging.h"
+
+namespace qsurf::planar {
+
+PlanarResult
+runPlanar(const circuit::Circuit &circ, const PlanarOptions &opts)
+{
+    fatalIf(circ.empty(), "cannot run the planar backend on an empty "
+                          "circuit");
+    fatalIf(opts.code_distance < 1, "code distance must be >= 1");
+    opts.tech.check();
+
+    SimdArchOptions arch_opts;
+    arch_opts.num_regions = opts.num_regions;
+    arch_opts.region_capacity = opts.region_capacity;
+    arch_opts.num_qubits = circ.numQubits();
+    SimdArch arch(arch_opts);
+
+    SimdSchedule sched = scheduleSimd(circ, arch);
+
+    EprOptions epr_opts;
+    epr_opts.window_steps = opts.epr_window_steps;
+    epr_opts.code_distance = opts.code_distance;
+    epr_opts.swap_hop_cycles =
+        opts.tech.swapHopCycles(opts.code_distance);
+    EprResult epr = simulateEpr(sched, arch, epr_opts);
+
+    circuit::Dag dag(circ);
+    circuit::LevelSchedule levels = circuit::levelize(dag);
+
+    PlanarResult out;
+    out.schedule_cycles = epr.schedule_cycles;
+    out.critical_path_cycles = static_cast<uint64_t>(levels.depth)
+        * static_cast<uint64_t>(opts.code_distance);
+    out.steps = sched.steps;
+    out.teleports = epr.teleports;
+    out.stall_cycles = epr.stall_cycles;
+    out.peak_live_eprs = epr.peak_live_eprs;
+    out.avg_live_eprs = epr.avg_live_eprs;
+    out.teleport_rate = sched.teleportRate();
+    return out;
+}
+
+} // namespace qsurf::planar

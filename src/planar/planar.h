@@ -1,0 +1,85 @@
+/**
+ * @file
+ * End-to-end planar (Multi-SIMD) backend: SIMD scheduling plus
+ * pipelined EPR distribution, producing the planar side of the
+ * paper's comparisons.
+ */
+
+#ifndef QSURF_PLANAR_PLANAR_H
+#define QSURF_PLANAR_PLANAR_H
+
+#include "circuit/circuit.h"
+#include "planar/epr.h"
+#include "planar/simd_arch.h"
+#include "planar/simd_schedule.h"
+#include "qec/technology.h"
+
+namespace qsurf::planar {
+
+/** Configuration of one planar-backend run. */
+struct PlanarOptions
+{
+    /** Code distance d (logical timestep = d cycles). */
+    int code_distance = 5;
+
+    /** SIMD region count (machine geometry adapts to the circuit). */
+    int num_regions = 4;
+
+    /** Per-region broadcast capacity. */
+    int region_capacity = 1024;
+
+    /** EPR lookahead window in steps; <= 0 means prefetch-all. */
+    int epr_window_steps = 32;
+
+    /** Technology for the swap-chain latency model. */
+    qec::Technology tech;
+};
+
+/** Combined result of one planar-backend run. */
+struct PlanarResult
+{
+    /** Total schedule length in surface-code cycles. */
+    uint64_t schedule_cycles = 0;
+
+    /** Dependence-limited lower bound (depth x d). */
+    uint64_t critical_path_cycles = 0;
+
+    /** Logical timesteps executed. */
+    int steps = 0;
+
+    /** Qubit movements between regions. */
+    uint64_t teleports = 0;
+
+    /** Cycles stalled waiting for EPR arrivals. */
+    uint64_t stall_cycles = 0;
+
+    /** Peak live EPR pairs (space cost of prefetching). */
+    uint64_t peak_live_eprs = 0;
+
+    /** Time-averaged live EPR pairs. */
+    double avg_live_eprs = 0;
+
+    /** Teleports per gate. */
+    double teleport_rate = 0;
+
+    /** @return schedule / critical-path ratio. */
+    double
+    ratio() const
+    {
+        return critical_path_cycles
+            ? static_cast<double>(schedule_cycles)
+                / static_cast<double>(critical_path_cycles)
+            : 0.0;
+    }
+};
+
+/**
+ * Run the planar backend on @p circ (must already be decomposed to
+ * Clifford+T).
+ */
+PlanarResult runPlanar(const circuit::Circuit &circ,
+                       const PlanarOptions &opts = {});
+
+} // namespace qsurf::planar
+
+#endif // QSURF_PLANAR_PLANAR_H

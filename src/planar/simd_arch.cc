@@ -1,0 +1,60 @@
+#include "planar/simd_arch.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qsurf::planar {
+
+SimdArch::SimdArch(const SimdArchOptions &opts)
+{
+    fatalIf(opts.num_regions < 1, "need at least one SIMD region");
+    fatalIf(opts.region_capacity < 1, "region capacity must be >= 1");
+    fatalIf(opts.num_qubits < 1, "machine must hold >= 1 qubit");
+    cap = opts.region_capacity;
+
+    // Regions sit on a near-square grid; the pitch between adjacent
+    // region centers is the side of the memory+compute checkerboard
+    // cell holding its share of the data qubits.
+    int k = opts.num_regions;
+    int grid = static_cast<int>(std::ceil(std::sqrt(
+        static_cast<double>(k))));
+    int pitch = std::max(2, static_cast<int>(std::ceil(std::sqrt(
+        static_cast<double>(opts.num_qubits) / k))) + 1);
+
+    for (int i = 0; i < k; ++i) {
+        int gx = i % grid, gy = i / grid;
+        centers.push_back(Coord{gx * pitch, gy * pitch});
+    }
+    // EPR factory region at the geometric center of the machine.
+    factory = Coord{(grid - 1) * pitch / 2, (grid - 1) * pitch / 2};
+
+    // Swap channels run along the checkerboard seams: one channel
+    // per region-grid edge, each `pitch` tiles long.
+    int edges = 2 * grid * (grid - 1);
+    links = std::max(1, edges * pitch);
+}
+
+int
+SimdArch::regionDistance(int a, int b) const
+{
+    panicIf(a < 0 || a >= numRegions() || b < 0 || b >= numRegions(),
+            "region index out of range");
+    return manhattan(centers[static_cast<size_t>(a)],
+                     centers[static_cast<size_t>(b)]);
+}
+
+int
+SimdArch::factoryDistance(int r) const
+{
+    panicIf(r < 0 || r >= numRegions(), "region index out of range");
+    return manhattan(factory, centers[static_cast<size_t>(r)]);
+}
+
+int
+SimdArch::eprDistance(int src, int dst) const
+{
+    return std::max(factoryDistance(src), factoryDistance(dst));
+}
+
+} // namespace qsurf::planar

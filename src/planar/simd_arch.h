@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Multi-SIMD architecture model for planar QEC (Section 4.4,
+ * Figure 3a).
+ *
+ * The machine is a checkerboard of reconfigurable SIMD compute
+ * regions and memory regions, each ringed by a teleport buffer.
+ * Dedicated regions act as magic-state and EPR factories.  Operations
+ * broadcast to all qubits in a region (microwave control); data moves
+ * between regions by teleportation, whose EPR halves are distributed
+ * ahead of time through planar swap channels.
+ */
+
+#ifndef QSURF_PLANAR_SIMD_ARCH_H
+#define QSURF_PLANAR_SIMD_ARCH_H
+
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace qsurf::planar {
+
+/** Configuration of the Multi-SIMD machine. */
+struct SimdArchOptions
+{
+    /** Number of reconfigurable SIMD compute regions. */
+    int num_regions = 4;
+
+    /**
+     * Qubits one region can operate on per step (microwave
+     * broadcast width).
+     */
+    int region_capacity = 1024;
+
+    /** Logical qubits the machine must hold. */
+    int num_qubits = 1;
+};
+
+/**
+ * Geometry of the Multi-SIMD machine: region centers on a near-square
+ * grid of tile coordinates, with the EPR factory at the center.
+ * Distances are in logical-tile hops, the unit of the swap-chain
+ * latency model.
+ */
+class SimdArch
+{
+  public:
+    explicit SimdArch(const SimdArchOptions &opts);
+
+    /** @return number of SIMD compute regions. */
+    int numRegions() const { return static_cast<int>(centers.size()); }
+
+    /** @return region capacity in qubits per step. */
+    int capacity() const { return cap; }
+
+    /** @return tile-hop distance between two regions' centers. */
+    int regionDistance(int a, int b) const;
+
+    /** @return tile-hop distance from the EPR factory to region @p r. */
+    int factoryDistance(int r) const;
+
+    /**
+     * @return tile hops an EPR pair travels for a teleport from
+     * region @p src to region @p dst: both halves start at the
+     * factory; the pair's transport cost is the longer leg.
+     */
+    int eprDistance(int src, int dst) const;
+
+    /** @return total swap-channel links available for EPR transport. */
+    int channelLinks() const { return links; }
+
+  private:
+    std::vector<Coord> centers;
+    Coord factory;
+    int cap;
+    int links;
+};
+
+} // namespace qsurf::planar
+
+#endif // QSURF_PLANAR_SIMD_ARCH_H

@@ -1,0 +1,124 @@
+#include "planar/simd_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "circuit/dag.h"
+#include "circuit/schedule.h"
+#include "common/logging.h"
+
+namespace qsurf::planar {
+
+namespace {
+
+using circuit::GateKind;
+
+/** Gates of one kind scheduled together in one region. */
+struct KindGroup
+{
+    GateKind kind;
+    std::vector<int> gate_indices;
+};
+
+} // namespace
+
+SimdSchedule
+scheduleSimd(const circuit::Circuit &circ, const SimdArch &arch)
+{
+    fatalIf(circ.empty(), "cannot schedule an empty circuit");
+
+    circuit::Dag dag(circ);
+    circuit::LevelSchedule levels = circuit::levelize(dag);
+
+    // Distributed memory (Figure 3a): every qubit lives in a fixed
+    // home memory region, spread round-robin.  Operating on a qubit
+    // teleports it to the elected compute region for the step and
+    // back to its memory afterwards; only the outbound trip is
+    // counted as a TeleportEvent (the return rides the same EPR
+    // budget and is folded into the event).
+    std::vector<int> home(static_cast<size_t>(circ.numQubits()));
+    for (int q = 0; q < circ.numQubits(); ++q)
+        home[static_cast<size_t>(q)] = q % arch.numRegions();
+
+    SimdSchedule out;
+    int k = arch.numRegions();
+
+    for (int level = 0; level < levels.depth; ++level) {
+        // Collect this level's gates by kind.
+        std::map<GateKind, KindGroup> groups;
+        for (int i = 0; i < circ.size(); ++i) {
+            if (levels.asap[static_cast<size_t>(i)] != level)
+                continue;
+            auto &grp = groups[circ.gate(i).kind];
+            grp.kind = circ.gate(i).kind;
+            grp.gate_indices.push_back(i);
+        }
+        if (groups.empty())
+            continue;
+
+        // Largest groups pick their region first.
+        std::vector<KindGroup *> order;
+        for (auto &[kind, grp] : groups)
+            order.push_back(&grp);
+        std::stable_sort(order.begin(), order.end(),
+                         [](const KindGroup *a, const KindGroup *b) {
+                             return a->gate_indices.size()
+                                  > b->gate_indices.size();
+                         });
+
+        // A level with more kinds than regions serializes into
+        // ceil(kinds / k) sub-steps; capacity splits add more.
+        int sub_steps = (static_cast<int>(order.size()) + k - 1) / k;
+        int gates_this_level = 0;
+
+        for (KindGroup *grp : order) {
+            // Locality-based assignment: the region already holding
+            // the most operand qubits of this group wins.
+            std::vector<int> votes(static_cast<size_t>(k), 0);
+            for (int gi : grp->gate_indices)
+                for (int32_t q : circ.gate(gi).operands())
+                    ++votes[static_cast<size_t>(
+                        home[static_cast<size_t>(q)])];
+            int region = static_cast<int>(
+                std::max_element(votes.begin(), votes.end())
+                - votes.begin());
+
+            // Capacity check: oversized groups serialize.
+            int operands = 0;
+            for (int gi : grp->gate_indices)
+                operands += circ.gate(gi).arity();
+            if (operands > arch.capacity())
+                sub_steps = std::max(
+                    sub_steps,
+                    (operands + arch.capacity() - 1) / arch.capacity());
+
+            // Emit teleports for operands whose memory home is not
+            // the elected compute region.
+            bool teleported = false;
+            for (int gi : grp->gate_indices) {
+                for (int32_t q : circ.gate(gi).operands()) {
+                    int cur = home[static_cast<size_t>(q)];
+                    if (cur != region) {
+                        out.teleports.push_back(TeleportEvent{
+                            out.steps, cur, region, q});
+                        teleported = true;
+                    }
+                }
+                ++gates_this_level;
+            }
+            if (teleported)
+                ++out.steps_with_teleports;
+        }
+
+        out.steps += sub_steps;
+        out.serialization_steps += sub_steps - 1;
+        out.gates_per_step.push_back(gates_this_level);
+        for (int s = 1; s < sub_steps; ++s)
+            out.gates_per_step.push_back(0);
+    }
+
+    return out;
+}
+
+} // namespace qsurf::planar

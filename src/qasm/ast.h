@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Abstract syntax tree for the qsurf QASM dialect.
+ *
+ * The AST is deliberately small: register declarations, hierarchical
+ * module definitions, gate statements and module calls.  The
+ * flattener (qasm/flatten.h) lowers a Program to a flat
+ * circuit::Circuit.
+ */
+
+#ifndef QSURF_QASM_AST_H
+#define QSURF_QASM_AST_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qsurf::qasm {
+
+/** A qubit or classical-bit register declaration, e.g. "qbit q[8];". */
+struct RegisterDecl
+{
+    std::string name;
+    int size = 0;
+    bool classical = false; ///< true for cbit registers.
+};
+
+/**
+ * A reference to a single qubit operand.
+ *
+ * Either an indexed register element ("q[3]", index >= 0) or a bare
+ * module parameter name ("a", index == -1) inside a module body.
+ */
+struct OperandRef
+{
+    std::string name;
+    int index = -1;
+
+    /** @return true when this refers to a module parameter. */
+    bool isParam() const { return index < 0; }
+};
+
+/**
+ * One statement: either a primitive gate application or a call to a
+ * user-defined module (distinguished by name lookup at flatten time).
+ */
+struct GateStmt
+{
+    std::string name;                 ///< mnemonic or module name.
+    std::optional<double> angle;      ///< "Rz(0.5)" parameter.
+    std::vector<OperandRef> operands; ///< qubit operands, in order.
+    std::optional<OperandRef> result; ///< "-> c[0]" measurement target.
+    int line = 0;                     ///< source line for diagnostics.
+};
+
+/** A module (subroutine) definition with single-qubit parameters. */
+struct Module
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<GateStmt> body;
+    int line = 0;
+};
+
+/** A whole translation unit. */
+struct Program
+{
+    std::vector<RegisterDecl> registers;
+    std::map<std::string, Module> modules;
+    std::vector<GateStmt> body;
+
+    /** @return total declared qubits across quantum registers. */
+    int
+    totalQubits() const
+    {
+        int n = 0;
+        for (const auto &r : registers)
+            if (!r.classical)
+                n += r.size;
+        return n;
+    }
+};
+
+} // namespace qsurf::qasm
+
+#endif // QSURF_QASM_AST_H

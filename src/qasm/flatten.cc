@@ -1,0 +1,151 @@
+#include "qasm/flatten.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace qsurf::qasm {
+
+namespace {
+
+/** Resolves operand references against registers and call bindings. */
+class Flattener
+{
+  public:
+    Flattener(const Program &prog, const FlattenOptions &opts)
+        : prog(prog), opts(opts)
+    {
+        int base = 0;
+        for (const auto &reg : prog.registers) {
+            if (reg.classical) {
+                cbit_names.insert(reg.name);
+                continue;
+            }
+            qubit_base[reg.name] = base;
+            qubit_size[reg.name] = reg.size;
+            base += reg.size;
+        }
+        circ.ensureQubits(base);
+    }
+
+    circuit::Circuit
+    run()
+    {
+        Bindings empty;
+        for (const GateStmt &stmt : prog.body)
+            emitStatement(stmt, empty, 0);
+        return std::move(circ);
+    }
+
+  private:
+    using Bindings = std::unordered_map<std::string, int32_t>;
+
+    int32_t
+    resolve(const OperandRef &ref, const Bindings &bind, int line) const
+    {
+        if (ref.isParam()) {
+            auto it = bind.find(ref.name);
+            fatalIf(it == bind.end(), "line ", line,
+                    ": unknown operand '", ref.name,
+                    "' (not a register element or bound parameter)");
+            return it->second;
+        }
+        auto base = qubit_base.find(ref.name);
+        fatalIf(base == qubit_base.end(), "line ", line,
+                ": unknown qubit register '", ref.name, "'");
+        int size = qubit_size.at(ref.name);
+        fatalIf(ref.index >= size, "line ", line, ": index ", ref.index,
+                " out of range for register '", ref.name, "[", size,
+                "]'");
+        return static_cast<int32_t>(base->second + ref.index);
+    }
+
+    void
+    checkResult(const GateStmt &stmt) const
+    {
+        if (!stmt.result)
+            return;
+        fatalIf(!stmt.result->isParam()
+                    && !cbit_names.count(stmt.result->name),
+                "line ", stmt.line, ": measurement target '",
+                stmt.result->name, "' is not a cbit register");
+    }
+
+    void
+    emitStatement(const GateStmt &stmt, const Bindings &bind, int depth)
+    {
+        fatalIf(depth > opts.max_depth, "module recursion deeper than ",
+                opts.max_depth, " at line ", stmt.line,
+                " (recursive module calls are not allowed)");
+
+        if (auto kind = circuit::gateFromName(stmt.name)) {
+            emitGate(*kind, stmt, bind);
+            return;
+        }
+
+        auto mod_it = prog.modules.find(stmt.name);
+        fatalIf(mod_it == prog.modules.end(), "line ", stmt.line,
+                ": unknown gate or module '", stmt.name, "'");
+        const Module &mod = mod_it->second;
+        fatalIf(stmt.operands.size() != mod.params.size(), "line ",
+                stmt.line, ": module '", mod.name, "' takes ",
+                mod.params.size(), " arguments, got ",
+                stmt.operands.size());
+        fatalIf(stmt.angle.has_value(), "line ", stmt.line,
+                ": module '", mod.name, "' does not take a parameter");
+
+        Bindings inner;
+        for (size_t i = 0; i < mod.params.size(); ++i)
+            inner[mod.params[i]] =
+                resolve(stmt.operands[i], bind, stmt.line);
+
+        for (const GateStmt &body_stmt : mod.body)
+            emitStatement(body_stmt, inner, depth + 1);
+    }
+
+    void
+    emitGate(circuit::GateKind kind, const GateStmt &stmt,
+             const Bindings &bind)
+    {
+        int arity = circuit::gateArity(kind);
+        fatalIf(static_cast<int>(stmt.operands.size()) != arity, "line ",
+                stmt.line, ": gate ", circuit::gateName(kind), " takes ",
+                arity, " operands, got ", stmt.operands.size());
+        fatalIf(stmt.angle.has_value() && kind != circuit::GateKind::Rz,
+                "line ", stmt.line, ": gate ", circuit::gateName(kind),
+                " does not take a parameter");
+        fatalIf(kind == circuit::GateKind::Rz && !stmt.angle,
+                "line ", stmt.line, ": Rz requires an angle parameter");
+        fatalIf(stmt.result && !circuit::isMeasurement(kind),
+                "line ", stmt.line, ": '->' is only valid after a ",
+                "measurement");
+        checkResult(stmt);
+
+        circuit::Gate g;
+        g.kind = kind;
+        g.angle = stmt.angle.value_or(0.0);
+        for (int i = 0; i < arity; ++i)
+            g.qubit[static_cast<size_t>(i)] =
+                resolve(stmt.operands[static_cast<size_t>(i)], bind,
+                        stmt.line);
+        circ.addGate(g);
+    }
+
+    const Program &prog;
+    const FlattenOptions &opts;
+    circuit::Circuit circ;
+    std::unordered_map<std::string, int> qubit_base;
+    std::unordered_map<std::string, int> qubit_size;
+    std::set<std::string> cbit_names;
+};
+
+} // namespace
+
+circuit::Circuit
+flatten(const Program &prog, const FlattenOptions &opts)
+{
+    return Flattener(prog, opts).run();
+}
+
+} // namespace qsurf::qasm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Flattening: lower a hierarchical qasm::Program to a flat
+ * circuit::Circuit by inlining module calls (the "Module Flattening"
+ * stage of Figure 4).
+ *
+ * Quantum programs are fully determined at compile time (Section 4.2),
+ * so complete inlining is both possible and what the paper's backend
+ * requires.  Recursion is rejected with a depth limit.
+ */
+
+#ifndef QSURF_QASM_FLATTEN_H
+#define QSURF_QASM_FLATTEN_H
+
+#include "circuit/circuit.h"
+#include "qasm/ast.h"
+
+namespace qsurf::qasm {
+
+/** Options controlling flattening. */
+struct FlattenOptions
+{
+    /** Maximum module call depth before recursion is diagnosed. */
+    int max_depth = 64;
+};
+
+/**
+ * Inline all module calls and resolve register references to flat
+ * logical qubit ids (registers are laid out in declaration order).
+ *
+ * @throws FatalError on: unknown gate/module names, arity mismatches,
+ *         out-of-range register indices, parameter references outside
+ *         modules, recursion beyond max_depth, or measurement arrows
+ *         targeting qubit registers.
+ */
+circuit::Circuit flatten(const Program &prog,
+                         const FlattenOptions &opts = {});
+
+} // namespace qsurf::qasm
+
+#endif // QSURF_QASM_FLATTEN_H

@@ -1,0 +1,174 @@
+#include "qasm/lexer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace qsurf::qasm {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Integer:    return "integer";
+      case TokenKind::Float:      return "float";
+      case TokenKind::LParen:     return "'('";
+      case TokenKind::RParen:     return "')'";
+      case TokenKind::LBracket:   return "'['";
+      case TokenKind::RBracket:   return "']'";
+      case TokenKind::LBrace:     return "'{'";
+      case TokenKind::RBrace:     return "'}'";
+      case TokenKind::Comma:      return "','";
+      case TokenKind::Semicolon:  return "';'";
+      case TokenKind::Arrow:      return "'->'";
+      case TokenKind::EndOfFile:  return "end of file";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Cursor over the source text with line/column tracking. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view src) : text(src) {}
+
+    bool done() const { return pos >= text.size(); }
+    char peek() const { return done() ? '\0' : text[pos]; }
+
+    char
+    peekNext() const
+    {
+        return pos + 1 < text.size() ? text[pos + 1] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = text[pos++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    int line = 1;
+    int col = 1;
+
+  private:
+    std::string_view text;
+    size_t pos = 0;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(std::string_view source)
+{
+    std::vector<Token> out;
+    Cursor cur(source);
+
+    auto push = [&](TokenKind kind, std::string text, int line, int col) {
+        out.push_back(Token{kind, std::move(text), line, col});
+    };
+
+    while (!cur.done()) {
+        char c = cur.peek();
+        int line = cur.line, col = cur.col;
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        // '#' and '//' comments run to end of line.
+        if (c == '#' || (c == '/' && cur.peekNext() == '/')) {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::string text;
+            while (!cur.done() && isIdentBody(cur.peek()))
+                text += cur.advance();
+            push(TokenKind::Identifier, std::move(text), line, col);
+            continue;
+        }
+        if (isDigit(c)
+            || (c == '-' && (isDigit(cur.peekNext())
+                             || cur.peekNext() == '.'))
+            || (c == '.' && isDigit(cur.peekNext()))) {
+            std::string text;
+            bool is_float = false;
+            if (cur.peek() == '-')
+                text += cur.advance();
+            while (!cur.done()) {
+                char d = cur.peek();
+                if (isDigit(d)) {
+                    text += cur.advance();
+                } else if (d == '.' || d == 'e' || d == 'E') {
+                    is_float = true;
+                    text += cur.advance();
+                    if ((d == 'e' || d == 'E')
+                        && (cur.peek() == '+' || cur.peek() == '-'))
+                        text += cur.advance();
+                } else {
+                    break;
+                }
+            }
+            push(is_float ? TokenKind::Float : TokenKind::Integer,
+                 std::move(text), line, col);
+            continue;
+        }
+        if (c == '-' && cur.peekNext() == '>') {
+            cur.advance();
+            cur.advance();
+            push(TokenKind::Arrow, "->", line, col);
+            continue;
+        }
+
+        TokenKind kind;
+        switch (c) {
+          case '(': kind = TokenKind::LParen; break;
+          case ')': kind = TokenKind::RParen; break;
+          case '[': kind = TokenKind::LBracket; break;
+          case ']': kind = TokenKind::RBracket; break;
+          case '{': kind = TokenKind::LBrace; break;
+          case '}': kind = TokenKind::RBrace; break;
+          case ',': kind = TokenKind::Comma; break;
+          case ';': kind = TokenKind::Semicolon; break;
+          default:
+            fatal("QASM lex error at line ", line, " col ", col,
+                  ": unexpected character '", std::string(1, c), "'");
+        }
+        cur.advance();
+        push(kind, std::string(1, c), line, col);
+    }
+
+    push(TokenKind::EndOfFile, "", cur.line, cur.col);
+    return out;
+}
+
+} // namespace qsurf::qasm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tokenizer for the qsurf QASM dialect.
+ *
+ * The dialect is a flat-QASM in the ScaffCC style (Section 5.3):
+ *
+ *   # comment                  // comment
+ *   qbit q[8];
+ *   cbit c[2];
+ *   module majority(a, b, c) { CNOT c, b; ... }
+ *   H q[0];
+ *   Rz(0.19635) q[3];
+ *   majority q[0], q[1], q[2];
+ *   MeasZ q[0] -> c[0];
+ */
+
+#ifndef QSURF_QASM_LEXER_H
+#define QSURF_QASM_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsurf::qasm {
+
+/** Token categories produced by the Lexer. */
+enum class TokenKind : uint8_t
+{
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Integer,    ///< [0-9]+
+    Float,      ///< digits with '.', exponent, or leading '-'
+    LParen,     ///< (
+    RParen,     ///< )
+    LBracket,   ///< [
+    RBracket,   ///< ]
+    LBrace,     ///< {
+    RBrace,     ///< }
+    Comma,      ///< ,
+    Semicolon,  ///< ;
+    Arrow,      ///< ->
+    EndOfFile,  ///< sentinel; always the final token
+};
+
+/** @return a printable name for a token kind (for diagnostics). */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexed token with source position for error reporting. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;
+    int line = 0;
+    int column = 0;
+};
+
+/**
+ * Tokenize QASM source text.
+ *
+ * @param source the program text.
+ * @return token stream ending in EndOfFile.
+ * @throws FatalError on an unrecognized character.
+ */
+std::vector<Token> tokenize(std::string_view source);
+
+} // namespace qsurf::qasm
+
+#endif // QSURF_QASM_LEXER_H

@@ -1,0 +1,205 @@
+#include "qasm/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "qasm/lexer.h"
+
+namespace qsurf::qasm {
+
+namespace {
+
+/** Token-stream parser with one-token lookahead. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : toks(std::move(tokens)) {}
+
+    Program
+    run()
+    {
+        Program prog;
+        while (!check(TokenKind::EndOfFile)) {
+            if (checkIdent("qbit") || checkIdent("cbit"))
+                parseRegister(prog);
+            else if (checkIdent("module"))
+                parseModule(prog);
+            else
+                prog.body.push_back(parseStatement());
+        }
+        return prog;
+    }
+
+  private:
+    const Token &peek() const { return toks[pos]; }
+
+    const Token &
+    advance()
+    {
+        const Token &t = toks[pos];
+        if (t.kind != TokenKind::EndOfFile)
+            ++pos;
+        return t;
+    }
+
+    bool check(TokenKind kind) const { return peek().kind == kind; }
+
+    bool
+    checkIdent(std::string_view word) const
+    {
+        return peek().kind == TokenKind::Identifier && peek().text == word;
+    }
+
+    const Token &
+    expect(TokenKind kind, const char *what)
+    {
+        if (!check(kind))
+            fail(std::string("expected ") + tokenKindName(kind) + " "
+                 + what + ", found '" + peek().text + "'");
+        return advance();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        fatal("QASM parse error at line ", peek().line, " col ",
+              peek().column, ": ", msg);
+    }
+
+    int
+    parseInt(const char *what)
+    {
+        const Token &t = expect(TokenKind::Integer, what);
+        return std::stoi(t.text);
+    }
+
+    double
+    parseNumber(const char *what)
+    {
+        if (check(TokenKind::Integer) || check(TokenKind::Float))
+            return std::stod(advance().text);
+        fail(std::string("expected number ") + what);
+    }
+
+    void
+    parseRegister(Program &prog)
+    {
+        bool classical = peek().text == "cbit";
+        advance(); // qbit / cbit
+        RegisterDecl decl;
+        decl.classical = classical;
+        decl.name = expect(TokenKind::Identifier, "register name").text;
+        expect(TokenKind::LBracket, "after register name");
+        decl.size = parseInt("register size");
+        if (decl.size <= 0)
+            fail("register size must be positive");
+        expect(TokenKind::RBracket, "after register size");
+        expect(TokenKind::Semicolon, "after register declaration");
+
+        for (const auto &r : prog.registers)
+            if (r.name == decl.name)
+                fail("duplicate register '" + decl.name + "'");
+        prog.registers.push_back(std::move(decl));
+    }
+
+    void
+    parseModule(Program &prog)
+    {
+        advance(); // module
+        Module mod;
+        mod.line = peek().line;
+        mod.name = expect(TokenKind::Identifier, "module name").text;
+        expect(TokenKind::LParen, "after module name");
+        if (!check(TokenKind::RParen)) {
+            while (true) {
+                mod.params.push_back(
+                    expect(TokenKind::Identifier, "parameter name").text);
+                if (!check(TokenKind::Comma))
+                    break;
+                advance();
+            }
+        }
+        expect(TokenKind::RParen, "after parameter list");
+        expect(TokenKind::LBrace, "to open module body");
+        while (!check(TokenKind::RBrace)) {
+            if (check(TokenKind::EndOfFile))
+                fail("unterminated module '" + mod.name + "'");
+            mod.body.push_back(parseStatement());
+        }
+        advance(); // }
+
+        if (prog.modules.count(mod.name))
+            fail("duplicate module '" + mod.name + "'");
+        prog.modules.emplace(mod.name, std::move(mod));
+    }
+
+    OperandRef
+    parseOperand()
+    {
+        OperandRef ref;
+        ref.name = expect(TokenKind::Identifier, "operand").text;
+        if (check(TokenKind::LBracket)) {
+            advance();
+            ref.index = parseInt("operand index");
+            if (ref.index < 0)
+                fail("operand index must be non-negative");
+            expect(TokenKind::RBracket, "after operand index");
+        }
+        return ref;
+    }
+
+    GateStmt
+    parseStatement()
+    {
+        GateStmt stmt;
+        stmt.line = peek().line;
+        stmt.name = expect(TokenKind::Identifier, "gate or module").text;
+
+        if (check(TokenKind::LParen)) {
+            advance();
+            stmt.angle = parseNumber("as gate parameter");
+            expect(TokenKind::RParen, "after gate parameter");
+        }
+
+        // Operand list may be empty (zero-parameter module calls).
+        while (!check(TokenKind::Semicolon)) {
+            stmt.operands.push_back(parseOperand());
+            if (!check(TokenKind::Comma))
+                break;
+            advance();
+        }
+
+        if (check(TokenKind::Arrow)) {
+            advance();
+            stmt.result = parseOperand();
+        }
+
+        expect(TokenKind::Semicolon, "to end statement");
+        return stmt;
+    }
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Program
+parse(std::string_view source)
+{
+    return Parser(tokenize(source)).run();
+}
+
+Program
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open QASM file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace qsurf::qasm

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Recursive-descent parser for the qsurf QASM dialect (grammar in
+ * qasm/lexer.h).
+ */
+
+#ifndef QSURF_QASM_PARSER_H
+#define QSURF_QASM_PARSER_H
+
+#include <string_view>
+
+#include "qasm/ast.h"
+
+namespace qsurf::qasm {
+
+/**
+ * Parse QASM source text into a Program.
+ *
+ * @throws FatalError with line/column context on any syntax error,
+ *         duplicate declaration, or malformed statement.
+ */
+Program parse(std::string_view source);
+
+/** Parse the contents of a file on disk. */
+Program parseFile(const std::string &path);
+
+} // namespace qsurf::qasm
+
+#endif // QSURF_QASM_PARSER_H

@@ -1,0 +1,32 @@
+#include "qasm/writer.h"
+
+#include <sstream>
+
+namespace qsurf::qasm {
+
+void
+write(const circuit::Circuit &circ, std::ostream &os)
+{
+    if (!circ.name().empty())
+        os << "# " << circ.name() << "\n";
+    os << "qbit q[" << circ.numQubits() << "];\n";
+    for (const circuit::Gate &g : circ) {
+        os << circuit::gateName(g.kind);
+        if (g.kind == circuit::GateKind::Rz)
+            os << "(" << g.angle << ")";
+        auto ops = g.operands();
+        for (size_t i = 0; i < ops.size(); ++i)
+            os << (i == 0 ? " " : ", ") << "q[" << ops[i] << "]";
+        os << ";\n";
+    }
+}
+
+std::string
+writeString(const circuit::Circuit &circ)
+{
+    std::ostringstream os;
+    write(circ, os);
+    return os.str();
+}
+
+} // namespace qsurf::qasm

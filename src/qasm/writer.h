@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Serializer from circuit::Circuit back to the QASM dialect.  With
+ * qasm::parse + qasm::flatten this gives a lossless round trip for
+ * flat circuits, which the test suite exercises as a property.
+ */
+
+#ifndef QSURF_QASM_WRITER_H
+#define QSURF_QASM_WRITER_H
+
+#include <ostream>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qsurf::qasm {
+
+/**
+ * Write @p circ as QASM text: one "qbit q[N];" declaration plus one
+ * statement per gate, in program order.
+ */
+void write(const circuit::Circuit &circ, std::ostream &os);
+
+/** Convenience overload returning a string. */
+std::string writeString(const circuit::Circuit &circ);
+
+} // namespace qsurf::qasm
+
+#endif // QSURF_QASM_WRITER_H

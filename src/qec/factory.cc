@@ -1,0 +1,51 @@
+#include "qec/factory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qsurf::qec {
+
+double
+FactoryAllocation::magicRate(const MagicFactory &mf) const
+{
+    return magic_factories * mf.rate();
+}
+
+double
+FactoryAllocation::eprRate(const EprFactory &ef) const
+{
+    return static_cast<double>(epr_factories) * ef.pairs_per_step;
+}
+
+FactoryAllocation
+allocateFactories(int data_tiles, bool planar)
+{
+    fatalIf(data_tiles < 1, "need at least one data tile, got ",
+            data_tiles);
+
+    MagicFactory mf;
+    EprFactory ef;
+    FactoryAllocation out;
+
+    // 1:4 factory:data tile budget, at least one magic factory.
+    int budget = std::max(mf.tiles, data_tiles / 4);
+
+    if (planar) {
+        // Split the budget ~2:1 between magic-state and EPR
+        // production; magic states are the scarcer resource.
+        int magic_budget = std::max(mf.tiles, 2 * budget / 3);
+        out.magic_factories = std::max(1, magic_budget / mf.tiles);
+        int epr_budget = budget - out.magic_factories * mf.tiles;
+        out.epr_factories = std::max(1, epr_budget / ef.tiles);
+        out.total_tiles = out.magic_factories * mf.tiles
+                        + out.epr_factories * ef.tiles;
+    } else {
+        out.magic_factories = std::max(1, budget / mf.tiles);
+        out.epr_factories = 0;
+        out.total_tiles = out.magic_factories * mf.tiles;
+    }
+    return out;
+}
+
+} // namespace qsurf::qec

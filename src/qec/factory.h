@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ancilla factory models (Section 4.3): dedicated regions that
+ * continuously prepare magic states (for T gates) and EPR pairs (for
+ * teleportation).
+ */
+
+#ifndef QSURF_QEC_FACTORY_H
+#define QSURF_QEC_FACTORY_H
+
+#include <cstdint>
+
+namespace qsurf::qec {
+
+/** Magic-state factory parameters (Section 4.3, [41]). */
+struct MagicFactory
+{
+    /** Logical tiles consumed by one factory (12 encoded qubits). */
+    int tiles = 12;
+
+    /**
+     * Distillation latency in logical timesteps: one 15-to-1 round
+     * of Bravyi-Kitaev distillation is ~10 logical timesteps.
+     */
+    int latency_steps = 10;
+
+    /** Magic states produced per factory per latency window. */
+    int states_per_round = 1;
+
+    /** @return steady-state production rate (states per step). */
+    double
+    rate() const
+    {
+        return static_cast<double>(states_per_round) / latency_steps;
+    }
+};
+
+/** EPR-pair factory parameters (planar/Multi-SIMD only). */
+struct EprFactory
+{
+    /** Logical tiles consumed by one factory. */
+    int tiles = 4;
+
+    /** EPR pairs produced per factory per logical timestep. */
+    int pairs_per_step = 2;
+};
+
+/**
+ * Sizing of the factory region for a machine with @p data_tiles data
+ * tiles at the paper's 1:4 factory:data footprint (Section 4.3:
+ * "a good space-time balance is achieved with a 1:4 ancilla-to-data
+ * ratio").
+ */
+struct FactoryAllocation
+{
+    int magic_factories = 0; ///< Count of magic-state factories.
+    int epr_factories = 0;   ///< Count of EPR factories (planar only).
+    int total_tiles = 0;     ///< Logical tiles the factories occupy.
+
+    /** @return aggregate magic-state production per step. */
+    double magicRate(const MagicFactory &mf = {}) const;
+
+    /** @return aggregate EPR production per step. */
+    double eprRate(const EprFactory &ef = {}) const;
+};
+
+/**
+ * Allocate factories for @p data_tiles data tiles.
+ *
+ * @param data_tiles  number of logical data tiles.
+ * @param planar      when true, split the budget between magic and
+ *                    EPR factories; double-defect needs no EPRs
+ *                    (Section 4.5: "No EPR factory is needed").
+ */
+FactoryAllocation allocateFactories(int data_tiles, bool planar);
+
+} // namespace qsurf::qec
+
+#endif // QSURF_QEC_FACTORY_H

@@ -1,0 +1,59 @@
+#include <sstream>
+
+#include "common/table.h"
+#include "toolflow/toolflow.h"
+
+namespace qsurf::toolflow {
+
+std::string
+format(const Report &report)
+{
+    std::ostringstream os;
+
+    Table frontend("Frontend analysis: " + report.app_name);
+    frontend.header({"metric", "value"});
+    frontend.addRow("logical ops (KQ)", report.counts.total);
+    frontend.addRow("2-qubit ops", report.counts.two_qubit);
+    frontend.addRow("T gates", report.counts.t_gates);
+    frontend.addRow("critical-path depth", report.parallelism.depth);
+    frontend.addRow("parallelism factor",
+                    Table::fixed(report.parallelism.factor, 2));
+    frontend.addRow("target pL",
+                    Table::num(report.target_logical_error));
+    frontend.addRow("code distance d", report.code_distance);
+    frontend.print(os);
+
+    Table backends("Backend comparison (planar vs double-defect)");
+    backends.header({"metric", "planar", "double-defect"});
+    backends.addRow("schedule cycles",
+                    report.planar.schedule_cycles,
+                    report.double_defect.schedule_cycles);
+    backends.addRow("critical path",
+                    report.planar.critical_path_cycles,
+                    report.double_defect.critical_path_cycles);
+    backends.addRow("sched/CP ratio",
+                    Table::fixed(report.planar.cp_ratio, 2),
+                    Table::fixed(report.double_defect.cp_ratio, 2));
+    backends.addRow("mesh utilization", std::string("-"),
+                    Table::fixed(
+                        report.double_defect.mesh_utilization, 3));
+    backends.addRow("teleports", report.planar.teleports,
+                    static_cast<uint64_t>(0));
+    backends.addRow("peak live EPRs", report.planar.peak_live_eprs,
+                    static_cast<uint64_t>(0));
+    backends.addRow("physical qubits",
+                    Table::num(report.planar.physical_qubits),
+                    Table::num(report.double_defect.physical_qubits));
+    backends.addRow("seconds", Table::num(report.planar.seconds),
+                    Table::num(report.double_defect.seconds));
+    backends.addRow("space-time (qubit-s)",
+                    Table::num(report.planar.spaceTime()),
+                    Table::num(report.double_defect.spaceTime()));
+    backends.print(os);
+
+    os << "recommended code: "
+       << qec::codeKindName(report.recommended()) << "\n";
+    return os.str();
+}
+
+} // namespace qsurf::toolflow

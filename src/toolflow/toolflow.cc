@@ -1,0 +1,107 @@
+#include "toolflow/toolflow.h"
+
+#include "common/logging.h"
+#include "planar/planar.h"
+#include "qasm/flatten.h"
+#include "qasm/parser.h"
+#include "qec/factory.h"
+
+namespace qsurf::toolflow {
+
+namespace {
+
+/** Physical qubits of a machine with @p tiles logical tiles. */
+double
+physicalQubits(qec::CodeKind code, double logical_qubits, int d)
+{
+    return logical_qubits * qec::spaceOverheadFactor(code)
+        * static_cast<double>(qec::tileQubits(code, d));
+}
+
+} // namespace
+
+Report
+run(const circuit::Circuit &logical, const Config &config)
+{
+    fatalIf(logical.empty(), "toolflow needs a non-empty circuit");
+    config.tech.check();
+
+    Report report;
+    report.app_name =
+        logical.name().empty() ? "circuit" : logical.name();
+
+    // Frontend: optimize, decompose to Clifford+T and analyze
+    // (Figure 4 left).
+    circuit::Circuit optimized = config.run_peephole
+        ? circuit::peephole(logical, &report.peephole)
+        : logical;
+    circuit::Circuit circ =
+        circuit::decompose(optimized, config.decompose);
+    report.counts = circ.counts();
+    report.parallelism = circuit::parallelismProfile(circ);
+
+    // Code-distance selection from the logical-op count and pP.
+    auto kq = static_cast<double>(report.counts.total);
+    report.target_logical_error =
+        qec::CodeModel::targetLogicalError(kq);
+    report.code_distance = config.force_distance > 0
+        ? config.force_distance
+        : qec::CodeModel::chooseDistance(config.tech.p_physical, kq);
+    int d = report.code_distance;
+    double cycle_s = config.tech.surfaceCycleNs() * 1e-9;
+    auto q = static_cast<double>(circ.numQubits());
+
+    // Double-defect backend: braid scheduling on the tiled machine.
+    {
+        braid::BraidOptions opts;
+        opts.code_distance = d;
+        opts.seed = config.seed;
+        braid::BraidResult r =
+            braid::scheduleBraids(circ, config.policy, opts);
+
+        BackendReport &b = report.double_defect;
+        b.code = qec::CodeKind::DoubleDefect;
+        b.schedule_cycles = r.schedule_cycles;
+        b.critical_path_cycles = r.critical_path_cycles;
+        b.cp_ratio = r.ratio();
+        b.mesh_utilization = r.mesh_utilization;
+        b.physical_qubits =
+            physicalQubits(qec::CodeKind::DoubleDefect, q, d);
+        b.seconds =
+            static_cast<double>(r.schedule_cycles) * cycle_s;
+    }
+
+    // Planar backend: Multi-SIMD scheduling + EPR pipelining.
+    {
+        planar::PlanarOptions opts;
+        opts.code_distance = d;
+        opts.num_regions = config.num_simd_regions;
+        opts.epr_window_steps = config.epr_window_steps;
+        opts.tech = config.tech;
+        planar::PlanarResult r = planar::runPlanar(circ, opts);
+
+        BackendReport &b = report.planar;
+        b.code = qec::CodeKind::Planar;
+        b.schedule_cycles = r.schedule_cycles;
+        b.critical_path_cycles = r.critical_path_cycles;
+        b.cp_ratio = r.ratio();
+        b.teleports = r.teleports;
+        b.peak_live_eprs = r.peak_live_eprs;
+        b.physical_qubits =
+            physicalQubits(qec::CodeKind::Planar, q, d);
+        b.seconds =
+            static_cast<double>(r.schedule_cycles) * cycle_s;
+    }
+
+    return report;
+}
+
+Report
+runQasm(const std::string &qasm_source, const Config &config)
+{
+    qasm::Program prog = qasm::parse(qasm_source);
+    circuit::Circuit circ = qasm::flatten(prog);
+    return run(circ, config);
+}
+
+} // namespace qsurf::toolflow

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The end-to-end toolflow of Figure 4: logical compilation frontend,
+ * code-distance selection, and both optimization/simulation backends
+ * (braided double-defect and Multi-SIMD planar), producing the
+ * space-time comparison the paper's evaluation is built on.
+ *
+ * This is the library's primary public entry point:
+ *
+ *   auto circ = qsurf::apps::generate(qsurf::apps::AppKind::SQ);
+ *   auto report = qsurf::toolflow::run(circ);
+ *   std::cout << qsurf::toolflow::format(report);
+ */
+
+#ifndef QSURF_TOOLFLOW_TOOLFLOW_H
+#define QSURF_TOOLFLOW_TOOLFLOW_H
+
+#include <string>
+
+#include "braid/scheduler.h"
+#include "circuit/circuit.h"
+#include "circuit/decompose.h"
+#include "circuit/peephole.h"
+#include "circuit/schedule.h"
+#include "qec/code.h"
+#include "qec/technology.h"
+
+namespace qsurf::toolflow {
+
+/** Configuration of one toolflow run. */
+struct Config
+{
+    /** Technology characteristics (Figure 4's bottom input). */
+    qec::Technology tech;
+
+    /** Gate decomposition settings. */
+    circuit::DecomposeConfig decompose;
+
+    /** Run logical-level peephole optimization before decomposing. */
+    bool run_peephole = true;
+
+    /** Braid priority policy for the double-defect backend. */
+    braid::Policy policy = braid::Policy::Combined;
+
+    /** EPR lookahead window for the planar backend (steps). */
+    int epr_window_steps = 32;
+
+    /** SIMD regions in the planar machine. */
+    int num_simd_regions = 4;
+
+    /** Code distance override; 0 selects from KQ and pP. */
+    int force_distance = 0;
+
+    /** Layout / tie-break RNG seed. */
+    uint64_t seed = 1;
+};
+
+/** Per-backend outcome. */
+struct BackendReport
+{
+    qec::CodeKind code = qec::CodeKind::Planar;
+    uint64_t schedule_cycles = 0;
+    uint64_t critical_path_cycles = 0;
+    double cp_ratio = 0;          ///< schedule / critical path.
+    double mesh_utilization = 0;  ///< double-defect only.
+    uint64_t teleports = 0;       ///< planar only.
+    uint64_t peak_live_eprs = 0;  ///< planar only.
+    double physical_qubits = 0;
+    double seconds = 0;
+
+    /** @return the space-time product (qubits x seconds). */
+    double spaceTime() const { return physical_qubits * seconds; }
+};
+
+/** Full report of one toolflow run. */
+struct Report
+{
+    std::string app_name;
+    circuit::OpCounts counts;               ///< Post-decomposition.
+    circuit::ParallelismProfile parallelism;
+    circuit::PeepholeStats peephole;        ///< Frontend rewrites.
+    int code_distance = 0;
+    double target_logical_error = 0;
+    BackendReport planar;
+    BackendReport double_defect;
+
+    /** @return the code with the smaller space-time product. */
+    qec::CodeKind
+    recommended() const
+    {
+        return planar.spaceTime() <= double_defect.spaceTime()
+            ? qec::CodeKind::Planar
+            : qec::CodeKind::DoubleDefect;
+    }
+};
+
+/** Run the full toolflow on a logical circuit. */
+Report run(const circuit::Circuit &logical, const Config &config = {});
+
+/** Parse QASM source, flatten, and run the full toolflow. */
+Report runQasm(const std::string &qasm_source,
+               const Config &config = {});
+
+/** Render a report as a human-readable multi-table summary. */
+std::string format(const Report &report);
+
+} // namespace qsurf::toolflow
+
+#endif // QSURF_TOOLFLOW_TOOLFLOW_H

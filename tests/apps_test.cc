@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Application-generator tests: structural validity, determinism, and
+ * the Table-2 parallelism bands each workload must land in.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "circuit/schedule.h"
+#include "common/logging.h"
+
+namespace qsurf::apps {
+namespace {
+
+TEST(Apps, RegistryCoversAllKinds)
+{
+    EXPECT_EQ(allApps().size(), 5u);
+    for (AppKind kind : allApps()) {
+        const AppSpec &spec = appSpec(kind);
+        EXPECT_EQ(spec.kind, kind);
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_FALSE(spec.purpose.empty());
+        EXPECT_GT(spec.paper_parallelism, 1.0);
+    }
+}
+
+TEST(Apps, GeneratorsAreDeterministic)
+{
+    for (AppKind kind : allApps()) {
+        GenOptions opts;
+        opts.problem_size = 8;
+        opts.max_iterations = 2;
+        auto a = generate(kind, opts);
+        auto b = generate(kind, opts);
+        ASSERT_EQ(a.size(), b.size());
+        for (int i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a.gate(i).kind, b.gate(i).kind);
+            EXPECT_EQ(a.gate(i).qubit, b.gate(i).qubit);
+        }
+    }
+}
+
+TEST(Apps, ProblemSizeGrowsCircuit)
+{
+    for (AppKind kind : allApps()) {
+        GenOptions small, large;
+        small.problem_size = 6;
+        small.max_iterations = 2;
+        large.problem_size = 16;
+        large.max_iterations = 2;
+        EXPECT_LT(generate(kind, small).size(),
+                  generate(kind, large).size())
+            << appSpec(kind).name;
+    }
+}
+
+TEST(Apps, RejectsDegenerateSize)
+{
+    GenOptions opts;
+    opts.problem_size = 1;
+    EXPECT_THROW(generate(AppKind::GSE, opts), qsurf::FatalError);
+}
+
+TEST(Apps, EveryAppMeasuresItsOutput)
+{
+    for (AppKind kind : allApps()) {
+        GenOptions opts;
+        opts.problem_size = 8;
+        opts.max_iterations = 2;
+        auto c = generate(kind, opts);
+        EXPECT_GT(c.counts().measurements, 0u)
+            << appSpec(kind).name;
+    }
+}
+
+/**
+ * Table 2 parallelism bands at the default sizes.  The generated
+ * workloads are synthetic stand-ins, so the assertion is a band
+ * around the paper's value rather than an exact match.
+ */
+struct Band
+{
+    AppKind kind;
+    double lo;
+    double hi;
+};
+
+class ParallelismBand : public ::testing::TestWithParam<Band>
+{
+};
+
+TEST_P(ParallelismBand, DefaultSizeLandsInPaperBand)
+{
+    const Band &band = GetParam();
+    auto circ = generate(band.kind, defaultOptions(band.kind));
+    auto profile = circuit::parallelismProfile(circ);
+    EXPECT_GE(profile.factor, band.lo)
+        << appSpec(band.kind).name << " factor " << profile.factor;
+    EXPECT_LE(profile.factor, band.hi)
+        << appSpec(band.kind).name << " factor " << profile.factor;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, ParallelismBand,
+    ::testing::Values(Band{AppKind::GSE, 1.0, 1.7},
+                      Band{AppKind::SQ, 1.1, 2.6},
+                      Band{AppKind::SHA1, 15.0, 45.0},
+                      Band{AppKind::IsingSemi, 30.0, 90.0},
+                      Band{AppKind::IsingFull, 40.0, 100.0}),
+    [](const auto &info) {
+        return appSpec(info.param.kind).name == "IM-semi"
+            ? std::string("IMsemi")
+            : appSpec(info.param.kind).name == "IM-full"
+                ? std::string("IMfull")
+                : appSpec(info.param.kind).name == "SHA-1"
+                    ? std::string("SHA1")
+                    : appSpec(info.param.kind).name;
+    });
+
+TEST(Apps, SerialVsParallelClassesSeparate)
+{
+    auto serial_factor = [](AppKind k) {
+        return circuit::parallelismProfile(
+                   generate(k, defaultOptions(k)))
+            .factor;
+    };
+    double gse = serial_factor(AppKind::GSE);
+    double sq = serial_factor(AppKind::SQ);
+    double sha = serial_factor(AppKind::SHA1);
+    double im = serial_factor(AppKind::IsingSemi);
+    EXPECT_LT(gse, 5.0);
+    EXPECT_LT(sq, 5.0);
+    EXPECT_GT(sha, 10.0);
+    EXPECT_GT(im, 10.0);
+}
+
+TEST(Apps, FullInliningRaisesMeasuredParallelism)
+{
+    GenOptions opts;
+    opts.problem_size = 60;
+    opts.max_iterations = 5;
+    double semi = circuit::parallelismProfile(
+                      generate(AppKind::IsingSemi, opts))
+                      .factor;
+    double full = circuit::parallelismProfile(
+                      generate(AppKind::IsingFull, opts))
+                      .factor;
+    EXPECT_GT(full, semi)
+        << "inlining the ZZ modules must expose more parallelism";
+}
+
+TEST(Apps, SampleQasmIsNonTrivial)
+{
+    std::string src = sampleHierarchicalQasm();
+    EXPECT_NE(src.find("module"), std::string::npos);
+    EXPECT_NE(src.find("MeasZ"), std::string::npos);
+}
+
+} // namespace
+} // namespace qsurf::apps

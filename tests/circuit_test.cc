@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the Circuit IR: operand validation, op counting,
+ * append semantics and gate accessors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "common/logging.h"
+
+namespace qsurf::circuit {
+namespace {
+
+TEST(Circuit, StartsEmpty)
+{
+    Circuit c(4);
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.size(), 0);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Circuit, AddGateReturnsIndex)
+{
+    Circuit c(3);
+    EXPECT_EQ(c.addGate(GateKind::H, 0), 0);
+    EXPECT_EQ(c.addGate(GateKind::CNOT, 0, 1), 1);
+    EXPECT_EQ(c.addGate(GateKind::Toffoli, 0, 1, 2), 2);
+    EXPECT_EQ(c.size(), 3);
+}
+
+TEST(Circuit, RejectsOutOfRangeOperand)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.addGate(GateKind::H, 2), FatalError);
+    EXPECT_THROW(c.addGate(GateKind::H, -1), FatalError);
+    EXPECT_THROW(c.addGate(GateKind::CNOT, 0, 5), FatalError);
+}
+
+TEST(Circuit, RejectsRepeatedOperand)
+{
+    Circuit c(3);
+    EXPECT_THROW(c.addGate(GateKind::CNOT, 1, 1), FatalError);
+    EXPECT_THROW(c.addGate(GateKind::Toffoli, 0, 1, 0), FatalError);
+}
+
+TEST(Circuit, RejectsNegativeQubitCount)
+{
+    EXPECT_THROW(Circuit(-1), FatalError);
+}
+
+TEST(Circuit, EnsureQubitsOnlyGrows)
+{
+    Circuit c(2);
+    c.ensureQubits(5);
+    EXPECT_EQ(c.numQubits(), 5);
+    c.ensureQubits(3);
+    EXPECT_EQ(c.numQubits(), 5);
+}
+
+TEST(Circuit, GateAccessors)
+{
+    Circuit c(3);
+    c.addRz(0.25, 2);
+    const Gate &g = c.gate(0);
+    EXPECT_EQ(g.kind, GateKind::Rz);
+    EXPECT_DOUBLE_EQ(g.angle, 0.25);
+    EXPECT_EQ(g.arity(), 1);
+    EXPECT_TRUE(g.touches(2));
+    EXPECT_FALSE(g.touches(0));
+    EXPECT_EQ(g.operands().size(), 1u);
+}
+
+TEST(Circuit, CountsClassifyGates)
+{
+    Circuit c(3);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::T, 1);
+    c.addGate(GateKind::Tdag, 1);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::Toffoli, 0, 1, 2);
+    c.addGate(GateKind::MeasZ, 0);
+    OpCounts k = c.counts();
+    EXPECT_EQ(k.total, 6u);
+    EXPECT_EQ(k.single_qubit, 4u);
+    EXPECT_EQ(k.two_qubit, 1u);
+    EXPECT_EQ(k.three_qubit, 1u);
+    EXPECT_EQ(k.t_gates, 2u);
+    EXPECT_EQ(k.measurements, 1u);
+}
+
+TEST(Circuit, AppendConcatenatesAndGrows)
+{
+    Circuit a(2);
+    a.addGate(GateKind::H, 0);
+    Circuit b(4);
+    b.addGate(GateKind::CNOT, 2, 3);
+    a.append(b);
+    EXPECT_EQ(a.numQubits(), 4);
+    EXPECT_EQ(a.size(), 2);
+    EXPECT_EQ(a.gate(1).kind, GateKind::CNOT);
+}
+
+TEST(Circuit, NameIsPreserved)
+{
+    Circuit c("myapp", 1);
+    EXPECT_EQ(c.name(), "myapp");
+    c.setName("other");
+    EXPECT_EQ(c.name(), "other");
+}
+
+TEST(Circuit, RangeForIteratesInOrder)
+{
+    Circuit c(2);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::X, 1);
+    int seen = 0;
+    for (const Gate &g : c) {
+        (void)g;
+        ++seen;
+    }
+    EXPECT_EQ(seen, 2);
+}
+
+} // namespace
+} // namespace qsurf::circuit

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the common substrate: logging contract, RNG
+ * determinism and distribution bounds, geometry, statistics
+ * accumulators and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/geometry.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace qsurf {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug ", 1), PanicError);
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(fatalIf(true, "always"), FatalError);
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "never"));
+    EXPECT_THROW(panicIf(true, "always"), PanicError);
+}
+
+TEST(Logging, MessagesConcatenateArguments)
+{
+    try {
+        fatal("a", 1, "b", 2.5);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "a1b2.5");
+    }
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL})
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+}
+
+TEST(Rng, BelowZeroReturnsZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Geometry, ManhattanAndChebyshev)
+{
+    Coord a{0, 0}, b{3, -4};
+    EXPECT_EQ(manhattan(a, b), 7);
+    EXPECT_EQ(chebyshev(a, b), 4);
+    EXPECT_EQ(manhattan(a, a), 0);
+}
+
+TEST(Geometry, LinearIndexRoundTrip)
+{
+    int width = 7;
+    for (int i = 0; i < 35; ++i) {
+        Coord c = fromLinearIndex(i, width);
+        EXPECT_EQ(linearIndex(c, width), i);
+    }
+}
+
+TEST(Geometry, CoordOrderingAndHash)
+{
+    EXPECT_LT((Coord{1, 2}), (Coord{2, 1}));
+    EXPECT_EQ((Coord{3, 4}), (Coord{3, 4}));
+    std::hash<Coord> h;
+    EXPECT_NE(h(Coord{1, 2}), h(Coord{2, 1}));
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, EmptyIsSafe)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential)
+{
+    Accumulator all, left, right;
+    for (int i = 0; i < 50; ++i) {
+        double x = 0.3 * i - 2;
+        all.add(x);
+        (i < 20 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Histogram, CountsAndQuantiles)
+{
+    Histogram h(0, 10, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i % 10 + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    for (int b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binCount(b), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 4.0, 1.01);
+}
+
+TEST(Histogram, SaturatingEdges)
+{
+    Histogram h(0, 1, 4);
+    h.add(-100);
+    h.add(100);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, RejectsEmptyRange)
+{
+    EXPECT_THROW(Histogram(1, 1, 4), FatalError);
+    EXPECT_THROW(Histogram(0, 1, 0), FatalError);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.addRow("alpha", 42);
+    t.addRow("beta", 3.5);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.5"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("x");
+    t.header({"a", "b"});
+    t.addRow(1, 2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t("x");
+    t.header({"a", "b"});
+    EXPECT_THROW(t.row({"only one"}), PanicError);
+}
+
+} // namespace
+} // namespace qsurf

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the dependence DAG: per-wire edges, roots/sinks,
+ * diamond dependencies and duplicate-edge suppression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/dag.h"
+
+namespace qsurf::circuit {
+namespace {
+
+TEST(Dag, SerialChainOnOneQubit)
+{
+    Circuit c(1);
+    for (int i = 0; i < 4; ++i)
+        c.addGate(GateKind::H, 0);
+    Dag dag(c);
+    EXPECT_EQ(dag.size(), 4);
+    EXPECT_EQ(dag.roots(), std::vector<int>{0});
+    EXPECT_EQ(dag.sinks(), std::vector<int>{3});
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(dag.preds(i), std::vector<int>{i - 1});
+}
+
+TEST(Dag, IndependentGatesAreAllRootsAndSinks)
+{
+    Circuit c(3);
+    for (int q = 0; q < 3; ++q)
+        c.addGate(GateKind::X, q);
+    Dag dag(c);
+    EXPECT_EQ(dag.roots().size(), 3u);
+    EXPECT_EQ(dag.sinks().size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(dag.preds(i).empty());
+        EXPECT_TRUE(dag.succs(i).empty());
+    }
+}
+
+TEST(Dag, TwoQubitGateJoinsWires)
+{
+    Circuit c(2);
+    c.addGate(GateKind::H, 0);   // 0
+    c.addGate(GateKind::H, 1);   // 1
+    c.addGate(GateKind::CNOT, 0, 1); // 2 depends on both
+    c.addGate(GateKind::X, 0);   // 3 depends on 2
+    Dag dag(c);
+    EXPECT_EQ(dag.preds(2), (std::vector<int>{0, 1}));
+    EXPECT_EQ(dag.preds(3), std::vector<int>{2});
+    EXPECT_EQ(dag.succs(0), std::vector<int>{2});
+}
+
+TEST(Dag, SharedPredecessorEdgeNotDuplicated)
+{
+    Circuit c(2);
+    c.addGate(GateKind::CNOT, 0, 1); // 0
+    c.addGate(GateKind::CNOT, 0, 1); // 1: both wires come from 0
+    Dag dag(c);
+    // One edge despite two shared qubits.
+    EXPECT_EQ(dag.preds(1), std::vector<int>{0});
+    EXPECT_EQ(dag.succs(0), std::vector<int>{1});
+}
+
+TEST(Dag, InDegreesMatchPreds)
+{
+    Circuit c(2);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::H, 1);
+    c.addGate(GateKind::CNOT, 0, 1);
+    Dag dag(c);
+    std::vector<int> deg = dag.inDegrees();
+    EXPECT_EQ(deg, (std::vector<int>{0, 0, 2}));
+}
+
+TEST(Dag, DiamondDependency)
+{
+    Circuit c(3);
+    c.addGate(GateKind::CNOT, 0, 1);  // 0
+    c.addGate(GateKind::H, 0);        // 1 (left arm)
+    c.addGate(GateKind::H, 1);        // 2 (right arm)
+    c.addGate(GateKind::CNOT, 0, 1);  // 3 (join)
+    Dag dag(c);
+    EXPECT_EQ(dag.preds(3), (std::vector<int>{1, 2}));
+    EXPECT_EQ(dag.succs(0), (std::vector<int>{1, 2}));
+}
+
+TEST(Dag, TopologicalOrderIsProgramOrder)
+{
+    Circuit c(2);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::CNOT, 0, 1);
+    Dag dag(c);
+    EXPECT_EQ(dag.topologicalOrder(), (std::vector<int>{0, 1}));
+}
+
+TEST(Dag, EmptyCircuit)
+{
+    Circuit c(2);
+    Dag dag(c);
+    EXPECT_EQ(dag.size(), 0);
+    EXPECT_TRUE(dag.roots().empty());
+    EXPECT_TRUE(dag.sinks().empty());
+}
+
+} // namespace
+} // namespace qsurf::circuit

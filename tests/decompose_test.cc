@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for Clifford+T decomposition: Toffoli and Swap expansions,
+ * Rz sequence structure, and the decomposedSize() = |decompose()|
+ * property over randomized circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/decompose.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace qsurf::circuit {
+namespace {
+
+TEST(Decompose, ToffoliBecomesFifteenGates)
+{
+    Circuit c(3);
+    c.addGate(GateKind::Toffoli, 0, 1, 2);
+    Circuit d = decompose(c);
+    EXPECT_EQ(d.size(), 15);
+    OpCounts k = d.counts();
+    EXPECT_EQ(k.t_gates, 7u);   // 4 T + 3 Tdag
+    EXPECT_EQ(k.two_qubit, 6u); // 6 CNOTs
+    EXPECT_EQ(k.three_qubit, 0u);
+}
+
+TEST(Decompose, SwapBecomesThreeCnots)
+{
+    Circuit c(2);
+    c.addGate(GateKind::Swap, 0, 1);
+    Circuit d = decompose(c);
+    EXPECT_EQ(d.size(), 3);
+    for (const Gate &g : d)
+        EXPECT_EQ(g.kind, GateKind::CNOT);
+}
+
+TEST(Decompose, SwapKeptWhenDisabled)
+{
+    Circuit c(2);
+    c.addGate(GateKind::Swap, 0, 1);
+    DecomposeConfig cfg;
+    cfg.expand_swap = false;
+    Circuit d = decompose(c, cfg);
+    EXPECT_EQ(d.size(), 1);
+    EXPECT_EQ(d.gate(0).kind, GateKind::Swap);
+}
+
+TEST(Decompose, RzSequenceLengthAndMix)
+{
+    Circuit c(1);
+    c.addRz(0.3, 0);
+    DecomposeConfig cfg;
+    cfg.rz_sequence_length = 20;
+    cfg.rz_t_fraction = 0.5;
+    Circuit d = decompose(c, cfg);
+    EXPECT_EQ(d.size(), 20);
+    OpCounts k = d.counts();
+    EXPECT_EQ(k.t_gates, 10u);
+    // All gates stay on the original qubit.
+    for (const Gate &g : d)
+        EXPECT_EQ(g.qubit[0], 0);
+}
+
+TEST(Decompose, NegativeAngleUsesTdag)
+{
+    Circuit c(1);
+    c.addRz(-0.3, 0);
+    Circuit d = decompose(c);
+    bool has_tdag = false, has_t = false;
+    for (const Gate &g : d) {
+        has_tdag |= g.kind == GateKind::Tdag;
+        has_t |= g.kind == GateKind::T;
+    }
+    EXPECT_TRUE(has_tdag);
+    EXPECT_FALSE(has_t);
+}
+
+TEST(Decompose, NativeGatesPassThrough)
+{
+    Circuit c(2);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::MeasZ, 0);
+    Circuit d = decompose(c);
+    EXPECT_EQ(d.size(), 3);
+    EXPECT_EQ(d.gate(0).kind, GateKind::H);
+    EXPECT_EQ(d.gate(1).kind, GateKind::CNOT);
+    EXPECT_EQ(d.gate(2).kind, GateKind::MeasZ);
+}
+
+TEST(Decompose, ResultContainsNoDecomposableGates)
+{
+    Circuit c(3);
+    c.addGate(GateKind::Toffoli, 0, 1, 2);
+    c.addRz(1.0, 0);
+    c.addGate(GateKind::Swap, 1, 2);
+    Circuit d = decompose(c);
+    for (const Gate &g : d)
+        EXPECT_FALSE(needsDecomposition(g.kind))
+            << gateName(g.kind);
+}
+
+TEST(Decompose, RejectsBadConfig)
+{
+    Circuit c(1);
+    c.addRz(1.0, 0);
+    DecomposeConfig cfg;
+    cfg.rz_sequence_length = 0;
+    EXPECT_THROW(decompose(c, cfg), qsurf::FatalError);
+}
+
+/** Property: decomposedSize predicts the materialized size exactly. */
+class DecomposeSizeProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DecomposeSizeProperty, SizePredictionMatches)
+{
+    qsurf::Rng rng(GetParam());
+    Circuit c(6);
+    for (int i = 0; i < 200; ++i) {
+        switch (rng.below(6)) {
+          case 0:
+            c.addGate(GateKind::H, static_cast<int32_t>(rng.below(6)));
+            break;
+          case 1:
+            c.addRz(rng.uniform() - 0.5,
+                    static_cast<int32_t>(rng.below(6)));
+            break;
+          case 2: {
+            auto a = static_cast<int32_t>(rng.below(6));
+            auto b = static_cast<int32_t>((a + 1 + rng.below(5)) % 6);
+            c.addGate(GateKind::CNOT, a, b);
+            break;
+          }
+          case 3: {
+            auto a = static_cast<int32_t>(rng.below(6));
+            auto b = static_cast<int32_t>((a + 1 + rng.below(5)) % 6);
+            c.addGate(GateKind::Swap, a, b);
+            break;
+          }
+          case 4:
+            c.addGate(GateKind::Toffoli,
+                      static_cast<int32_t>(rng.below(2)),
+                      static_cast<int32_t>(2 + rng.below(2)),
+                      static_cast<int32_t>(4 + rng.below(2)));
+            break;
+          default:
+            c.addGate(GateKind::T, static_cast<int32_t>(rng.below(6)));
+            break;
+        }
+    }
+    DecomposeConfig cfg;
+    cfg.rz_sequence_length = 7 + static_cast<int>(GetParam() % 5);
+    EXPECT_EQ(decomposedSize(c, cfg),
+              static_cast<uint64_t>(decompose(c, cfg).size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, DecomposeSizeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace qsurf::circuit

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cross-module randomized stress tests: random Clifford+T circuits
+ * pushed through the whole stack (peephole -> decompose -> both
+ * backends) under every policy, asserting the universal invariants —
+ * completion, critical-path bounds, conservation of braid counts,
+ * and round-trip stability — hold far from the hand-picked cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "braid/scheduler.h"
+#include "circuit/decompose.h"
+#include "circuit/peephole.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "planar/planar.h"
+#include "qasm/flatten.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+
+namespace qsurf {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+/** Random circuit over @p nq qubits with a broad gate mix. */
+Circuit
+randomCircuit(uint64_t seed, int nq, int gates)
+{
+    Rng rng(seed);
+    Circuit c("fuzz", nq);
+    for (int i = 0; i < gates; ++i) {
+        auto q = static_cast<int32_t>(rng.below(
+            static_cast<uint64_t>(nq)));
+        auto r = static_cast<int32_t>(
+            (q + 1 + rng.below(static_cast<uint64_t>(nq - 1))) % nq);
+        switch (rng.below(10)) {
+          case 0: c.addGate(GateKind::H, q); break;
+          case 1: c.addGate(GateKind::X, q); break;
+          case 2: c.addGate(GateKind::S, q); break;
+          case 3: c.addGate(GateKind::T, q); break;
+          case 4: c.addGate(GateKind::Tdag, q); break;
+          case 5: c.addRz(rng.uniform() * 2 - 1, q); break;
+          case 6: c.addGate(GateKind::CNOT, q, r); break;
+          case 7: c.addGate(GateKind::CZ, q, r); break;
+          case 8: c.addGate(GateKind::Swap, q, r); break;
+          default: {
+            auto s = static_cast<int32_t>(
+                (r + 1 + rng.below(static_cast<uint64_t>(nq - 2)))
+                % nq);
+            if (s == q || s == r)
+                c.addGate(GateKind::MeasZ, q);
+            else
+                c.addGate(GateKind::Toffoli, q, r, s);
+            break;
+          }
+        }
+    }
+    return c;
+}
+
+class FuzzSeed : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzSeed, FullStackHoldsInvariants)
+{
+    Circuit logical = randomCircuit(GetParam(), 9, 120);
+
+    // Frontend: peephole never grows; decompose removes all
+    // non-native gates.
+    Circuit opt = circuit::peephole(logical);
+    EXPECT_LE(opt.size(), logical.size());
+    Circuit ct = circuit::decompose(opt);
+    for (const circuit::Gate &g : ct)
+        EXPECT_FALSE(circuit::needsDecomposition(g.kind));
+    if (ct.empty())
+        return; // fully cancelled — nothing to schedule.
+
+    // Round trip through QASM.
+    Circuit back = qasm::flatten(
+        qasm::parse(qasm::writeString(ct)));
+    ASSERT_EQ(back.size(), ct.size());
+
+    // Double-defect backend under two contrasting policies.
+    circuit::OpCounts k = ct.counts();
+    for (auto policy :
+         {braid::Policy::ProgramOrder, braid::Policy::Combined}) {
+        braid::BraidOptions opts;
+        opts.code_distance = 3;
+        braid::BraidResult r = braid::scheduleBraids(ct, policy, opts);
+        EXPECT_GE(r.schedule_cycles, r.critical_path_cycles);
+        EXPECT_EQ(r.braids_placed, 2 * k.two_qubit + k.t_gates);
+        EXPECT_LE(r.mesh_utilization, 1.0);
+    }
+
+    // Planar backend.
+    planar::PlanarOptions popts;
+    popts.code_distance = 3;
+    planar::PlanarResult pr = planar::runPlanar(ct, popts);
+    EXPECT_GE(pr.schedule_cycles, pr.critical_path_cycles);
+}
+
+TEST_P(FuzzSeed, PeepholeIsStableUnderReparse)
+{
+    Circuit logical = randomCircuit(GetParam() + 1000, 6, 80);
+    Circuit once = circuit::peephole(logical);
+    if (once.empty())
+        return;
+    Circuit reparsed = qasm::flatten(
+        qasm::parse(qasm::writeString(once)));
+    circuit::PeepholeStats stats;
+    Circuit twice = circuit::peephole(reparsed, &stats);
+    EXPECT_EQ(twice.size(), once.size())
+        << "peephole must be a fixpoint across serialization";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace
+} // namespace qsurf

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for interaction-graph extraction (the Section 6.2 input).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/interaction.h"
+
+namespace qsurf::circuit {
+namespace {
+
+TEST(Interaction, CountsRepeatedPairs)
+{
+    Circuit c(3);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::CNOT, 1, 0); // same unordered pair
+    c.addGate(GateKind::CZ, 1, 2);
+    InteractionGraph g = interactionGraph(c);
+    EXPECT_EQ(g.num_qubits, 3);
+    EXPECT_EQ(g.edges.size(), 2u);
+    EXPECT_EQ(g.edges.at({0, 1}), 2u);
+    EXPECT_EQ(g.edges.at({1, 2}), 1u);
+}
+
+TEST(Interaction, SingleQubitGatesAddNoEdges)
+{
+    Circuit c(2);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::T, 1);
+    c.addGate(GateKind::MeasZ, 0);
+    InteractionGraph g = interactionGraph(c);
+    EXPECT_TRUE(g.edges.empty());
+    EXPECT_EQ(g.totalWeight(), 0u);
+}
+
+TEST(Interaction, ToffoliContributesAllThreePairs)
+{
+    Circuit c(3);
+    c.addGate(GateKind::Toffoli, 0, 1, 2);
+    InteractionGraph g = interactionGraph(c);
+    EXPECT_EQ(g.edges.size(), 3u);
+    EXPECT_EQ(g.edges.at({0, 1}), 1u);
+    EXPECT_EQ(g.edges.at({0, 2}), 1u);
+    EXPECT_EQ(g.edges.at({1, 2}), 1u);
+}
+
+TEST(Interaction, DegreeSumsIncidentWeight)
+{
+    Circuit c(3);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::CNOT, 0, 2);
+    c.addGate(GateKind::CNOT, 0, 1);
+    InteractionGraph g = interactionGraph(c);
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(1), 2u);
+    EXPECT_EQ(g.degree(2), 1u);
+    EXPECT_EQ(g.totalWeight(), 3u);
+}
+
+} // namespace
+} // namespace qsurf::circuit

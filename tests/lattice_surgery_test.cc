@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lattice-surgery model tests (Section 8.2): the merge/split chain
+ * must behave as the paper argues — slower than braids over
+ * distance, unprefetchable unlike teleports, and therefore dominated
+ * across the design space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "estimate/lattice_surgery.h"
+
+namespace qsurf::estimate {
+namespace {
+
+ResourceModel
+modelFor(apps::AppKind app)
+{
+    qec::Technology tech;
+    tech.p_physical = 1e-8;
+    return ResourceModel(app, tech);
+}
+
+TEST(Surgery, EstimateIsWellFormed)
+{
+    ResourceModel m = modelFor(apps::AppKind::SQ);
+    for (double kq : {1e3, 1e9, 1e15}) {
+        ResourceEstimate e = estimateSurgery(m, kq);
+        EXPECT_GT(e.physical_qubits, 0);
+        EXPECT_GT(e.seconds, 0);
+        EXPECT_GE(e.congestion_inflation, 1.0);
+        EXPECT_EQ(e.code_distance,
+                  qec::CodeModel::chooseDistance(1e-8, kq));
+    }
+}
+
+TEST(Surgery, ChainCostGrowsWithMachineSize)
+{
+    ResourceModel m = modelFor(apps::AppKind::IsingFull);
+    ResourceEstimate small = estimateSurgery(m, 1e4);
+    ResourceEstimate large = estimateSurgery(m, 1e12);
+    EXPECT_GT(large.step_cycles, small.step_cycles)
+        << "merge/split chains lengthen with the mesh";
+}
+
+TEST(Surgery, SlowerThanBraidsAtDistance)
+{
+    ResourceModel m = modelFor(apps::AppKind::SQ);
+    for (double kq : {1e8, 1e14, 1e20}) {
+        ResourceEstimate s = estimateSurgery(m, kq);
+        ResourceEstimate dd =
+            m.estimate(qec::CodeKind::DoubleDefect, kq);
+        EXPECT_GT(s.step_cycles, dd.step_cycles)
+            << "at kq=" << kq
+            << ": a chain of d-cycle merges cannot beat a 1-cycle "
+               "braid";
+    }
+}
+
+TEST(Surgery, SlowerThanPrefetchedTeleportsAtScale)
+{
+    ResourceModel m = modelFor(apps::AppKind::SQ);
+    for (double kq : {1e10, 1e18}) {
+        ResourceEstimate s = estimateSurgery(m, kq);
+        ResourceEstimate pl = m.estimate(qec::CodeKind::Planar, kq);
+        EXPECT_GT(s.seconds, pl.seconds)
+            << "unprefetchable chains lose to JIT-hidden teleports";
+    }
+}
+
+TEST(Surgery, SpaceStaysPlanarLike)
+{
+    ResourceModel m = modelFor(apps::AppKind::SQ);
+    ResourceEstimate s = estimateSurgery(m, 1e10);
+    ResourceEstimate pl = m.estimate(qec::CodeKind::Planar, 1e10);
+    ResourceEstimate dd =
+        m.estimate(qec::CodeKind::DoubleDefect, 1e10);
+    EXPECT_LT(s.physical_qubits, dd.physical_qubits);
+    EXPECT_GE(s.physical_qubits, pl.physical_qubits * 0.5);
+}
+
+TEST(Surgery, DominatedAcrossTheDesignSpace)
+{
+    // The Section 8.2 conclusion: surgery is never the best of the
+    // three schemes over the swept design points.
+    for (apps::AppKind app :
+         {apps::AppKind::SQ, apps::AppKind::SHA1,
+          apps::AppKind::IsingFull}) {
+        ResourceModel m = modelFor(app);
+        for (double kq = 1e3; kq <= 1e21; kq *= 1e3) {
+            ThreeWay cmp = compareThreeWay(m, kq);
+            EXPECT_NE(cmp.best(), 2)
+                << apps::appSpec(app).name << " at kq=" << kq;
+        }
+    }
+}
+
+TEST(Surgery, BestIndexMatchesSpaceTime)
+{
+    ResourceModel m = modelFor(apps::AppKind::SQ);
+    ThreeWay cmp = compareThreeWay(m, 1e6);
+    double best = std::min({cmp.planar.spaceTime(),
+                            cmp.double_defect.spaceTime(),
+                            cmp.surgery.spaceTime()});
+    double chosen = cmp.best() == 0 ? cmp.planar.spaceTime()
+        : cmp.best() == 1          ? cmp.double_defect.spaceTime()
+                                   : cmp.surgery.spaceTime();
+    EXPECT_DOUBLE_EQ(chosen, best);
+}
+
+TEST(Surgery, RejectsBadSize)
+{
+    ResourceModel m = modelFor(apps::AppKind::SQ);
+    EXPECT_THROW(estimateSurgery(m, 0.5), qsurf::FatalError);
+}
+
+} // namespace
+} // namespace qsurf::estimate

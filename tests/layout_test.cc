@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Grid-layout tests: placement validity (a permutation into cells),
+ * the interaction-aware layout beating the naive one on clustered
+ * graphs (the Section 6.2 claim), and grid shape selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "partition/layout.h"
+
+namespace qsurf::partition {
+namespace {
+
+/** Clusters of tightly linked vertices, lightly linked together. */
+Graph
+clusteredGraph(int clusters, int per_cluster)
+{
+    Graph g(clusters * per_cluster);
+    for (int c = 0; c < clusters; ++c) {
+        int base = c * per_cluster;
+        for (int i = 0; i < per_cluster; ++i)
+            for (int j = i + 1; j < per_cluster; ++j)
+                g.addEdge(base + i, base + j, 20);
+        if (c > 0)
+            g.addEdge(base, base - per_cluster, 1);
+    }
+    return g;
+}
+
+void
+expectValidPlacement(const GridLayout &layout, int n)
+{
+    ASSERT_EQ(static_cast<int>(layout.position.size()), n);
+    std::set<std::pair<int, int>> used;
+    for (int v = 0; v < n; ++v) {
+        const Coord &c = layout.position[static_cast<size_t>(v)];
+        EXPECT_GE(c.x, 0);
+        EXPECT_LT(c.x, layout.width);
+        EXPECT_GE(c.y, 0);
+        EXPECT_LT(c.y, layout.height);
+        EXPECT_TRUE(used.insert({c.x, c.y}).second)
+            << "cell reused by vertex " << v;
+        EXPECT_EQ(layout.at(c), v);
+    }
+}
+
+TEST(NaiveLayout, RowMajorPlacement)
+{
+    GridLayout l = naiveLayout(6, 3, 2);
+    expectValidPlacement(l, 6);
+    EXPECT_EQ(l.position[0], (Coord{0, 0}));
+    EXPECT_EQ(l.position[4], (Coord{1, 1}));
+}
+
+TEST(OptimizedLayout, IsValidPermutation)
+{
+    Graph g = clusteredGraph(4, 4);
+    GridLayout l = layoutOnGrid(g, 4, 4, 7);
+    expectValidPlacement(l, 16);
+}
+
+TEST(OptimizedLayout, BeatsNaiveOnClusteredGraph)
+{
+    Graph g = clusteredGraph(4, 9);
+    GridLayout naive = naiveLayout(g.size(), 6, 6);
+    GridLayout opt = layoutOnGrid(g, 6, 6, 11);
+    EXPECT_LT(weightedManhattan(g, opt),
+              weightedManhattan(g, naive))
+        << "interaction-aware layout should shorten braid routes";
+}
+
+TEST(OptimizedLayout, DeterministicPerSeed)
+{
+    Graph g = clusteredGraph(3, 5);
+    GridLayout a = layoutOnGrid(g, 4, 4, 5);
+    GridLayout b = layoutOnGrid(g, 4, 4, 5);
+    EXPECT_EQ(a.position, b.position);
+}
+
+TEST(OptimizedLayout, HandlesNonSquareAndSparseGrids)
+{
+    Graph g = clusteredGraph(2, 3);
+    GridLayout l = layoutOnGrid(g, 7, 1, 3);
+    expectValidPlacement(l, 6);
+    GridLayout l2 = layoutOnGrid(g, 4, 4, 3); // 6 vertices, 16 cells
+    expectValidPlacement(l2, 6);
+}
+
+TEST(OptimizedLayout, SingleVertex)
+{
+    Graph g(1);
+    GridLayout l = layoutOnGrid(g, 1, 1, 1);
+    expectValidPlacement(l, 1);
+}
+
+TEST(Layout, OverflowIsFatal)
+{
+    Graph g(5);
+    EXPECT_THROW(layoutOnGrid(g, 2, 2, 1), qsurf::FatalError);
+    EXPECT_THROW(naiveLayout(5, 2, 2), qsurf::FatalError);
+}
+
+TEST(Layout, WeightedManhattanOfKnownPlacement)
+{
+    Graph g(2);
+    g.addEdge(0, 1, 3);
+    GridLayout l = naiveLayout(2, 2, 1); // cells (0,0) and (1,0)
+    EXPECT_DOUBLE_EQ(weightedManhattan(g, l), 3.0);
+}
+
+TEST(GridShape, CoversRequestedCells)
+{
+    for (int n : {1, 2, 3, 4, 5, 10, 17, 100, 101}) {
+        auto [w, h] = gridShape(n);
+        EXPECT_GE(w * h, n) << n;
+        EXPECT_LE(w * h, n + w) << "not wastefully large for " << n;
+        EXPECT_LE(std::abs(w - h), 1) << "near-square for " << n;
+    }
+}
+
+TEST(GridShape, RejectsZero)
+{
+    EXPECT_THROW(gridShape(0), qsurf::FatalError);
+}
+
+} // namespace
+} // namespace qsurf::partition

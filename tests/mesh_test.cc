@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Circuit-switched mesh tests: exclusive claim/release semantics
+ * (braids cannot cross — Section 4.1), availability queries and
+ * utilization accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "network/mesh.h"
+
+namespace qsurf::network {
+namespace {
+
+Path
+straightPath(int y, int x0, int x1)
+{
+    Path p;
+    for (int x = x0; x <= x1; ++x)
+        p.nodes.push_back(Coord{x, y});
+    return p;
+}
+
+TEST(Mesh, DimensionsAndCounts)
+{
+    Mesh m(4, 3);
+    EXPECT_EQ(m.numNodes(), 12);
+    // Horizontal: 3*3, vertical: 4*2.
+    EXPECT_EQ(m.numLinks(), 17);
+    EXPECT_TRUE(m.contains(Coord{3, 2}));
+    EXPECT_FALSE(m.contains(Coord{4, 0}));
+    EXPECT_FALSE(m.contains(Coord{0, -1}));
+}
+
+TEST(Mesh, RejectsDegenerate)
+{
+    EXPECT_THROW(Mesh(0, 3), qsurf::FatalError);
+}
+
+TEST(Mesh, ClaimMakesRouteBusy)
+{
+    Mesh m(5, 5);
+    Path p = straightPath(2, 0, 4);
+    EXPECT_TRUE(m.routeFree(p, 1));
+    m.claim(p, 1);
+    EXPECT_FALSE(m.routeFree(p, 2));
+    EXPECT_TRUE(m.routeFree(p, 1)) << "owner may reuse its own route";
+    EXPECT_EQ(m.nodeOwner(Coord{2, 2}), 1);
+    EXPECT_EQ(m.linkOwner(Coord{0, 2}, Coord{1, 2}), 1);
+}
+
+TEST(Mesh, CrossingRoutesConflict)
+{
+    Mesh m(5, 5);
+    m.claim(straightPath(2, 0, 4), 1);
+    // A vertical path through (2,2) must be blocked.
+    Path vertical;
+    for (int y = 0; y <= 4; ++y)
+        vertical.nodes.push_back(Coord{2, y});
+    EXPECT_FALSE(m.routeFree(vertical, 2));
+}
+
+TEST(Mesh, DisjointRoutesCoexist)
+{
+    Mesh m(5, 5);
+    m.claim(straightPath(0, 0, 4), 1);
+    Path other = straightPath(3, 0, 4);
+    EXPECT_TRUE(m.routeFree(other, 2));
+    m.claim(other, 2);
+    EXPECT_EQ(m.busyLinks(), 8);
+}
+
+TEST(Mesh, ReleaseFreesOnlyOwnedResources)
+{
+    Mesh m(5, 5);
+    Path a = straightPath(0, 0, 2);
+    Path b = straightPath(0, 2, 4); // shares node (2,0)
+    m.claim(a, 1);
+    EXPECT_FALSE(m.routeFree(b, 2));
+    m.release(a, 1);
+    EXPECT_TRUE(m.routeFree(b, 2));
+    m.claim(b, 2);
+    // Releasing A again (wrong owner for B's resources) is harmless.
+    m.release(a, 1);
+    EXPECT_EQ(m.nodeOwner(Coord{3, 0}), 2);
+}
+
+TEST(Mesh, DoubleClaimPanics)
+{
+    Mesh m(4, 4);
+    Path p = straightPath(1, 0, 3);
+    m.claim(p, 1);
+    EXPECT_THROW(m.claim(p, 2), qsurf::PanicError);
+}
+
+TEST(Mesh, ClaimWithNoOwnerIdPanics)
+{
+    Mesh m(4, 4);
+    EXPECT_THROW(m.claim(straightPath(0, 0, 1), Mesh::no_owner),
+                 qsurf::PanicError);
+}
+
+TEST(Mesh, UtilizationAveragesBusyLinks)
+{
+    Mesh m(2, 2); // 4 links
+    m.claim(straightPath(0, 0, 1), 1); // 1 link busy
+    m.tick();
+    m.tick();
+    m.release(straightPath(0, 0, 1), 1);
+    m.tick();
+    m.tick();
+    EXPECT_DOUBLE_EQ(m.utilization(), (0.25 + 0.25) / 4.0);
+    EXPECT_EQ(m.cycles(), 4u);
+}
+
+TEST(Mesh, ResetClearsEverything)
+{
+    Mesh m(3, 3);
+    m.claim(straightPath(0, 0, 2), 4);
+    m.tick();
+    m.reset();
+    EXPECT_EQ(m.busyLinks(), 0);
+    EXPECT_EQ(m.cycles(), 0u);
+    EXPECT_TRUE(m.routeFree(straightPath(0, 0, 2), 9));
+}
+
+TEST(Mesh, EmptyPathIsAlwaysFree)
+{
+    Mesh m(3, 3);
+    EXPECT_TRUE(m.routeFree(Path{}, 1));
+}
+
+TEST(Path, HopsAndEndpoints)
+{
+    Path p = straightPath(0, 0, 3);
+    EXPECT_EQ(p.hops(), 3);
+    EXPECT_EQ(p.source(), (Coord{0, 0}));
+    EXPECT_EQ(p.dest(), (Coord{3, 0}));
+}
+
+} // namespace
+} // namespace qsurf::network

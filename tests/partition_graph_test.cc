@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the partitioner's graph representation and cut metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "partition/graph.h"
+
+namespace qsurf::partition {
+namespace {
+
+TEST(Graph, ParallelEdgesAccumulate)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 2);
+    g.addEdge(1, 0, 3);
+    auto edges = g.edges();
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0].w, 5);
+    EXPECT_EQ(g.totalEdgeWeight(), 5);
+}
+
+TEST(Graph, NeighborsAreSymmetric)
+{
+    Graph g(3);
+    g.addEdge(0, 2, 7);
+    ASSERT_EQ(g.neighbors(0).size(), 1u);
+    ASSERT_EQ(g.neighbors(2).size(), 1u);
+    EXPECT_EQ(g.neighbors(0)[0].first, 2);
+    EXPECT_EQ(g.neighbors(2)[0].first, 0);
+    EXPECT_EQ(g.neighbors(2)[0].second, 7);
+}
+
+TEST(Graph, VertexWeightsDefaultToOne)
+{
+    Graph g(4);
+    EXPECT_EQ(g.totalVertexWeight(), 4);
+    g.setVertexWeight(1, 10);
+    EXPECT_EQ(g.totalVertexWeight(), 13);
+    EXPECT_EQ(g.vertexWeight(1), 10);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadIndices)
+{
+    Graph g(2);
+    EXPECT_THROW(g.addEdge(0, 0), qsurf::FatalError);
+    EXPECT_THROW(g.addEdge(0, 2), qsurf::FatalError);
+    EXPECT_THROW(g.addEdge(-1, 0), qsurf::FatalError);
+    EXPECT_THROW(g.addEdge(0, 1, 0), qsurf::FatalError);
+    EXPECT_THROW(g.setVertexWeight(5, 1), qsurf::FatalError);
+}
+
+TEST(Graph, CutWeightCountsCrossingEdges)
+{
+    Graph g(4);
+    g.addEdge(0, 1, 5); // inside side 0
+    g.addEdge(2, 3, 7); // inside side 1
+    g.addEdge(1, 2, 3); // crossing
+    std::vector<int> side{0, 0, 1, 1};
+    EXPECT_EQ(cutWeight(g, side), 3);
+}
+
+TEST(Graph, CutWeightZeroWhenOneSided)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    std::vector<int> side{0, 0, 0};
+    EXPECT_EQ(cutWeight(g, side), 0);
+}
+
+TEST(Graph, EmptyGraph)
+{
+    Graph g(0);
+    EXPECT_EQ(g.size(), 0);
+    EXPECT_TRUE(g.edges().empty());
+}
+
+} // namespace
+} // namespace qsurf::partition

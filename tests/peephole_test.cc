@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Peephole-optimizer tests: inverse-pair cancellation, rotation
+ * merging, wire-adjacency safety, fixpoint behaviour, and the
+ * semantic-preservation property that op parity on every wire is
+ * maintained for non-cancelling circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "circuit/peephole.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace qsurf::circuit {
+namespace {
+
+TEST(Peephole, CancelsAdjacentSelfInverse)
+{
+    Circuit c(1);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::H, 0);
+    PeepholeStats stats;
+    Circuit out = peephole(c, &stats);
+    EXPECT_EQ(out.size(), 0);
+    EXPECT_EQ(stats.cancelled_pairs, 1u);
+}
+
+TEST(Peephole, CancelsInversePairsBothOrders)
+{
+    for (auto [a, b] : std::vector<std::pair<GateKind, GateKind>>{
+             {GateKind::S, GateKind::Sdag},
+             {GateKind::Sdag, GateKind::S},
+             {GateKind::T, GateKind::Tdag},
+             {GateKind::Tdag, GateKind::T}}) {
+        Circuit c(1);
+        c.addGate(a, 0);
+        c.addGate(b, 0);
+        EXPECT_EQ(peephole(c).size(), 0)
+            << gateName(a) << " then " << gateName(b);
+    }
+}
+
+TEST(Peephole, CancelsAdjacentCnotPair)
+{
+    Circuit c(2);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::CNOT, 0, 1);
+    EXPECT_EQ(peephole(c).size(), 0);
+}
+
+TEST(Peephole, KeepsReversedCnotPair)
+{
+    // CNOT(0,1) then CNOT(1,0) is NOT identity.
+    Circuit c(2);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::CNOT, 1, 0);
+    EXPECT_EQ(peephole(c).size(), 2);
+}
+
+TEST(Peephole, CzIsOperandSymmetric)
+{
+    Circuit c(2);
+    c.addGate(GateKind::CZ, 0, 1);
+    c.addGate(GateKind::CZ, 1, 0);
+    EXPECT_EQ(peephole(c).size(), 0);
+}
+
+TEST(Peephole, InterveningGateBlocksCancellation)
+{
+    Circuit c(1);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::T, 0);
+    c.addGate(GateKind::H, 0);
+    EXPECT_EQ(peephole(c).size(), 3);
+}
+
+TEST(Peephole, InterveningGateOnEitherWireBlocksCnot)
+{
+    Circuit c(2);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::X, 1); // touches the target wire
+    c.addGate(GateKind::CNOT, 0, 1);
+    EXPECT_EQ(peephole(c).size(), 3);
+}
+
+TEST(Peephole, SpectatorWireDoesNotBlock)
+{
+    Circuit c(3);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::X, 2); // unrelated wire
+    c.addGate(GateKind::H, 0);
+    Circuit out = peephole(c);
+    EXPECT_EQ(out.size(), 1);
+    EXPECT_EQ(out.gate(0).kind, GateKind::X);
+}
+
+TEST(Peephole, MergesRotations)
+{
+    Circuit c(1);
+    c.addRz(0.25, 0);
+    c.addRz(0.50, 0);
+    PeepholeStats stats;
+    Circuit out = peephole(c, &stats);
+    ASSERT_EQ(out.size(), 1);
+    EXPECT_DOUBLE_EQ(out.gate(0).angle, 0.75);
+    EXPECT_EQ(stats.merged_rotations, 1u);
+}
+
+TEST(Peephole, OppositeRotationsVanish)
+{
+    Circuit c(1);
+    c.addRz(0.3, 0);
+    c.addRz(-0.3, 0);
+    EXPECT_EQ(peephole(c).size(), 0);
+}
+
+TEST(Peephole, CascadesToFixpoint)
+{
+    // T Tdag exposes the H pair around them.
+    Circuit c(1);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::T, 0);
+    c.addGate(GateKind::Tdag, 0);
+    c.addGate(GateKind::H, 0);
+    PeepholeStats stats;
+    Circuit out = peephole(c, &stats);
+    EXPECT_EQ(out.size(), 0);
+    EXPECT_EQ(stats.cancelled_pairs, 2u);
+    EXPECT_GE(stats.passes, 2);
+}
+
+TEST(Peephole, ChainOfPairsFullyCancels)
+{
+    Circuit c(1);
+    for (int i = 0; i < 10; ++i)
+        c.addGate(GateKind::X, 0);
+    EXPECT_EQ(peephole(c).size(), 0);
+}
+
+TEST(Peephole, MeasurementsAndPrepsSurvive)
+{
+    Circuit c(1);
+    c.addGate(GateKind::PrepZ, 0);
+    c.addGate(GateKind::PrepZ, 0);
+    c.addGate(GateKind::MeasZ, 0);
+    c.addGate(GateKind::MeasZ, 0);
+    EXPECT_EQ(peephole(c).size(), 4);
+}
+
+TEST(Peephole, IdempotentOnOptimizedOutput)
+{
+    apps::GenOptions opts;
+    opts.problem_size = 10;
+    opts.max_iterations = 2;
+    Circuit c = apps::generate(apps::AppKind::SQ, opts);
+    Circuit once = peephole(c);
+    PeepholeStats again;
+    Circuit twice = peephole(once, &again);
+    EXPECT_EQ(once.size(), twice.size());
+    EXPECT_EQ(again.cancelled_pairs + again.merged_rotations, 0u);
+}
+
+/** Property: on random Clifford circuits, gate-count parity per wire
+ *  changes only in units of whole cancelled pairs. */
+class PeepholeProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PeepholeProperty, NeverGrowsAndStaysValid)
+{
+    qsurf::Rng rng(GetParam());
+    Circuit c(4);
+    for (int i = 0; i < 300; ++i) {
+        switch (rng.below(4)) {
+          case 0:
+            c.addGate(GateKind::H,
+                      static_cast<int32_t>(rng.below(4)));
+            break;
+          case 1:
+            c.addGate(GateKind::X,
+                      static_cast<int32_t>(rng.below(4)));
+            break;
+          case 2:
+            c.addRz(rng.uniform() - 0.5,
+                    static_cast<int32_t>(rng.below(4)));
+            break;
+          default: {
+            auto a = static_cast<int32_t>(rng.below(4));
+            auto b = static_cast<int32_t>((a + 1 + rng.below(3)) % 4);
+            c.addGate(GateKind::CNOT, a, b);
+            break;
+          }
+        }
+    }
+    PeepholeStats stats;
+    Circuit out = peephole(c, &stats);
+    EXPECT_LE(out.size(), c.size());
+    // Removed = 2 per cancelled pair + 1 per plain merge + 2 per
+    // merge whose angle vanished; bound both sides.
+    auto removed =
+        static_cast<uint64_t>(c.size()) - out.size();
+    EXPECT_GE(removed, stats.cancelled_pairs * 2
+                  + stats.merged_rotations);
+    EXPECT_LE(removed, stats.cancelled_pairs * 2
+                  + stats.merged_rotations * 2);
+    // Output must still validate (operands in range etc.).
+    Circuit copy(out.name(), out.numQubits());
+    for (const Gate &g : out)
+        copy.addGate(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PeepholeProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+} // namespace
+} // namespace qsurf::circuit

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Flattening tests: register layout, module inlining with parameter
+ * binding, nesting, recursion rejection, diagnostics — and the
+ * write -> parse -> flatten round-trip property over generated
+ * application circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "common/logging.h"
+#include "qasm/flatten.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+
+namespace qsurf::qasm {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+Circuit
+compile(const std::string &src)
+{
+    return flatten(parse(src));
+}
+
+TEST(Flatten, RegistersLayOutInDeclarationOrder)
+{
+    Circuit c = compile("qbit a[2]; qbit b[3]; H a[1]; H b[0];");
+    EXPECT_EQ(c.numQubits(), 5);
+    EXPECT_EQ(c.gate(0).qubit[0], 1); // a[1] -> 1
+    EXPECT_EQ(c.gate(1).qubit[0], 2); // b[0] -> 2
+}
+
+TEST(Flatten, ClassicalRegistersTakeNoQubits)
+{
+    Circuit c = compile("qbit q[2]; cbit c[8]; H q[1];");
+    EXPECT_EQ(c.numQubits(), 2);
+}
+
+TEST(Flatten, ModuleInliningBindsParameters)
+{
+    Circuit c = compile(
+        "module bell(a, b) { H a; CNOT a, b; }\n"
+        "qbit q[3]; bell q[2], q[0];");
+    ASSERT_EQ(c.size(), 2);
+    EXPECT_EQ(c.gate(0).kind, GateKind::H);
+    EXPECT_EQ(c.gate(0).qubit[0], 2);
+    EXPECT_EQ(c.gate(1).kind, GateKind::CNOT);
+    EXPECT_EQ(c.gate(1).qubit[0], 2);
+    EXPECT_EQ(c.gate(1).qubit[1], 0);
+}
+
+TEST(Flatten, NestedModulesInline)
+{
+    Circuit c = compile(
+        "module inner(x) { T x; }\n"
+        "module outer(a, b) { inner a; inner b; CNOT a, b; }\n"
+        "qbit q[2]; outer q[0], q[1];");
+    ASSERT_EQ(c.size(), 3);
+    EXPECT_EQ(c.gate(0).kind, GateKind::T);
+    EXPECT_EQ(c.gate(1).qubit[0], 1);
+}
+
+TEST(Flatten, RecursionIsFatal)
+{
+    EXPECT_THROW(compile("module loop(a) { loop a; }\n"
+                         "qbit q[1]; loop q[0];"),
+                 qsurf::FatalError);
+}
+
+TEST(Flatten, UnknownGateIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[1]; Hadamard q[0];"),
+                 qsurf::FatalError);
+}
+
+TEST(Flatten, ArityMismatchIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[2]; CNOT q[0];"), qsurf::FatalError);
+    EXPECT_THROW(compile("qbit q[2]; H q[0], q[1];"),
+                 qsurf::FatalError);
+}
+
+TEST(Flatten, ModuleArgumentCountIsChecked)
+{
+    EXPECT_THROW(compile("module m(a, b) { CNOT a, b; }\n"
+                         "qbit q[2]; m q[0];"),
+                 qsurf::FatalError);
+}
+
+TEST(Flatten, IndexOutOfRangeIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[2]; H q[2];"), qsurf::FatalError);
+}
+
+TEST(Flatten, UnknownRegisterIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[2]; H r[0];"), qsurf::FatalError);
+}
+
+TEST(Flatten, AngleOnNonRzIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[1]; H(0.5) q[0];"),
+                 qsurf::FatalError);
+}
+
+TEST(Flatten, RzWithoutAngleIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[1]; Rz q[0];"), qsurf::FatalError);
+}
+
+TEST(Flatten, ArrowOnNonMeasurementIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[1]; cbit c[1]; H q[0] -> c[0];"),
+                 qsurf::FatalError);
+}
+
+TEST(Flatten, ArrowToQubitRegisterIsFatal)
+{
+    EXPECT_THROW(compile("qbit q[2]; MeasZ q[0] -> q[1];"),
+                 qsurf::FatalError);
+}
+
+TEST(Flatten, SampleHierarchicalProgramCompiles)
+{
+    Circuit c = compile(apps::sampleHierarchicalQasm());
+    EXPECT_EQ(c.numQubits(), 5);
+    EXPECT_GT(c.size(), 10);
+    EXPECT_EQ(c.counts().measurements, 1u);
+}
+
+/**
+ * Round-trip property: writing a flat circuit as QASM, parsing it
+ * back and flattening reproduces the identical gate stream.
+ */
+class RoundTrip : public ::testing::TestWithParam<apps::AppKind>
+{
+};
+
+TEST_P(RoundTrip, WriteParseFlattenIsIdentity)
+{
+    apps::GenOptions opts;
+    opts.problem_size = 6;
+    opts.max_iterations = 2;
+    Circuit original = apps::generate(GetParam(), opts);
+
+    Circuit back = compile(writeString(original));
+    ASSERT_EQ(back.numQubits(), original.numQubits());
+    ASSERT_EQ(back.size(), original.size());
+    for (int i = 0; i < original.size(); ++i) {
+        const circuit::Gate &a = original.gate(i);
+        const circuit::Gate &b = back.gate(i);
+        EXPECT_EQ(a.kind, b.kind) << "gate " << i;
+        EXPECT_EQ(a.qubit, b.qubit) << "gate " << i;
+        EXPECT_NEAR(a.angle, b.angle, 1e-9) << "gate " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, RoundTrip,
+    ::testing::Values(apps::AppKind::GSE, apps::AppKind::SQ,
+                      apps::AppKind::SHA1, apps::AppKind::IsingSemi,
+                      apps::AppKind::IsingFull));
+
+} // namespace
+} // namespace qsurf::qasm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tokenizer tests: token classification, comments, numbers, arrows
+ * and error positions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "qasm/lexer.h"
+
+namespace qsurf::qasm {
+namespace {
+
+std::vector<TokenKind>
+kindsOf(const std::string &src)
+{
+    std::vector<TokenKind> out;
+    for (const Token &t : tokenize(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof)
+{
+    auto toks = tokenize("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, SimpleStatement)
+{
+    EXPECT_EQ(kindsOf("H q[0];"),
+              (std::vector<TokenKind>{
+                  TokenKind::Identifier, TokenKind::Identifier,
+                  TokenKind::LBracket, TokenKind::Integer,
+                  TokenKind::RBracket, TokenKind::Semicolon,
+                  TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, HashAndSlashCommentsIgnored)
+{
+    EXPECT_EQ(kindsOf("# whole line\nH // rest\nX"),
+              (std::vector<TokenKind>{TokenKind::Identifier,
+                                      TokenKind::Identifier,
+                                      TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, FloatForms)
+{
+    for (const char *src : {"0.5", "-0.5", "1e3", "2.5E-2", ".75"}) {
+        auto toks = tokenize(src);
+        ASSERT_EQ(toks.size(), 2u) << src;
+        EXPECT_EQ(toks[0].kind, TokenKind::Float) << src;
+    }
+}
+
+TEST(Lexer, IntegerVsFloat)
+{
+    auto toks = tokenize("42 4.2");
+    EXPECT_EQ(toks[0].kind, TokenKind::Integer);
+    EXPECT_EQ(toks[0].text, "42");
+    EXPECT_EQ(toks[1].kind, TokenKind::Float);
+}
+
+TEST(Lexer, ArrowToken)
+{
+    auto toks = tokenize("-> -1");
+    EXPECT_EQ(toks[0].kind, TokenKind::Arrow);
+    EXPECT_EQ(toks[1].kind, TokenKind::Integer);
+    EXPECT_EQ(toks[1].text, "-1");
+}
+
+TEST(Lexer, PunctuationSet)
+{
+    EXPECT_EQ(kindsOf("( ) [ ] { } , ;"),
+              (std::vector<TokenKind>{
+                  TokenKind::LParen, TokenKind::RParen,
+                  TokenKind::LBracket, TokenKind::RBracket,
+                  TokenKind::LBrace, TokenKind::RBrace,
+                  TokenKind::Comma, TokenKind::Semicolon,
+                  TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, TracksLineAndColumn)
+{
+    auto toks = tokenize("H\n  X");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].column, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, IdentifiersWithUnderscoresAndDigits)
+{
+    auto toks = tokenize("_foo bar_2");
+    EXPECT_EQ(toks[0].text, "_foo");
+    EXPECT_EQ(toks[1].text, "bar_2");
+}
+
+TEST(Lexer, UnknownCharacterIsFatal)
+{
+    EXPECT_THROW(tokenize("H q@0;"), qsurf::FatalError);
+    EXPECT_THROW(tokenize("$"), qsurf::FatalError);
+}
+
+TEST(Lexer, TokenKindNamesAreDistinctive)
+{
+    EXPECT_STREQ(tokenKindName(TokenKind::Arrow), "'->'");
+    EXPECT_STREQ(tokenKindName(TokenKind::Identifier), "identifier");
+}
+
+} // namespace
+} // namespace qsurf::qasm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parser tests: declarations, modules, gate statements, measurement
+ * arrows and the diagnostic contract for malformed programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "qasm/parser.h"
+
+namespace qsurf::qasm {
+namespace {
+
+TEST(Parser, RegistersAndBody)
+{
+    Program p = parse("qbit q[4]; cbit c[2]; H q[0]; CNOT q[0], q[1];");
+    ASSERT_EQ(p.registers.size(), 2u);
+    EXPECT_EQ(p.registers[0].name, "q");
+    EXPECT_EQ(p.registers[0].size, 4);
+    EXPECT_FALSE(p.registers[0].classical);
+    EXPECT_TRUE(p.registers[1].classical);
+    EXPECT_EQ(p.totalQubits(), 4);
+    ASSERT_EQ(p.body.size(), 2u);
+    EXPECT_EQ(p.body[1].name, "CNOT");
+    ASSERT_EQ(p.body[1].operands.size(), 2u);
+    EXPECT_EQ(p.body[1].operands[1].name, "q");
+    EXPECT_EQ(p.body[1].operands[1].index, 1);
+}
+
+TEST(Parser, RzAngleParameter)
+{
+    Program p = parse("qbit q[1]; Rz(0.785) q[0];");
+    ASSERT_EQ(p.body.size(), 1u);
+    ASSERT_TRUE(p.body[0].angle.has_value());
+    EXPECT_DOUBLE_EQ(*p.body[0].angle, 0.785);
+}
+
+TEST(Parser, NegativeAngle)
+{
+    Program p = parse("qbit q[1]; Rz(-1.5) q[0];");
+    EXPECT_DOUBLE_EQ(*p.body[0].angle, -1.5);
+}
+
+TEST(Parser, MeasurementArrow)
+{
+    Program p = parse("qbit q[1]; cbit c[1]; MeasZ q[0] -> c[0];");
+    ASSERT_TRUE(p.body[0].result.has_value());
+    EXPECT_EQ(p.body[0].result->name, "c");
+    EXPECT_EQ(p.body[0].result->index, 0);
+}
+
+TEST(Parser, ModuleDefinition)
+{
+    Program p = parse(
+        "module bell(a, b) { H a; CNOT a, b; }\n"
+        "qbit q[2]; bell q[0], q[1];");
+    ASSERT_EQ(p.modules.size(), 1u);
+    const Module &m = p.modules.at("bell");
+    EXPECT_EQ(m.params, (std::vector<std::string>{"a", "b"}));
+    ASSERT_EQ(m.body.size(), 2u);
+    EXPECT_TRUE(m.body[0].operands[0].isParam());
+}
+
+TEST(Parser, EmptyParameterList)
+{
+    Program p = parse("qbit q[1]; module nop() { H q[0]; } nop;");
+    EXPECT_TRUE(p.modules.at("nop").params.empty());
+}
+
+TEST(Parser, DuplicateRegisterIsFatal)
+{
+    EXPECT_THROW(parse("qbit q[1]; qbit q[2];"), qsurf::FatalError);
+}
+
+TEST(Parser, DuplicateModuleIsFatal)
+{
+    EXPECT_THROW(parse("module m(a) { H a; } module m(b) { X b; }"),
+                 qsurf::FatalError);
+}
+
+TEST(Parser, ZeroSizeRegisterIsFatal)
+{
+    EXPECT_THROW(parse("qbit q[0];"), qsurf::FatalError);
+}
+
+TEST(Parser, MissingSemicolonIsFatal)
+{
+    EXPECT_THROW(parse("qbit q[1]; H q[0]"), qsurf::FatalError);
+}
+
+TEST(Parser, UnterminatedModuleIsFatal)
+{
+    EXPECT_THROW(parse("module m(a) { H a;"), qsurf::FatalError);
+}
+
+TEST(Parser, NegativeIndexIsFatal)
+{
+    EXPECT_THROW(parse("qbit q[2]; H q[-1];"), qsurf::FatalError);
+}
+
+TEST(Parser, MissingFileIsFatal)
+{
+    EXPECT_THROW(parseFile("/nonexistent/path.qasm"),
+                 qsurf::FatalError);
+}
+
+TEST(Parser, ErrorMentionsLineNumber)
+{
+    try {
+        parse("qbit q[1];\nH q[0]\nX q[0];");
+        FAIL() << "expected parse error";
+    } catch (const qsurf::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace qsurf::qasm

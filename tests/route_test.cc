@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Routing tests: dimension-ordered path shape, adaptive BFS detours
+ * around busy regions, and unreachability reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "network/route.h"
+
+namespace qsurf::network {
+namespace {
+
+void
+expectContiguous(const Path &p)
+{
+    for (size_t i = 0; i + 1 < p.nodes.size(); ++i)
+        EXPECT_EQ(manhattan(p.nodes[i], p.nodes[i + 1]), 1)
+            << "gap at hop " << i;
+}
+
+TEST(XyRoute, MinimalAndXFirst)
+{
+    Path p = xyRoute(Coord{1, 1}, Coord{4, 3});
+    expectContiguous(p);
+    EXPECT_EQ(p.hops(), 5);
+    EXPECT_EQ(p.source(), (Coord{1, 1}));
+    EXPECT_EQ(p.dest(), (Coord{4, 3}));
+    // The second node moves in x.
+    EXPECT_EQ(p.nodes[1], (Coord{2, 1}));
+}
+
+TEST(YxRoute, MinimalAndYFirst)
+{
+    Path p = yxRoute(Coord{1, 1}, Coord{4, 3});
+    expectContiguous(p);
+    EXPECT_EQ(p.hops(), 5);
+    EXPECT_EQ(p.nodes[1], (Coord{1, 2}));
+}
+
+TEST(Route, NegativeDirections)
+{
+    Path p = xyRoute(Coord{4, 3}, Coord{0, 0});
+    expectContiguous(p);
+    EXPECT_EQ(p.hops(), 7);
+}
+
+TEST(Route, DegenerateSameEndpoint)
+{
+    Path p = xyRoute(Coord{2, 2}, Coord{2, 2});
+    EXPECT_EQ(p.hops(), 0);
+    ASSERT_EQ(p.nodes.size(), 1u);
+}
+
+TEST(AdaptiveRoute, FindsShortestWhenFree)
+{
+    Mesh m(6, 6);
+    auto p = adaptiveRoute(m, Coord{0, 0}, Coord{3, 2}, 1);
+    ASSERT_TRUE(p.has_value());
+    expectContiguous(*p);
+    EXPECT_EQ(p->hops(), 5) << "BFS must find a minimal path";
+}
+
+TEST(AdaptiveRoute, DetoursAroundWall)
+{
+    Mesh m(5, 5);
+    // Wall on column x=2, leaving only y=4 open.
+    Path wall;
+    for (int y = 0; y <= 3; ++y)
+        wall.nodes.push_back(Coord{2, y});
+    m.claim(wall, 7);
+
+    auto p = adaptiveRoute(m, Coord{0, 0}, Coord{4, 0}, 1);
+    ASSERT_TRUE(p.has_value());
+    expectContiguous(*p);
+    EXPECT_GT(p->hops(), 4) << "must detour below the wall";
+    for (const Coord &c : p->nodes)
+        EXPECT_TRUE(m.nodeAvailable(c, 1));
+}
+
+TEST(AdaptiveRoute, NulloptWhenSealed)
+{
+    Mesh m(5, 5);
+    Path wall;
+    for (int y = 0; y <= 4; ++y)
+        wall.nodes.push_back(Coord{2, y});
+    m.claim(wall, 7);
+    EXPECT_FALSE(
+        adaptiveRoute(m, Coord{0, 0}, Coord{4, 0}, 1).has_value());
+}
+
+TEST(AdaptiveRoute, OwnResourcesCountAsFree)
+{
+    Mesh m(5, 5);
+    Path wall;
+    for (int y = 0; y <= 4; ++y)
+        wall.nodes.push_back(Coord{2, y});
+    m.claim(wall, 7);
+    // Owner 7 may route through its own wall.
+    auto p = adaptiveRoute(m, Coord{0, 0}, Coord{4, 0}, 7);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->hops(), 4);
+}
+
+TEST(AdaptiveRoute, BusyEndpointFails)
+{
+    Mesh m(4, 4);
+    Path spot;
+    spot.nodes.push_back(Coord{3, 3});
+    m.claim(spot, 9);
+    EXPECT_FALSE(
+        adaptiveRoute(m, Coord{0, 0}, Coord{3, 3}, 1).has_value());
+    EXPECT_FALSE(
+        adaptiveRoute(m, Coord{3, 3}, Coord{0, 0}, 1).has_value());
+}
+
+TEST(AdaptiveRoute, SameEndpointTrivial)
+{
+    Mesh m(3, 3);
+    auto p = adaptiveRoute(m, Coord{1, 1}, Coord{1, 1}, 1);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->hops(), 0);
+}
+
+TEST(AdaptiveRoute, OutsideMeshIsFatal)
+{
+    Mesh m(3, 3);
+    EXPECT_THROW(adaptiveRoute(m, Coord{0, 0}, Coord{5, 5}, 1),
+                 qsurf::FatalError);
+}
+
+} // namespace
+} // namespace qsurf::network

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for levelized scheduling: ASAP/ALAP correctness, slack,
+ * criticality heights and the ideal-parallelism profile of Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/schedule.h"
+
+namespace qsurf::circuit {
+namespace {
+
+Circuit
+diamond()
+{
+    // 0: CNOT(0,1); then H(0) and H(1) in parallel; then CNOT(0,1).
+    Circuit c(2);
+    c.addGate(GateKind::CNOT, 0, 1);
+    c.addGate(GateKind::H, 0);
+    c.addGate(GateKind::H, 1);
+    c.addGate(GateKind::CNOT, 0, 1);
+    return c;
+}
+
+TEST(Levelize, AsapLevelsOfDiamond)
+{
+    Circuit c = diamond();
+    Dag dag(c);
+    LevelSchedule s = levelize(dag);
+    EXPECT_EQ(s.depth, 3);
+    EXPECT_EQ(s.asap, (std::vector<int>{0, 1, 1, 2}));
+}
+
+TEST(Levelize, AlapEqualsAsapOnCriticalDiamond)
+{
+    Circuit c = diamond();
+    Dag dag(c);
+    LevelSchedule s = levelize(dag);
+    // Every node of the diamond is on a critical path.
+    for (int i = 0; i < dag.size(); ++i)
+        EXPECT_EQ(s.slack(i), 0) << "gate " << i;
+}
+
+TEST(Levelize, SlackOfSideChain)
+{
+    Circuit c(3);
+    c.addGate(GateKind::H, 0);       // 0: long chain
+    c.addGate(GateKind::H, 0);       // 1
+    c.addGate(GateKind::H, 0);       // 2
+    c.addGate(GateKind::X, 1);       // 3: independent single gate
+    Dag dag(c);
+    LevelSchedule s = levelize(dag);
+    EXPECT_EQ(s.depth, 3);
+    EXPECT_EQ(s.asap[3], 0);
+    EXPECT_EQ(s.alap[3], 2);
+    EXPECT_EQ(s.slack(3), 2);
+}
+
+TEST(Criticality, HeightsDecreaseAlongChain)
+{
+    Circuit c(1);
+    for (int i = 0; i < 5; ++i)
+        c.addGate(GateKind::H, 0);
+    Dag dag(c);
+    std::vector<int> h = criticality(dag);
+    EXPECT_EQ(h, (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(Criticality, ForkTakesLongestArm)
+{
+    Circuit c(2);
+    c.addGate(GateKind::CNOT, 0, 1); // 0
+    c.addGate(GateKind::H, 0);       // 1: short arm
+    c.addGate(GateKind::H, 1);       // 2: long arm...
+    c.addGate(GateKind::H, 1);       // 3
+    Dag dag(c);
+    std::vector<int> h = criticality(dag);
+    EXPECT_EQ(h[0], 2); // through gates 2, 3.
+    EXPECT_EQ(h[1], 0);
+    EXPECT_EQ(h[2], 1);
+}
+
+TEST(Parallelism, SerialChainFactorIsOne)
+{
+    Circuit c(1);
+    for (int i = 0; i < 10; ++i)
+        c.addGate(GateKind::H, 0);
+    ParallelismProfile p = parallelismProfile(c);
+    EXPECT_EQ(p.depth, 10);
+    EXPECT_DOUBLE_EQ(p.factor, 1.0);
+}
+
+TEST(Parallelism, FullyParallelFactorIsWidth)
+{
+    Circuit c(8);
+    for (int q = 0; q < 8; ++q)
+        c.addGate(GateKind::H, q);
+    ParallelismProfile p = parallelismProfile(c);
+    EXPECT_EQ(p.depth, 1);
+    EXPECT_DOUBLE_EQ(p.factor, 8.0);
+    EXPECT_EQ(p.gates_per_level, std::vector<int>{8});
+}
+
+TEST(Parallelism, GatesPerLevelSumsToTotal)
+{
+    Circuit c = diamond();
+    ParallelismProfile p = parallelismProfile(c);
+    int sum = 0;
+    for (int g : p.gates_per_level)
+        sum += g;
+    EXPECT_EQ(sum, c.size());
+    EXPECT_EQ(p.total_gates, static_cast<uint64_t>(c.size()));
+}
+
+} // namespace
+} // namespace qsurf::circuit

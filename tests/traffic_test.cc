@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Synthetic-traffic tests: conservation invariants, saturation
+ * behaviour (the basis for the model's circuit-switched ceiling),
+ * pattern ordering and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "network/traffic.h"
+
+namespace qsurf::network {
+namespace {
+
+TrafficOptions
+base(double rate)
+{
+    TrafficOptions opts;
+    opts.injection_rate = rate;
+    opts.hold_cycles = 5;
+    opts.cycles = 1500;
+    return opts;
+}
+
+TEST(Traffic, ConservationInvariants)
+{
+    TrafficResult r = runTraffic(8, 8, base(0.02));
+    EXPECT_GT(r.offered, 0u);
+    EXPECT_LE(r.granted, r.offered);
+    EXPECT_LE(r.completed, r.granted);
+    EXPECT_GE(r.acceptance, 0.0);
+    EXPECT_LE(r.acceptance, 1.0);
+    EXPECT_GE(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+}
+
+TEST(Traffic, LowLoadIsAcceptedPromptly)
+{
+    TrafficResult r = runTraffic(12, 12, base(0.001));
+    EXPECT_GT(r.acceptance, 0.9);
+    EXPECT_LT(r.mean_wait, 2.0);
+}
+
+TEST(Traffic, UtilizationGrowsWithLoadThenSaturates)
+{
+    TrafficResult lo = runTraffic(12, 12, base(0.002));
+    TrafficResult mid = runTraffic(12, 12, base(0.02));
+    TrafficResult hi = runTraffic(12, 12, base(0.3));
+    EXPECT_LT(lo.utilization, mid.utilization);
+    // The circuit-switched ceiling: utilization plateaus well below
+    // full (the paper's ~22% and the model's dd_max_utilization).
+    EXPECT_LT(hi.utilization, 0.5);
+    EXPECT_GE(hi.utilization, mid.utilization * 0.5);
+}
+
+TEST(Traffic, SaturationWaitExplodes)
+{
+    TrafficResult lo = runTraffic(10, 10, base(0.002));
+    TrafficResult hi = runTraffic(10, 10, base(0.3));
+    EXPECT_GT(hi.mean_wait, lo.mean_wait * 5);
+}
+
+TEST(Traffic, LongerHoldsSaturateEarlier)
+{
+    TrafficOptions short_hold = base(0.05);
+    short_hold.hold_cycles = 3;
+    TrafficOptions long_hold = base(0.05);
+    long_hold.hold_cycles = 15;
+    TrafficResult s = runTraffic(10, 10, short_hold);
+    TrafficResult l = runTraffic(10, 10, long_hold);
+    EXPECT_GT(s.acceptance, l.acceptance)
+        << "braids that stabilize longer keep routes busy longer";
+}
+
+TEST(Traffic, NeighborOutperformsTranspose)
+{
+    TrafficOptions n = base(0.05);
+    n.pattern = TrafficPattern::Neighbor;
+    TrafficOptions t = base(0.05);
+    t.pattern = TrafficPattern::Transpose;
+    TrafficResult rn = runTraffic(12, 12, n);
+    TrafficResult rt = runTraffic(12, 12, t);
+    EXPECT_GT(rn.acceptance, rt.acceptance)
+        << "short local routes must beat long diagonal ones";
+}
+
+TEST(Traffic, HotspotCollapses)
+{
+    TrafficOptions h = base(0.05);
+    h.pattern = TrafficPattern::Hotspot;
+    TrafficResult r = runTraffic(12, 12, h);
+    // Everyone converging on one node can serve at most one route
+    // at a time.
+    EXPECT_LT(r.acceptance, 0.5);
+}
+
+TEST(Traffic, DeterministicPerSeed)
+{
+    TrafficResult a = runTraffic(8, 8, base(0.02));
+    TrafficResult b = runTraffic(8, 8, base(0.02));
+    EXPECT_EQ(a.granted, b.granted);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(Traffic, PatternNames)
+{
+    EXPECT_STREQ(trafficPatternName(TrafficPattern::Uniform),
+                 "uniform");
+    EXPECT_STREQ(trafficPatternName(TrafficPattern::Hotspot),
+                 "hotspot");
+}
+
+TEST(Traffic, RejectsBadConfig)
+{
+    TrafficOptions opts = base(1.5);
+    EXPECT_THROW(runTraffic(4, 4, opts), qsurf::FatalError);
+    opts = base(0.1);
+    opts.hold_cycles = 0;
+    EXPECT_THROW(runTraffic(4, 4, opts), qsurf::FatalError);
+}
+
+} // namespace
+} // namespace qsurf::network
