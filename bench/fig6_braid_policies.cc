@@ -5,6 +5,10 @@
  * mesh utilization (red curve) for Policies 0-6 on each of the four
  * applications.
  *
+ * One declarative sweep grid (app x policy) on the engine's parallel
+ * sweep driver; results are bit-identical at any thread count.
+ * Emits BENCH_fig6_braid_policies.json alongside the table.
+ *
  * Expected shape (Section 6.3): serial applications (GSE, SQ) start
  * near the critical path, so policies barely matter; parallel
  * applications (SHA-1, IM) start many times above the critical path
@@ -14,74 +18,67 @@
 
 #include <iostream>
 
-#include "apps/apps.h"
 #include "braid/scheduler.h"
-#include "circuit/decompose.h"
 #include "common/logging.h"
 #include "common/table.h"
-
-namespace {
-
-using namespace qsurf;
-
-struct Workload
-{
-    apps::AppKind kind;
-    int problem_size;
-    int iterations;
-};
-
-} // namespace
+#include "engine/sweep.h"
 
 int
 main()
 {
+    using namespace qsurf;
     setQuiet(true);
 
     // Sizes chosen so the full 7-policy sweep simulates in seconds
     // while exercising real contention on the parallel apps.
-    const Workload workloads[] = {
-        {apps::AppKind::GSE, 12, 3},
-        {apps::AppKind::SQ, 8, 4},
-        {apps::AppKind::SHA1, 16, 3},
-        {apps::AppKind::IsingSemi, 42, 3},
+    engine::SweepGrid grid;
+    grid.apps = {
+        {apps::AppKind::GSE, {12, 3}, ""},
+        {apps::AppKind::SQ, {8, 4}, ""},
+        {apps::AppKind::SHA1, {16, 3}, ""},
+        {apps::AppKind::IsingSemi, {42, 3}, ""},
     };
+    grid.backends = {engine::backends::double_defect};
+    grid.policies = {0, 1, 2, 3, 4, 5, 6};
+    grid.distances = {5};
+
+    engine::SweepOptions opts;
+    opts.num_threads = engine::defaultThreads();
+    opts.title = "Figure 6: braid policies";
+    opts.json_path = "BENCH_fig6_braid_policies.json";
+    auto results = engine::SweepDriver().run(grid, opts);
 
     Table t("Figure 6: braid schedule length / critical path (bars) "
             "and mesh utilization (curve)");
     t.header({"app", "policy", "schedule cycles", "critical path",
               "sched/CP", "mesh util", "drops", "detours"});
 
-    for (const Workload &w : workloads) {
-        apps::GenOptions gopts;
-        gopts.problem_size = w.problem_size;
-        gopts.max_iterations = w.iterations;
-        circuit::Circuit circ =
-            circuit::decompose(apps::generate(w.kind, gopts));
+    // Results are app-major, policy-minor: 7 consecutive rows per
+    // app, Policy 0 first and Policy 6 last.
+    for (const engine::SweepPoint &p : results)
+        t.addRow(p.app_name,
+                 braid::policyName(
+                     static_cast<braid::Policy>(p.policy)),
+                 p.metrics.schedule_cycles,
+                 p.metrics.critical_path_cycles,
+                 Table::fixed(p.metrics.ratio(), 2),
+                 Table::fixed(p.metrics.extra("mesh_utilization"), 3),
+                 static_cast<uint64_t>(p.metrics.extra("drops")),
+                 static_cast<uint64_t>(
+                     p.metrics.extra("bfs_detours")));
 
-        double p0_ratio = 0, best_ratio = 0;
-        for (int p = 0; p < braid::num_policies; ++p) {
-            auto policy = static_cast<braid::Policy>(p);
-            braid::BraidOptions opts;
-            opts.code_distance = 5;
-            braid::BraidResult r =
-                braid::scheduleBraids(circ, policy, opts);
-            if (p == 0)
-                p0_ratio = r.ratio();
-            best_ratio = r.ratio();
-            t.addRow(apps::appSpec(w.kind).name,
-                     braid::policyName(policy), r.schedule_cycles,
-                     r.critical_path_cycles,
-                     Table::fixed(r.ratio(), 2),
-                     Table::fixed(r.mesh_utilization, 3), r.drops,
-                     r.bfs_detours);
-        }
-        std::cout << apps::appSpec(w.kind).name
+    size_t per_app = grid.policies.size();
+    for (size_t a = 0; a < grid.apps.size(); ++a) {
+        double p0_ratio = results[a * per_app].metrics.ratio();
+        double p6_ratio =
+            results[a * per_app + per_app - 1].metrics.ratio();
+        std::cout << results[a * per_app].app_name
                   << ": Policy 0 -> Policy 6 improvement "
-                  << Table::fixed(p0_ratio / best_ratio, 1)
+                  << Table::fixed(p0_ratio / p6_ratio, 1)
                   << "x (paper reports up to ~7x on parallel apps)\n";
     }
     std::cout << "\n";
     t.print(std::cout);
+    std::cout << "\nwrote " << opts.json_path << "\n";
     return 0;
 }

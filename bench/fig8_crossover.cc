@@ -4,6 +4,10 @@
  * baseline, for (a) the serial SQ application and (b) the parallel
  * IM application, across computation sizes at pP = 1e-8.
  *
+ * One declarative sweep grid (app x size x model backend) on the
+ * engine's parallel sweep driver.  Emits BENCH_fig8_crossover.json
+ * alongside the tables.
+ *
  * Expected shape: the qubit ratio stays above 1 (planar tiles are
  * smaller); the time ratio falls with size (braids are distance-
  * insensitive, swap chains are not); planar wins below the
@@ -16,55 +20,72 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "engine/sweep.h"
 #include "estimate/crossover.h"
-
-namespace {
-
-using namespace qsurf;
-
-void
-sweep(apps::AppKind app)
-{
-    qec::Technology tech = qec::tech_points::futureOptimistic();
-    estimate::ResourceModel model(app, tech);
-
-    Table t(std::string("Figure 8: double-defect / planar ratios, ")
-            + apps::appSpec(app).name + " (pP = 1e-8)");
-    t.header({"size (1/pL)", "qubit ratio", "time ratio",
-              "qubitsXtime", "favored"});
-    for (double kq = 1e2; kq <= 1e24; kq *= 100) {
-        auto r = model.ratios(kq);
-        t.addRow(Table::num(kq), Table::fixed(r.qubits, 2),
-                 Table::fixed(r.time, 2),
-                 Table::fixed(r.spacetime, 2),
-                 r.spacetime > 1 ? "planar" : "double-defect");
-    }
-    t.print(std::cout);
-
-    auto x = estimate::crossoverSize(model);
-    std::cout << apps::appSpec(app).name << " cross-over point: "
-              << (x ? Table::num(*x) : std::string("beyond 1e24"))
-              << " logical ops\n\n";
-}
-
-} // namespace
 
 int
 main()
 {
+    using namespace qsurf;
     setQuiet(true);
-    sweep(apps::AppKind::SQ);
-    sweep(apps::AppKind::IsingFull);
 
-    qec::Technology tech = qec::tech_points::futureOptimistic();
+    engine::SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {}, ""},
+                 {apps::AppKind::IsingFull, {}, ""}};
+    grid.backends = {engine::backends::planar_model,
+                     engine::backends::double_defect_model};
+    grid.sizes.clear();
+    for (double kq = 1e2; kq <= 1e24; kq *= 100)
+        grid.sizes.push_back(kq);
+    grid.base.tech = qec::tech_points::futureOptimistic();
+
+    engine::SweepOptions opts;
+    opts.num_threads = engine::defaultThreads();
+    opts.title = "Figure 8: double-defect / planar ratios";
+    opts.json_path = "BENCH_fig8_crossover.json";
+    auto results = engine::SweepDriver().run(grid, opts);
+
+    // Results are app-major, then size-major, with the planar model
+    // first and the double-defect model second at each size.
+    size_t per_app = grid.sizes.size() * grid.backends.size();
+    for (size_t a = 0; a < grid.apps.size(); ++a) {
+        apps::AppKind app = grid.apps[a].kind;
+        Table t(std::string(
+                    "Figure 8: double-defect / planar ratios, ")
+                + apps::appSpec(app).name + " (pP = 1e-8)");
+        t.header({"size (1/pL)", "qubit ratio", "time ratio",
+                  "qubitsXtime", "favored"});
+        for (size_t s = 0; s < grid.sizes.size(); ++s) {
+            const engine::Metrics &pl =
+                results[a * per_app + 2 * s].metrics;
+            const engine::Metrics &dd =
+                results[a * per_app + 2 * s + 1].metrics;
+            double qubits = dd.physical_qubits / pl.physical_qubits;
+            double time = dd.seconds / pl.seconds;
+            double spacetime = dd.spaceTime() / pl.spaceTime();
+            t.addRow(Table::num(grid.sizes[s]),
+                     Table::fixed(qubits, 2), Table::fixed(time, 2),
+                     Table::fixed(spacetime, 2),
+                     spacetime > 1 ? "planar" : "double-defect");
+        }
+        t.print(std::cout);
+
+        auto x = estimate::crossoverSize(
+            estimate::ResourceModel(app, grid.base.tech));
+        std::cout << apps::appSpec(app).name << " cross-over point: "
+                  << (x ? Table::num(*x) : std::string("beyond 1e24"))
+                  << " logical ops\n\n";
+    }
+
     auto sq = estimate::crossoverSize(
-        estimate::ResourceModel(apps::AppKind::SQ, tech));
-    auto im = estimate::crossoverSize(
-        estimate::ResourceModel(apps::AppKind::IsingFull, tech));
+        estimate::ResourceModel(apps::AppKind::SQ, grid.base.tech));
+    auto im = estimate::crossoverSize(estimate::ResourceModel(
+        apps::AppKind::IsingFull, grid.base.tech));
     if (sq && im)
         std::cout << "Shape check: IM cross-over / SQ cross-over = "
                   << Table::num(*im / *sq)
                   << "x (paper: the IM cross-over occurs at a much "
                      "larger computation size).\n";
+    std::cout << "wrote " << opts.json_path << "\n";
     return 0;
 }

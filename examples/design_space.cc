@@ -7,6 +7,10 @@
  *   $ ./design_space [app] [log10_ops] [p_physical]
  *
  * e.g. ./design_space sq 12 1e-5
+ *
+ * One declarative sweep grid (both model backends at one size) on
+ * the engine's sweep driver — the same machinery the figure benches
+ * run on.
  */
 
 #include <cmath>
@@ -15,6 +19,7 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "engine/sweep.h"
 #include "estimate/crossover.h"
 
 namespace {
@@ -39,19 +44,19 @@ parseApp(const char *name)
 }
 
 void
-describe(const estimate::ResourceEstimate &e, const char *label)
+describe(const engine::Metrics &m, const char *label)
 {
     Table t(label);
     t.header({"metric", "value"});
-    t.addRow("code distance d", e.code_distance);
-    t.addRow("logical qubits", Table::num(e.logical_qubits));
+    t.addRow("code distance d", m.code_distance);
+    t.addRow("logical qubits", Table::num(m.extra("logical_qubits")));
     t.addRow("total tiles (data+factories)",
-             Table::num(e.total_tiles));
-    t.addRow("physical qubits", Table::num(e.physical_qubits));
+             Table::num(m.extra("total_tiles")));
+    t.addRow("physical qubits", Table::num(m.physical_qubits));
     t.addRow("congestion inflation",
-             Table::fixed(e.congestion_inflation, 2));
-    t.addRow("execution time (s)", Table::num(e.seconds));
-    t.addRow("space-time (qubit-seconds)", Table::num(e.spaceTime()));
+             Table::fixed(m.extra("congestion_inflation"), 2));
+    t.addRow("execution time (s)", Table::num(m.seconds));
+    t.addRow("space-time (qubit-seconds)", Table::num(m.spaceTime()));
     t.print(std::cout);
 }
 
@@ -68,26 +73,32 @@ main(int argc, char **argv)
     double pp = argc > 3 ? std::atof(argv[3]) : 1e-6;
     double kq = std::pow(10.0, log_ops);
 
-    qec::Technology tech;
-    tech.p_physical = pp;
-    estimate::ResourceModel model(kind, tech);
+    engine::SweepGrid grid;
+    grid.apps = {{kind, {}, ""}};
+    grid.backends = {engine::backends::planar_model,
+                     engine::backends::double_defect_model};
+    grid.sizes = {kq};
+    grid.base.tech.p_physical = pp;
 
     std::cout << "Application " << apps::appSpec(kind).name << ", "
               << Table::num(kq) << " logical ops, pP = "
               << Table::num(pp) << "\n\n";
 
-    describe(model.estimate(qec::CodeKind::Planar, kq),
-             "Planar code on the Multi-SIMD architecture");
-    describe(model.estimate(qec::CodeKind::DoubleDefect, kq),
-             "Double-defect code on the tiled architecture");
+    auto results = engine::SweepDriver().run(grid);
+    const engine::Metrics &pl = results[0].metrics;
+    const engine::Metrics &dd = results[1].metrics;
 
-    auto ratios = model.ratios(kq);
+    describe(pl, "Planar code on the Multi-SIMD architecture");
+    describe(dd, "Double-defect code on the tiled architecture");
+
+    double spacetime = dd.spaceTime() / pl.spaceTime();
     std::cout << "qubits x time ratio (double-defect / planar): "
-              << Table::fixed(ratios.spacetime, 2) << " -> build the "
-              << (ratios.spacetime > 1 ? "PLANAR" : "DOUBLE-DEFECT")
+              << Table::fixed(spacetime, 2) << " -> build the "
+              << (spacetime > 1 ? "PLANAR" : "DOUBLE-DEFECT")
               << " machine\n";
 
-    auto x = estimate::crossoverSize(model);
+    auto x = estimate::crossoverSize(
+        estimate::ResourceModel(kind, grid.base.tech));
     std::cout << "favorability cross-over for this app/technology: "
               << (x ? Table::num(*x) : std::string("beyond 1e24"))
               << " logical ops\n";

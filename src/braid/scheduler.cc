@@ -1,13 +1,13 @@
 #include "braid/scheduler.h"
 
 #include <algorithm>
-#include <queue>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "circuit/dag.h"
 #include "circuit/schedule.h"
 #include "common/logging.h"
+#include "engine/sim.h"
 #include "network/route.h"
 
 namespace qsurf::braid {
@@ -59,30 +59,6 @@ struct OpRec
     network::Path route;   ///< Currently claimed route.
 };
 
-/** Priority-queue entry; smaller sorts first. */
-struct Entry
-{
-    int64_t k1 = 0;
-    int64_t k2 = 0;
-    int64_t k3 = 0;
-    uint64_t seq = 0;
-    int op = 0;
-
-    friend bool
-    operator<(const Entry &a, const Entry &b)
-    {
-        if (a.k1 != b.k1)
-            return a.k1 < b.k1;
-        if (a.k2 != b.k2)
-            return a.k2 < b.k2;
-        if (a.k3 != b.k3)
-            return a.k3 < b.k3;
-        if (a.seq != b.seq)
-            return a.seq < b.seq;
-        return a.op < b.op;
-    }
-};
-
 OpClass
 classify(const circuit::Gate &g)
 {
@@ -117,7 +93,8 @@ class Simulator
         : circ(circ), policy(policy), opts(opts), dag(circ),
           graph(circuit::interactionGraph(circ)),
           arch(graph, makeArchOptions(policy, opts)),
-          mesh(arch.makeMesh())
+          mesh(arch.makeMesh()),
+          claimer(mesh, makeClaimOptions(opts))
     {
         crit = circuit::criticality(dag);
         buildOps();
@@ -163,8 +140,8 @@ class Simulator
         out.mesh_utilization = mesh.utilization();
         out.braids_placed = braids_placed;
         out.placement_failures = placement_failures;
-        out.yx_fallbacks = yx_fallbacks;
-        out.bfs_detours = bfs_detours;
+        out.yx_fallbacks = claimer.transposeFallbacks();
+        out.bfs_detours = claimer.bfsDetours();
         out.drops = drops;
         out.magic_starvations = magic_starvations;
         out.layout_cost = arch.layoutCost(graph);
@@ -180,6 +157,15 @@ class Simulator
         a.optimized_layout = static_cast<int>(policy) >= 2;
         a.seed = opts.seed;
         return a;
+    }
+
+    static engine::RouteClaimOptions
+    makeClaimOptions(const BraidOptions &opts)
+    {
+        engine::RouteClaimOptions c;
+        c.adapt_timeout = opts.adapt_timeout;
+        c.bfs_timeout = opts.bfs_timeout;
+        return c;
     }
 
     void
@@ -232,13 +218,13 @@ class Simulator
         ready.insert(makeEntry(i));
     }
 
-    Entry
+    /** Build the policy-specific sort key (Section 6.3). */
+    engine::ReadyEntry
     makeEntry(int i)
     {
         const OpRec &op = ops[static_cast<size_t>(i)];
-        Entry e;
-        e.seq = next_seq++;
-        e.op = i;
+        engine::ReadyEntry e;
+        e.id = i;
         bool closing = op.stage == Stage::Seg2Ready;
         switch (policy) {
           case Policy::ProgramOrder:
@@ -267,8 +253,8 @@ class Simulator
     }
 
     /**
-     * Try to claim a route for op @p i (stage-appropriate segment).
-     * Escalates XY -> YX -> BFS with the op's wait time.
+     * Try to claim a route for op @p i (stage-appropriate segment)
+     * via the engine's shared XY -> YX -> BFS escalation.
      */
     bool
     tryPlace(int i)
@@ -305,36 +291,16 @@ class Simulator
             }
         }
 
+        // Figure 5: the two segments take different geometries; we
+        // open part 1 XY-first and part 2 YX-first.
         bool closing = op.stage == Stage::Seg2Ready;
         for (const auto &[dst, factory] : dsts) {
-            // Figure 5: the two segments take different geometries;
-            // we open part 1 XY-first and part 2 YX-first.
-            network::Path first = closing ? network::yxRoute(src, dst)
-                                          : network::xyRoute(src, dst);
-            if (mesh.routeFree(first, i)) {
+            auto path =
+                claimer.tryClaim(src, dst, i, op.wait, closing);
+            if (path) {
                 consumeMagicState(factory);
-                claim(i, first);
+                placed(i, std::move(*path));
                 return true;
-            }
-            if (op.wait >= opts.adapt_timeout) {
-                network::Path second = closing
-                    ? network::xyRoute(src, dst)
-                    : network::yxRoute(src, dst);
-                if (mesh.routeFree(second, i)) {
-                    ++yx_fallbacks;
-                    consumeMagicState(factory);
-                    claim(i, second);
-                    return true;
-                }
-            }
-            if (op.wait >= opts.bfs_timeout) {
-                auto detour = network::adaptiveRoute(mesh, src, dst, i);
-                if (detour) {
-                    ++bfs_detours;
-                    consumeMagicState(factory);
-                    claim(i, *detour);
-                    return true;
-                }
             }
         }
         return false;
@@ -376,11 +342,11 @@ class Simulator
         }
     }
 
+    /** Record a successful placement on an already-claimed route. */
     void
-    claim(int i, network::Path path)
+    placed(int i, network::Path path)
     {
         OpRec &op = ops[static_cast<size_t>(i)];
-        mesh.claim(path, i);
         op.route = std::move(path);
         ++braids_placed;
         // Braid open consumes one cycle, then d stabilization rounds.
@@ -393,7 +359,7 @@ class Simulator
         OpRec &op = ops[static_cast<size_t>(i)];
         op.stage = op.stage == Stage::Seg2Ready ? Stage::Seg2Active
                                                 : Stage::Seg1Active;
-        expiry.emplace(cycle + static_cast<uint64_t>(duration), i);
+        expiry.schedule(cycle + static_cast<uint64_t>(duration), i);
     }
 
     /** Greedy placement, policy-ordered; Policy 0 is one-at-a-time. */
@@ -410,7 +376,7 @@ class Simulator
         auto it = ready.begin();
         while (it != ready.end()
                && failures < opts.max_attempts_per_cycle) {
-            int i = it->op;
+            int i = it->id;
             if (tryPlace(i)) {
                 it = ready.erase(it);
                 continue;
@@ -442,12 +408,12 @@ class Simulator
     {
         auto head = ready.end();
         for (auto it = ready.begin(); it != ready.end(); ++it)
-            if (head == ready.end() || it->op < head->op)
+            if (head == ready.end() || it->id < head->id)
                 head = it;
         if (head == ready.end())
             return;
 
-        int i = head->op;
+        int i = head->id;
         if (tryPlace(i)) {
             ready.erase(head);
             return;
@@ -468,9 +434,8 @@ class Simulator
     completionPhase()
     {
         uint64_t completed = 0;
-        while (!expiry.empty() && expiry.top().first <= cycle) {
-            int i = expiry.top().second;
-            expiry.pop();
+        while (auto ripe = expiry.popRipe(cycle)) {
+            int i = *ripe;
             OpRec &op = ops[static_cast<size_t>(i)];
             if (!op.route.empty()) {
                 mesh.release(op.route, i);
@@ -497,17 +462,13 @@ class Simulator
     circuit::InteractionGraph graph;
     TiledArch arch;
     network::Mesh mesh;
+    engine::RouteClaimer claimer;
 
     std::vector<OpRec> ops;
     std::vector<int> crit;
     int crit_threshold = 0;
-    std::set<Entry> ready;
-    uint64_t next_seq = 0;
-    // (expire cycle, op), earliest first.
-    std::priority_queue<std::pair<uint64_t, int>,
-                        std::vector<std::pair<uint64_t, int>>,
-                        std::greater<>>
-        expiry;
+    engine::ReadyQueue ready;
+    engine::ExpiryQueue expiry;
     uint64_t cycle = 0;
 
     std::vector<int> factory_stock;
@@ -515,8 +476,6 @@ class Simulator
 
     uint64_t braids_placed = 0;
     uint64_t placement_failures = 0;
-    uint64_t yx_fallbacks = 0;
-    uint64_t bfs_detours = 0;
     uint64_t drops = 0;
     uint64_t magic_starvations = 0;
 };

@@ -1,0 +1,210 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace qsurf {
+
+JsonWriter::~JsonWriter()
+{
+    // Unclosed containers are a caller bug, but destructors must not
+    // throw; emit a warning instead of panicking.
+    if (!stack.empty())
+        warn("JsonWriter destroyed with ", stack.size(),
+             " unclosed container(s)");
+}
+
+std::string
+JsonWriter::quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    // JSON has no Inf/NaN literals; map them to null.
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    // Shortest representation that round-trips a double.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0;
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == v)
+            return shorter;
+    }
+    return buf;
+}
+
+void
+JsonWriter::separate()
+{
+    if (after_key) {
+        after_key = false;
+        return;
+    }
+    if (need_comma)
+        os << ",";
+    if (!stack.empty()) {
+        os << "\n";
+        indent();
+    }
+}
+
+void
+JsonWriter::indent()
+{
+    for (size_t i = 0; i < stack.size(); ++i)
+        os << "  ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os << "{";
+    stack.push_back(true);
+    need_comma = false;
+}
+
+void
+JsonWriter::endObject()
+{
+    panicIf(stack.empty() || !stack.back(),
+            "endObject() without a matching beginObject()");
+    stack.pop_back();
+    os << "\n";
+    indent();
+    os << "}";
+    need_comma = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os << "[";
+    stack.push_back(false);
+    need_comma = false;
+}
+
+void
+JsonWriter::endArray()
+{
+    panicIf(stack.empty() || stack.back(),
+            "endArray() without a matching beginArray()");
+    stack.pop_back();
+    os << "\n";
+    indent();
+    os << "]";
+    need_comma = true;
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    panicIf(stack.empty() || !stack.back(),
+            "key() outside of an object");
+    separate();
+    os << quote(name) << ": ";
+    need_comma = false;
+    after_key = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os << quote(v);
+    need_comma = true;
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    os << number(v);
+    need_comma = true;
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    separate();
+    os << v;
+    need_comma = true;
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    os << v;
+    need_comma = true;
+}
+
+void
+JsonWriter::value(int v)
+{
+    value(static_cast<int64_t>(v));
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os << (v ? "true" : "false");
+    need_comma = true;
+}
+
+void
+JsonWriter::null()
+{
+    separate();
+    os << "null";
+    need_comma = true;
+}
+
+} // namespace qsurf

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.  The sweep driver and benches use
+ * it to emit machine-readable results (BENCH_*.json) alongside the
+ * human-readable tables; it handles commas, nesting, string escaping
+ * and round-trippable number formatting so callers never concatenate
+ * JSON by hand.
+ */
+
+#ifndef QSURF_COMMON_JSON_H
+#define QSURF_COMMON_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qsurf {
+
+/**
+ * Streaming writer producing pretty-printed JSON.  Usage:
+ *
+ *   JsonWriter j(os);
+ *   j.beginObject();
+ *   j.field("name", "fig6");
+ *   j.key("points"); j.beginArray();
+ *   ... j.endArray();
+ *   j.endObject();
+ *
+ * Nesting is tracked; mismatched begin/end panic().
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os(os) {}
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next value inside an object. */
+    void key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(int64_t v);
+    void value(uint64_t v);
+    void value(int v);
+    void value(bool v);
+    void null();
+
+    /** Shorthand for key() followed by value(). */
+    template <typename T>
+    void
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** Escape and quote @p s as a JSON string literal. */
+    static std::string quote(const std::string &s);
+
+    /** Format @p v as a round-trippable JSON number literal. */
+    static std::string number(double v);
+
+  private:
+    void separate();
+    void indent();
+
+    std::ostream &os;
+    /** One frame per open container: true = object, false = array. */
+    std::vector<bool> stack;
+    bool need_comma = false;
+    bool after_key = false;
+};
+
+} // namespace qsurf
+
+#endif // QSURF_COMMON_JSON_H

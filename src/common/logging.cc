@@ -1,25 +1,38 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace qsurf {
 
 namespace {
 
-bool quiet_flag = false;
+std::atomic<bool> quiet_flag{false};
+
+/**
+ * Serializes sink writes so messages from parallel sweep workers
+ * never interleave mid-line.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 } // namespace
 
 void
 setQuiet(bool q)
 {
-    quiet_flag = q;
+    quiet_flag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quiet_flag;
+    return quiet_flag.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -29,8 +42,9 @@ emit(const char *tag, const std::string &msg)
 {
     // fatal/panic always print; status messages honour the quiet flag.
     bool is_error = tag[0] == 'f' || tag[0] == 'p';
-    if (quiet_flag && !is_error)
+    if (quiet() && !is_error)
         return;
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
 }
 

@@ -10,6 +10,10 @@
  *              FatalError so tests can assert on it.
  *  - panic():  an internal invariant was violated — a qsurf bug.
  *              Throws PanicError.
+ *
+ * The sink is thread-safe: writes are mutex-serialized so messages
+ * from parallel sweep workers never interleave mid-line, and the
+ * quiet flag is atomic.
  */
 
 #ifndef QSURF_COMMON_LOGGING_H

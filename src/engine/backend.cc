@@ -1,0 +1,87 @@
+#include "engine/backend.h"
+
+#include "common/logging.h"
+
+namespace qsurf::engine {
+
+void
+Metrics::set(const std::string &name, double v)
+{
+    for (auto &[key, val] : extras) {
+        if (key == name) {
+            val = v;
+            return;
+        }
+    }
+    extras.emplace_back(name, v);
+}
+
+double
+Metrics::extra(const std::string &name, double fallback) const
+{
+    for (const auto &[key, val] : extras)
+        if (key == name)
+            return val;
+    return fallback;
+}
+
+bool
+Metrics::has(const std::string &name) const
+{
+    for (const auto &[key, val] : extras)
+        if (key == name)
+            return true;
+    return false;
+}
+
+double
+WorkItem::logicalOps() const
+{
+    if (config.kq > 0)
+        return config.kq;
+    fatalIf(!circuit, "work item has neither a computation size (kq) "
+                      "nor a circuit to derive one from");
+    return static_cast<double>(circuit->counts().total);
+}
+
+int
+WorkItem::resolveDistance() const
+{
+    if (config.code_distance > 0)
+        return config.code_distance;
+    return qec::CodeModel::chooseDistance(config.tech.p_physical,
+                                          logicalOps());
+}
+
+void
+Backend::prepare(const WorkItem &item) const
+{
+    item.config.tech.check();
+    fatalIf(needsCircuit() && !item.circuit,
+            "backend '", name(), "' needs a circuit");
+    fatalIf(needsCircuit() && item.circuit && item.circuit->empty(),
+            "backend '", name(), "' got an empty circuit");
+    fatalIf(item.config.code_distance < 0,
+            "code distance must be >= 0 (0 = auto), got ",
+            item.config.code_distance);
+}
+
+double
+physicalQubits(qec::CodeKind code, double logical_qubits, int d)
+{
+    return logical_qubits * qec::spaceOverheadFactor(code)
+        * static_cast<double>(qec::tileQubits(code, d));
+}
+
+uint64_t
+mixSeed(uint64_t base_seed, uint64_t index)
+{
+    // splitmix64 finalizer over the combined word: cheap, and
+    // adjacent indices land in decorrelated streams.
+    uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace qsurf::engine

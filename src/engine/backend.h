@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The common simulation-engine abstraction every backend implements.
+ *
+ * The paper's evaluation is a cross-product sweep — application x
+ * backend x policy x code distance — and historically each backend
+ * (braided double-defect, Multi-SIMD planar, and the analytic
+ * design-space models) was driven through its own bespoke code path.
+ * A Backend names itself, validates a work item in prepare(), runs it
+ * to completion, and returns a uniform Metrics record, so the sweep
+ * driver, the toolflow and every figure bench can treat all backends
+ * interchangeably; new backends (lattice-surgery mapping,
+ * teleportation-based routing, ...) plug into the Registry without
+ * touching any caller.
+ *
+ * Backends are stateless: run() is const and must be thread-safe and
+ * deterministic (same WorkItem => bit-identical Metrics), which is
+ * what lets the SweepDriver execute items on any number of threads
+ * without changing results.
+ */
+
+#ifndef QSURF_ENGINE_BACKEND_H
+#define QSURF_ENGINE_BACKEND_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/apps.h"
+#include "circuit/circuit.h"
+#include "qec/code.h"
+#include "qec/technology.h"
+
+namespace qsurf::engine {
+
+/** Uniform result record of one backend run (one figure point). */
+struct Metrics
+{
+    /** Registry name of the backend that produced the record. */
+    std::string backend;
+
+    /** Surface-code flavor the backend models. */
+    qec::CodeKind code = qec::CodeKind::Planar;
+
+    /** Code distance the run used (after auto-selection). */
+    int code_distance = 0;
+
+    /** Total schedule length in surface-code cycles. */
+    uint64_t schedule_cycles = 0;
+
+    /** Dependence-limited lower bound in cycles. */
+    uint64_t critical_path_cycles = 0;
+
+    /** Total physical qubits of the machine. */
+    double physical_qubits = 0;
+
+    /** Wall-clock execution time of the computation. */
+    double seconds = 0;
+
+    /**
+     * Backend-specific named counters (mesh utilization, teleports,
+     * stall cycles, ...), in emission order.
+     */
+    std::vector<std::pair<std::string, double>> extras;
+
+    /** @return schedule length / critical path. */
+    double
+    ratio() const
+    {
+        return critical_path_cycles
+            ? static_cast<double>(schedule_cycles)
+                / static_cast<double>(critical_path_cycles)
+            : 0.0;
+    }
+
+    /** @return the space-time product (qubits x seconds). */
+    double spaceTime() const { return physical_qubits * seconds; }
+
+    /** Append (or overwrite) the named extra counter. */
+    void set(const std::string &name, double v);
+
+    /** @return extra @p name, or @p fallback when absent. */
+    double extra(const std::string &name, double fallback = 0) const;
+
+    /** @return true when extra @p name is present. */
+    bool has(const std::string &name) const;
+};
+
+/** Parameters of one backend run, common across backends. */
+struct RunConfig
+{
+    /** Technology characteristics (Figure 4's bottom input). */
+    qec::Technology tech;
+
+    /** Code distance; 0 selects from the logical-op count and pP. */
+    int code_distance = 0;
+
+    /**
+     * Braid priority policy index (Section 6.3, Policies 0-6) for
+     * the double-defect backend; others ignore it.
+     */
+    int policy = 6;
+
+    /** EPR lookahead window for the planar backend (steps). */
+    int epr_window_steps = 32;
+
+    /** SIMD regions in the planar machine. */
+    int num_simd_regions = 4;
+
+    /** Per-region broadcast capacity of the planar machine. */
+    int region_capacity = 1024;
+
+    /**
+     * Computation size KQ in logical operations, for the analytic
+     * model backends; 0 derives it from the circuit's op count.
+     */
+    double kq = 0;
+
+    /** Layout / tie-break RNG seed. */
+    uint64_t seed = 1;
+};
+
+/** One unit of work handed to a backend. */
+struct WorkItem
+{
+    /** Application the circuit (or scaling model) comes from. */
+    apps::AppKind app = apps::AppKind::SQ;
+
+    /** Display name (defaults to the app spec name). */
+    std::string app_name;
+
+    /**
+     * The Clifford+T-decomposed circuit; may be null for backends
+     * with needsCircuit() == false (the analytic models).
+     */
+    const circuit::Circuit *circuit = nullptr;
+
+    /** Run parameters. */
+    RunConfig config;
+
+    /**
+     * @return the computation size: config.kq when set, otherwise
+     * the circuit's logical-op count.
+     */
+    double logicalOps() const;
+
+    /**
+     * @return the code distance: config override when set, otherwise
+     * chosen from logicalOps() and the technology error rate.
+     */
+    int resolveDistance() const;
+};
+
+/**
+ * A simulation or estimation backend.  Implementations must be
+ * stateless across run() calls: run() is const, thread-safe and
+ * deterministic in the WorkItem alone.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** @return the unique registry name, e.g. "double-defect". */
+    virtual std::string name() const = 0;
+
+    /** @return the surface-code flavor this backend models. */
+    virtual qec::CodeKind code() const = 0;
+
+    /** @return true when run() needs item.circuit. */
+    virtual bool needsCircuit() const { return true; }
+
+    /**
+     * Validate @p item before run(); fatal() on unusable input.
+     * The default checks the technology and circuit presence.
+     */
+    virtual void prepare(const WorkItem &item) const;
+
+    /** Run @p item to completion. */
+    virtual Metrics run(const WorkItem &item) const = 0;
+};
+
+/**
+ * @return total physical qubits of a machine holding
+ * @p logical_qubits logical qubits of @p code at distance @p d,
+ * including the code's ancilla/factory space overhead.
+ */
+double physicalQubits(qec::CodeKind code, double logical_qubits,
+                      int d);
+
+/**
+ * @return a deterministic per-item seed: mixes @p base_seed with
+ * @p index so sweep items get decorrelated, reproducible streams
+ * regardless of execution order.
+ */
+uint64_t mixSeed(uint64_t base_seed, uint64_t index);
+
+} // namespace qsurf::engine
+
+#endif // QSURF_ENGINE_BACKEND_H

@@ -1,0 +1,70 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qsurf::engine {
+
+void
+Registry::add(std::unique_ptr<Backend> backend)
+{
+    panicIf(!backend, "cannot register a null backend");
+    std::string name = backend->name();
+    fatalIf(name.empty(), "backend names must be non-empty");
+
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &e : entries)
+        fatalIf(e->name() == name,
+                "backend '", name, "' is already registered");
+    entries.push_back(std::move(backend));
+}
+
+const Backend &
+Registry::get(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &e : entries)
+        if (e->name() == name)
+            return *e;
+
+    std::string known;
+    for (const auto &e : entries)
+        known += (known.empty() ? "" : ", ") + e->name();
+    fatal("unknown backend '", name, "' (registered: ", known, ")");
+}
+
+bool
+Registry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &e : entries)
+        if (e->name() == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &e : entries)
+        out.push_back(e->name());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *instance = [] {
+        auto *r = new Registry;
+        registerBuiltinBackends(*r);
+        return r;
+    }();
+    return *instance;
+}
+
+} // namespace qsurf::engine

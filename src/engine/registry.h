@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Backend registry: the single place callers look up engines by
+ * name.  The global registry comes pre-populated with the built-in
+ * backends (the two simulators and the two analytic design-space
+ * models); additional backends register at startup and immediately
+ * become available to the toolflow, the sweep driver and every
+ * figure bench.
+ */
+
+#ifndef QSURF_ENGINE_REGISTRY_H
+#define QSURF_ENGINE_REGISTRY_H
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/backend.h"
+
+namespace qsurf::engine {
+
+/** Built-in backend names. */
+namespace backends {
+
+/** Braid simulation on the tiled double-defect machine. */
+inline constexpr const char *double_defect = "double-defect";
+
+/** Multi-SIMD scheduling + EPR pipelining on the planar machine. */
+inline constexpr const char *planar = "planar";
+
+/** Analytic design-space model of the double-defect machine. */
+inline constexpr const char *double_defect_model =
+    "double-defect-model";
+
+/** Analytic design-space model of the planar machine. */
+inline constexpr const char *planar_model = "planar-model";
+
+} // namespace backends
+
+/** A named set of backends.  Thread-safe. */
+class Registry
+{
+  public:
+    Registry() = default;
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Register @p backend under its name().
+     * fatal()s on a duplicate name.
+     */
+    void add(std::unique_ptr<Backend> backend);
+
+    /**
+     * @return the backend registered as @p name.
+     * fatal()s on an unknown name, listing what is registered.
+     */
+    const Backend &get(const std::string &name) const;
+
+    /** @return true when @p name is registered. */
+    bool contains(const std::string &name) const;
+
+    /** @return all registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * The process-wide registry, with the built-in backends already
+     * registered.
+     */
+    static Registry &global();
+
+  private:
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<Backend>> entries;
+};
+
+/**
+ * Register the built-in backends into @p registry (used by
+ * Registry::global(); exposed so tests can build private registries).
+ */
+void registerBuiltinBackends(Registry &registry);
+
+} // namespace qsurf::engine
+
+#endif // QSURF_ENGINE_REGISTRY_H

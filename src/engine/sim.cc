@@ -1,0 +1,64 @@
+#include "engine/sim.h"
+
+#include <algorithm>
+
+#include "network/route.h"
+
+namespace qsurf::engine {
+
+std::optional<network::Path>
+RouteClaimer::tryClaim(const Coord &src, const Coord &dst, int owner,
+                       int wait, bool yx_first)
+{
+    network::Path first = yx_first ? network::yxRoute(src, dst)
+                                   : network::xyRoute(src, dst);
+    if (mesh_.routeFree(first, owner)) {
+        mesh_.claim(first, owner);
+        return first;
+    }
+    if (wait >= opts_.adapt_timeout) {
+        network::Path second = yx_first ? network::xyRoute(src, dst)
+                                        : network::yxRoute(src, dst);
+        if (mesh_.routeFree(second, owner)) {
+            ++transpose_fallbacks_;
+            mesh_.claim(second, owner);
+            return second;
+        }
+    }
+    if (wait >= opts_.bfs_timeout) {
+        auto detour = network::adaptiveRoute(mesh_, src, dst, owner);
+        if (detour) {
+            ++bfs_detours_;
+            mesh_.claim(*detour, owner);
+            return detour;
+        }
+    }
+    return std::nullopt;
+}
+
+LiveIntervalProfile::Summary
+LiveIntervalProfile::summarize(uint64_t total_cycles) const
+{
+    std::vector<std::pair<uint64_t, int>> deltas = deltas_;
+    std::sort(deltas.begin(), deltas.end());
+
+    Summary out;
+    int64_t live = 0;
+    uint64_t prev_time = 0;
+    double live_cycles = 0;
+    for (const auto &[time, delta] : deltas) {
+        live_cycles += static_cast<double>(live)
+                     * static_cast<double>(time - prev_time);
+        prev_time = time;
+        live += delta;
+        out.peak = std::max(
+            out.peak,
+            static_cast<uint64_t>(std::max<int64_t>(0, live)));
+    }
+    out.average = total_cycles
+        ? live_cycles / static_cast<double>(total_cycles)
+        : 0.0;
+    return out;
+}
+
+} // namespace qsurf::engine

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Shared simulation primitives of the backend engines.
+ *
+ * Both run-to-completion backends are discrete simulators built from
+ * the same small set of mechanisms: a deterministic keyed ready
+ * queue, an expiry queue retiring in-flight work, the route-claim
+ * escalation of Section 6.1 on the circuit-switched mesh, a pool of
+ * identical transport channels, and sweep-line accounting of live
+ * resources.  Hoisting them here keeps the braid and planar
+ * schedulers to their policy decisions and guarantees every backend
+ * shares the same deterministic tie-breaking, which is what makes
+ * parallel sweeps bit-identical at any thread count.
+ */
+
+#ifndef QSURF_ENGINE_SIM_H
+#define QSURF_ENGINE_SIM_H
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "network/mesh.h"
+
+namespace qsurf::engine {
+
+/**
+ * Sort key of one ready item; smaller sorts first.  The three major
+ * keys express a backend's priority policy; the insertion sequence
+ * number (stamped by ReadyQueue) breaks all remaining ties FIFO, so
+ * iteration order never depends on memory layout or hashing.
+ */
+struct ReadyEntry
+{
+    int64_t k1 = 0;
+    int64_t k2 = 0;
+    int64_t k3 = 0;
+    uint64_t seq = 0; ///< Insertion order; stamped by ReadyQueue.
+    int id = 0;       ///< Backend-defined item id; last tie-break.
+
+    friend bool
+    operator<(const ReadyEntry &a, const ReadyEntry &b)
+    {
+        if (a.k1 != b.k1)
+            return a.k1 < b.k1;
+        if (a.k2 != b.k2)
+            return a.k2 < b.k2;
+        if (a.k3 != b.k3)
+            return a.k3 < b.k3;
+        if (a.seq != b.seq)
+            return a.seq < b.seq;
+        return a.id < b.id;
+    }
+};
+
+/**
+ * Priority-ordered ready queue with deterministic FIFO tie-breaking.
+ * Iteration yields entries best-first; erase/insert during a scan
+ * follows std::set iterator rules.
+ */
+class ReadyQueue
+{
+  public:
+    using iterator = std::set<ReadyEntry>::iterator;
+    using const_iterator = std::set<ReadyEntry>::const_iterator;
+
+    /** Insert @p e, stamping the next insertion sequence number. */
+    void
+    insert(ReadyEntry e)
+    {
+        e.seq = next_seq_++;
+        entries_.insert(e);
+    }
+
+    iterator begin() { return entries_.begin(); }
+    iterator end() { return entries_.end(); }
+    const_iterator begin() const { return entries_.begin(); }
+    const_iterator end() const { return entries_.end(); }
+
+    /** Erase the entry at @p it; @return the next iterator. */
+    iterator erase(iterator it) { return entries_.erase(it); }
+
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::set<ReadyEntry> entries_;
+    uint64_t next_seq_ = 0;
+};
+
+/**
+ * Min-heap of (cycle, id) retirement events.  Equal-cycle events pop
+ * in ascending id order, so retirement order is deterministic.
+ */
+class ExpiryQueue
+{
+  public:
+    /** Schedule item @p id to retire at @p cycle. */
+    void schedule(uint64_t cycle, int id) { heap_.emplace(cycle, id); }
+
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Pop the earliest event due at or before @p now.
+     * @return its id, or nullopt when nothing is ripe.
+     */
+    std::optional<int>
+    popRipe(uint64_t now)
+    {
+        if (heap_.empty() || heap_.top().first > now)
+            return std::nullopt;
+        int id = heap_.top().second;
+        heap_.pop();
+        return id;
+    }
+
+  private:
+    std::priority_queue<std::pair<uint64_t, int>,
+                        std::vector<std::pair<uint64_t, int>>,
+                        std::greater<>>
+        heap_;
+};
+
+/** Timeouts of the route-claim escalation (Section 6.1). */
+struct RouteClaimOptions
+{
+    /** Cycles a requester waits before trying the transposed route. */
+    int adapt_timeout = 4;
+
+    /** Cycles before falling back to the adaptive BFS detour. */
+    int bfs_timeout = 8;
+};
+
+/**
+ * The route-claim escalation of Section 6.1, shared by the
+ * circuit-switched backends: try the preferred dimension-ordered
+ * route, fall back to the transposed one once the requester has
+ * waited adapt_timeout cycles, and to a breadth-first detour through
+ * currently-free resources after bfs_timeout.  On success the route
+ * is claimed on the mesh atomically (the n-hops-in-1-cycle property).
+ */
+class RouteClaimer
+{
+  public:
+    RouteClaimer(network::Mesh &mesh, const RouteClaimOptions &opts)
+        : mesh_(mesh), opts_(opts)
+    {
+    }
+
+    /**
+     * Try to claim a route from @p src to @p dst for @p owner.
+     *
+     * @param wait     cycles the owner has already failed to place;
+     *                 drives the escalation.
+     * @param yx_first prefer the Y-then-X geometry (Figure 5's
+     *                 closing segment); the transposed fallback is
+     *                 then X-then-Y.
+     * @return the claimed path, or nullopt when every stage failed.
+     */
+    std::optional<network::Path> tryClaim(const Coord &src,
+                                          const Coord &dst, int owner,
+                                          int wait, bool yx_first);
+
+    /** Successful placements that needed the transposed route. */
+    uint64_t transposeFallbacks() const { return transpose_fallbacks_; }
+
+    /** Successful placements that needed the BFS detour. */
+    uint64_t bfsDetours() const { return bfs_detours_; }
+
+  private:
+    network::Mesh &mesh_;
+    RouteClaimOptions opts_;
+    uint64_t transpose_fallbacks_ = 0;
+    uint64_t bfs_detours_ = 0;
+};
+
+/**
+ * A pool of identical transport channels.  acquire() reserves the
+ * earliest free slot, modelling a bandwidth-limited link set whose
+ * transfers queue when all channels are busy.
+ */
+class ChannelPool
+{
+  public:
+    /** @param slots concurrent transfers the pool sustains. */
+    explicit ChannelPool(int slots) : slots_(slots) {}
+
+    /**
+     * Reserve a slot for a transfer of @p duration cycles starting no
+     * earlier than @p earliest.
+     * @return the actual start cycle (>= @p earliest).
+     */
+    uint64_t
+    acquire(uint64_t earliest, uint64_t duration)
+    {
+        uint64_t start = earliest;
+        while (static_cast<int>(busy_until_.size()) >= slots_) {
+            start = std::max(start, busy_until_.top());
+            busy_until_.pop();
+        }
+        busy_until_.push(start + duration);
+        return start;
+    }
+
+  private:
+    int slots_;
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<>>
+        busy_until_;
+};
+
+/**
+ * Sweep-line accounting of live intervals (+1 at start, -1 at end):
+ * peak concurrency and the time-averaged population over a horizon.
+ */
+class LiveIntervalProfile
+{
+  public:
+    /** Record one interval live from @p start to @p end. */
+    void
+    add(uint64_t start, uint64_t end)
+    {
+        deltas_.emplace_back(start, +1);
+        deltas_.emplace_back(end, -1);
+    }
+
+    struct Summary
+    {
+        uint64_t peak = 0;  ///< Maximum simultaneous intervals.
+        double average = 0; ///< Time-averaged population.
+    };
+
+    /** Summarize over @p total_cycles (for the average). */
+    Summary summarize(uint64_t total_cycles) const;
+
+  private:
+    std::vector<std::pair<uint64_t, int>> deltas_;
+};
+
+} // namespace qsurf::engine
+
+#endif // QSURF_ENGINE_SIM_H

@@ -1,0 +1,206 @@
+#include "engine/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "circuit/decompose.h"
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace qsurf::engine {
+
+size_t
+SweepGrid::points() const
+{
+    return apps.size() * sizes.size() * distances.size()
+        * policies.size() * backends.size();
+}
+
+std::vector<SweepPoint>
+SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
+{
+    fatalIf(grid.apps.empty(), "sweep grid needs at least one app");
+    fatalIf(grid.backends.empty(),
+            "sweep grid needs at least one backend");
+    fatalIf(grid.policies.empty() || grid.distances.empty()
+                || grid.sizes.empty(),
+            "sweep grid axes must be non-empty");
+    grid.base.tech.check();
+
+    // Resolve backends up front so name typos fail before any work.
+    std::vector<const Backend *> backends;
+    backends.reserve(grid.backends.size());
+    bool any_circuit = false;
+    for (const std::string &name : grid.backends) {
+        const Backend &b = registry.get(name);
+        backends.push_back(&b);
+        any_circuit = any_circuit || b.needsCircuit();
+    }
+
+    // Generate and decompose each app's circuit once, serially, so
+    // workers share immutable inputs and generation cost is paid per
+    // app point rather than per grid point.
+    std::vector<circuit::Circuit> circuits;
+    if (any_circuit) {
+        circuits.reserve(grid.apps.size());
+        for (const AppPoint &app : grid.apps)
+            circuits.push_back(circuit::decompose(
+                apps::generate(app.kind, app.gen)));
+    }
+
+    // Expand the grid: app (outer) x size x distance x policy x
+    // backend (inner).
+    std::vector<SweepPoint> points;
+    std::vector<const Backend *> item_backend;
+    points.reserve(grid.points());
+    item_backend.reserve(grid.points());
+    for (size_t a = 0; a < grid.apps.size(); ++a) {
+        const AppPoint &app = grid.apps[a];
+        std::string app_name = app.label.empty()
+            ? apps::appSpec(app.kind).name
+            : app.label;
+        for (double kq : grid.sizes) {
+            for (int d : grid.distances) {
+                for (int policy : grid.policies) {
+                    for (const Backend *backend : backends) {
+                        SweepPoint p;
+                        p.index = points.size();
+                        p.app_index = a;
+                        p.app_name = app_name;
+                        p.backend = backend->name();
+                        p.policy = policy;
+                        p.distance = d;
+                        p.kq = kq;
+                        points.push_back(std::move(p));
+                        item_backend.push_back(backend);
+                    }
+                }
+            }
+        }
+    }
+
+    // Prepare (validate) every item up front on the caller's thread:
+    // configuration errors surface as clean fatal()s, not as
+    // exceptions racing out of the pool.
+    std::vector<WorkItem> items(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        const Backend *backend = item_backend[i];
+        WorkItem &item = items[i];
+        item.app = grid.apps[p.app_index].kind;
+        item.app_name = p.app_name;
+        item.circuit = backend->needsCircuit()
+            ? &circuits[p.app_index]
+            : nullptr;
+        item.config = grid.base;
+        item.config.policy = p.policy;
+        item.config.code_distance = p.distance;
+        item.config.kq = p.kq;
+        // Seeds vary per application point, never along the policy/
+        // distance/size axes: a figure compares those on the *same*
+        // seeded machine layout (the paper's methodology), and the
+        // derivation depends only on the grid, never on threading.
+        item.config.seed = mixSeed(grid.base.seed, p.app_index);
+        backend->prepare(item);
+    }
+
+    // Execute across the pool.  Work items are independent and
+    // deterministic in their own (config, circuit), so any
+    // assignment of items to threads produces identical results.
+    int threads = std::max(1, opts.num_threads);
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= points.size() || failed.load())
+                return;
+            try {
+                points[i].metrics = item_backend[i]->run(items[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true);
+                return;
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    if (!opts.json_path.empty()) {
+        std::ofstream os(opts.json_path);
+        fatalIf(!os, "cannot open '", opts.json_path,
+                "' for writing");
+        writeSweepJson(os, opts.title, points);
+    }
+    return points;
+}
+
+int
+defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::min(8u, std::max(1u, hw)));
+}
+
+void
+writeSweepJson(std::ostream &os, const std::string &title,
+               const std::vector<SweepPoint> &points)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("title", title);
+    j.field("points", static_cast<uint64_t>(points.size()));
+    j.key("results");
+    j.beginArray();
+    for (const SweepPoint &p : points) {
+        j.beginObject();
+        j.field("app", p.app_name);
+        j.field("backend", p.backend);
+        j.field("code", qec::codeKindName(p.metrics.code));
+        j.field("policy", p.policy);
+        j.field("code_distance", p.metrics.code_distance);
+        if (p.kq > 0)
+            j.field("kq", p.kq);
+        j.field("schedule_cycles", p.metrics.schedule_cycles);
+        j.field("critical_path_cycles",
+                p.metrics.critical_path_cycles);
+        j.field("ratio", p.metrics.ratio());
+        j.field("physical_qubits", p.metrics.physical_qubits);
+        j.field("seconds", p.metrics.seconds);
+        j.field("space_time", p.metrics.spaceTime());
+        if (!p.metrics.extras.empty()) {
+            j.key("extras");
+            j.beginObject();
+            for (const auto &[name, v] : p.metrics.extras)
+                j.field(name, v);
+            j.endObject();
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    os << "\n";
+}
+
+} // namespace qsurf::engine

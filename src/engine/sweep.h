@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The parallel sweep driver behind every figure of the evaluation.
+ *
+ * A SweepGrid declares the cross-product the paper's figures are
+ * built from — applications x backends x braid policies x code
+ * distances x computation sizes — and the driver expands it into
+ * work items, executes them across a thread pool, and returns the
+ * results in grid order.  Per-item seeds are derived
+ * deterministically from the base seed and the item's application
+ * point (so policy/distance/size comparisons run on the same seeded
+ * machine layout, and a sweep is bit-identical at any thread count);
+ * the figure benches are each one declarative grid plus table/JSON
+ * rendering.
+ */
+
+#ifndef QSURF_ENGINE_SWEEP_H
+#define QSURF_ENGINE_SWEEP_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "engine/backend.h"
+#include "engine/registry.h"
+
+namespace qsurf::engine {
+
+/** One application axis point: a generated workload. */
+struct AppPoint
+{
+    apps::AppKind kind = apps::AppKind::SQ;
+
+    /** Generator knobs (problem size, iteration cap). */
+    apps::GenOptions gen;
+
+    /** Display-name override; empty uses the app spec name. */
+    std::string label;
+};
+
+/** The declarative cross-product one sweep executes. */
+struct SweepGrid
+{
+    /** Applications (outermost axis). */
+    std::vector<AppPoint> apps;
+
+    /** Registry names of the backends to run (innermost axis). */
+    std::vector<std::string> backends;
+
+    /** Braid policy indices; non-braid backends ignore them. */
+    std::vector<int> policies = {6};
+
+    /** Code distances; 0 selects from KQ and pP. */
+    std::vector<int> distances = {0};
+
+    /**
+     * Computation sizes KQ for the analytic model backends; 0
+     * derives the size from the generated circuit.
+     */
+    std::vector<double> sizes = {0};
+
+    /** Shared run parameters (technology, windows, base seed). */
+    RunConfig base;
+
+    /** @return the number of work items the grid expands into. */
+    size_t points() const;
+};
+
+/** One executed grid point, in expansion order. */
+struct SweepPoint
+{
+    size_t index = 0;     ///< Position in grid expansion order.
+    size_t app_index = 0; ///< Index into SweepGrid::apps.
+    std::string app_name; ///< Resolved display name.
+    std::string backend;  ///< Backend registry name.
+    int policy = 0;
+    int distance = 0;     ///< Grid value (0 = auto; see metrics).
+    double kq = 0;        ///< Grid value (0 = from circuit).
+    Metrics metrics;
+};
+
+/** Execution knobs of one sweep. */
+struct SweepOptions
+{
+    /** Worker threads; values < 1 clamp to 1. */
+    int num_threads = 1;
+
+    /** When non-empty, write the results as JSON to this path. */
+    std::string json_path;
+
+    /** Title recorded in the JSON output. */
+    std::string title;
+};
+
+/**
+ * Expands grids into work items and executes them across a thread
+ * pool.  Results are deterministic: the output vector is in grid
+ * expansion order and every item's seed depends only on the base
+ * seed and its index, never on thread scheduling.
+ */
+class SweepDriver
+{
+  public:
+    explicit SweepDriver(const Registry &registry = Registry::global())
+        : registry(registry)
+    {
+    }
+
+    /** Run every point of @p grid; @return results in grid order. */
+    std::vector<SweepPoint> run(const SweepGrid &grid,
+                                const SweepOptions &opts = {}) const;
+
+  private:
+    const Registry &registry;
+};
+
+/**
+ * Render sweep results as JSON: a title plus one record per grid
+ * point with the full uniform metrics and the backend extras.
+ */
+void writeSweepJson(std::ostream &os, const std::string &title,
+                    const std::vector<SweepPoint> &points);
+
+/**
+ * @return a sensible worker count for interactive sweeps: the
+ * hardware concurrency, clamped to [1, 8].  (Results are identical
+ * at any thread count; this only affects wall-clock time.)
+ */
+int defaultThreads();
+
+} // namespace qsurf::engine
+
+#endif // QSURF_ENGINE_SWEEP_H

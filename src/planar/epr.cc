@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <vector>
 
 #include "common/logging.h"
+#include "engine/sim.h"
 
 namespace qsurf::planar {
 
@@ -37,10 +37,8 @@ simulateEpr(const SimdSchedule &sched, const SimdArch &arch,
     // Per-step teleport index ranges (teleports are step-ordered).
     size_t next_event = 0;
 
-    // Channel occupancy: end times of in-flight transports.
-    std::priority_queue<uint64_t, std::vector<uint64_t>,
-                        std::greater<>>
-        busy;
+    // Channel occupancy: transports queue when all slots are busy.
+    engine::ChannelPool channels(bandwidth);
 
     std::vector<Transport> transports(sched.teleports.size());
     std::vector<char> launched(sched.teleports.size(), 0);
@@ -51,14 +49,7 @@ simulateEpr(const SimdSchedule &sched, const SimdArch &arch,
             arch.eprDistance(ev.src_region, ev.dst_region));
         auto duration = static_cast<uint64_t>(
             std::ceil(hops * opts.swap_hop_cycles));
-        // Claim a channel slot: wait for the earliest free one when
-        // all `bandwidth` slots are busy.
-        uint64_t start = now;
-        while (static_cast<int>(busy.size()) >= bandwidth) {
-            start = std::max(start, busy.top());
-            busy.pop();
-        }
-        busy.push(start + duration);
+        uint64_t start = channels.acquire(now, duration);
         transports[e] = Transport{e, now, start + duration};
         launched[e] = 1;
     };
@@ -110,29 +101,13 @@ simulateEpr(const SimdSchedule &sched, const SimdArch &arch,
     }
     out.schedule_cycles = now;
 
-    // Live-EPR profile: +1 at launch, -1 at consumption.
-    std::vector<std::pair<uint64_t, int>> deltas;
-    deltas.reserve(2 * transports.size());
-    for (const Transport &t : transports) {
-        deltas.emplace_back(t.launch, +1);
-        deltas.emplace_back(t.arrival, -1);
-    }
-    std::sort(deltas.begin(), deltas.end());
-    int64_t live = 0;
-    uint64_t prev_time = 0;
-    double live_cycles = 0;
-    for (const auto &[time, delta] : deltas) {
-        live_cycles += static_cast<double>(live)
-                     * static_cast<double>(time - prev_time);
-        prev_time = time;
-        live += delta;
-        out.peak_live_eprs = std::max(
-            out.peak_live_eprs, static_cast<uint64_t>(
-                std::max<int64_t>(0, live)));
-    }
-    out.avg_live_eprs = out.schedule_cycles
-        ? live_cycles / static_cast<double>(out.schedule_cycles)
-        : 0.0;
+    // Live-EPR profile: live from launch to consumption.
+    engine::LiveIntervalProfile live;
+    for (const Transport &t : transports)
+        live.add(t.launch, t.arrival);
+    auto profile = live.summarize(out.schedule_cycles);
+    out.peak_live_eprs = profile.peak;
+    out.avg_live_eprs = profile.average;
     return out;
 }
 

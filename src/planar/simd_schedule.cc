@@ -7,6 +7,7 @@
 #include "circuit/dag.h"
 #include "circuit/schedule.h"
 #include "common/logging.h"
+#include "engine/sim.h"
 
 namespace qsurf::planar {
 
@@ -57,15 +58,20 @@ scheduleSimd(const circuit::Circuit &circ, const SimdArch &arch)
         if (groups.empty())
             continue;
 
-        // Largest groups pick their region first.
+        // Largest groups pick their region first; the engine ready
+        // queue breaks size ties FIFO (kind order), deterministically.
+        std::vector<KindGroup *> by_id;
+        engine::ReadyQueue group_order;
+        for (auto &[kind, grp] : groups) {
+            engine::ReadyEntry e;
+            e.k1 = -static_cast<int64_t>(grp.gate_indices.size());
+            e.id = static_cast<int>(by_id.size());
+            by_id.push_back(&grp);
+            group_order.insert(e);
+        }
         std::vector<KindGroup *> order;
-        for (auto &[kind, grp] : groups)
-            order.push_back(&grp);
-        std::stable_sort(order.begin(), order.end(),
-                         [](const KindGroup *a, const KindGroup *b) {
-                             return a->gate_indices.size()
-                                  > b->gate_indices.size();
-                         });
+        for (const engine::ReadyEntry &e : group_order)
+            order.push_back(by_id[static_cast<size_t>(e.id)]);
 
         // A level with more kinds than regions serializes into
         // ceil(kinds / k) sub-steps; capacity splits add more.

@@ -1,7 +1,7 @@
 #include "toolflow/toolflow.h"
 
 #include "common/logging.h"
-#include "planar/planar.h"
+#include "engine/registry.h"
 #include "qasm/flatten.h"
 #include "qasm/parser.h"
 #include "qec/factory.h"
@@ -10,12 +10,22 @@ namespace qsurf::toolflow {
 
 namespace {
 
-/** Physical qubits of a machine with @p tiles logical tiles. */
-double
-physicalQubits(qec::CodeKind code, double logical_qubits, int d)
+/** Map a uniform engine record onto the per-backend report. */
+BackendReport
+toBackendReport(const engine::Metrics &m)
 {
-    return logical_qubits * qec::spaceOverheadFactor(code)
-        * static_cast<double>(qec::tileQubits(code, d));
+    BackendReport b;
+    b.code = m.code;
+    b.schedule_cycles = m.schedule_cycles;
+    b.critical_path_cycles = m.critical_path_cycles;
+    b.cp_ratio = m.ratio();
+    b.mesh_utilization = m.extra("mesh_utilization");
+    b.teleports = static_cast<uint64_t>(m.extra("teleports"));
+    b.peak_live_eprs =
+        static_cast<uint64_t>(m.extra("peak_live_eprs"));
+    b.physical_qubits = m.physical_qubits;
+    b.seconds = m.seconds;
+    return b;
 }
 
 } // namespace
@@ -47,52 +57,36 @@ run(const circuit::Circuit &logical, const Config &config)
     report.code_distance = config.force_distance > 0
         ? config.force_distance
         : qec::CodeModel::chooseDistance(config.tech.p_physical, kq);
-    int d = report.code_distance;
-    double cycle_s = config.tech.surfaceCycleNs() * 1e-9;
-    auto q = static_cast<double>(circ.numQubits());
 
-    // Double-defect backend: braid scheduling on the tiled machine.
-    {
-        braid::BraidOptions opts;
-        opts.code_distance = d;
-        opts.seed = config.seed;
-        braid::BraidResult r =
-            braid::scheduleBraids(circ, config.policy, opts);
+    // One work item, dispatched over the engine registry: every
+    // backend sees the same circuit, distance and seed.
+    engine::WorkItem item;
+    item.app = config.app;
+    item.app_name = report.app_name;
+    item.circuit = &circ;
+    item.config.tech = config.tech;
+    item.config.code_distance = report.code_distance;
+    item.config.policy = static_cast<int>(config.policy);
+    item.config.epr_window_steps = config.epr_window_steps;
+    item.config.num_simd_regions = config.num_simd_regions;
+    item.config.seed = config.seed;
 
-        BackendReport &b = report.double_defect;
-        b.code = qec::CodeKind::DoubleDefect;
-        b.schedule_cycles = r.schedule_cycles;
-        b.critical_path_cycles = r.critical_path_cycles;
-        b.cp_ratio = r.ratio();
-        b.mesh_utilization = r.mesh_utilization;
-        b.physical_qubits =
-            physicalQubits(qec::CodeKind::DoubleDefect, q, d);
-        b.seconds =
-            static_cast<double>(r.schedule_cycles) * cycle_s;
+    const std::vector<std::string> default_backends{
+        engine::backends::planar, engine::backends::double_defect};
+    const std::vector<std::string> &names =
+        config.backends.empty() ? default_backends : config.backends;
+
+    engine::Registry &registry = engine::Registry::global();
+    for (const std::string &name : names) {
+        const engine::Backend &backend = registry.get(name);
+        backend.prepare(item);
+        engine::Metrics m = backend.run(item);
+        if (m.backend == engine::backends::planar)
+            report.planar = toBackendReport(m);
+        else if (m.backend == engine::backends::double_defect)
+            report.double_defect = toBackendReport(m);
+        report.backend_metrics.push_back(std::move(m));
     }
-
-    // Planar backend: Multi-SIMD scheduling + EPR pipelining.
-    {
-        planar::PlanarOptions opts;
-        opts.code_distance = d;
-        opts.num_regions = config.num_simd_regions;
-        opts.epr_window_steps = config.epr_window_steps;
-        opts.tech = config.tech;
-        planar::PlanarResult r = planar::runPlanar(circ, opts);
-
-        BackendReport &b = report.planar;
-        b.code = qec::CodeKind::Planar;
-        b.schedule_cycles = r.schedule_cycles;
-        b.critical_path_cycles = r.critical_path_cycles;
-        b.cp_ratio = r.ratio();
-        b.teleports = r.teleports;
-        b.peak_live_eprs = r.peak_live_eprs;
-        b.physical_qubits =
-            physicalQubits(qec::CodeKind::Planar, q, d);
-        b.seconds =
-            static_cast<double>(r.schedule_cycles) * cycle_s;
-    }
-
     return report;
 }
 

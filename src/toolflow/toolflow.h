@@ -16,12 +16,14 @@
 #define QSURF_TOOLFLOW_TOOLFLOW_H
 
 #include <string>
+#include <vector>
 
 #include "braid/scheduler.h"
 #include "circuit/circuit.h"
 #include "circuit/decompose.h"
 #include "circuit/peephole.h"
 #include "circuit/schedule.h"
+#include "engine/backend.h"
 #include "qec/code.h"
 #include "qec/technology.h"
 
@@ -53,6 +55,20 @@ struct Config
 
     /** Layout / tie-break RNG seed. */
     uint64_t seed = 1;
+
+    /**
+     * Engine backends to dispatch to, by registry name; empty runs
+     * the two simulation backends the paper compares ("planar" and
+     * "double-defect").
+     */
+    std::vector<std::string> backends;
+
+    /**
+     * Application scaling profile for analytic model backends in
+     * `backends`; the simulation backends ignore it (they work from
+     * the circuit alone).
+     */
+    apps::AppKind app = apps::AppKind::SQ;
 };
 
 /** Per-backend outcome. */
@@ -83,6 +99,12 @@ struct Report
     double target_logical_error = 0;
     BackendReport planar;
     BackendReport double_defect;
+
+    /**
+     * Uniform engine metrics of every backend that ran, in dispatch
+     * order (includes any extra Config::backends entries).
+     */
+    std::vector<engine::Metrics> backend_metrics;
 
     /** @return the code with the smaller space-time product. */
     qec::CodeKind

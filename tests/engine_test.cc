@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Engine-layer tests: registry lookup and duplicate-registration
+ * errors, backend/simulator equivalence (the engine interface must
+ * be a faithful adapter, not a reimplementation), and the uniform
+ * Metrics record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "braid/scheduler.h"
+#include "circuit/decompose.h"
+#include "common/logging.h"
+#include "engine/registry.h"
+#include "estimate/model.h"
+#include "planar/planar.h"
+
+namespace qsurf::engine {
+namespace {
+
+circuit::Circuit
+smallCircuit()
+{
+    apps::GenOptions opts;
+    opts.problem_size = 8;
+    opts.max_iterations = 2;
+    return circuit::decompose(
+        apps::generate(apps::AppKind::SQ, opts));
+}
+
+WorkItem
+itemFor(const circuit::Circuit *circ)
+{
+    WorkItem item;
+    item.app = apps::AppKind::SQ;
+    item.circuit = circ;
+    item.config.code_distance = 5;
+    item.config.seed = 7;
+    return item;
+}
+
+/** Minimal backend for registration tests. */
+class StubBackend : public Backend
+{
+  public:
+    explicit StubBackend(std::string name) : label(std::move(name)) {}
+    std::string name() const override { return label; }
+    qec::CodeKind code() const override { return qec::CodeKind::Planar; }
+    bool needsCircuit() const override { return false; }
+    Metrics
+    run(const WorkItem &) const override
+    {
+        Metrics m;
+        m.backend = label;
+        return m;
+    }
+
+  private:
+    std::string label;
+};
+
+TEST(Registry, GlobalHasBuiltinBackends)
+{
+    Registry &r = Registry::global();
+    for (const char *name :
+         {backends::planar, backends::double_defect,
+          backends::planar_model, backends::double_defect_model}) {
+        EXPECT_TRUE(r.contains(name)) << name;
+        EXPECT_EQ(r.get(name).name(), name);
+    }
+    EXPECT_EQ(r.names().size(), 4u);
+}
+
+TEST(Registry, NamesAreSorted)
+{
+    auto names = Registry::global().names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, UnknownNameIsFatalAndListsRegistered)
+{
+    try {
+        Registry::global().get("no-such-backend");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("no-such-backend"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find(backends::planar),
+                  std::string::npos);
+    }
+}
+
+TEST(Registry, DuplicateRegistrationIsFatal)
+{
+    Registry r;
+    r.add(std::make_unique<StubBackend>("stub"));
+    EXPECT_THROW(r.add(std::make_unique<StubBackend>("stub")),
+                 FatalError);
+}
+
+TEST(Registry, PrivateRegistriesAreIndependent)
+{
+    Registry r;
+    registerBuiltinBackends(r);
+    r.add(std::make_unique<StubBackend>("stub"));
+    EXPECT_TRUE(r.contains("stub"));
+    EXPECT_FALSE(Registry::global().contains("stub"));
+}
+
+TEST(Backend, DoubleDefectMatchesDirectSimulation)
+{
+    circuit::Circuit circ = smallCircuit();
+    WorkItem item = itemFor(&circ);
+    item.config.policy = 3;
+
+    braid::BraidOptions opts;
+    opts.code_distance = 5;
+    opts.seed = 7;
+    braid::BraidResult direct = braid::scheduleBraids(
+        circ, braid::Policy::Criticality, opts);
+
+    const Backend &b =
+        Registry::global().get(backends::double_defect);
+    Metrics m = b.run(item);
+    EXPECT_EQ(m.schedule_cycles, direct.schedule_cycles);
+    EXPECT_EQ(m.critical_path_cycles, direct.critical_path_cycles);
+    EXPECT_DOUBLE_EQ(m.extra("mesh_utilization"),
+                     direct.mesh_utilization);
+    EXPECT_EQ(m.code, qec::CodeKind::DoubleDefect);
+    EXPECT_EQ(m.code_distance, 5);
+}
+
+TEST(Backend, PlanarMatchesDirectSimulation)
+{
+    circuit::Circuit circ = smallCircuit();
+    WorkItem item = itemFor(&circ);
+
+    planar::PlanarOptions opts;
+    opts.code_distance = 5;
+    planar::PlanarResult direct = planar::runPlanar(circ, opts);
+
+    const Backend &b = Registry::global().get(backends::planar);
+    Metrics m = b.run(item);
+    EXPECT_EQ(m.schedule_cycles, direct.schedule_cycles);
+    EXPECT_EQ(m.critical_path_cycles, direct.critical_path_cycles);
+    EXPECT_DOUBLE_EQ(m.extra("teleports"),
+                     static_cast<double>(direct.teleports));
+}
+
+TEST(Backend, ModelMatchesDirectEstimate)
+{
+    WorkItem item;
+    item.app = apps::AppKind::SQ;
+    item.config.kq = 1e8;
+    item.config.tech = qec::tech_points::futureOptimistic();
+
+    estimate::ResourceModel model(apps::AppKind::SQ,
+                                  item.config.tech);
+    auto direct = model.estimate(qec::CodeKind::Planar, 1e8);
+
+    const Backend &b = Registry::global().get(backends::planar_model);
+    EXPECT_FALSE(b.needsCircuit());
+    Metrics m = b.run(item);
+    EXPECT_EQ(m.code_distance, direct.code_distance);
+    EXPECT_DOUBLE_EQ(m.physical_qubits, direct.physical_qubits);
+    EXPECT_DOUBLE_EQ(m.seconds, direct.seconds);
+    EXPECT_DOUBLE_EQ(m.spaceTime(), direct.spaceTime());
+}
+
+TEST(Backend, PrepareRejectsMissingCircuit)
+{
+    WorkItem item;
+    EXPECT_THROW(
+        Registry::global().get(backends::planar).prepare(item),
+        FatalError);
+}
+
+TEST(Backend, PrepareRejectsBadPolicy)
+{
+    circuit::Circuit circ = smallCircuit();
+    WorkItem item = itemFor(&circ);
+    item.config.policy = 99;
+    EXPECT_THROW(
+        Registry::global().get(backends::double_defect).prepare(item),
+        FatalError);
+}
+
+TEST(Backend, ModelPrepareNeedsSizeOrCircuit)
+{
+    WorkItem item;
+    EXPECT_THROW(
+        Registry::global().get(backends::planar_model).prepare(item),
+        FatalError);
+    item.config.kq = 1e6;
+    EXPECT_NO_THROW(
+        Registry::global().get(backends::planar_model).prepare(item));
+}
+
+TEST(Metrics, ExtrasSetGetOverwrite)
+{
+    Metrics m;
+    EXPECT_FALSE(m.has("x"));
+    EXPECT_DOUBLE_EQ(m.extra("x", -1), -1);
+    m.set("x", 2.5);
+    EXPECT_TRUE(m.has("x"));
+    EXPECT_DOUBLE_EQ(m.extra("x"), 2.5);
+    m.set("x", 3.5);
+    EXPECT_DOUBLE_EQ(m.extra("x"), 3.5);
+    EXPECT_EQ(m.extras.size(), 1u);
+}
+
+TEST(Metrics, RatioAndSpaceTime)
+{
+    Metrics m;
+    m.schedule_cycles = 200;
+    m.critical_path_cycles = 100;
+    m.physical_qubits = 10;
+    m.seconds = 3;
+    EXPECT_DOUBLE_EQ(m.ratio(), 2.0);
+    EXPECT_DOUBLE_EQ(m.spaceTime(), 30.0);
+    m.critical_path_cycles = 0;
+    EXPECT_DOUBLE_EQ(m.ratio(), 0.0);
+}
+
+TEST(Seeding, MixSeedDecorrelatesIndices)
+{
+    EXPECT_NE(mixSeed(1, 0), mixSeed(1, 1));
+    EXPECT_NE(mixSeed(1, 0), mixSeed(2, 0));
+    // Deterministic.
+    EXPECT_EQ(mixSeed(42, 17), mixSeed(42, 17));
+}
+
+TEST(WorkItem, ResolveDistanceHonorsOverride)
+{
+    circuit::Circuit circ = smallCircuit();
+    WorkItem item = itemFor(&circ);
+    EXPECT_EQ(item.resolveDistance(), 5);
+    item.config.code_distance = 0;
+    EXPECT_GE(item.resolveDistance(), 3);
+}
+
+} // namespace
+} // namespace qsurf::engine

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * JSON writer tests: nesting, comma placement, escaping, number
+ * round-tripping and misuse panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace qsurf {
+namespace {
+
+TEST(Json, FlatObject)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.beginObject();
+        j.field("name", "fig6");
+        j.field("points", 28);
+        j.field("ok", true);
+        j.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\n  \"name\": \"fig6\",\n"
+                        "  \"points\": 28,\n  \"ok\": true\n}");
+}
+
+TEST(Json, NestedArraysAndObjects)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("rows");
+    j.beginArray();
+    j.beginObject();
+    j.field("x", 1);
+    j.endObject();
+    j.beginObject();
+    j.field("x", 2);
+    j.endObject();
+    j.endArray();
+    j.endObject();
+    EXPECT_EQ(os.str(), "{\n  \"rows\": [\n    {\n      \"x\": 1\n"
+                        "    },\n    {\n      \"x\": 2\n    }\n"
+                        "  ]\n}");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::quote("a\"b\\c\nd\te"),
+              "\"a\\\"b\\\\c\\nd\\te\"");
+    EXPECT_EQ(JsonWriter::quote(std::string(1, '\x01')),
+              "\"\\u0001\"");
+}
+
+TEST(Json, NumbersRoundTrip)
+{
+    for (double v : {0.0, 1.0, -2.5, 0.1, 1e24, 1e-24,
+                     0.30000000000000004, 3.141592653589793}) {
+        std::string s = JsonWriter::number(v);
+        double parsed = std::stod(s);
+        EXPECT_EQ(parsed, v) << s;
+    }
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull)
+{
+    EXPECT_EQ(JsonWriter::number(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+TEST(Json, MismatchedNestingPanics)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    EXPECT_THROW(j.endArray(), PanicError);
+    j.endObject();
+}
+
+TEST(Json, KeyOutsideObjectPanics)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray();
+    EXPECT_THROW(j.key("x"), PanicError);
+    j.endArray();
+}
+
+} // namespace
+} // namespace qsurf
