@@ -1,21 +1,60 @@
 /**
  * @file
- * Section 8.2: why the paper set lattice surgery aside.
+ * Section 8.2: why the paper set lattice surgery aside — now checked
+ * with a cycle-accurate simulated backend, not just the closed-form
+ * model.
  *
- * Extends the Figure-8 comparison with a third communication scheme
- * — planar patches interacting through merge/split chains — and
- * checks the paper's qualitative argument: surgery chains have
- * "neither the benefits of braids (fast movement) nor teleportation
- * (prefetchability)", so across the swept design points surgery
- * should essentially never be the best of the three.
+ * Two sweep grids on the engine's parallel driver:
+ *
+ *  1. simulated: the three run-to-completion backends ("planar",
+ *     "double-defect", "planar/surgery-sim") across app x code
+ *     distance at feasible scale — merge/split chains pay
+ *     rounds-per-tile d-cycle stabilization and congest on shared
+ *     corridors;
+ *  2. analytic: the three design-space models across app x
+ *     computation size up to 1e20.
+ *
+ * Both land in one BENCH_sec82.json.  The paper's qualitative
+ * argument — surgery chains have "neither the benefits of braids
+ * (fast movement) nor teleportation (prefetchability)" — predicts
+ * surgery is best at ~0 design points, simulated or analytic.
  */
 
 #include <algorithm>
 #include <iostream>
 
+#include <fstream>
+
 #include "common/logging.h"
 #include "common/table.h"
-#include "estimate/lattice_surgery.h"
+#include "engine/sweep.h"
+
+namespace {
+
+using namespace qsurf;
+
+/**
+ * Count, per consecutive group of @p group backends, how often each
+ * backend has the smallest space-time product; returns per-backend
+ * win counts in group order.
+ */
+std::vector<int>
+countWins(const std::vector<engine::SweepPoint> &points, size_t group)
+{
+    std::vector<int> wins(group, 0);
+    for (size_t base = 0; base + group <= points.size();
+         base += group) {
+        size_t best = base;
+        for (size_t i = base + 1; i < base + group; ++i)
+            if (points[i].metrics.spaceTime()
+                < points[best].metrics.spaceTime())
+                best = i;
+        ++wins[best - base];
+    }
+    return wins;
+}
+
+} // namespace
 
 int
 main()
@@ -23,42 +62,99 @@ main()
     using namespace qsurf;
     setQuiet(true);
 
-    const char *names[] = {"planar/teleport", "double-defect/braid",
-                           "planar/surgery"};
-    int surgery_wins = 0, points = 0;
+    // --- grid 1: the simulated backends at feasible scale --------
+    engine::SweepGrid sim;
+    sim.apps = {
+        {apps::AppKind::SQ, {8, 2}, ""},
+        {apps::AppKind::IsingSemi, {24, 2}, ""},
+    };
+    sim.backends = {engine::backends::planar,
+                    engine::backends::double_defect,
+                    engine::backends::surgery_sim};
+    sim.distances = {3, 5, 7};
 
-    for (apps::AppKind app :
-         {apps::AppKind::SQ, apps::AppKind::IsingFull}) {
-        qec::Technology tech = qec::tech_points::futureOptimistic();
-        estimate::ResourceModel model(app, tech);
+    engine::SweepOptions sim_opts;
+    sim_opts.num_threads = engine::defaultThreads();
+    auto sim_results = engine::SweepDriver().run(sim, sim_opts);
 
-        Table t(std::string("Section 8.2 three-way comparison, ")
-                + apps::appSpec(app).name + " (pP = 1e-8)");
-        t.header({"size (1/pL)", "teleport qubit-s", "braid qubit-s",
-                  "surgery qubit-s", "surgery/best", "winner"});
-        for (double kq = 1e2; kq <= 1e20; kq *= 1000) {
-            auto cmp = estimate::compareThreeWay(model, kq);
-            double best_st = std::min(
-                {cmp.planar.spaceTime(), cmp.double_defect.spaceTime(),
-                 cmp.surgery.spaceTime()});
-            t.addRow(Table::num(kq),
-                     Table::num(cmp.planar.spaceTime()),
-                     Table::num(cmp.double_defect.spaceTime()),
-                     Table::num(cmp.surgery.spaceTime()),
-                     Table::fixed(cmp.surgery.spaceTime() / best_st,
-                                  1),
-                     names[cmp.best()]);
-            ++points;
-            if (cmp.best() == 2)
-                ++surgery_wins;
-        }
-        t.print(std::cout);
+    Table st("Section 8.2 simulated: teleport vs braid vs "
+             "merge/split chains");
+    st.header({"app", "d", "backend", "schedule cycles", "sched/CP",
+               "phys qubits", "spacetime (qubit-s)"});
+    for (const engine::SweepPoint &p : sim_results)
+        st.addRow(p.app_name, p.metrics.code_distance, p.backend,
+                  p.metrics.schedule_cycles,
+                  Table::fixed(p.metrics.ratio(), 2),
+                  Table::num(p.metrics.physical_qubits),
+                  Table::num(p.metrics.spaceTime()));
+    st.print(std::cout);
+
+    // --- grid 2: the analytic models across the design space -----
+    engine::SweepGrid model;
+    model.apps = {
+        {apps::AppKind::SQ, {}, ""},
+        {apps::AppKind::IsingFull, {}, ""},
+    };
+    model.backends = {engine::backends::planar_model,
+                      engine::backends::double_defect_model,
+                      engine::backends::surgery_model};
+    model.sizes.clear();
+    for (double kq = 1e2; kq <= 1e20; kq *= 1000)
+        model.sizes.push_back(kq);
+    model.base.tech = qec::tech_points::futureOptimistic();
+
+    engine::SweepOptions model_opts;
+    model_opts.num_threads = engine::defaultThreads();
+    auto model_results = engine::SweepDriver().run(model, model_opts);
+
+    Table mt("Section 8.2 analytic: three-way space-time comparison "
+             "(pP = 1e-8)");
+    mt.header({"app", "size (1/pL)", "teleport qubit-s",
+               "braid qubit-s", "surgery qubit-s", "winner"});
+    for (size_t base = 0; base + 3 <= model_results.size();
+         base += 3) {
+        const auto &pl = model_results[base];
+        const auto &dd = model_results[base + 1];
+        const auto &su = model_results[base + 2];
+        double best =
+            std::min({pl.metrics.spaceTime(), dd.metrics.spaceTime(),
+                      su.metrics.spaceTime()});
+        const char *winner = best == pl.metrics.spaceTime()
+            ? "planar/teleport"
+            : best == dd.metrics.spaceTime() ? "double-defect/braid"
+                                             : "planar/surgery";
+        mt.addRow(pl.app_name, Table::num(pl.kq),
+                  Table::num(pl.metrics.spaceTime()),
+                  Table::num(dd.metrics.spaceTime()),
+                  Table::num(su.metrics.spaceTime()), winner);
+    }
+    mt.print(std::cout);
+
+    // --- combined JSON + the paper's claim ------------------------
+    std::vector<engine::SweepPoint> all = sim_results;
+    all.insert(all.end(), model_results.begin(), model_results.end());
+    const char *json_path = "BENCH_sec82.json";
+    {
+        std::ofstream os(json_path);
+        fatalIf(!os, "cannot open '", json_path, "' for writing");
+        engine::writeSweepJson(
+            os, "Section 8.2: lattice surgery, simulated + analytic",
+            all);
     }
 
+    auto sim_wins = countWins(sim_results, sim.backends.size());
+    auto model_wins = countWins(model_results, model.backends.size());
+    int surgery_wins = sim_wins[2] + model_wins[2];
+    int points = static_cast<int>(sim_results.size()
+                                  + model_results.size())
+        / 3;
     std::cout << "Surgery wins " << surgery_wins << " of " << points
-              << " design points (paper's Section 8.2 argument: the "
-                 "merge/split chain\nis dominated — slower than "
+              << " design points (" << sim_wins[2] << " simulated, "
+              << model_wins[2]
+              << " analytic).  Paper's Section 8.2 argument: the "
+                 "merge/split chain is\ndominated — slower than "
                  "braids at distance, unprefetchable unlike "
-                 "teleports).\n";
+                 "teleports.\n";
+    std::cout << "wrote " << json_path << "\n";
     return 0;
 }

@@ -105,6 +105,12 @@ struct RunConfig
     /** EPR lookahead window for the planar backend (steps). */
     int epr_window_steps = 32;
 
+    /**
+     * Concurrent EPR transports the planar machine's channels
+     * sustain; 0 uses the architecture's channel-link count.
+     */
+    int epr_bandwidth = 0;
+
     /** SIMD regions in the planar machine. */
     int num_simd_regions = 4;
 

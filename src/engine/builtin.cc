@@ -14,6 +14,7 @@
 #include "engine/registry.h"
 #include "estimate/model.h"
 #include "planar/planar.h"
+#include "surgery/backend.h"
 
 namespace qsurf::engine {
 
@@ -102,6 +103,7 @@ class PlanarBackend : public Backend
         opts.num_regions = item.config.num_simd_regions;
         opts.region_capacity = item.config.region_capacity;
         opts.epr_window_steps = item.config.epr_window_steps;
+        opts.epr_bandwidth = item.config.epr_bandwidth;
         opts.tech = item.config.tech;
         planar::PlanarResult r = planar::runPlanar(*item.circuit, opts);
 
@@ -199,6 +201,7 @@ registerBuiltinBackends(Registry &registry)
         std::make_unique<ModelBackend>(qec::CodeKind::Planar));
     registry.add(
         std::make_unique<ModelBackend>(qec::CodeKind::DoubleDefect));
+    surgery::registerSurgeryBackends(registry);
 }
 
 } // namespace qsurf::engine

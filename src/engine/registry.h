@@ -36,6 +36,12 @@ inline constexpr const char *double_defect_model =
 /** Analytic design-space model of the planar machine. */
 inline constexpr const char *planar_model = "planar-model";
 
+/** Lattice-surgery chain simulation on the patch machine. */
+inline constexpr const char *surgery_sim = "planar/surgery-sim";
+
+/** Analytic lattice-surgery model (Section 8.2). */
+inline constexpr const char *surgery_model = "planar/surgery-model";
+
 } // namespace backends
 
 /** A named set of backends.  Thread-safe. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "network/route.h"
 
 namespace qsurf::engine {
@@ -34,6 +35,91 @@ RouteClaimer::tryClaim(const Coord &src, const Coord &dst, int owner,
         }
     }
     return std::nullopt;
+}
+
+void
+ChainClaimer::reserveTerminal(const Coord &terminal)
+{
+    if (reserved_.count(terminal))
+        return;
+    int sentinel =
+        reserved_owner_base + static_cast<int>(reserved_.size());
+    reserved_.emplace(terminal, sentinel);
+    network::Path node;
+    node.nodes.push_back(terminal);
+    panicIf(!mesh_.routeFree(node, sentinel),
+            "patch terminal already claimed on the mesh");
+    mesh_.claim(node, sentinel);
+}
+
+bool
+ChainClaimer::isReserved(const Coord &c) const
+{
+    return reserved_.count(c) != 0;
+}
+
+void
+ChainClaimer::setEndpointReserved(const Coord &c, bool reserved)
+{
+    auto it = reserved_.find(c);
+    if (it == reserved_.end())
+        return;
+    network::Path node;
+    node.nodes.push_back(c);
+    // The terminal may be engaged in another live chain (two
+    // commuting ops can share a qubit): only the sentinel's own
+    // hold is suspended or restored, never a chain's.
+    if (reserved) {
+        if (mesh_.nodeOwner(c) == network::Mesh::no_owner)
+            mesh_.claim(node, it->second);
+    } else if (mesh_.nodeOwner(c) == it->second) {
+        mesh_.release(node, it->second);
+    }
+}
+
+std::optional<network::Path>
+ChainClaimer::tryClaim(const network::Path &primary,
+                       const network::Path &fallback, int owner,
+                       int wait)
+{
+    const Coord &src = primary.source();
+    const Coord &dst = primary.dest();
+
+    // Suspend the endpoint reservations: the two merged patches are
+    // part of the chain, but stay opaque to every other chain.
+    setEndpointReserved(src, false);
+    setEndpointReserved(dst, false);
+
+    if (mesh_.routeFree(primary, owner)) {
+        mesh_.claim(primary, owner);
+        return primary;
+    }
+    if (wait >= opts_.adapt_timeout
+        && mesh_.routeFree(fallback, owner)) {
+        ++transpose_fallbacks_;
+        mesh_.claim(fallback, owner);
+        return fallback;
+    }
+    if (wait >= opts_.bfs_timeout) {
+        auto detour = network::adaptiveRoute(mesh_, src, dst, owner);
+        if (detour) {
+            ++bfs_detours_;
+            mesh_.claim(*detour, owner);
+            return detour;
+        }
+    }
+
+    setEndpointReserved(src, true);
+    setEndpointReserved(dst, true);
+    return std::nullopt;
+}
+
+void
+ChainClaimer::release(const network::Path &chain, int owner)
+{
+    mesh_.release(chain, owner);
+    setEndpointReserved(chain.source(), true);
+    setEndpointReserved(chain.dest(), true);
 }
 
 LiveIntervalProfile::Summary

@@ -17,6 +17,7 @@
 #define QSURF_ENGINE_SIM_H
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <queue>
 #include <set>
@@ -172,6 +173,77 @@ class RouteClaimer
   private:
     network::Mesh &mesh_;
     RouteClaimOptions opts_;
+    uint64_t transpose_fallbacks_ = 0;
+    uint64_t bfs_detours_ = 0;
+};
+
+/**
+ * The chain-claiming variant of RouteClaimer, for lattice-surgery
+ * merge/split corridors (Section 8.2).
+ *
+ * Chains differ from braids in two ways.  First, the corridor may
+ * not pass *through* a live data patch: every patch terminal is
+ * reserved up front, and a chain only touches the two patches it
+ * merges (their reservations are suspended while the chain runs).
+ * Second, the preferred geometry is not plain dimension-ordered —
+ * callers supply corridor-aware primary/fallback routes (built by
+ * the patch architecture) and the claimer escalates primary ->
+ * fallback -> BFS-through-free-resources on the same timeouts as
+ * RouteClaimer.  Like a braid, a granted chain owns its whole
+ * corridor exclusively until release().
+ */
+class ChainClaimer
+{
+  public:
+    ChainClaimer(network::Mesh &mesh, const RouteClaimOptions &opts)
+        : mesh_(mesh), opts_(opts)
+    {
+    }
+
+    /**
+     * Reserve @p terminal as a live patch: no chain may route
+     * through it (only chains terminating there may touch it).
+     */
+    void reserveTerminal(const Coord &terminal);
+
+    /** @return true when @p c is a reserved patch terminal. */
+    bool isReserved(const Coord &c) const;
+
+    /**
+     * Try to claim the corridor of @p primary (endpoints included)
+     * for @p owner.
+     *
+     * @param primary  preferred corridor route; its endpoints name
+     *                 the two patches being merged.
+     * @param fallback alternate geometry, tried once the owner has
+     *                 waited adapt_timeout cycles.
+     * @param wait     cycles the owner has already failed to place.
+     * @return the claimed corridor, or nullopt when every stage
+     *         failed (endpoint reservations are then restored).
+     */
+    std::optional<network::Path>
+    tryClaim(const network::Path &primary,
+             const network::Path &fallback, int owner, int wait);
+
+    /** Release @p chain and restore its endpoint reservations. */
+    void release(const network::Path &chain, int owner);
+
+    /** Successful placements that needed the fallback geometry. */
+    uint64_t transposeFallbacks() const { return transpose_fallbacks_; }
+
+    /** Successful placements that needed the BFS detour. */
+    uint64_t bfsDetours() const { return bfs_detours_; }
+
+  private:
+    /** Suspend (true) or restore (false) an endpoint reservation. */
+    void setEndpointReserved(const Coord &c, bool reserved);
+
+    /** First sentinel owner id; far above any op id. */
+    static constexpr int reserved_owner_base = 1 << 28;
+
+    network::Mesh &mesh_;
+    RouteClaimOptions opts_;
+    std::map<Coord, int> reserved_;
     uint64_t transpose_fallbacks_ = 0;
     uint64_t bfs_detours_ = 0;
 };

@@ -24,6 +24,7 @@ runPlanar(const circuit::Circuit &circ, const PlanarOptions &opts)
 
     EprOptions epr_opts;
     epr_opts.window_steps = opts.epr_window_steps;
+    epr_opts.bandwidth = opts.epr_bandwidth;
     epr_opts.code_distance = opts.code_distance;
     epr_opts.swap_hop_cycles =
         opts.tech.swapHopCycles(opts.code_distance);

@@ -31,6 +31,10 @@ struct PlanarOptions
     /** EPR lookahead window in steps; <= 0 means prefetch-all. */
     int epr_window_steps = 32;
 
+    /** Concurrent EPR transports the channels sustain; 0 means use
+     *  the architecture's channelLinks(). */
+    int epr_bandwidth = 0;
+
     /** Technology for the swap-chain latency model. */
     qec::Technology tech;
 };

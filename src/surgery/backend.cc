@@ -1,0 +1,145 @@
+#include "surgery/backend.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "estimate/lattice_surgery.h"
+#include "qec/code.h"
+#include "surgery/chain_scheduler.h"
+
+namespace qsurf::surgery {
+
+namespace {
+
+/** Lattice-surgery chain simulation on the patch machine. */
+class SurgerySimBackend : public engine::Backend
+{
+  public:
+    std::string
+    name() const override
+    {
+        return engine::backends::surgery_sim;
+    }
+
+    qec::CodeKind code() const override { return qec::CodeKind::Planar; }
+
+    engine::Metrics
+    run(const engine::WorkItem &item) const override
+    {
+        int d = item.resolveDistance();
+        SurgeryOptions opts;
+        opts.code_distance = d;
+        // Same convention as the braid backend: Policies 2+ use the
+        // interaction-aware layout, below that the naive one.
+        opts.optimized_layout = item.config.policy >= 2;
+        opts.seed = item.config.seed;
+        SurgeryResult r = scheduleSurgery(*item.circuit, opts);
+
+        engine::Metrics m;
+        m.backend = name();
+        m.code = code();
+        m.code_distance = d;
+        m.schedule_cycles = r.schedule_cycles;
+        m.critical_path_cycles = r.critical_path_cycles;
+        m.physical_qubits = surgeryPhysicalQubits(
+            static_cast<double>(item.circuit->numQubits()), d);
+        m.seconds = static_cast<double>(r.schedule_cycles)
+            * item.config.tech.surfaceCycleNs() * 1e-9;
+        m.set("mesh_utilization", r.mesh_utilization);
+        m.set("chains_placed",
+              static_cast<double>(r.chains_placed));
+        m.set("placement_failures",
+              static_cast<double>(r.placement_failures));
+        m.set("transpose_fallbacks",
+              static_cast<double>(r.transpose_fallbacks));
+        m.set("bfs_detours", static_cast<double>(r.bfs_detours));
+        m.set("drops", static_cast<double>(r.drops));
+        m.set("total_chain_tiles",
+              static_cast<double>(r.total_chain_tiles));
+        m.set("max_chain_tiles",
+              static_cast<double>(r.max_chain_tiles));
+        m.set("peak_live_chains",
+              static_cast<double>(r.peak_live_chains));
+        m.set("avg_live_chains", r.avg_live_chains);
+        m.set("layout_cost", r.layout_cost);
+        return m;
+    }
+};
+
+/** Analytic lattice-surgery model (Section 8.2). */
+class SurgeryModelBackend : public engine::Backend
+{
+  public:
+    std::string
+    name() const override
+    {
+        return engine::backends::surgery_model;
+    }
+
+    qec::CodeKind code() const override { return qec::CodeKind::Planar; }
+
+    bool needsCircuit() const override { return false; }
+
+    void
+    prepare(const engine::WorkItem &item) const override
+    {
+        Backend::prepare(item);
+        fatalIf(item.config.kq <= 0 && !item.circuit,
+                "backend '", name(), "' needs a computation size "
+                "(config.kq) or a circuit to derive one from");
+    }
+
+    engine::Metrics
+    run(const engine::WorkItem &item) const override
+    {
+        estimate::ResourceModel model(item.app, item.config.tech);
+        double kq = item.logicalOps();
+        estimate::ResourceEstimate e =
+            estimate::estimateSurgery(model, kq);
+
+        engine::Metrics m;
+        m.backend = name();
+        m.code = code();
+        m.code_distance = e.code_distance;
+        m.schedule_cycles =
+            static_cast<uint64_t>(std::llround(e.total_cycles));
+        m.critical_path_cycles = static_cast<uint64_t>(std::llround(
+            e.total_cycles / e.congestion_inflation));
+        m.physical_qubits = e.physical_qubits;
+        m.seconds = e.seconds;
+        m.set("kq", kq);
+        m.set("logical_qubits", e.logical_qubits);
+        m.set("total_tiles", e.total_tiles);
+        m.set("logical_depth", e.logical_depth);
+        m.set("step_cycles", e.step_cycles);
+        m.set("congestion_inflation", e.congestion_inflation);
+        m.set("total_cycles", e.total_cycles);
+        return m;
+    }
+};
+
+} // namespace
+
+double
+surgeryPhysicalQubits(double logical_qubits, int d,
+                      double tile_factor)
+{
+    // Planar patches plus boundary-ancilla strips, with the
+    // double-defect architectural overhead (factory patches, no EPR
+    // buffers/channels) — the same accounting as
+    // estimate::estimateSurgery.
+    return logical_qubits
+        * qec::spaceOverheadFactor(qec::CodeKind::DoubleDefect)
+        * tile_factor
+        * static_cast<double>(qec::planarTileQubits(d));
+}
+
+void
+registerSurgeryBackends(engine::Registry &registry)
+{
+    registry.add(std::make_unique<SurgerySimBackend>());
+    registry.add(std::make_unique<SurgeryModelBackend>());
+}
+
+} // namespace qsurf::surgery

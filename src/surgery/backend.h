@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The lattice-surgery engine backends: the cycle-accurate chain
+ * simulator ("planar/surgery-sim") and the analytic Section 8.2
+ * model ("planar/surgery-model"), both plugging into the engine
+ * registry so the toolflow, the sweep driver and the figure benches
+ * drive surgery exactly like the braid and Multi-SIMD backends.
+ */
+
+#ifndef QSURF_SURGERY_BACKEND_H
+#define QSURF_SURGERY_BACKEND_H
+
+#include "engine/registry.h"
+
+namespace qsurf::surgery {
+
+/**
+ * Register the surgery backends into @p registry (called by
+ * engine::registerBuiltinBackends; exposed for private-registry
+ * tests).
+ */
+void registerSurgeryBackends(engine::Registry &registry);
+
+/**
+ * @return total physical qubits of a surgery machine holding
+ * @p logical_qubits patches at distance @p d: planar tiles plus
+ * boundary-ancilla strips (@p tile_factor), with the double-defect
+ * architectural overhead (factories but no EPR machinery).
+ */
+double surgeryPhysicalQubits(double logical_qubits, int d,
+                             double tile_factor = 1.2);
+
+} // namespace qsurf::surgery
+
+#endif // QSURF_SURGERY_BACKEND_H

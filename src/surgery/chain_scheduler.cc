@@ -1,0 +1,395 @@
+#include "surgery/chain_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "circuit/dag.h"
+#include "circuit/schedule.h"
+#include "common/logging.h"
+#include "engine/sim.h"
+
+namespace qsurf::surgery {
+
+namespace {
+
+using circuit::GateKind;
+
+/** How an op uses the machine. */
+enum class OpClass : uint8_t
+{
+    Local, ///< 1-qubit non-T gate: patch-local, d cycles.
+    TGate, ///< T/Tdag: one chain to a factory patch.
+    TwoQ,  ///< 2-qubit gate: one merge/split chain.
+};
+
+struct OpRec
+{
+    OpClass cls = OpClass::Local;
+    int32_t qa = -1;
+    int32_t qb = -1;
+    int pending_preds = 0;
+    int wait = 0;        ///< Cycles spent failing to place.
+    int est_tiles = 0;   ///< Ideal chain length, in patch tiles.
+    bool done = false;
+    network::Path route; ///< Currently claimed corridor.
+};
+
+OpClass
+classify(const circuit::Gate &g)
+{
+    if (consumesMagicState(g.kind))
+        return OpClass::TGate;
+    int arity = g.arity();
+    fatalIf(arity > 2, "gate ", circuit::gateName(g.kind),
+            " must be decomposed before surgery scheduling");
+    return arity == 2 ? OpClass::TwoQ : OpClass::Local;
+}
+
+/** Merge/split cost of an @p tiles-tile chain, in cycles. */
+uint64_t
+chainCycles(const SurgeryOptions &opts, int tiles)
+{
+    return static_cast<uint64_t>(std::llround(
+        opts.rounds_per_hop
+        * static_cast<double>(opts.code_distance)
+        * static_cast<double>(std::max(1, tiles))));
+}
+
+/** The simulator. */
+class Simulator
+{
+  public:
+    Simulator(const circuit::Circuit &circ,
+              const SurgeryOptions &opts)
+        : circ(circ), opts(opts), dag(circ),
+          graph(circuit::interactionGraph(circ)),
+          arch(graph, makeArchOptions(opts)), mesh(arch.makeMesh()),
+          claimer(mesh, makeClaimOptions(opts))
+    {
+        crit = circuit::criticality(dag);
+        for (const Coord &terminal : arch.reservedTerminals())
+            claimer.reserveTerminal(terminal);
+        buildOps();
+    }
+
+    SurgeryResult
+    run()
+    {
+        seedReady();
+        uint64_t completed = 0;
+        auto total = static_cast<uint64_t>(circ.size());
+
+        while (completed < total) {
+            fatalIf(cycle > opts.max_cycles,
+                    "surgery simulation exceeded ", opts.max_cycles,
+                    " cycles; likely a configuration problem");
+            placementPhase();
+            mesh.tick();
+            ++cycle;
+            completed += completionPhase();
+        }
+
+        SurgeryResult out;
+        out.schedule_cycles = cycle;
+        out.critical_path_cycles =
+            surgeryCriticalPath(circ, arch, opts);
+        out.mesh_utilization = mesh.utilization();
+        out.chains_placed = chains_placed;
+        out.placement_failures = placement_failures;
+        out.transpose_fallbacks = claimer.transposeFallbacks();
+        out.bfs_detours = claimer.bfsDetours();
+        out.drops = drops;
+        out.total_chain_tiles = total_chain_tiles;
+        out.max_chain_tiles = max_chain_tiles;
+        auto live = live_chains.summarize(cycle);
+        out.peak_live_chains = live.peak;
+        out.avg_live_chains = live.average;
+        out.layout_cost = arch.layoutCost(graph);
+        return out;
+    }
+
+  private:
+    static PatchArchOptions
+    makeArchOptions(const SurgeryOptions &opts)
+    {
+        PatchArchOptions a;
+        a.patches_per_factory = opts.patches_per_factory;
+        a.optimized_layout = opts.optimized_layout;
+        a.seed = opts.seed;
+        return a;
+    }
+
+    static engine::RouteClaimOptions
+    makeClaimOptions(const SurgeryOptions &opts)
+    {
+        engine::RouteClaimOptions c;
+        c.adapt_timeout = opts.adapt_timeout;
+        c.bfs_timeout = opts.bfs_timeout;
+        return c;
+    }
+
+    void
+    buildOps()
+    {
+        ops.resize(static_cast<size_t>(circ.size()));
+        for (int i = 0; i < circ.size(); ++i) {
+            const circuit::Gate &g = circ.gate(i);
+            OpRec &op = ops[static_cast<size_t>(i)];
+            op.cls = classify(g);
+            op.qa = g.qubit[0];
+            op.qb = g.arity() == 2 ? g.qubit[1] : -1;
+            op.pending_preds =
+                static_cast<int>(dag.preds(i).size());
+            op.est_tiles = estimateTiles(op);
+        }
+    }
+
+    /** Ideal (Manhattan) chain length of @p op, in patch tiles. */
+    int
+    estimateTiles(const OpRec &op) const
+    {
+        switch (op.cls) {
+          case OpClass::Local:
+            return 0;
+          case OpClass::TGate: {
+            int f = arch.factoriesByDistance(op.qa).front();
+            return manhattan(arch.patchOf(op.qa),
+                             arch.factoryPatch(f));
+          }
+          case OpClass::TwoQ:
+            return manhattan(arch.patchOf(op.qa),
+                             arch.patchOf(op.qb));
+        }
+        panic("bad OpClass");
+    }
+
+    void
+    seedReady()
+    {
+        for (int i = 0; i < circ.size(); ++i)
+            if (ops[static_cast<size_t>(i)].pending_preds == 0)
+                makeReady(i);
+    }
+
+    void
+    makeReady(int i)
+    {
+        ops[static_cast<size_t>(i)].wait = 0;
+        ready.insert(makeEntry(i));
+    }
+
+    /**
+     * Chains release nothing until the whole merge/split completes,
+     * so the queue works off criticality (longest dependence tail
+     * first) and breaks ties short-chain-first to keep corridors
+     * turning over.
+     */
+    engine::ReadyEntry
+    makeEntry(int i)
+    {
+        const OpRec &op = ops[static_cast<size_t>(i)];
+        engine::ReadyEntry e;
+        e.id = i;
+        e.k1 = -crit[static_cast<size_t>(i)];
+        e.k2 = op.est_tiles;
+        return e;
+    }
+
+    bool
+    tryPlace(int i)
+    {
+        OpRec &op = ops[static_cast<size_t>(i)];
+        if (op.cls == OpClass::Local) {
+            activate(i, static_cast<uint64_t>(opts.code_distance));
+            return true;
+        }
+
+        Coord src = arch.terminal(op.qa);
+        std::vector<Coord> dsts;
+        if (op.cls == OpClass::TwoQ) {
+            dsts.push_back(arch.terminal(op.qb));
+        } else {
+            // T gate: nearest factory first; consider up to 3 once
+            // the op has been waiting.
+            auto order = arch.factoriesByDistance(op.qa);
+            size_t limit = op.wait >= opts.adapt_timeout
+                ? std::min<size_t>(3, order.size())
+                : 1;
+            for (size_t f = 0; f < limit; ++f)
+                dsts.push_back(arch.factoryTerminal(order[f]));
+        }
+
+        for (const Coord &dst : dsts) {
+            network::Path primary =
+                arch.corridorRoute(src, dst, false);
+            network::Path fallback =
+                arch.corridorRoute(src, dst, true);
+            auto chain =
+                claimer.tryClaim(primary, fallback, i, op.wait);
+            if (chain) {
+                placed(i, std::move(*chain));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Record a successful placement on a claimed corridor. */
+    void
+    placed(int i, network::Path chain)
+    {
+        OpRec &op = ops[static_cast<size_t>(i)];
+        auto tiles = static_cast<uint64_t>(
+            PatchArch::chainTiles(chain.hops()));
+        op.route = std::move(chain);
+        ++chains_placed;
+        total_chain_tiles += tiles;
+        max_chain_tiles = std::max(max_chain_tiles, tiles);
+        // One cycle to turn the boundary measurements on, then the
+        // merge/split rounds across the whole corridor.
+        uint64_t duration =
+            chainCycles(opts, static_cast<int>(tiles)) + 1;
+        live_chains.add(cycle, cycle + duration);
+        activate(i, duration);
+    }
+
+    void
+    activate(int i, uint64_t duration)
+    {
+        expiry.schedule(cycle + duration, i);
+    }
+
+    /** Greedy placement, criticality-ordered. */
+    void
+    placementPhase()
+    {
+        int failures = 0;
+        std::vector<int> dropped;
+        auto it = ready.begin();
+        while (it != ready.end()
+               && failures < opts.max_attempts_per_cycle) {
+            int i = it->id;
+            if (tryPlace(i)) {
+                it = ready.erase(it);
+                continue;
+            }
+            ++failures;
+            ++placement_failures;
+            OpRec &op = ops[static_cast<size_t>(i)];
+            ++op.wait;
+            if (op.wait >= opts.drop_timeout) {
+                // Drop and re-inject at the back of the queue.
+                ++drops;
+                op.wait = 0;
+                it = ready.erase(it);
+                dropped.push_back(i);
+                continue;
+            }
+            ++it;
+        }
+        for (int i : dropped)
+            ready.insert(makeEntry(i));
+    }
+
+    /** Retire expired chains; returns number of ops completed. */
+    uint64_t
+    completionPhase()
+    {
+        uint64_t completed = 0;
+        while (auto ripe = expiry.popRipe(cycle)) {
+            int i = *ripe;
+            OpRec &op = ops[static_cast<size_t>(i)];
+            if (!op.route.empty()) {
+                claimer.release(op.route, i);
+                op.route = network::Path{};
+            }
+            op.done = true;
+            ++completed;
+            for (int s : dag.succs(i))
+                if (--ops[static_cast<size_t>(s)].pending_preds == 0)
+                    makeReady(s);
+        }
+        return completed;
+    }
+
+    const circuit::Circuit &circ;
+    const SurgeryOptions &opts;
+    circuit::Dag dag;
+    circuit::InteractionGraph graph;
+    PatchArch arch;
+    network::Mesh mesh;
+    engine::ChainClaimer claimer;
+
+    std::vector<OpRec> ops;
+    std::vector<int> crit;
+    engine::ReadyQueue ready;
+    engine::ExpiryQueue expiry;
+    engine::LiveIntervalProfile live_chains;
+    uint64_t cycle = 0;
+
+    uint64_t chains_placed = 0;
+    uint64_t placement_failures = 0;
+    uint64_t drops = 0;
+    uint64_t total_chain_tiles = 0;
+    uint64_t max_chain_tiles = 0;
+};
+
+} // namespace
+
+uint64_t
+surgeryCriticalPath(const circuit::Circuit &circ,
+                    const PatchArch &arch,
+                    const SurgeryOptions &opts)
+{
+    fatalIf(opts.code_distance < 1,
+            "code distance must be >= 1, got ", opts.code_distance);
+    circuit::Dag dag(circ);
+    std::vector<uint64_t> finish(static_cast<size_t>(circ.size()),
+                                 0);
+    uint64_t best = 0;
+    for (int i = 0; i < circ.size(); ++i) {
+        uint64_t start = 0;
+        for (int p : dag.preds(i))
+            start = std::max(start, finish[static_cast<size_t>(p)]);
+
+        const circuit::Gate &g = circ.gate(i);
+        uint64_t lat;
+        switch (classify(g)) {
+          case OpClass::Local:
+            lat = static_cast<uint64_t>(opts.code_distance);
+            break;
+          case OpClass::TGate: {
+            int f = arch.factoriesByDistance(g.qubit[0]).front();
+            lat = chainCycles(opts,
+                              manhattan(arch.patchOf(g.qubit[0]),
+                                        arch.factoryPatch(f)))
+                + 1;
+            break;
+          }
+          case OpClass::TwoQ:
+            lat = chainCycles(opts,
+                              manhattan(arch.patchOf(g.qubit[0]),
+                                        arch.patchOf(g.qubit[1])))
+                + 1;
+            break;
+        }
+        finish[static_cast<size_t>(i)] = start + lat;
+        best = std::max(best, finish[static_cast<size_t>(i)]);
+    }
+    return best;
+}
+
+SurgeryResult
+scheduleSurgery(const circuit::Circuit &circ,
+                const SurgeryOptions &opts)
+{
+    fatalIf(circ.empty(), "cannot schedule an empty circuit");
+    fatalIf(opts.code_distance < 1, "code distance must be >= 1");
+    fatalIf(opts.rounds_per_hop <= 0,
+            "rounds_per_hop must be > 0, got ", opts.rounds_per_hop);
+    return Simulator(circ, opts).run();
+}
+
+} // namespace qsurf::surgery

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Lattice-surgery chain scheduling (Section 8.2, simulated).
+ *
+ * Each 2-qubit logical operation becomes one merge/split chain: the
+ * corridor of patches between the two operands is claimed
+ * exclusively, the boundary syndromes stabilize for d cycles per
+ * merge/split round, and the chain releases when the split
+ * completes.  A chain across L patch tiles therefore holds its
+ * whole corridor for ~rounds_per_hop * d * L cycles — unlike a
+ * braid, whose route is claimed for d cycles regardless of length,
+ * and unlike a teleport, whose EPR halves travel ahead of need.
+ * T gates merge with a magic-state factory patch through the same
+ * fabric.
+ *
+ * The simulator reuses the engine's deterministic primitives — a
+ * criticality-ordered ReadyQueue, the ExpiryQueue, the
+ * ChainClaimer's corridor-route escalation and LiveIntervalProfile
+ * accounting — so runs are bit-identical for a fixed (circuit,
+ * options) at any sweep thread count.
+ */
+
+#ifndef QSURF_SURGERY_CHAIN_SCHEDULER_H
+#define QSURF_SURGERY_CHAIN_SCHEDULER_H
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+#include "surgery/patch_arch.h"
+
+namespace qsurf::surgery {
+
+/** Simulation knobs. */
+struct SurgeryOptions
+{
+    /** Code distance d: cycles per merge/split stabilization round. */
+    int code_distance = 5;
+
+    /** Merge + split rounds per chain tile (2 = one merge + one
+     *  split), matching estimate::SurgeryConstants. */
+    double rounds_per_hop = 2.0;
+
+    /** Data patches per magic-state factory patch. */
+    int patches_per_factory = 8;
+
+    /** Use the interaction-aware layout. */
+    bool optimized_layout = true;
+
+    /** Cycles an op waits before trying the transposed corridor. */
+    int adapt_timeout = 4;
+
+    /** Cycles before falling back to the adaptive BFS corridor. */
+    int bfs_timeout = 8;
+
+    /** Cycles before the op is dropped and re-injected. */
+    int drop_timeout = 16;
+
+    /** Cap on failed placement attempts per cycle. */
+    int max_attempts_per_cycle = 64;
+
+    /** Safety bound on simulated cycles. */
+    uint64_t max_cycles = 100'000'000;
+
+    /** Layout RNG seed. */
+    uint64_t seed = 1;
+};
+
+/** Results of one chain-scheduling run. */
+struct SurgeryResult
+{
+    /** Total cycles to complete the program. */
+    uint64_t schedule_cycles = 0;
+
+    /** Dependence-limited lower bound (ideal corridors, no
+     *  contention). */
+    uint64_t critical_path_cycles = 0;
+
+    /** Average fraction of mesh links busy. */
+    double mesh_utilization = 0;
+
+    /** Merge/split chains successfully placed. */
+    uint64_t chains_placed = 0;
+
+    /** Failed placement attempts (corridor conflicts). */
+    uint64_t placement_failures = 0;
+
+    /** Placements that needed the transposed corridor. */
+    uint64_t transpose_fallbacks = 0;
+
+    /** Placements that needed the BFS corridor detour. */
+    uint64_t bfs_detours = 0;
+
+    /** Drop/re-inject events. */
+    uint64_t drops = 0;
+
+    /** Sum of chain lengths, in patch tiles. */
+    uint64_t total_chain_tiles = 0;
+
+    /** Longest chain placed, in patch tiles. */
+    uint64_t max_chain_tiles = 0;
+
+    /** Peak simultaneously-live chains. */
+    uint64_t peak_live_chains = 0;
+
+    /** Time-averaged live chains. */
+    double avg_live_chains = 0;
+
+    /** Interaction-weighted layout cost. */
+    double layout_cost = 0;
+
+    /** @return schedule length / critical path. */
+    double
+    ratio() const
+    {
+        return critical_path_cycles
+            ? static_cast<double>(schedule_cycles)
+                / static_cast<double>(critical_path_cycles)
+            : 0.0;
+    }
+};
+
+/**
+ * Dependence-limited critical path of @p circ on @p arch in cycles,
+ * with ideal (uncontended, Manhattan-length) corridors: 1-qubit ops
+ * d, 2-qubit ops and T gates rounds_per_hop * d per patch tile of
+ * their shortest chain.
+ */
+uint64_t surgeryCriticalPath(const circuit::Circuit &circ,
+                             const PatchArch &arch,
+                             const SurgeryOptions &opts);
+
+/**
+ * Simulate lattice-surgery scheduling of @p circ (which must
+ * already be decomposed to Clifford+T).
+ */
+SurgeryResult scheduleSurgery(const circuit::Circuit &circ,
+                              const SurgeryOptions &opts = {});
+
+} // namespace qsurf::surgery
+
+#endif // QSURF_SURGERY_CHAIN_SCHEDULER_H

@@ -1,0 +1,214 @@
+#include "surgery/patch_arch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qsurf::surgery {
+
+namespace {
+
+/** Convert the interaction graph into a partitioner graph. */
+partition::Graph
+toPartitionGraph(const circuit::InteractionGraph &ig)
+{
+    partition::Graph g(ig.num_qubits);
+    for (const auto &[pair, w] : ig.edges)
+        g.addEdge(pair.first, pair.second, static_cast<int64_t>(w));
+    return g;
+}
+
+/** Step @p from one unit toward @p to (or +1 on a tie). */
+int
+stepToward(int from, int to)
+{
+    return to > from ? 1 : to < from ? -1 : 1;
+}
+
+/** Append @p c to @p nodes unless it repeats the last node. */
+void
+append(std::vector<Coord> &nodes, const Coord &c)
+{
+    if (nodes.empty() || nodes.back() != c)
+        nodes.push_back(c);
+}
+
+/** Append every node from the last one to @p to, axis-aligned. */
+void
+walkTo(std::vector<Coord> &nodes, const Coord &to)
+{
+    Coord at = nodes.back();
+    panicIf(at.x != to.x && at.y != to.y,
+            "corridor walk must be axis-aligned");
+    int dx = stepToward(at.x, to.x);
+    int dy = stepToward(at.y, to.y);
+    while (at.x != to.x) {
+        at.x += dx;
+        append(nodes, at);
+    }
+    while (at.y != to.y) {
+        at.y += dy;
+        append(nodes, at);
+    }
+}
+
+} // namespace
+
+Coord
+PatchArch::patchCenter(const Coord &patch)
+{
+    return Coord{2 * patch.x + 1, 2 * patch.y + 1};
+}
+
+PatchArch::PatchArch(const circuit::InteractionGraph &graph,
+                     const PatchArchOptions &opts)
+{
+    nq = graph.num_qubits;
+    fatalIf(nq < 1, "patch architecture needs at least one qubit");
+    fatalIf(opts.patches_per_factory < 1,
+            "patches_per_factory must be >= 1");
+
+    // Near-square data region plus one factory column on the right,
+    // mirroring the braid machine's Figure 3b arrangement.
+    auto [dw, dh] = partition::gridShape(nq);
+    int nfac = std::max(1, nq / opts.patches_per_factory);
+    pw = dw + 1;
+    ph = dh;
+
+    nfac = std::min(nfac, ph);
+    for (int i = 0; i < nfac; ++i) {
+        int y = nfac == 1 ? ph / 2 : i * (ph - 1) / (nfac - 1);
+        factories.push_back(Coord{pw - 1, y});
+    }
+
+    qubit_patch.resize(static_cast<size_t>(nq));
+    partition::GridLayout layout;
+    if (opts.optimized_layout) {
+        partition::Graph pg = toPartitionGraph(graph);
+        layout = partition::layoutOnGrid(pg, dw, dh, opts.seed);
+    } else {
+        layout = partition::naiveLayout(nq, dw, dh);
+    }
+    for (int q = 0; q < nq; ++q)
+        qubit_patch[static_cast<size_t>(q)] =
+            layout.position[static_cast<size_t>(q)];
+}
+
+Coord
+PatchArch::patchOf(int32_t q) const
+{
+    panicIf(q < 0 || q >= nq, "qubit ", q, " out of range");
+    return qubit_patch[static_cast<size_t>(q)];
+}
+
+Coord
+PatchArch::terminal(int32_t q) const
+{
+    return patchCenter(patchOf(q));
+}
+
+Coord
+PatchArch::factoryTerminal(int f) const
+{
+    panicIf(f < 0 || f >= numFactories(), "factory ", f,
+            " out of range");
+    return patchCenter(factories[static_cast<size_t>(f)]);
+}
+
+Coord
+PatchArch::factoryPatch(int f) const
+{
+    panicIf(f < 0 || f >= numFactories(), "factory ", f,
+            " out of range");
+    return factories[static_cast<size_t>(f)];
+}
+
+std::vector<int>
+PatchArch::factoriesByDistance(int32_t q) const
+{
+    Coord patch = patchOf(q);
+    std::vector<int> order(factories.size());
+    for (size_t i = 0; i < factories.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return manhattan(patch, factories[static_cast<size_t>(a)])
+             < manhattan(patch, factories[static_cast<size_t>(b)]);
+    });
+    return order;
+}
+
+network::Mesh
+PatchArch::makeMesh() const
+{
+    return network::Mesh(2 * pw + 1, 2 * ph + 1);
+}
+
+std::vector<Coord>
+PatchArch::reservedTerminals() const
+{
+    std::vector<Coord> out;
+    out.reserve(static_cast<size_t>(nq) + factories.size());
+    for (int q = 0; q < nq; ++q)
+        out.push_back(terminal(q));
+    for (int f = 0; f < numFactories(); ++f)
+        out.push_back(factoryTerminal(f));
+    return out;
+}
+
+network::Path
+PatchArch::corridorRoute(const Coord &src, const Coord &dst,
+                         bool yx_first) const
+{
+    network::Path path;
+    append(path.nodes, src);
+    if (src == dst)
+        return path;
+
+    // Adjacent patches merge directly through the shared boundary
+    // router between their centers.
+    if ((src.y == dst.y && std::abs(dst.x - src.x) == 2)
+        || (src.x == dst.x && std::abs(dst.y - src.y) == 2)) {
+        append(path.nodes,
+               Coord{(src.x + dst.x) / 2, (src.y + dst.y) / 2});
+        append(path.nodes, dst);
+        return path;
+    }
+
+    // General case: exit into the corridor ring next to the source
+    // patch, travel along an even (corridor) row and column — never
+    // through another patch center — and enter the destination from
+    // its adjacent corridor column/row.
+    if (!yx_first) {
+        int ry = src.y + stepToward(src.y, dst.y);
+        int cx = dst.x + stepToward(dst.x, src.x);
+        walkTo(path.nodes, Coord{src.x, ry});
+        walkTo(path.nodes, Coord{cx, ry});
+        walkTo(path.nodes, Coord{cx, dst.y});
+    } else {
+        int cx = src.x + stepToward(src.x, dst.x);
+        int ry = dst.y + stepToward(dst.y, src.y);
+        walkTo(path.nodes, Coord{cx, src.y});
+        walkTo(path.nodes, Coord{cx, ry});
+        walkTo(path.nodes, Coord{dst.x, ry});
+    }
+    walkTo(path.nodes, dst);
+    return path;
+}
+
+int
+PatchArch::chainTiles(int router_hops)
+{
+    return (router_hops + 1) / 2;
+}
+
+double
+PatchArch::layoutCost(const circuit::InteractionGraph &graph) const
+{
+    double sum = 0;
+    for (const auto &[pair, w] : graph.edges)
+        sum += static_cast<double>(w)
+             * manhattan(patchOf(pair.first), patchOf(pair.second));
+    return sum;
+}
+
+} // namespace qsurf::surgery

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Patch layout for the lattice-surgery machine (Section 8.2).
+ *
+ * One planar patch per logical qubit on a 2-D tile grid, with
+ * ancilla corridors between patches.  The routing mesh mirrors the
+ * braid machine's convention — a router at every patch center and
+ * every corridor point between patches, i.e. a (2W+1) x (2H+1) grid
+ * for a W x H patch grid — but the semantics differ: a merge/split
+ * chain may pass through corridor routers only, never through
+ * another live data patch (patch centers are reserved terminals on
+ * the mesh; see engine::ChainClaimer).  Corridor-aware
+ * dimension-ordered routes route around patches, so chains between
+ * non-adjacent patches are strictly longer than the equivalent
+ * braid — one half of the paper's "neither the benefits of braids
+ * nor teleportation" argument.
+ *
+ * Magic-state factory patches sit in a right-hand column, like the
+ * braid machine's Figure 3b arrangement: T gates merge with a
+ * factory patch through the same corridor fabric.
+ */
+
+#ifndef QSURF_SURGERY_PATCH_ARCH_H
+#define QSURF_SURGERY_PATCH_ARCH_H
+
+#include <vector>
+
+#include "circuit/interaction.h"
+#include "common/geometry.h"
+#include "network/mesh.h"
+#include "partition/layout.h"
+
+namespace qsurf::surgery {
+
+/** Configuration of the lattice-surgery machine. */
+struct PatchArchOptions
+{
+    /** Data patches per magic-state factory patch. */
+    int patches_per_factory = 8;
+
+    /** Use the interaction-aware layout (Section 6.2's objective). */
+    bool optimized_layout = true;
+
+    /** Layout RNG seed. */
+    uint64_t seed = 1;
+};
+
+/**
+ * The patch grid: placement of logical data patches and factory
+ * patches, the mapping onto routing-mesh coordinates, and the
+ * corridor-aware preferred routes chains claim.
+ */
+class PatchArch
+{
+  public:
+    /**
+     * Build the machine for @p graph (one vertex per logical
+     * qubit), sizing a near-square grid of data patches plus a
+     * factory column.
+     */
+    PatchArch(const circuit::InteractionGraph &graph,
+              const PatchArchOptions &opts);
+
+    /** @return number of logical data qubits. */
+    int numQubits() const { return nq; }
+
+    /** @return patch-grid width (including the factory column). */
+    int patchWidth() const { return pw; }
+
+    /** @return patch-grid height. */
+    int patchHeight() const { return ph; }
+
+    /** @return number of magic-state factory patches. */
+    int
+    numFactories() const
+    {
+        return static_cast<int>(factories.size());
+    }
+
+    /** @return router coordinate of qubit @p q's patch center. */
+    Coord terminal(int32_t q) const;
+
+    /** @return router coordinate of factory @p f's patch center. */
+    Coord factoryTerminal(int f) const;
+
+    /** @return patch-grid position of factory @p f. */
+    Coord factoryPatch(int f) const;
+
+    /**
+     * @return factory indices sorted by Manhattan patch distance
+     * from the patch of @p q (nearest first).
+     */
+    std::vector<int> factoriesByDistance(int32_t q) const;
+
+    /** @return a routing mesh sized for this machine (fresh state). */
+    network::Mesh makeMesh() const;
+
+    /**
+     * @return every patch-center router (data and factory), for
+     * reservation on the mesh: chains may not route through them.
+     */
+    std::vector<Coord> reservedTerminals() const;
+
+    /** @return patch-grid position of qubit @p q. */
+    Coord patchOf(int32_t q) const;
+
+    /**
+     * Corridor-aware preferred route between patch centers @p src
+     * and @p dst: leaves the source patch, runs along corridor
+     * routers only (every intermediate node has an even coordinate)
+     * and enters the destination patch.  @p yx_first selects the
+     * transposed geometry (vertical corridor first).  Adjacent
+     * patches connect directly through their shared boundary router.
+     */
+    network::Path corridorRoute(const Coord &src, const Coord &dst,
+                                bool yx_first) const;
+
+    /**
+     * @return chain length in patch tiles for a corridor of
+     * @p router_hops mesh hops (two router hops per patch tile,
+     * rounded up); the unit the d-cycle merge/split rounds are
+     * charged per.
+     */
+    static int chainTiles(int router_hops);
+
+    /**
+     * @return sum of interaction-weighted Manhattan patch distances
+     * (the Section 6.2 layout objective, reused for surgery).
+     */
+    double layoutCost(const circuit::InteractionGraph &graph) const;
+
+  private:
+    static Coord patchCenter(const Coord &patch);
+
+    int nq;
+    int pw;
+    int ph;
+    std::vector<Coord> qubit_patch;
+    std::vector<Coord> factories;
+};
+
+} // namespace qsurf::surgery
+
+#endif // QSURF_SURGERY_PATCH_ARCH_H

@@ -1,6 +1,7 @@
 #include <sstream>
 
 #include "common/table.h"
+#include "engine/registry.h"
 #include "toolflow/toolflow.h"
 
 namespace qsurf::toolflow {
@@ -50,6 +51,26 @@ format(const Report &report)
                     Table::num(report.planar.spaceTime()),
                     Table::num(report.double_defect.spaceTime()));
     backends.print(os);
+
+    // Any further registry backends the config requested (e.g. the
+    // lattice-surgery simulator) render uniformly from their engine
+    // metrics.
+    bool any_extra = false;
+    Table extras("Additional backends");
+    extras.header({"backend", "schedule cycles", "sched/CP",
+                   "physical qubits", "space-time (qubit-s)"});
+    for (const engine::Metrics &m : report.backend_metrics) {
+        if (m.backend == engine::backends::planar
+            || m.backend == engine::backends::double_defect)
+            continue;
+        any_extra = true;
+        extras.addRow(m.backend, m.schedule_cycles,
+                      Table::fixed(m.ratio(), 2),
+                      Table::num(m.physical_qubits),
+                      Table::num(m.spaceTime()));
+    }
+    if (any_extra)
+        extras.print(os);
 
     os << "recommended code: "
        << qec::codeKindName(report.recommended()) << "\n";

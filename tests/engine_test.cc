@@ -65,11 +65,12 @@ TEST(Registry, GlobalHasBuiltinBackends)
     Registry &r = Registry::global();
     for (const char *name :
          {backends::planar, backends::double_defect,
-          backends::planar_model, backends::double_defect_model}) {
+          backends::planar_model, backends::double_defect_model,
+          backends::surgery_sim, backends::surgery_model}) {
         EXPECT_TRUE(r.contains(name)) << name;
         EXPECT_EQ(r.get(name).name(), name);
     }
-    EXPECT_EQ(r.names().size(), 4u);
+    EXPECT_EQ(r.names().size(), 6u);
 }
 
 TEST(Registry, NamesAreSorted)

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Lattice-surgery simulator tests: corridor-route construction, the
+ * chain-claiming mesh semantics (contention serialization on a
+ * shared corridor), agreement with the analytic Section 8.2 model's
+ * latency trends (monotone in chain length and code distance), the
+ * engine integration, and — the engine's central guarantee — sweep
+ * results bit-identical at thread counts 1, 2 and 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/interaction.h"
+#include "common/logging.h"
+#include "engine/sim.h"
+#include "engine/sweep.h"
+#include "estimate/lattice_surgery.h"
+#include "surgery/backend.h"
+#include "surgery/chain_scheduler.h"
+#include "toolflow/toolflow.h"
+
+namespace qsurf::surgery {
+namespace {
+
+/** A chain machine with one CNOT between the end qubits. */
+circuit::Circuit
+endToEndCnot(int num_qubits)
+{
+    circuit::Circuit c("dist-probe", num_qubits);
+    c.addGate(circuit::GateKind::CNOT, 0,
+              static_cast<int32_t>(num_qubits - 1));
+    return c;
+}
+
+/** A 2x2 patch machine (4 qubits, naive layout). */
+PatchArch
+fourQubitArch()
+{
+    circuit::Circuit c("probe", 4);
+    c.addGate(circuit::GateKind::CNOT, 0, 3);
+    PatchArchOptions opts;
+    opts.optimized_layout = false;
+    return PatchArch(circuit::interactionGraph(c), opts);
+}
+
+SurgeryOptions
+naiveOptions(int d = 5)
+{
+    SurgeryOptions opts;
+    opts.code_distance = d;
+    opts.optimized_layout = false;
+    return opts;
+}
+
+TEST(PatchArch, CorridorRoutesAvoidOtherPatches)
+{
+    PatchArch arch = fourQubitArch();
+    for (bool yx : {false, true}) {
+        network::Path p =
+            arch.corridorRoute(arch.terminal(0), arch.terminal(3), yx);
+        EXPECT_EQ(p.source(), arch.terminal(0));
+        EXPECT_EQ(p.dest(), arch.terminal(3));
+        for (size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+            const Coord &c = p.nodes[i];
+            EXPECT_TRUE(c.x % 2 == 0 || c.y % 2 == 0)
+                << "interior corridor node " << c
+                << " is a patch center";
+        }
+        // Consecutive nodes are mesh-adjacent.
+        for (size_t i = 1; i < p.nodes.size(); ++i)
+            EXPECT_EQ(manhattan(p.nodes[i - 1], p.nodes[i]), 1);
+    }
+}
+
+TEST(PatchArch, AdjacentPatchesMergeDirectly)
+{
+    PatchArch arch = fourQubitArch();
+    network::Path p =
+        arch.corridorRoute(arch.terminal(0), arch.terminal(1), false);
+    EXPECT_EQ(p.hops(), 2);
+    EXPECT_EQ(PatchArch::chainTiles(p.hops()), 1);
+}
+
+TEST(PatchArch, ChainTilesRoundsUp)
+{
+    EXPECT_EQ(PatchArch::chainTiles(2), 1);
+    EXPECT_EQ(PatchArch::chainTiles(3), 2);
+    EXPECT_EQ(PatchArch::chainTiles(4), 2);
+    EXPECT_EQ(PatchArch::chainTiles(7), 4);
+}
+
+TEST(ChainClaimer, ContendingChainsSerializeOnSharedCorridor)
+{
+    PatchArch arch = fourQubitArch();
+    network::Mesh mesh = arch.makeMesh();
+    engine::RouteClaimOptions copts;
+    engine::ChainClaimer claimer(mesh, copts);
+    for (const Coord &t : arch.reservedTerminals())
+        claimer.reserveTerminal(t);
+
+    // Diagonal chain 0 -> 3 claims the central corridor.
+    auto first = claimer.tryClaim(
+        arch.corridorRoute(arch.terminal(0), arch.terminal(3), false),
+        arch.corridorRoute(arch.terminal(0), arch.terminal(3), true),
+        /*owner=*/0, /*wait=*/0);
+    ASSERT_TRUE(first.has_value());
+
+    // The crossing chain 1 -> 2 shares that corridor: both preferred
+    // geometries conflict, so placement must fail until the first
+    // chain releases (the braid-style congestion of Section 8.2).
+    network::Path primary =
+        arch.corridorRoute(arch.terminal(1), arch.terminal(2), false);
+    network::Path fallback =
+        arch.corridorRoute(arch.terminal(1), arch.terminal(2), true);
+    EXPECT_FALSE(
+        claimer.tryClaim(primary, fallback, 1, copts.adapt_timeout)
+            .has_value());
+
+    claimer.release(*first, 0);
+    auto second = claimer.tryClaim(primary, fallback, 1, 0);
+    EXPECT_TRUE(second.has_value());
+}
+
+TEST(ChainClaimer, ReleaseRestoresPatchReservations)
+{
+    PatchArch arch = fourQubitArch();
+    network::Mesh mesh = arch.makeMesh();
+    engine::RouteClaimOptions copts;
+    engine::ChainClaimer claimer(mesh, copts);
+    for (const Coord &t : arch.reservedTerminals())
+        claimer.reserveTerminal(t);
+
+    Coord t0 = arch.terminal(0), t3 = arch.terminal(3);
+    EXPECT_NE(mesh.nodeOwner(t0), network::Mesh::no_owner);
+    auto chain = claimer.tryClaim(arch.corridorRoute(t0, t3, false),
+                                  arch.corridorRoute(t0, t3, true),
+                                  7, 0);
+    ASSERT_TRUE(chain.has_value());
+    EXPECT_EQ(mesh.nodeOwner(t0), 7);
+    claimer.release(*chain, 7);
+    // The patch terminals are reserved again, the corridor is free.
+    EXPECT_NE(mesh.nodeOwner(t0), network::Mesh::no_owner);
+    EXPECT_NE(mesh.nodeOwner(t0), 7);
+    for (size_t i = 1; i + 1 < chain->nodes.size(); ++i)
+        EXPECT_EQ(mesh.nodeOwner(chain->nodes[i]),
+                  network::Mesh::no_owner);
+}
+
+TEST(Scheduler, SharedCorridorCostsMoreThanDisjointMerges)
+{
+    // Naive 2x2 layout: (0,1) and (2,3) merge through disjoint
+    // boundary routers and may run concurrently; (0,3) and (1,2)
+    // cross in the central corridor and must serialize or detour.
+    circuit::Circuit disjoint("disjoint", 4);
+    disjoint.addGate(circuit::GateKind::CNOT, 0, 1);
+    disjoint.addGate(circuit::GateKind::CNOT, 2, 3);
+
+    circuit::Circuit crossing("crossing", 4);
+    crossing.addGate(circuit::GateKind::CNOT, 0, 3);
+    crossing.addGate(circuit::GateKind::CNOT, 1, 2);
+
+    SurgeryResult r_disjoint =
+        scheduleSurgery(disjoint, naiveOptions());
+    SurgeryResult r_crossing =
+        scheduleSurgery(crossing, naiveOptions());
+    EXPECT_GT(r_crossing.schedule_cycles,
+              r_disjoint.schedule_cycles);
+    EXPECT_GT(r_crossing.placement_failures, 0u);
+}
+
+TEST(Scheduler, ChainCostMonotoneInDistanceLikeTheModel)
+{
+    // The analytic model (Section 8.2) charges rounds_per_hop * d
+    // cycles per chain tile; the simulated chain must grow the same
+    // way as d rises on a fixed machine.
+    circuit::Circuit c = endToEndCnot(16);
+    uint64_t prev = 0;
+    for (int d : {3, 5, 9}) {
+        SurgeryResult r = scheduleSurgery(c, naiveOptions(d));
+        EXPECT_GT(r.schedule_cycles, prev)
+            << "schedule must grow with code distance d=" << d;
+        prev = r.schedule_cycles;
+    }
+}
+
+TEST(Scheduler, ChainCostMonotoneInHopsLikeTheModel)
+{
+    // ... and with chain length (machine size) at fixed d, like the
+    // model's rounds_per_hop * d * route_len term.
+    uint64_t prev = 0;
+    for (int n : {4, 16, 64}) {
+        SurgeryResult r =
+            scheduleSurgery(endToEndCnot(n), naiveOptions());
+        EXPECT_GT(r.schedule_cycles, prev)
+            << "schedule must grow with separation, n=" << n;
+        prev = r.schedule_cycles;
+    }
+    // The analytic estimate shows the same trend over machine size.
+    qec::Technology tech;
+    tech.p_physical = 1e-8;
+    estimate::ResourceModel model(apps::AppKind::SQ, tech);
+    EXPECT_GT(estimate::estimateSurgery(model, 1e12).step_cycles,
+              estimate::estimateSurgery(model, 1e4).step_cycles);
+}
+
+TEST(Scheduler, ScheduleIsBoundedBelowByCriticalPath)
+{
+    for (int n : {4, 9, 25}) {
+        circuit::Circuit c = endToEndCnot(n);
+        SurgeryOptions opts = naiveOptions();
+        SurgeryResult r = scheduleSurgery(c, opts);
+        EXPECT_GE(r.schedule_cycles, r.critical_path_cycles);
+        EXPECT_GT(r.critical_path_cycles, 0u);
+        EXPECT_EQ(r.chains_placed, 1u);
+        EXPECT_GE(r.max_chain_tiles, 1u);
+    }
+}
+
+TEST(Backend, RegistryHasSurgeryBackends)
+{
+    engine::Registry &r = engine::Registry::global();
+    EXPECT_TRUE(r.contains("planar/surgery-sim"));
+    EXPECT_TRUE(r.contains("planar/surgery-model"));
+    EXPECT_TRUE(r.contains(engine::backends::surgery_sim));
+    EXPECT_TRUE(r.contains(engine::backends::surgery_model));
+}
+
+TEST(Backend, SimMatchesDirectSimulation)
+{
+    apps::GenOptions gen;
+    gen.problem_size = 8;
+    gen.max_iterations = 2;
+    circuit::Circuit circ = circuit::decompose(
+        apps::generate(apps::AppKind::SQ, gen));
+
+    engine::WorkItem item;
+    item.circuit = &circ;
+    item.config.code_distance = 5;
+    item.config.seed = 7;
+
+    SurgeryOptions opts;
+    opts.code_distance = 5;
+    opts.seed = 7;
+    SurgeryResult direct = scheduleSurgery(circ, opts);
+
+    const engine::Backend &b =
+        engine::Registry::global().get(engine::backends::surgery_sim);
+    engine::Metrics m = b.run(item);
+    EXPECT_EQ(m.schedule_cycles, direct.schedule_cycles);
+    EXPECT_EQ(m.critical_path_cycles, direct.critical_path_cycles);
+    EXPECT_DOUBLE_EQ(m.extra("mesh_utilization"),
+                     direct.mesh_utilization);
+    EXPECT_EQ(m.code, qec::CodeKind::Planar);
+    EXPECT_DOUBLE_EQ(
+        m.physical_qubits,
+        surgeryPhysicalQubits(
+            static_cast<double>(circ.numQubits()), 5));
+}
+
+TEST(Backend, ModelMatchesDirectEstimate)
+{
+    engine::WorkItem item;
+    item.app = apps::AppKind::SQ;
+    item.config.kq = 1e8;
+    item.config.tech = qec::tech_points::futureOptimistic();
+
+    estimate::ResourceModel model(apps::AppKind::SQ,
+                                  item.config.tech);
+    estimate::ResourceEstimate direct =
+        estimate::estimateSurgery(model, 1e8);
+
+    const engine::Backend &b = engine::Registry::global().get(
+        engine::backends::surgery_model);
+    EXPECT_FALSE(b.needsCircuit());
+    engine::Metrics m = b.run(item);
+    EXPECT_EQ(m.code_distance, direct.code_distance);
+    EXPECT_DOUBLE_EQ(m.physical_qubits, direct.physical_qubits);
+    EXPECT_DOUBLE_EQ(m.seconds, direct.seconds);
+}
+
+TEST(Backend, ToolflowDrivesSurgeryViaRegistry)
+{
+    apps::GenOptions gen;
+    gen.problem_size = 8;
+    gen.max_iterations = 2;
+    circuit::Circuit circ =
+        apps::generate(apps::AppKind::SQ, gen);
+
+    toolflow::Config config;
+    config.backends = {engine::backends::planar,
+                       engine::backends::surgery_sim};
+    toolflow::Report report = toolflow::run(circ, config);
+    ASSERT_EQ(report.backend_metrics.size(), 2u);
+    EXPECT_EQ(report.backend_metrics[1].backend,
+              engine::backends::surgery_sim);
+    EXPECT_GT(report.backend_metrics[1].schedule_cycles, 0u);
+    // Surgery cannot beat the planar machine it shares a footprint
+    // with: same patches, but chains instead of prefetched EPRs.
+    EXPECT_GE(report.backend_metrics[1].schedule_cycles,
+              report.backend_metrics[0].schedule_cycles);
+}
+
+bool
+identical(const engine::Metrics &a, const engine::Metrics &b)
+{
+    // Exact comparison on purpose: determinism means bit-identical
+    // doubles, not approximately-equal ones.
+    return a.backend == b.backend && a.code == b.code
+        && a.code_distance == b.code_distance
+        && a.schedule_cycles == b.schedule_cycles
+        && a.critical_path_cycles == b.critical_path_cycles
+        && a.physical_qubits == b.physical_qubits
+        && a.seconds == b.seconds && a.extras == b.extras;
+}
+
+TEST(Sweep, SurgeryDeterministicAcrossThreadCounts)
+{
+    engine::SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""},
+                 {apps::AppKind::SHA1, {8, 1}, ""}};
+    grid.backends = {engine::backends::surgery_sim};
+    grid.distances = {3, 5};
+    grid.base.seed = 1234;
+
+    engine::SweepOptions opts1, opts2, opts8;
+    opts1.num_threads = 1;
+    opts2.num_threads = 2;
+    opts8.num_threads = 8;
+
+    engine::SweepDriver driver;
+    auto r1 = driver.run(grid, opts1);
+    auto r2 = driver.run(grid, opts2);
+    auto r8 = driver.run(grid, opts8);
+
+    ASSERT_EQ(r1.size(), 4u);
+    ASSERT_EQ(r1.size(), r2.size());
+    ASSERT_EQ(r1.size(), r8.size());
+    for (size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_TRUE(identical(r1[i].metrics, r2[i].metrics))
+            << "1-thread vs 2-thread mismatch at point " << i;
+        EXPECT_TRUE(identical(r1[i].metrics, r8[i].metrics))
+            << "1-thread vs 8-thread mismatch at point " << i;
+    }
+}
+
+TEST(Scheduler, RejectsBadInput)
+{
+    circuit::Circuit empty("empty", 2);
+    EXPECT_THROW(scheduleSurgery(empty, {}), FatalError);
+
+    circuit::Circuit c = endToEndCnot(4);
+    SurgeryOptions opts;
+    opts.code_distance = 0;
+    EXPECT_THROW(scheduleSurgery(c, opts), FatalError);
+    opts = {};
+    opts.rounds_per_hop = 0;
+    EXPECT_THROW(scheduleSurgery(c, opts), FatalError);
+}
+
+} // namespace
+} // namespace qsurf::surgery
