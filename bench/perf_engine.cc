@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Simulator-performance microbenchmark: the event-driven
+ * fast-forward against its own pre-change baseline.
+ *
+ * Every simulated backend accepts fast_forward=false, which
+ * reproduces the original one-cycle-at-a-time loop exactly, so this
+ * bench measures the speedup honestly on the machine it runs on: the
+ * same large-d sweep grid (all three simulated communication
+ * schemes) executes twice — baseline loop, then event-driven — and
+ * BENCH_perf.json records per-point and total wall clock, simulated
+ * cycles per second, the fast-forward skip ratio, and whether the
+ * two modes stayed bit-identical (they must; a mismatch makes the
+ * bench exit nonzero so CI catches it).
+ *
+ * Run with --smoke for a reduced grid (CI-friendly).
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "engine/sweep.h"
+
+namespace {
+
+using namespace qsurf;
+
+/** The large-d perf grid over the three simulated schemes. */
+engine::SweepGrid
+perfGrid(bool smoke)
+{
+    engine::SweepGrid grid;
+    if (smoke) {
+        grid.apps = {{apps::AppKind::SQ, {8, 2}, ""}};
+        grid.distances = {15, 25};
+    } else {
+        // GSE is the deep serial workload (stabilization waits and
+        // the level-scan cost dominate); SQ is the contended one
+        // (escalations, detours, drops).  Together they exercise
+        // every hot path at the large distances the analytic
+        // design-space sweeps reach.
+        grid.apps = {{apps::AppKind::GSE, {16, 16}, ""},
+                     {apps::AppKind::SQ, {8, 6}, ""}};
+        grid.distances = {63, 99};
+    }
+    grid.backends = {engine::backends::double_defect,
+                     engine::backends::planar,
+                     engine::backends::surgery_sim};
+    grid.policies = {6};
+    grid.base.seed = 1234;
+    return grid;
+}
+
+/** Bit-identity between modes, ignoring the ff_* reporting extras. */
+bool
+sameResults(const engine::Metrics &a, const engine::Metrics &b)
+{
+    if (a.schedule_cycles != b.schedule_cycles
+        || a.critical_path_cycles != b.critical_path_cycles
+        || a.physical_qubits != b.physical_qubits
+        || a.seconds != b.seconds)
+        return false;
+    for (const auto &[name, v] : a.extras)
+        if (name.rfind("ff_", 0) != 0 && v != b.extra(name))
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+
+    engine::SweepGrid grid = perfGrid(smoke);
+    engine::SweepOptions opts;
+    // Single-threaded on purpose: per-point wall_ms is the measured
+    // quantity, and pool contention would pollute it.
+    opts.num_threads = 1;
+
+    // Baseline first: the pre-change simulator, reproduced exactly —
+    // cycle-stepped loop plus the legacy (allocating, double-walk)
+    // hot paths.
+    grid.base.fast_forward = false;
+    grid.base.legacy_baseline = true;
+    auto baseline = engine::SweepDriver().run(grid, opts);
+    grid.base.fast_forward = true;
+    grid.base.legacy_baseline = false;
+    auto fast = engine::SweepDriver().run(grid, opts);
+    fatalIf(baseline.size() != fast.size(),
+            "mode runs expanded to different grids");
+
+    Table t(std::string("Engine perf: event-driven fast-forward vs "
+                        "cycle-stepped baseline")
+            + (smoke ? " (smoke grid)" : ""));
+    t.header({"app", "backend", "d", "sim cycles", "base ms",
+              "ff ms", "speedup", "skip ratio", "Mcyc/s"});
+
+    double base_total_ms = 0;
+    double fast_total_ms = 0;
+    bool identical = true;
+    for (size_t i = 0; i < fast.size(); ++i) {
+        const engine::SweepPoint &b = baseline[i];
+        const engine::SweepPoint &f = fast[i];
+        identical = identical && sameResults(b.metrics, f.metrics);
+        base_total_ms += b.wall_ms;
+        fast_total_ms += f.wall_ms;
+        double speedup =
+            f.wall_ms > 0 ? b.wall_ms / f.wall_ms : 0.0;
+        t.addRow(f.app_name, f.backend, f.metrics.code_distance,
+                 f.metrics.schedule_cycles,
+                 Table::fixed(b.wall_ms, 2),
+                 Table::fixed(f.wall_ms, 2),
+                 Table::fixed(speedup, 1),
+                 Table::fixed(f.metrics.extra("ff_skip_ratio"), 3),
+                 Table::fixed(f.simCyclesPerSec() / 1e6, 1));
+    }
+    t.print(std::cout);
+
+    double total_speedup =
+        fast_total_ms > 0 ? base_total_ms / fast_total_ms : 0.0;
+
+    const char *json_path = "BENCH_perf.json";
+    {
+        std::ofstream os(json_path);
+        fatalIf(!os, "cannot open '", json_path, "' for writing");
+        JsonWriter j(os);
+        j.beginObject();
+        j.field("title",
+                "engine perf: fast-forward vs cycle-stepped baseline");
+        j.field("smoke", smoke);
+        j.field("identical_across_modes", identical);
+        j.field("baseline_wall_ms_total", base_total_ms);
+        j.field("fast_forward_wall_ms_total", fast_total_ms);
+        j.field("speedup_total", total_speedup);
+        j.key("results");
+        j.beginArray();
+        for (size_t i = 0; i < fast.size(); ++i) {
+            const engine::SweepPoint &b = baseline[i];
+            const engine::SweepPoint &f = fast[i];
+            j.beginObject();
+            j.field("app", f.app_name);
+            j.field("backend", f.backend);
+            j.field("code_distance", f.metrics.code_distance);
+            j.field("schedule_cycles", f.metrics.schedule_cycles);
+            j.field("baseline_wall_ms", b.wall_ms);
+            j.field("fast_forward_wall_ms", f.wall_ms);
+            j.field("speedup",
+                    f.wall_ms > 0 ? b.wall_ms / f.wall_ms : 0.0);
+            j.field("ff_skipped_cycles",
+                    f.metrics.extra("ff_skipped_cycles"));
+            j.field("ff_skip_ratio",
+                    f.metrics.extra("ff_skip_ratio"));
+            j.field("sim_cycles_per_sec", f.simCyclesPerSec());
+            j.field("baseline_sim_cycles_per_sec",
+                    b.simCyclesPerSec());
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        os << "\n";
+    }
+
+    std::cout << "total: baseline " << Table::fixed(base_total_ms, 1)
+              << " ms, fast-forward "
+              << Table::fixed(fast_total_ms, 1) << " ms, speedup "
+              << Table::fixed(total_speedup, 1) << "x, modes "
+              << (identical ? "bit-identical" : "DIVERGED") << "\n";
+    std::cout << "wrote " << json_path << "\n";
+
+    if (!identical) {
+        std::cerr << "ERROR: fast-forward diverged from the "
+                     "cycle-stepped baseline\n";
+        return 1;
+    }
+    return 0;
+}

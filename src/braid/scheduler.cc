@@ -93,10 +93,18 @@ class Simulator
         : circ(circ), policy(policy), opts(opts), dag(circ),
           graph(circuit::interactionGraph(circ)),
           arch(graph, makeArchOptions(policy, opts)),
-          mesh(arch.makeMesh()),
-          claimer(mesh, makeClaimOptions(opts))
+          mesh(arch.makeMesh()), claim_opts(makeClaimOptions(opts)),
+          claimer(mesh, claim_opts)
     {
         crit = circuit::criticality(dag);
+        // Factory preference orders are a pure function of the
+        // static layout; memoize them per qubit so a stalled T gate
+        // doesn't re-sort the factory list every failed attempt.
+        factory_order.resize(
+            static_cast<size_t>(graph.num_qubits));
+        for (int q = 0; q < graph.num_qubits; ++q)
+            factory_order[static_cast<size_t>(q)] =
+                arch.factoriesByDistance(q);
         buildOps();
         if (opts.magic_production_cycles > 0) {
             factory_stock.assign(
@@ -128,6 +136,8 @@ class Simulator
                     " cycles; likely a configuration problem");
             replenishFactories();
             placementPhase();
+            if (opts.fast_forward)
+                fastForwardPhase();
             mesh.tick();
             ++cycle;
             completed += completionPhase();
@@ -145,6 +155,7 @@ class Simulator
         out.drops = drops;
         out.magic_starvations = magic_starvations;
         out.layout_cost = arch.layoutCost(graph);
+        out.ff_skipped_cycles = ff.skipped();
         return out;
     }
 
@@ -165,6 +176,7 @@ class Simulator
         engine::RouteClaimOptions c;
         c.adapt_timeout = opts.adapt_timeout;
         c.bfs_timeout = opts.bfs_timeout;
+        c.legacy_paths = opts.legacy_paths;
         return c;
     }
 
@@ -191,7 +203,8 @@ class Simulator
           case OpClass::Local:
             return 0;
           case OpClass::TGate: {
-            int f = arch.factoriesByDistance(op.qa).front();
+            int f = factory_order[static_cast<size_t>(op.qa)]
+                        .front();
             return manhattan(arch.terminal(op.qa),
                              arch.factoryTerminal(f));
           }
@@ -267,13 +280,15 @@ class Simulator
 
         Coord src = arch.terminal(op.qa);
         // Candidate destinations: (router, factory index or -1).
-        std::vector<std::pair<Coord, int>> dsts;
+        std::vector<std::pair<Coord, int>> &dsts = dsts_scratch;
+        dsts.clear();
         if (op.cls == OpClass::TwoQ) {
             dsts.emplace_back(arch.terminal(op.qb), -1);
         } else {
             // T gate: nearest factories first; consider up to 3 once
             // the op has been waiting.
-            auto order = arch.factoriesByDistance(op.qa);
+            const std::vector<int> &order =
+                factory_order[static_cast<size_t>(op.qa)];
             size_t limit = op.wait >= opts.adapt_timeout
                 ? std::min<size_t>(3, order.size())
                 : 1;
@@ -287,6 +302,7 @@ class Simulator
             }
             if (!any_stock) {
                 ++magic_starvations;
+                ++pass_starved;
                 return false;
             }
         }
@@ -366,18 +382,25 @@ class Simulator
     void
     placementPhase()
     {
+        pass_placed = 0;
+        pass_dropped = 0;
+        pass_starved = 0;
+        attempted.clear();
+
         if (policy == Policy::ProgramOrder) {
             programOrderPlacement();
             return;
         }
 
         int failures = 0;
-        std::vector<int> dropped;
+        dropped_scratch.clear();
         auto it = ready.begin();
         while (it != ready.end()
                && failures < opts.max_attempts_per_cycle) {
             int i = it->id;
+            int wait_used = ops[static_cast<size_t>(i)].wait;
             if (tryPlace(i)) {
+                ++pass_placed;
                 it = ready.erase(it);
                 continue;
             }
@@ -388,14 +411,16 @@ class Simulator
             if (op.wait >= opts.drop_timeout) {
                 // Drop and re-inject at the back of the queue.
                 ++drops;
+                ++pass_dropped;
                 op.wait = 0;
                 it = ready.erase(it);
-                dropped.push_back(i);
+                dropped_scratch.push_back(i);
                 continue;
             }
+            attempted.push_back({i, wait_used});
             ++it;
         }
-        for (int i : dropped)
+        for (int i : dropped_scratch)
             ready.insert(makeEntry(i));
     }
 
@@ -414,7 +439,9 @@ class Simulator
             return;
 
         int i = head->id;
+        int wait_used = ops[static_cast<size_t>(i)].wait;
         if (tryPlace(i)) {
+            ++pass_placed;
             ready.erase(head);
             return;
         }
@@ -425,8 +452,42 @@ class Simulator
             // Dropping is meaningless under strict order; keep the
             // route-adaptivity escalation armed and count the event.
             ++drops;
+            ++pass_dropped;
             op.wait = opts.bfs_timeout;
         }
+        attempted.push_back({i, wait_used});
+    }
+
+    /**
+     * When the pass above placed nothing (and dropped nothing, so
+     * the ready queue kept its order), every iteration until the
+     * next interesting event is a pure repetition: same failed
+     * attempts, same starvations, wait counters +1 each.  Jump
+     * there, accounting the elided iterations in bulk.
+     */
+    void
+    fastForwardPhase()
+    {
+        if (pass_placed > 0 || pass_dropped > 0)
+            return;
+        uint64_t skip = engine::fastForwardAfterStall(
+            ff, expiry, mesh, cycle, opts.max_cycles + 1, attempted,
+            [this](int i) -> int & {
+                return ops[static_cast<size_t>(i)].wait;
+            },
+            claim_opts, opts.drop_timeout, placement_failures,
+            [this](engine::FastForward &planner) {
+                // A replenishment that raises a stock can change a
+                // T gate's candidate factories.
+                if (opts.magic_production_cycles <= 0)
+                    return;
+                for (size_t f = 0; f < factory_stock.size(); ++f)
+                    if (factory_stock[f]
+                        < opts.magic_buffer_capacity)
+                        planner.eventAt(factory_next_ready[f]);
+            });
+        cycle += skip;
+        magic_starvations += pass_starved * skip;
     }
 
     /** Retire expired segments; returns number of ops completed. */
@@ -462,14 +523,25 @@ class Simulator
     circuit::InteractionGraph graph;
     TiledArch arch;
     network::Mesh mesh;
+    engine::RouteClaimOptions claim_opts;
     engine::RouteClaimer claimer;
 
     std::vector<OpRec> ops;
     std::vector<int> crit;
+    std::vector<std::vector<int>> factory_order; ///< Per qubit.
     int crit_threshold = 0;
     engine::ReadyQueue ready;
     engine::ExpiryQueue expiry;
+    engine::FastForward ff;
     uint64_t cycle = 0;
+
+    /** Per-pass bookkeeping feeding fastForwardPhase(). */
+    uint64_t pass_placed = 0;
+    uint64_t pass_dropped = 0;
+    uint64_t pass_starved = 0;
+    std::vector<std::pair<int, int>> attempted; ///< (id, wait used).
+    std::vector<int> dropped_scratch;
+    std::vector<std::pair<Coord, int>> dsts_scratch;
 
     std::vector<int> factory_stock;
     std::vector<uint64_t> factory_next_ready;

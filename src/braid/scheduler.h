@@ -80,6 +80,23 @@ struct BraidOptions
     /** Safety bound on simulated cycles. */
     uint64_t max_cycles = 100'000'000;
 
+    /**
+     * Event-driven time skipping: when a placement pass claims
+     * nothing, jump straight to the next retirement / escalation
+     * threshold / factory replenishment instead of ticking one cycle
+     * at a time.  Results are bit-identical either way; disabling
+     * reproduces the original loop for A/B perf measurement.
+     */
+    bool fast_forward = true;
+
+    /**
+     * Use the pre-optimization claim paths (double-walk claims,
+     * per-detour BFS allocation); identical results, original cost.
+     * Together with fast_forward = false this reproduces the
+     * pre-change simulator for honest baseline measurement.
+     */
+    bool legacy_paths = false;
+
     /** Layout RNG seed. */
     uint64_t seed = 1;
 };
@@ -116,6 +133,9 @@ struct BraidResult
 
     /** Interaction-weighted layout cost (Section 6.2 objective). */
     double layout_cost = 0;
+
+    /** Cycles elided by the event-driven fast-forward. */
+    uint64_t ff_skipped_cycles = 0;
 
     /** @return schedule length / critical path (Figure 6 blue bar). */
     double

@@ -123,6 +123,37 @@ struct RunConfig
      */
     double kq = 0;
 
+    /**
+     * Event-driven fast-forward in the simulated backends: jump
+     * over do-nothing cycles instead of ticking them one at a time.
+     * Results are bit-identical either way; disable to reproduce
+     * the cycle-stepped loop for A/B perf measurement
+     * (bench/perf_engine does exactly that).
+     */
+    bool fast_forward = true;
+
+    /**
+     * Reproduce the pre-optimization execution paths everywhere
+     * they were replaced (cycle-aligned double-walk claims,
+     * per-detour BFS allocation, quadratic planar level scan).
+     * Combined with fast_forward = false this is the pre-change
+     * simulator, bit for bit — bench/perf_engine's recorded
+     * baseline.
+     */
+    bool legacy_baseline = false;
+
+    /**
+     * Cycles a magic-state factory needs to distill one state, for
+     * the double-defect backend; 0 means production is never the
+     * bottleneck (Section 4.3's factories sized off the critical
+     * path).  Non-zero values expose the factory space-vs-time
+     * tradeoff as a sweep axis.
+     */
+    int magic_production_cycles = 0;
+
+    /** Distilled states a factory can buffer (with production on). */
+    int magic_buffer_capacity = 2;
+
     /** Layout / tie-break RNG seed. */
     uint64_t seed = 1;
 };

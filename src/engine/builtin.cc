@@ -56,6 +56,12 @@ class DoubleDefectBackend : public Backend
         braid::BraidOptions opts;
         opts.code_distance = d;
         opts.seed = item.config.seed;
+        opts.fast_forward = item.config.fast_forward;
+        opts.legacy_paths = item.config.legacy_baseline;
+        opts.magic_production_cycles =
+            item.config.magic_production_cycles;
+        opts.magic_buffer_capacity =
+            item.config.magic_buffer_capacity;
         braid::BraidResult r = braid::scheduleBraids(
             *item.circuit,
             static_cast<braid::Policy>(item.config.policy), opts);
@@ -82,6 +88,13 @@ class DoubleDefectBackend : public Backend
         m.set("magic_starvations",
               static_cast<double>(r.magic_starvations));
         m.set("layout_cost", r.layout_cost);
+        m.set("ff_skipped_cycles",
+              static_cast<double>(r.ff_skipped_cycles));
+        m.set("ff_skip_ratio",
+              r.schedule_cycles
+                  ? static_cast<double>(r.ff_skipped_cycles)
+                      / static_cast<double>(r.schedule_cycles)
+                  : 0.0);
         return m;
     }
 };
@@ -105,6 +118,7 @@ class PlanarBackend : public Backend
         opts.epr_window_steps = item.config.epr_window_steps;
         opts.epr_bandwidth = item.config.epr_bandwidth;
         opts.tech = item.config.tech;
+        opts.legacy_level_scan = item.config.legacy_baseline;
         planar::PlanarResult r = planar::runPlanar(*item.circuit, opts);
 
         Metrics m;

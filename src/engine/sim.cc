@@ -7,27 +7,45 @@
 
 namespace qsurf::engine {
 
+namespace {
+
+/** The single-walk claim, or the pre-change double walk when
+ *  @p legacy (for honest A/B baselines). */
+bool
+claimRoute(network::Mesh &mesh, const network::Path &path, int owner,
+           bool legacy)
+{
+    if (!legacy)
+        return mesh.tryClaim(path, owner);
+    if (!mesh.routeFree(path, owner))
+        return false;
+    mesh.claim(path, owner);
+    return true;
+}
+
+} // namespace
+
 std::optional<network::Path>
 RouteClaimer::tryClaim(const Coord &src, const Coord &dst, int owner,
                        int wait, bool yx_first)
 {
     network::Path first = yx_first ? network::yxRoute(src, dst)
                                    : network::xyRoute(src, dst);
-    if (mesh_.routeFree(first, owner)) {
-        mesh_.claim(first, owner);
+    if (claimRoute(mesh_, first, owner, opts_.legacy_paths))
         return first;
-    }
     if (wait >= opts_.adapt_timeout) {
         network::Path second = yx_first ? network::xyRoute(src, dst)
                                         : network::yxRoute(src, dst);
-        if (mesh_.routeFree(second, owner)) {
+        if (claimRoute(mesh_, second, owner, opts_.legacy_paths)) {
             ++transpose_fallbacks_;
-            mesh_.claim(second, owner);
             return second;
         }
     }
     if (wait >= opts_.bfs_timeout) {
-        auto detour = network::adaptiveRoute(mesh_, src, dst, owner);
+        auto detour = opts_.legacy_paths
+            ? network::adaptiveRoute(mesh_, src, dst, owner)
+            : network::adaptiveRoute(mesh_, src, dst, owner,
+                                     scratch_);
         if (detour) {
             ++bfs_detours_;
             mesh_.claim(*detour, owner);
@@ -40,29 +58,32 @@ RouteClaimer::tryClaim(const Coord &src, const Coord &dst, int owner,
 void
 ChainClaimer::reserveTerminal(const Coord &terminal)
 {
-    if (reserved_.count(terminal))
+    auto idx = static_cast<size_t>(
+        linearIndex(terminal, mesh_.width()));
+    if (reserved_[idx] >= 0)
         return;
-    int sentinel =
-        reserved_owner_base + static_cast<int>(reserved_.size());
-    reserved_.emplace(terminal, sentinel);
+    int sentinel = reserved_owner_base + num_reserved_++;
+    reserved_[idx] = sentinel;
     network::Path node;
     node.nodes.push_back(terminal);
-    panicIf(!mesh_.routeFree(node, sentinel),
+    panicIf(!mesh_.tryClaim(node, sentinel),
             "patch terminal already claimed on the mesh");
-    mesh_.claim(node, sentinel);
 }
 
 bool
 ChainClaimer::isReserved(const Coord &c) const
 {
-    return reserved_.count(c) != 0;
+    return reserved_[static_cast<size_t>(
+               linearIndex(c, mesh_.width()))]
+        >= 0;
 }
 
 void
 ChainClaimer::setEndpointReserved(const Coord &c, bool reserved)
 {
-    auto it = reserved_.find(c);
-    if (it == reserved_.end())
+    int sentinel = reserved_[static_cast<size_t>(
+        linearIndex(c, mesh_.width()))];
+    if (sentinel < 0)
         return;
     network::Path node;
     node.nodes.push_back(c);
@@ -71,9 +92,9 @@ ChainClaimer::setEndpointReserved(const Coord &c, bool reserved)
     // hold is suspended or restored, never a chain's.
     if (reserved) {
         if (mesh_.nodeOwner(c) == network::Mesh::no_owner)
-            mesh_.claim(node, it->second);
-    } else if (mesh_.nodeOwner(c) == it->second) {
-        mesh_.release(node, it->second);
+            mesh_.claim(node, sentinel);
+    } else if (mesh_.nodeOwner(c) == sentinel) {
+        mesh_.release(node, sentinel);
     }
 }
 
@@ -90,18 +111,18 @@ ChainClaimer::tryClaim(const network::Path &primary,
     setEndpointReserved(src, false);
     setEndpointReserved(dst, false);
 
-    if (mesh_.routeFree(primary, owner)) {
-        mesh_.claim(primary, owner);
+    if (claimRoute(mesh_, primary, owner, opts_.legacy_paths))
         return primary;
-    }
     if (wait >= opts_.adapt_timeout
-        && mesh_.routeFree(fallback, owner)) {
+        && claimRoute(mesh_, fallback, owner, opts_.legacy_paths)) {
         ++transpose_fallbacks_;
-        mesh_.claim(fallback, owner);
         return fallback;
     }
     if (wait >= opts_.bfs_timeout) {
-        auto detour = network::adaptiveRoute(mesh_, src, dst, owner);
+        auto detour = opts_.legacy_paths
+            ? network::adaptiveRoute(mesh_, src, dst, owner)
+            : network::adaptiveRoute(mesh_, src, dst, owner,
+                                     scratch_);
         if (detour) {
             ++bfs_detours_;
             mesh_.claim(*detour, owner);

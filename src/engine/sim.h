@@ -16,14 +16,15 @@
 #ifndef QSURF_ENGINE_SIM_H
 #define QSURF_ENGINE_SIM_H
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <queue>
 #include <set>
 #include <vector>
 
 #include "network/mesh.h"
+#include "network/route.h"
 
 namespace qsurf::engine {
 
@@ -103,6 +104,15 @@ class ExpiryQueue
 
     bool empty() const { return heap_.empty(); }
 
+    /** @return the earliest scheduled cycle, if any. */
+    std::optional<uint64_t>
+    nextDeadline() const
+    {
+        if (heap_.empty())
+            return std::nullopt;
+        return heap_.top().first;
+    }
+
     /**
      * Pop the earliest event due at or before @p now.
      * @return its id, or nullopt when nothing is ripe.
@@ -132,7 +142,171 @@ struct RouteClaimOptions
 
     /** Cycles before falling back to the adaptive BFS detour. */
     int bfs_timeout = 8;
+
+    /**
+     * Use the pre-optimization claim paths: the routeFree-then-claim
+     * double walk and a freshly allocated BFS working set per detour
+     * search.  Identical results, original cost — bench/perf_engine
+     * sets this to record an honest pre-change baseline.
+     */
+    bool legacy_paths = false;
 };
+
+/**
+ * The time-skipping core of the event-driven schedulers.
+ *
+ * A cycle-stepped simulator spends most cycles discovering that
+ * nothing can change: every in-flight op is mid-stabilization and
+ * every stalled op fails placement exactly as it did last cycle.
+ * After a placement pass that claims nothing (and drops nothing),
+ * the mesh, the ready queue and the factory stocks are all frozen
+ * until the next *interesting* event — so the scheduler may jump
+ * straight to it, bulk-accounting the elided cycles (wait counters,
+ * failure counters, Mesh::tick(n)) instead of replaying them.
+ *
+ * The planner collects the interesting-event candidates of one such
+ * pass:
+ *
+ *  - eventAt(): an externally scheduled cycle — the next ExpiryQueue
+ *    retirement (frees routes, readies successors) or the next
+ *    magic-state factory replenishment that raises a stock;
+ *  - stalledOp(): the next wait-threshold crossing of a stalled op.
+ *    Crossing adapt_timeout or bfs_timeout changes how the op routes
+ *    (and, for T gates, how many factories it considers), and
+ *    reaching drop_timeout reorders the ready queue — all of which
+ *    change results, so the jump must land *on* the crossing, never
+ *    beyond it.
+ *
+ * skippable() then returns how many whole do-nothing iterations can
+ * be elided so that the next executed pass is the interesting one.
+ * Everything the elided iterations would have done is linear in
+ * their count, which is what keeps the fast-forwarded run
+ * bit-identical to the one-cycle-at-a-time loop.
+ */
+class FastForward
+{
+  public:
+    /** Start planning after a no-progress pass at cycle @p now. */
+    void
+    begin(uint64_t now)
+    {
+        now_ = now;
+        next_ = no_event;
+    }
+
+    /** The pass at absolute @p cycle may behave differently. */
+    void
+    eventAt(uint64_t cycle)
+    {
+        next_ = std::min(next_, cycle);
+    }
+
+    /**
+     * Register the escalation thresholds of a stalled op.
+     *
+     * @param wait_used the wait value the pass just routed with.
+     * @param wait_now  the op's wait counter after the pass (usually
+     *                  wait_used + 1; Policy 0's drop handling resets
+     *                  it instead).
+     */
+    void
+    stalledOp(int wait_used, int wait_now,
+              const RouteClaimOptions &route, int drop_timeout)
+    {
+        // Future passes route with wait_now, wait_now + 1, ...; the
+        // first one whose escalation stage differs from the pass
+        // just executed is interesting.
+        if (wait_used < route.adapt_timeout)
+            eventIn(route.adapt_timeout - wait_now + 1);
+        else if (wait_used < route.bfs_timeout)
+            eventIn(route.bfs_timeout - wait_now + 1);
+        // The pass whose failure pushes wait to drop_timeout drops
+        // and re-inserts the op, reordering the queue.
+        if (drop_timeout > 0)
+            eventIn(static_cast<int64_t>(drop_timeout) - wait_now);
+    }
+
+    /**
+     * @return how many consecutive do-nothing iterations may be
+     * elided, given that the simulation fatals past @p horizon
+     * anyway (so an event-free schedule still terminates).
+     */
+    uint64_t
+    skippable(uint64_t horizon) const
+    {
+        uint64_t target = std::min(next_, horizon);
+        return target > now_ + 1 ? target - now_ - 1 : 0;
+    }
+
+    /** Total cycles elided so far (for skip-ratio reporting). */
+    uint64_t skipped() const { return skipped_; }
+
+    /** Record @p n elided cycles. */
+    void recordSkip(uint64_t n) { skipped_ += n; }
+
+  private:
+    /** A relative candidate; clamped to land no earlier than the
+     *  very next pass. */
+    void
+    eventIn(int64_t delta)
+    {
+        eventAt(now_ + static_cast<uint64_t>(std::max<int64_t>(
+                           1, delta)));
+    }
+
+    static constexpr uint64_t no_event = UINT64_MAX;
+
+    uint64_t now_ = 0;
+    uint64_t next_ = no_event;
+    uint64_t skipped_ = 0;
+};
+
+/**
+ * The shared plan-and-account step both schedulers run after a
+ * placement pass that claimed nothing and dropped nothing: gather
+ * the interesting-event candidates (next retirement, each stalled
+ * op's thresholds, any backend-specific events via @p extra_events),
+ * and when a jump is possible, bulk-account everything the elided
+ * iterations would have done uniformly — ticks, placement-failure
+ * counters, wait counters.  Backend-specific bulk counters (e.g.
+ * braid magic starvations) are the caller's to apply, scaled by the
+ * returned skip.
+ *
+ * @param attempted    (op id, wait value the pass routed with).
+ * @param wait_of      callable int&(int id): the op's wait counter.
+ * @param extra_events callable(FastForward&) registering additional
+ *                     event candidates before the jump is planned.
+ * @return the number of iterations elided (0 = nothing to skip);
+ *         the caller advances its cycle counter by this.
+ */
+template <typename WaitOf, typename ExtraEvents>
+uint64_t
+fastForwardAfterStall(FastForward &ff, const ExpiryQueue &expiry,
+                      network::Mesh &mesh, uint64_t now,
+                      uint64_t horizon,
+                      const std::vector<std::pair<int, int>> &attempted,
+                      WaitOf &&wait_of, const RouteClaimOptions &route,
+                      int drop_timeout, uint64_t &placement_failures,
+                      ExtraEvents &&extra_events)
+{
+    ff.begin(now);
+    if (auto deadline = expiry.nextDeadline())
+        ff.eventAt(*deadline);
+    extra_events(ff);
+    for (const auto &[id, wait_used] : attempted)
+        ff.stalledOp(wait_used, wait_of(id), route, drop_timeout);
+
+    uint64_t skip = ff.skippable(horizon);
+    if (skip == 0)
+        return 0;
+    ff.recordSkip(skip);
+    mesh.tick(skip);
+    placement_failures +=
+        static_cast<uint64_t>(attempted.size()) * skip;
+    for (const auto &[id, wait_used] : attempted)
+        wait_of(id) += static_cast<int>(skip);
+    return skip;
+}
 
 /**
  * The route-claim escalation of Section 6.1, shared by the
@@ -141,6 +315,9 @@ struct RouteClaimOptions
  * waited adapt_timeout cycles, and to a breadth-first detour through
  * currently-free resources after bfs_timeout.  On success the route
  * is claimed on the mesh atomically (the n-hops-in-1-cycle property).
+ * Claim attempts and the BFS detour are allocation-free: validation
+ * and claiming share one mesh walk, and the detour search reuses an
+ * epoch-stamped scratch owned by the claimer.
  */
 class RouteClaimer
 {
@@ -173,6 +350,7 @@ class RouteClaimer
   private:
     network::Mesh &mesh_;
     RouteClaimOptions opts_;
+    network::BfsScratch scratch_;
     uint64_t transpose_fallbacks_ = 0;
     uint64_t bfs_detours_ = 0;
 };
@@ -196,7 +374,8 @@ class ChainClaimer
 {
   public:
     ChainClaimer(network::Mesh &mesh, const RouteClaimOptions &opts)
-        : mesh_(mesh), opts_(opts)
+        : mesh_(mesh), opts_(opts),
+          reserved_(static_cast<size_t>(mesh.numNodes()), -1)
     {
     }
 
@@ -243,7 +422,12 @@ class ChainClaimer
 
     network::Mesh &mesh_;
     RouteClaimOptions opts_;
-    std::map<Coord, int> reserved_;
+    network::BfsScratch scratch_;
+
+    /** Sentinel owner per mesh node, -1 where unreserved: a flat
+     *  table sized once, replacing the old std::map<Coord,int>. */
+    std::vector<int32_t> reserved_;
+    int num_reserved_ = 0;
     uint64_t transpose_fallbacks_ = 0;
     uint64_t bfs_detours_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <fstream>
 #include <mutex>
@@ -123,7 +124,12 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
             if (i >= points.size() || failed.load())
                 return;
             try {
+                auto start = std::chrono::steady_clock::now();
                 points[i].metrics = item_backend[i]->run(items[i]);
+                points[i].wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error)
@@ -189,6 +195,8 @@ writeSweepJson(std::ostream &os, const std::string &title,
         j.field("physical_qubits", p.metrics.physical_qubits);
         j.field("seconds", p.metrics.seconds);
         j.field("space_time", p.metrics.spaceTime());
+        j.field("wall_ms", p.wall_ms);
+        j.field("sim_cycles_per_sec", p.simCyclesPerSec());
         if (!p.metrics.extras.empty()) {
             j.key("extras");
             j.beginObject();

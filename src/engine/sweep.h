@@ -77,6 +77,25 @@ struct SweepPoint
     int distance = 0;     ///< Grid value (0 = auto; see metrics).
     double kq = 0;        ///< Grid value (0 = from circuit).
     Metrics metrics;
+
+    /**
+     * Wall-clock time of this point's Backend::run(), in
+     * milliseconds.  Kept out of Metrics on purpose: metrics are
+     * bit-identical across runs and thread counts, wall time never
+     * is.
+     */
+    double wall_ms = 0;
+
+    /** @return simulated cycles per wall-clock second (the perf
+     *  trajectory number), or 0 when unmeasurable. */
+    double
+    simCyclesPerSec() const
+    {
+        return wall_ms > 0
+            ? static_cast<double>(metrics.schedule_cycles)
+                / (wall_ms / 1000.0)
+            : 0.0;
+    }
 };
 
 /** Execution knobs of one sweep. */

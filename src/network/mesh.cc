@@ -1,6 +1,7 @@
 #include "network/mesh.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/logging.h"
 
@@ -15,6 +16,20 @@ Mesh::Mesh(int width, int height)
     // Horizontal links first ((w-1) per row), then vertical.
     link_owner.assign(static_cast<size_t>((w - 1) * h + w * (h - 1)),
                       no_owner);
+
+    // Per-node link tables: the hot path never recomputes a link
+    // index from coordinates.
+    right_link.assign(static_cast<size_t>(w * h), -1);
+    down_link.assign(static_cast<size_t>(w * h), -1);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            auto n = static_cast<size_t>(y * w + x);
+            if (x < w - 1)
+                right_link[n] = y * (w - 1) + x;
+            if (y < h - 1)
+                down_link[n] = (w - 1) * h + y * w + x;
+        }
+    }
 }
 
 bool
@@ -32,6 +47,13 @@ Mesh::nodeIndex(const Coord &c) const
 }
 
 int
+Mesh::nodeIndexFast(const Coord &c) const
+{
+    assert(contains(c) && "router outside the mesh");
+    return linearIndex(c, w);
+}
+
+int
 Mesh::linkIndex(const Coord &a, const Coord &b) const
 {
     panicIf(manhattan(a, b) != 1, "link endpoints not adjacent");
@@ -40,6 +62,21 @@ Mesh::linkIndex(const Coord &a, const Coord &b) const
     if (a.y == b.y)
         return lo.y * (w - 1) + lo.x;
     return (w - 1) * h + lo.y * w + lo.x;
+}
+
+int
+Mesh::linkIndexFast(int ia, int ib) const
+{
+    int lo = std::min(ia, ib);
+    // Index distance 1 is a horizontal hop — except on a 1-wide
+    // mesh, where only vertical links exist.
+    int li = std::abs(ib - ia) == 1 && w > 1
+        ? right_link[static_cast<size_t>(lo)]
+        : down_link[static_cast<size_t>(lo)];
+    assert((std::abs(ib - ia) == 1 || std::abs(ib - ia) == w)
+           && "link endpoints not adjacent");
+    assert(li >= 0 && "link leaves the mesh");
+    return li;
 }
 
 int
@@ -57,14 +94,15 @@ Mesh::linkOwner(const Coord &a, const Coord &b) const
 bool
 Mesh::nodeAvailable(const Coord &c, int owner) const
 {
-    int cur = nodeOwner(c);
+    int cur = node_owner[static_cast<size_t>(nodeIndexFast(c))];
     return cur == no_owner || cur == owner;
 }
 
 bool
 Mesh::linkAvailable(const Coord &a, const Coord &b, int owner) const
 {
-    int cur = linkOwner(a, b);
+    int cur = link_owner[static_cast<size_t>(
+        linkIndexFast(nodeIndexFast(a), nodeIndexFast(b)))];
     return cur == no_owner || cur == owner;
 }
 
@@ -73,12 +111,57 @@ Mesh::routeFree(const Path &path, int owner) const
 {
     if (path.empty())
         return true;
-    for (const Coord &c : path.nodes)
-        if (!nodeAvailable(c, owner))
+    int prev = -1;
+    for (const Coord &c : path.nodes) {
+        int ni = nodeIndexFast(c);
+        int cur = node_owner[static_cast<size_t>(ni)];
+        if (cur != no_owner && cur != owner)
             return false;
-    for (size_t i = 0; i + 1 < path.nodes.size(); ++i)
-        if (!linkAvailable(path.nodes[i], path.nodes[i + 1], owner))
+        if (prev >= 0) {
+            int li = linkIndexFast(prev, ni);
+            cur = link_owner[static_cast<size_t>(li)];
+            if (cur != no_owner && cur != owner)
+                return false;
+        }
+        prev = ni;
+    }
+    return true;
+}
+
+bool
+Mesh::tryClaim(const Path &path, int owner)
+{
+    assert(owner != no_owner && "cannot claim with the no-owner id");
+
+    // Single traversal: validate while recording every index the
+    // claim will touch, so success never re-derives them.
+    walk_nodes.clear();
+    walk_links.clear();
+    int prev = -1;
+    for (const Coord &c : path.nodes) {
+        int ni = nodeIndexFast(c);
+        int cur = node_owner[static_cast<size_t>(ni)];
+        if (cur != no_owner && cur != owner)
             return false;
+        if (prev >= 0) {
+            int li = linkIndexFast(prev, ni);
+            cur = link_owner[static_cast<size_t>(li)];
+            if (cur != no_owner && cur != owner)
+                return false;
+            walk_links.push_back(li);
+        }
+        walk_nodes.push_back(ni);
+        prev = ni;
+    }
+
+    for (int32_t ni : walk_nodes)
+        node_owner[static_cast<size_t>(ni)] = owner;
+    for (int32_t li : walk_links) {
+        auto &slot = link_owner[static_cast<size_t>(li)];
+        if (slot == no_owner)
+            ++busy_links;
+        slot = owner;
+    }
     return true;
 }
 
@@ -86,40 +169,35 @@ void
 Mesh::claim(const Path &path, int owner)
 {
     panicIf(owner == no_owner, "cannot claim with the no-owner id");
-    panicIf(!routeFree(path, owner), "claim on a busy route");
-    for (const Coord &c : path.nodes)
-        node_owner[static_cast<size_t>(nodeIndex(c))] = owner;
-    for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
-        int li = linkIndex(path.nodes[i], path.nodes[i + 1]);
-        if (link_owner[static_cast<size_t>(li)] == no_owner)
-            ++busy_links;
-        link_owner[static_cast<size_t>(li)] = owner;
+    // Cold entry: keep the checked per-coordinate validation that
+    // the hot tryClaim() walk demotes to asserts.
+    for (size_t i = 0; i < path.nodes.size(); ++i) {
+        nodeIndex(path.nodes[i]);
+        if (i + 1 < path.nodes.size())
+            linkIndex(path.nodes[i], path.nodes[i + 1]);
     }
+    panicIf(!tryClaim(path, owner), "claim on a busy route");
 }
 
 void
 Mesh::release(const Path &path, int owner)
 {
+    int prev = -1;
     for (const Coord &c : path.nodes) {
-        auto &slot = node_owner[static_cast<size_t>(nodeIndex(c))];
-        if (slot == owner)
-            slot = no_owner;
-    }
-    for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
-        int li = linkIndex(path.nodes[i], path.nodes[i + 1]);
-        auto &slot = link_owner[static_cast<size_t>(li)];
-        if (slot == owner) {
-            slot = no_owner;
-            --busy_links;
+        int ni = nodeIndexFast(c);
+        auto &node = node_owner[static_cast<size_t>(ni)];
+        if (node == owner)
+            node = no_owner;
+        if (prev >= 0) {
+            auto &link = link_owner[static_cast<size_t>(
+                linkIndexFast(prev, ni))];
+            if (link == owner) {
+                link = no_owner;
+                --busy_links;
+            }
         }
+        prev = ni;
     }
-}
-
-void
-Mesh::tick()
-{
-    ++ticks;
-    busy_link_cycles += static_cast<uint64_t>(busy_links);
 }
 
 double

@@ -9,6 +9,16 @@
  * property) and release them when they close.  Because defects
  * cannot coexist closely, there are no buffers and no virtual
  * channels: a node or link has at most one owner.
+ *
+ * The claim/release path is the simulators' innermost loop, so it is
+ * allocation-free: Path keeps short routes in inline storage,
+ * link indices come from tables precomputed at construction, and
+ * tryClaim() walks a route once, validating and recording indices in
+ * a single traversal instead of the routeFree-then-claim double walk.
+ * Per-coordinate validity checks on the hot entries (tryClaim,
+ * release, routeFree, the *Available queries) are debug-only
+ * assert()s — callers own path validity there; the checked panics
+ * remain on the cold claim() entry.
  */
 
 #ifndef QSURF_NETWORK_MESH_H
@@ -18,13 +28,17 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/small_vector.h"
 
 namespace qsurf::network {
 
 /** A concrete route: the ordered list of routers it passes through. */
 struct Path
 {
-    std::vector<Coord> nodes;
+    /** Inline capacity covering typical dimension-ordered routes. */
+    using Nodes = SmallVector<Coord, 16>;
+
+    Nodes nodes;
 
     /** @return number of links (hops). */
     int hops() const { return static_cast<int>(nodes.size()) - 1; }
@@ -76,9 +90,17 @@ class Mesh
     bool routeFree(const Path &path, int owner) const;
 
     /**
+     * Walk @p path once: validate that every node and link is free
+     * (or already owned by @p owner) and, when they all are, claim
+     * them using the indices recorded during the walk.  @return true
+     * on success; on failure the mesh is unmodified.
+     */
+    bool tryClaim(const Path &path, int owner);
+
+    /**
      * Claim every node and link of @p path for @p owner.
-     * panic()s if any resource is held by someone else — call
-     * routeFree first.
+     * panic()s if any resource is held by someone else — use
+     * tryClaim() when failure is expected.
      */
     void claim(const Path &path, int owner);
 
@@ -92,7 +114,21 @@ class Mesh
     bool linkAvailable(const Coord &a, const Coord &b, int owner) const;
 
     /** Advance time one cycle, accumulating busy-link statistics. */
-    void tick();
+    void tick() { tick(1); }
+
+    /**
+     * Advance time @p n cycles at once.  Ownership is unchanged, so
+     * busy-link accounting stays exact: each elided cycle would have
+     * accumulated the same busyLinks().  This is what lets the
+     * event-driven schedulers fast-forward without drifting the
+     * utilization statistics.
+     */
+    void
+    tick(uint64_t n)
+    {
+        ticks += n;
+        busy_link_cycles += static_cast<uint64_t>(busy_links) * n;
+    }
 
     /** @return cycles ticked so far. */
     uint64_t cycles() const { return ticks; }
@@ -110,10 +146,30 @@ class Mesh
     int nodeIndex(const Coord &c) const;
     int linkIndex(const Coord &a, const Coord &b) const;
 
+    /** Hot-path node index: bounds are debug-only assert()s. */
+    int nodeIndexFast(const Coord &c) const;
+
+    /**
+     * Hot-path link index from the precomputed tables, given the two
+     * endpoints' node indices; adjacency is a debug-only assert().
+     */
+    int linkIndexFast(int ia, int ib) const;
+
     int w;
     int h;
     std::vector<int> node_owner;
     std::vector<int> link_owner;
+
+    /** Link index of the +x link of each node (-1 on the edge). */
+    std::vector<int32_t> right_link;
+
+    /** Link index of the +y link of each node (-1 on the edge). */
+    std::vector<int32_t> down_link;
+
+    /** tryClaim() scratch: indices recorded by the validation walk. */
+    std::vector<int32_t> walk_nodes;
+    std::vector<int32_t> walk_links;
+
     int busy_links = 0;
     uint64_t ticks = 0;
     uint64_t busy_link_cycles = 0;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <deque>
-#include <vector>
 
 #include "common/logging.h"
 
@@ -55,7 +53,7 @@ yxRoute(const Coord &src, const Coord &dst)
 
 std::optional<Path>
 adaptiveRoute(const Mesh &mesh, const Coord &src, const Coord &dst,
-              int owner)
+              int owner, BfsScratch &scratch)
 {
     fatalIf(!mesh.contains(src) || !mesh.contains(dst),
             "route endpoint outside the mesh");
@@ -65,47 +63,55 @@ adaptiveRoute(const Mesh &mesh, const Coord &src, const Coord &dst,
     if (src == dst)
         return Path{{src}};
 
-    // BFS over free routers/links.
-    std::vector<Coord> prev(
-        static_cast<size_t>(mesh.numNodes()), Coord{-1, -1});
-    std::vector<char> seen(static_cast<size_t>(mesh.numNodes()), 0);
-    auto idx = [&mesh](const Coord &c) {
-        return static_cast<size_t>(linearIndex(c, mesh.width()));
+    // BFS over free routers/links.  Expansion order (east, west,
+    // south, north; first-found wins) is part of the deterministic
+    // results contract — it must not change.
+    int width = mesh.width();
+    auto idx = [width](const Coord &c) {
+        return linearIndex(c, width);
     };
 
-    std::deque<Coord> frontier{src};
-    seen[idx(src)] = 1;
+    scratch.beginSearch(mesh.numNodes());
+    std::vector<int32_t> &frontier = scratch.frontier();
+    frontier.push_back(idx(src));
+    scratch.visit(idx(src), -1);
+
     bool found = false;
-    while (!frontier.empty() && !found) {
-        Coord cur = frontier.front();
-        frontier.pop_front();
+    for (size_t head = 0; head < frontier.size() && !found; ++head) {
+        Coord cur = fromLinearIndex(frontier[head], width);
         static constexpr std::array<Coord, 4> dirs{
             {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
         for (const Coord &d : dirs) {
             Coord next{cur.x + d.x, cur.y + d.y};
-            if (!mesh.contains(next) || seen[idx(next)])
+            if (!mesh.contains(next) || scratch.seen(idx(next)))
                 continue;
             if (!mesh.nodeAvailable(next, owner)
                 || !mesh.linkAvailable(cur, next, owner))
                 continue;
-            seen[idx(next)] = 1;
-            prev[idx(next)] = cur;
+            scratch.visit(idx(next), idx(cur));
             if (next == dst) {
                 found = true;
                 break;
             }
-            frontier.push_back(next);
+            frontier.push_back(idx(next));
         }
     }
     if (!found)
         return std::nullopt;
 
     Path path;
-    for (Coord c = dst; !(c == src); c = prev[idx(c)])
-        path.nodes.push_back(c);
-    path.nodes.push_back(src);
+    for (int c = idx(dst); c >= 0; c = scratch.prev(c))
+        path.nodes.push_back(fromLinearIndex(c, width));
     std::reverse(path.nodes.begin(), path.nodes.end());
     return path;
+}
+
+std::optional<Path>
+adaptiveRoute(const Mesh &mesh, const Coord &src, const Coord &dst,
+              int owner)
+{
+    BfsScratch scratch;
+    return adaptiveRoute(mesh, src, dst, owner, scratch);
 }
 
 } // namespace qsurf::network

@@ -3,12 +3,20 @@
  * Route construction: dimension-ordered (XY / YX) paths and the
  * adaptive breadth-first detour used "to improve forward progress in
  * a busy network ... after certain timeouts" (Section 6.1).
+ *
+ * The detour search runs on every escalated placement attempt of
+ * every congested cycle, so its working set (predecessor, visited
+ * and frontier arrays) lives in a caller-owned BfsScratch that is
+ * epoch-stamped and reused: after the first search on a mesh, no
+ * further allocations happen regardless of how many searches run.
  */
 
 #ifndef QSURF_NETWORK_ROUTE_H
 #define QSURF_NETWORK_ROUTE_H
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "network/mesh.h"
 
@@ -21,16 +29,70 @@ Path xyRoute(const Coord &src, const Coord &dst);
 Path yxRoute(const Coord &src, const Coord &dst);
 
 /**
+ * Reusable working set of adaptiveRoute().  Visited marks are epoch
+ * stamps, so clearing between searches is a single counter bump;
+ * the arrays only (re)allocate when the mesh grows or the epoch
+ * counter wraps.
+ */
+class BfsScratch
+{
+  public:
+    /** Size the arrays for @p num_nodes and open a fresh epoch. */
+    void
+    beginSearch(int num_nodes)
+    {
+        auto n = static_cast<size_t>(num_nodes);
+        if (prev_.size() < n || epoch_ == UINT32_MAX) {
+            prev_.assign(n, -1);
+            seen_.assign(n, 0);
+            epoch_ = 0;
+        }
+        ++epoch_;
+        frontier_.clear();
+    }
+
+    bool
+    seen(int node) const
+    {
+        return seen_[static_cast<size_t>(node)] == epoch_;
+    }
+
+    void
+    visit(int node, int from)
+    {
+        seen_[static_cast<size_t>(node)] = epoch_;
+        prev_[static_cast<size_t>(node)] = from;
+    }
+
+    int prev(int node) const { return prev_[static_cast<size_t>(node)]; }
+
+    /** FIFO frontier of node indices (vector + read cursor). */
+    std::vector<int32_t> &frontier() { return frontier_; }
+
+  private:
+    std::vector<int32_t> prev_;
+    std::vector<uint32_t> seen_;
+    std::vector<int32_t> frontier_;
+    uint32_t epoch_ = 0;
+};
+
+/**
  * Shortest path through currently-free resources, found by BFS.
  *
- * @param mesh   the mesh with current ownership state.
- * @param src    source router.
- * @param dst    destination router.
- * @param owner  requester id; resources it already owns count as
- *               available (needed to re-route its own braid).
+ * @param mesh    the mesh with current ownership state.
+ * @param src     source router.
+ * @param dst     destination router.
+ * @param owner   requester id; resources it already owns count as
+ *                available (needed to re-route its own braid).
+ * @param scratch caller-owned reusable working set.
  * @return a free path, or nullopt when src and dst are disconnected
  *         in the free subgraph.
  */
+std::optional<Path> adaptiveRoute(const Mesh &mesh, const Coord &src,
+                                  const Coord &dst, int owner,
+                                  BfsScratch &scratch);
+
+/** Convenience overload allocating a one-shot scratch. */
 std::optional<Path> adaptiveRoute(const Mesh &mesh, const Coord &src,
                                   const Coord &dst, int owner);
 

@@ -20,7 +20,8 @@ runPlanar(const circuit::Circuit &circ, const PlanarOptions &opts)
     arch_opts.num_qubits = circ.numQubits();
     SimdArch arch(arch_opts);
 
-    SimdSchedule sched = scheduleSimd(circ, arch);
+    SimdSchedule sched =
+        scheduleSimd(circ, arch, opts.legacy_level_scan);
 
     EprOptions epr_opts;
     epr_opts.window_steps = opts.epr_window_steps;

@@ -37,6 +37,10 @@ struct PlanarOptions
 
     /** Technology for the swap-chain latency model. */
     qec::Technology tech;
+
+    /** Reproduce the pre-optimization level scan (see
+     *  scheduleSimd); identical results, original cost. */
+    bool legacy_level_scan = false;
 };
 
 /** Combined result of one planar-backend run. */

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "circuit/dag.h"
+#include "circuit/gates.h"
 #include "circuit/schedule.h"
 #include "common/logging.h"
 #include "engine/sim.h"
@@ -25,7 +26,8 @@ struct KindGroup
 } // namespace
 
 SimdSchedule
-scheduleSimd(const circuit::Circuit &circ, const SimdArch &arch)
+scheduleSimd(const circuit::Circuit &circ, const SimdArch &arch,
+             bool legacy_level_scan)
 {
     fatalIf(circ.empty(), "cannot schedule an empty circuit");
 
@@ -45,30 +47,67 @@ scheduleSimd(const circuit::Circuit &circ, const SimdArch &arch)
     SimdSchedule out;
     int k = arch.numRegions();
 
+    // Bucket gates by level once (gate order stays ascending), so
+    // each level touches only its own gates: the per-level rescan of
+    // the whole circuit was quadratic for deep serial circuits.
+    // legacy_level_scan keeps the rescan for baseline measurement.
+    std::vector<std::vector<int>> level_gates;
+    if (!legacy_level_scan) {
+        level_gates.resize(static_cast<size_t>(levels.depth));
+        for (int i = 0; i < circ.size(); ++i)
+            level_gates[static_cast<size_t>(
+                            levels.asap[static_cast<size_t>(i)])]
+                .push_back(i);
+    }
+
+    // Per-kind group slots, reused across levels (kind enum order ==
+    // the old std::map<GateKind, ...> iteration order).
+    std::vector<KindGroup> kind_groups(circuit::num_gate_kinds);
+    std::vector<int> votes(static_cast<size_t>(k), 0);
+
     for (int level = 0; level < levels.depth; ++level) {
-        // Collect this level's gates by kind.
-        std::map<GateKind, KindGroup> groups;
-        for (int i = 0; i < circ.size(); ++i) {
-            if (levels.asap[static_cast<size_t>(i)] != level)
-                continue;
-            auto &grp = groups[circ.gate(i).kind];
-            grp.kind = circ.gate(i).kind;
-            grp.gate_indices.push_back(i);
+        // Collect this level's gates by kind.  The legacy path is
+        // the pre-optimization code verbatim — full-circuit rescan
+        // into a freshly allocated per-level map (kind order ==
+        // the reused array's index order, so results match).
+        std::map<GateKind, KindGroup> legacy_groups;
+        for (KindGroup &grp : kind_groups)
+            grp.gate_indices.clear();
+        if (legacy_level_scan) {
+            for (int i = 0; i < circ.size(); ++i) {
+                if (levels.asap[static_cast<size_t>(i)] != level)
+                    continue;
+                auto &grp = legacy_groups[circ.gate(i).kind];
+                grp.kind = circ.gate(i).kind;
+                grp.gate_indices.push_back(i);
+            }
+            for (auto &[kind, grp] : legacy_groups)
+                kind_groups[static_cast<size_t>(kind)] =
+                    std::move(grp);
+        } else {
+            for (int i : level_gates[static_cast<size_t>(level)]) {
+                auto kind_index =
+                    static_cast<size_t>(circ.gate(i).kind);
+                kind_groups[kind_index].kind = circ.gate(i).kind;
+                kind_groups[kind_index].gate_indices.push_back(i);
+            }
         }
-        if (groups.empty())
-            continue;
 
         // Largest groups pick their region first; the engine ready
         // queue breaks size ties FIFO (kind order), deterministically.
         std::vector<KindGroup *> by_id;
         engine::ReadyQueue group_order;
-        for (auto &[kind, grp] : groups) {
+        for (KindGroup &grp : kind_groups) {
+            if (grp.gate_indices.empty())
+                continue;
             engine::ReadyEntry e;
             e.k1 = -static_cast<int64_t>(grp.gate_indices.size());
             e.id = static_cast<int>(by_id.size());
             by_id.push_back(&grp);
             group_order.insert(e);
         }
+        if (by_id.empty())
+            continue;
         std::vector<KindGroup *> order;
         for (const engine::ReadyEntry &e : group_order)
             order.push_back(by_id[static_cast<size_t>(e.id)]);
@@ -81,7 +120,7 @@ scheduleSimd(const circuit::Circuit &circ, const SimdArch &arch)
         for (KindGroup *grp : order) {
             // Locality-based assignment: the region already holding
             // the most operand qubits of this group wins.
-            std::vector<int> votes(static_cast<size_t>(k), 0);
+            std::fill(votes.begin(), votes.end(), 0);
             for (int gi : grp->gate_indices)
                 for (int32_t q : circ.gate(gi).operands())
                     ++votes[static_cast<size_t>(

@@ -34,6 +34,8 @@ class SurgerySimBackend : public engine::Backend
         // interaction-aware layout, below that the naive one.
         opts.optimized_layout = item.config.policy >= 2;
         opts.seed = item.config.seed;
+        opts.fast_forward = item.config.fast_forward;
+        opts.legacy_paths = item.config.legacy_baseline;
         SurgeryResult r = scheduleSurgery(*item.circuit, opts);
 
         engine::Metrics m;
@@ -63,6 +65,13 @@ class SurgerySimBackend : public engine::Backend
               static_cast<double>(r.peak_live_chains));
         m.set("avg_live_chains", r.avg_live_chains);
         m.set("layout_cost", r.layout_cost);
+        m.set("ff_skipped_cycles",
+              static_cast<double>(r.ff_skipped_cycles));
+        m.set("ff_skip_ratio",
+              r.schedule_cycles
+                  ? static_cast<double>(r.ff_skipped_cycles)
+                      / static_cast<double>(r.schedule_cycles)
+                  : 0.0);
         return m;
     }
 };

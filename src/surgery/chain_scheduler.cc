@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -57,6 +58,13 @@ chainCycles(const SurgeryOptions &opts, int tiles)
         * static_cast<double>(std::max(1, tiles))));
 }
 
+/** Primary + transposed corridor of one endpoint pair. */
+struct CorridorRoutes
+{
+    network::Path primary;
+    network::Path fallback;
+};
+
 /** The simulator. */
 class Simulator
 {
@@ -66,11 +74,20 @@ class Simulator
         : circ(circ), opts(opts), dag(circ),
           graph(circuit::interactionGraph(circ)),
           arch(graph, makeArchOptions(opts)), mesh(arch.makeMesh()),
-          claimer(mesh, makeClaimOptions(opts))
+          claim_opts(makeClaimOptions(opts)),
+          claimer(mesh, claim_opts)
     {
         crit = circuit::criticality(dag);
         for (const Coord &terminal : arch.reservedTerminals())
             claimer.reserveTerminal(terminal);
+        // Factory preference orders are a pure function of the
+        // static layout; memoize them per qubit so a stalled T gate
+        // doesn't re-sort the factory list every failed attempt.
+        factory_order.resize(
+            static_cast<size_t>(graph.num_qubits));
+        for (int q = 0; q < graph.num_qubits; ++q)
+            factory_order[static_cast<size_t>(q)] =
+                arch.factoriesByDistance(q);
         buildOps();
     }
 
@@ -86,6 +103,8 @@ class Simulator
                     "surgery simulation exceeded ", opts.max_cycles,
                     " cycles; likely a configuration problem");
             placementPhase();
+            if (opts.fast_forward)
+                fastForwardPhase();
             mesh.tick();
             ++cycle;
             completed += completionPhase();
@@ -107,6 +126,7 @@ class Simulator
         out.peak_live_chains = live.peak;
         out.avg_live_chains = live.average;
         out.layout_cost = arch.layoutCost(graph);
+        out.ff_skipped_cycles = ff.skipped();
         return out;
     }
 
@@ -127,6 +147,7 @@ class Simulator
         engine::RouteClaimOptions c;
         c.adapt_timeout = opts.adapt_timeout;
         c.bfs_timeout = opts.bfs_timeout;
+        c.legacy_paths = opts.legacy_paths;
         return c;
     }
 
@@ -154,7 +175,8 @@ class Simulator
           case OpClass::Local:
             return 0;
           case OpClass::TGate: {
-            int f = arch.factoriesByDistance(op.qa).front();
+            int f = factory_order[static_cast<size_t>(op.qa)]
+                        .front();
             return manhattan(arch.patchOf(op.qa),
                              arch.factoryPatch(f));
           }
@@ -207,13 +229,15 @@ class Simulator
         }
 
         Coord src = arch.terminal(op.qa);
-        std::vector<Coord> dsts;
+        std::vector<Coord> &dsts = dsts_scratch;
+        dsts.clear();
         if (op.cls == OpClass::TwoQ) {
             dsts.push_back(arch.terminal(op.qb));
         } else {
             // T gate: nearest factory first; consider up to 3 once
             // the op has been waiting.
-            auto order = arch.factoriesByDistance(op.qa);
+            const std::vector<int> &order =
+                factory_order[static_cast<size_t>(op.qa)];
             size_t limit = op.wait >= opts.adapt_timeout
                 ? std::min<size_t>(3, order.size())
                 : 1;
@@ -222,18 +246,53 @@ class Simulator
         }
 
         for (const Coord &dst : dsts) {
-            network::Path primary =
-                arch.corridorRoute(src, dst, false);
-            network::Path fallback =
-                arch.corridorRoute(src, dst, true);
-            auto chain =
-                claimer.tryClaim(primary, fallback, i, op.wait);
+            std::optional<network::Path> chain;
+            if (opts.legacy_paths) {
+                // Pre-change behavior: rebuild both corridor
+                // geometries on every attempt.
+                network::Path primary =
+                    arch.corridorRoute(src, dst, false);
+                network::Path fallback =
+                    arch.corridorRoute(src, dst, true);
+                chain = claimer.tryClaim(primary, fallback, i,
+                                         op.wait);
+            } else {
+                const CorridorRoutes &routes =
+                    corridorsFor(src, dst);
+                chain = claimer.tryClaim(routes.primary,
+                                         routes.fallback, i,
+                                         op.wait);
+            }
             if (chain) {
                 placed(i, std::move(*chain));
                 return true;
             }
         }
         return false;
+    }
+
+    /**
+     * Corridor geometries are a pure function of the endpoints, but
+     * a contended op rebuilds them every failed cycle — memoize
+     * them per (src, dst) so repeated attempts are allocation-free.
+     */
+    const CorridorRoutes &
+    corridorsFor(const Coord &src, const Coord &dst)
+    {
+        uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(
+                 linearIndex(src, mesh.width())))
+             << 32)
+            | static_cast<uint32_t>(linearIndex(dst, mesh.width()));
+        auto it = corridor_cache.find(key);
+        if (it == corridor_cache.end())
+            it = corridor_cache
+                     .emplace(key,
+                              CorridorRoutes{
+                                  arch.corridorRoute(src, dst, false),
+                                  arch.corridorRoute(src, dst, true)})
+                     .first;
+        return it->second;
     }
 
     /** Record a successful placement on a claimed corridor. */
@@ -265,13 +324,19 @@ class Simulator
     void
     placementPhase()
     {
+        pass_placed = 0;
+        pass_dropped = 0;
+        attempted.clear();
+
         int failures = 0;
-        std::vector<int> dropped;
+        dropped_scratch.clear();
         auto it = ready.begin();
         while (it != ready.end()
                && failures < opts.max_attempts_per_cycle) {
             int i = it->id;
+            int wait_used = ops[static_cast<size_t>(i)].wait;
             if (tryPlace(i)) {
+                ++pass_placed;
                 it = ready.erase(it);
                 continue;
             }
@@ -282,15 +347,38 @@ class Simulator
             if (op.wait >= opts.drop_timeout) {
                 // Drop and re-inject at the back of the queue.
                 ++drops;
+                ++pass_dropped;
                 op.wait = 0;
                 it = ready.erase(it);
-                dropped.push_back(i);
+                dropped_scratch.push_back(i);
                 continue;
             }
+            attempted.push_back({i, wait_used});
             ++it;
         }
-        for (int i : dropped)
+        for (int i : dropped_scratch)
             ready.insert(makeEntry(i));
+    }
+
+    /**
+     * When the pass above placed nothing (and dropped nothing, so
+     * the ready queue kept its order), every iteration until the
+     * next interesting event is a pure repetition: same failed
+     * attempts, wait counters +1 each.  Jump there, accounting the
+     * elided iterations in bulk.
+     */
+    void
+    fastForwardPhase()
+    {
+        if (pass_placed > 0 || pass_dropped > 0)
+            return;
+        cycle += engine::fastForwardAfterStall(
+            ff, expiry, mesh, cycle, opts.max_cycles + 1, attempted,
+            [this](int i) -> int & {
+                return ops[static_cast<size_t>(i)].wait;
+            },
+            claim_opts, opts.drop_timeout, placement_failures,
+            [](engine::FastForward &) {});
     }
 
     /** Retire expired chains; returns number of ops completed. */
@@ -320,14 +408,27 @@ class Simulator
     circuit::InteractionGraph graph;
     PatchArch arch;
     network::Mesh mesh;
+    engine::RouteClaimOptions claim_opts;
     engine::ChainClaimer claimer;
 
     std::vector<OpRec> ops;
     std::vector<int> crit;
+    std::vector<std::vector<int>> factory_order; ///< Per qubit.
     engine::ReadyQueue ready;
     engine::ExpiryQueue expiry;
     engine::LiveIntervalProfile live_chains;
+    engine::FastForward ff;
     uint64_t cycle = 0;
+
+    /** Per-pass bookkeeping feeding fastForwardPhase(). */
+    uint64_t pass_placed = 0;
+    uint64_t pass_dropped = 0;
+    std::vector<std::pair<int, int>> attempted; ///< (id, wait used).
+    std::vector<int> dropped_scratch;
+    std::vector<Coord> dsts_scratch;
+
+    /** Memoized corridor geometries, keyed by packed endpoints. */
+    std::unordered_map<uint64_t, CorridorRoutes> corridor_cache;
 
     uint64_t chains_placed = 0;
     uint64_t placement_failures = 0;

@@ -27,7 +27,7 @@ stepToward(int from, int to)
 
 /** Append @p c to @p nodes unless it repeats the last node. */
 void
-append(std::vector<Coord> &nodes, const Coord &c)
+append(network::Path::Nodes &nodes, const Coord &c)
 {
     if (nodes.empty() || nodes.back() != c)
         nodes.push_back(c);
@@ -35,7 +35,7 @@ append(std::vector<Coord> &nodes, const Coord &c)
 
 /** Append every node from the last one to @p to, axis-aligned. */
 void
-walkTo(std::vector<Coord> &nodes, const Coord &to)
+walkTo(network::Path::Nodes &nodes, const Coord &to)
 {
     Coord at = nodes.back();
     panicIf(at.x != to.x && at.y != to.y,

@@ -10,9 +10,13 @@
 #include <cmath>
 #include <sstream>
 
+#include <algorithm>
+#include <utility>
+
 #include "common/geometry.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/small_vector.h"
 #include "common/stats.h"
 #include "common/table.h"
 
@@ -226,6 +230,66 @@ TEST(Table, RowWidthMismatchPanics)
     Table t("x");
     t.header({"a", "b"});
     EXPECT_THROW(t.row({"only one"}), PanicError);
+}
+
+TEST(SmallVector, InlineThenHeapGrowth)
+{
+    SmallVector<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(v[static_cast<size_t>(i)], i);
+    EXPECT_EQ(v.front(), 0);
+    EXPECT_EQ(v.back(), 99);
+}
+
+TEST(SmallVector, InitializerListAndEquality)
+{
+    SmallVector<int, 4> a{1, 2, 3};
+    SmallVector<int, 4> b{1, 2, 3};
+    SmallVector<int, 4> c{1, 2};
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVector, CopyAndMoveAcrossStorageModes)
+{
+    for (size_t n : {size_t{3}, size_t{20}}) {
+        SmallVector<int, 4> src;
+        for (size_t i = 0; i < n; ++i)
+            src.push_back(static_cast<int>(i));
+
+        SmallVector<int, 4> copy(src);
+        EXPECT_TRUE(copy == src);
+
+        SmallVector<int, 4> moved(std::move(src));
+        EXPECT_TRUE(moved == copy);
+        EXPECT_TRUE(src.empty()); // NOLINT: moved-from is reusable.
+        src.push_back(7);
+        EXPECT_EQ(src.back(), 7);
+
+        SmallVector<int, 4> assigned;
+        assigned.push_back(-1);
+        assigned = copy;
+        EXPECT_TRUE(assigned == copy);
+        SmallVector<int, 4> move_assigned{9, 9, 9, 9, 9};
+        move_assigned = std::move(assigned);
+        EXPECT_TRUE(move_assigned == copy);
+    }
+}
+
+TEST(SmallVector, WorksWithStdAlgorithms)
+{
+    SmallVector<int, 4> v{5, 1, 4, 2, 3, 0};
+    std::reverse(v.begin(), v.end());
+    EXPECT_EQ(v[0], 0);
+    std::sort(v.begin(), v.end());
+    for (size_t i = 0; i + 1 < v.size(); ++i)
+        EXPECT_LE(v[i], v[i + 1]);
+    v.clear();
+    EXPECT_TRUE(v.empty());
 }
 
 } // namespace

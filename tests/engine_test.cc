@@ -13,6 +13,7 @@
 #include "circuit/decompose.h"
 #include "common/logging.h"
 #include "engine/registry.h"
+#include "engine/sim.h"
 #include "estimate/model.h"
 #include "planar/planar.h"
 
@@ -239,6 +240,92 @@ TEST(WorkItem, ResolveDistanceHonorsOverride)
     EXPECT_EQ(item.resolveDistance(), 5);
     item.config.code_distance = 0;
     EXPECT_GE(item.resolveDistance(), 3);
+}
+
+TEST(ExpiryQueue, NextDeadlineIsEarliestScheduled)
+{
+    ExpiryQueue q;
+    EXPECT_FALSE(q.nextDeadline().has_value());
+    q.schedule(30, 1);
+    q.schedule(10, 2);
+    q.schedule(20, 3);
+    ASSERT_TRUE(q.nextDeadline().has_value());
+    EXPECT_EQ(*q.nextDeadline(), 10u);
+    EXPECT_EQ(q.popRipe(10), std::optional<int>(2));
+    EXPECT_EQ(*q.nextDeadline(), 20u);
+}
+
+TEST(FastForward, NoCandidatesSkipsToHorizon)
+{
+    // An event-free schedule must still terminate: with nothing to
+    // wait for, the jump lands past the horizon so the caller's
+    // max-cycles guard fires.
+    FastForward ff;
+    ff.begin(100);
+    EXPECT_EQ(ff.skippable(1000), 899u);
+}
+
+TEST(FastForward, ExpiryBoundsTheJump)
+{
+    FastForward ff;
+    ff.begin(100);
+    ff.eventAt(150);
+    // Iterations 101..149 are boring; the pass at 150 sees the
+    // retirement (released routes, readied successors).
+    EXPECT_EQ(ff.skippable(1000), 49u);
+
+    // An event at the very next cycle means nothing to skip.
+    ff.begin(100);
+    ff.eventAt(101);
+    EXPECT_EQ(ff.skippable(1000), 0u);
+}
+
+TEST(FastForward, StalledOpStopsOnEscalationThresholds)
+{
+    RouteClaimOptions route;
+    route.adapt_timeout = 4;
+    route.bfs_timeout = 8;
+
+    // Fresh op (routed with wait 0, now 1): next behavior change is
+    // the adapt_timeout crossing, where the pass at now+4 routes
+    // with wait 4 and first tries the transposed geometry.
+    FastForward ff;
+    ff.begin(100);
+    ff.stalledOp(0, 1, route, 16);
+    EXPECT_EQ(ff.skippable(1000), 3u);
+
+    // Past adapt, before bfs: stop on the bfs_timeout crossing.
+    ff.begin(100);
+    ff.stalledOp(4, 5, route, 16);
+    EXPECT_EQ(ff.skippable(1000), 3u);
+
+    // Fully escalated: only the drop threshold remains.
+    ff.begin(100);
+    ff.stalledOp(9, 10, route, 16);
+    EXPECT_EQ(ff.skippable(1000), 5u);
+}
+
+TEST(FastForward, TightestCandidateWins)
+{
+    RouteClaimOptions route;
+    route.adapt_timeout = 4;
+    route.bfs_timeout = 8;
+
+    FastForward ff;
+    ff.begin(100);
+    ff.eventAt(200);              // far retirement
+    ff.stalledOp(9, 10, route, 16); // drop crossing in 6
+    ff.stalledOp(0, 1, route, 16);  // adapt crossing in 4
+    EXPECT_EQ(ff.skippable(1000), 3u);
+}
+
+TEST(FastForward, RecordsSkippedCycles)
+{
+    FastForward ff;
+    EXPECT_EQ(ff.skipped(), 0u);
+    ff.recordSkip(7);
+    ff.recordSkip(5);
+    EXPECT_EQ(ff.skipped(), 12u);
 }
 
 } // namespace

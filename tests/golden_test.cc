@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Golden-metrics regression tests: exact, pre-recorded outputs of
+ * every registered backend on a fixed-seed app grid, checked at
+ * sweep thread counts 1, 2 and 8.
+ *
+ * The values below were captured from the cycle-stepped simulators
+ * before the event-driven fast-forward rewrite; the rewrite (and any
+ * later hot-path optimization) must keep every backend bit-identical
+ * to them — same schedule_cycles, same fallback/detour/drop
+ * counters.  A divergence here means results changed, not just
+ * performance.
+ *
+ * The FastForwardMatchesBaseline tests are the stronger, generative
+ * form of the same guarantee: the schedulers re-run with the
+ * fast-forward jump disabled (the original one-cycle-at-a-time loop)
+ * must produce identical results field by field, including under
+ * aggressive escalation timeouts and factory-limited magic-state
+ * production, which the fixed grid cannot reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "braid/scheduler.h"
+#include "circuit/decompose.h"
+#include "engine/sweep.h"
+#include "surgery/chain_scheduler.h"
+
+namespace qsurf::engine {
+namespace {
+
+/** One pinned grid point. */
+struct Golden
+{
+    const char *app;
+    const char *backend;
+    int policy;
+    uint64_t schedule_cycles;
+    uint64_t critical_path_cycles;
+    uint64_t fallbacks; ///< yx_fallbacks or transpose_fallbacks.
+    uint64_t bfs_detours;
+    uint64_t drops;
+};
+
+/**
+ * Captured from the seed simulators (one-cycle-at-a-time loops,
+ * per-call allocations) at seed 1234, d = 5, kq = 1e6.
+ */
+const std::vector<Golden> &
+goldens()
+{
+    static const std::vector<Golden> table = {
+        {"SQ", "double-defect", 0, 5644u, 5060u, 48u, 0u, 0u},
+        {"SQ", "planar", 0, 3318u, 2840u, 0u, 0u, 0u},
+        {"SQ", "planar/surgery-sim", 0, 21336u, 18692u, 12u, 52u, 16u},
+        {"SQ", "double-defect-model", 0, 2733333u, 2733333u, 0u, 0u, 0u},
+        {"SQ", "planar-model", 0, 6001903u, 6001903u, 0u, 0u, 0u},
+        {"SQ", "planar/surgery-model", 0, 15346109u, 15346109u, 0u, 0u, 0u},
+        {"SQ", "double-defect", 6, 5331u, 5060u, 42u, 7u, 0u},
+        {"SQ", "planar", 6, 3318u, 2840u, 0u, 0u, 0u},
+        {"SQ", "planar/surgery-sim", 6, 19148u, 15490u, 44u, 62u, 76u},
+        {"SQ", "double-defect-model", 6, 2733333u, 2733333u, 0u, 0u, 0u},
+        {"SQ", "planar-model", 6, 6001903u, 6001903u, 0u, 0u, 0u},
+        {"SQ", "planar/surgery-model", 6, 15346109u, 15346109u, 0u, 0u, 0u},
+        {"SHA-1", "double-defect", 0, 4462u, 1363u, 90u, 52u, 40u},
+        {"SHA-1", "planar", 0, 1399u, 720u, 0u, 0u, 0u},
+        {"SHA-1", "planar/surgery-sim", 0, 16694u, 8592u, 25u, 394u, 3306u},
+        {"SHA-1", "double-defect-model", 0, 619119u, 466667u, 0u, 0u, 0u},
+        {"SHA-1", "planar-model", 0, 1530608u, 1530608u, 0u, 0u, 0u},
+        {"SHA-1", "planar/surgery-model", 0, 8820152u, 4243967u, 0u, 0u, 0u},
+        {"SHA-1", "double-defect", 6, 1611u, 1363u, 81u, 71u, 15u},
+        {"SHA-1", "planar", 6, 1399u, 720u, 0u, 0u, 0u},
+        {"SHA-1", "planar/surgery-sim", 6, 11289u, 6652u, 7u, 211u, 1141u},
+        {"SHA-1", "double-defect-model", 6, 619119u, 466667u, 0u, 0u, 0u},
+        {"SHA-1", "planar-model", 6, 1530608u, 1530608u, 0u, 0u, 0u},
+        {"SHA-1", "planar/surgery-model", 6, 8820152u, 4243967u, 0u, 0u, 0u},
+    };
+    return table;
+}
+
+/** The grid the table was captured from. */
+SweepGrid
+goldenGrid()
+{
+    SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""},
+                 {apps::AppKind::SHA1, {8, 1}, ""}};
+    grid.backends = {
+        backends::double_defect,      backends::planar,
+        backends::surgery_sim,        backends::double_defect_model,
+        backends::planar_model,       backends::surgery_model,
+    };
+    grid.policies = {0, 6};
+    grid.distances = {5};
+    grid.sizes = {1e6};
+    grid.base.seed = 1234;
+    return grid;
+}
+
+void
+checkAgainstGoldens(int threads, bool legacy_baseline = false)
+{
+    SweepOptions opts;
+    opts.num_threads = threads;
+    SweepGrid grid = goldenGrid();
+    if (legacy_baseline) {
+        // bench/perf_engine's recorded baseline: the cycle-stepped
+        // loop on the pre-optimization execution paths.  It must
+        // reproduce the pinned values too, or the A/B perf numbers
+        // would compare different computations.
+        grid.base.fast_forward = false;
+        grid.base.legacy_baseline = true;
+    }
+    auto results = SweepDriver().run(grid, opts);
+    const auto &table = goldens();
+    ASSERT_EQ(results.size(), table.size());
+    for (size_t i = 0; i < table.size(); ++i) {
+        const Golden &g = table[i];
+        const Metrics &m = results[i].metrics;
+        EXPECT_EQ(results[i].app_name, g.app) << "point " << i;
+        EXPECT_EQ(results[i].backend, g.backend) << "point " << i;
+        EXPECT_EQ(results[i].policy, g.policy) << "point " << i;
+        EXPECT_EQ(m.schedule_cycles, g.schedule_cycles)
+            << g.app << " / " << g.backend << " / policy " << g.policy
+            << " at " << threads << " threads";
+        EXPECT_EQ(m.critical_path_cycles, g.critical_path_cycles)
+            << g.app << " / " << g.backend << " / policy " << g.policy;
+        auto fallbacks = static_cast<uint64_t>(m.extra(
+            "yx_fallbacks", m.extra("transpose_fallbacks")));
+        EXPECT_EQ(fallbacks, g.fallbacks)
+            << g.app << " / " << g.backend << " / policy " << g.policy;
+        EXPECT_EQ(static_cast<uint64_t>(m.extra("bfs_detours")),
+                  g.bfs_detours)
+            << g.app << " / " << g.backend << " / policy " << g.policy;
+        EXPECT_EQ(static_cast<uint64_t>(m.extra("drops")), g.drops)
+            << g.app << " / " << g.backend << " / policy " << g.policy;
+    }
+}
+
+TEST(Golden, OneThread) { checkAgainstGoldens(1); }
+TEST(Golden, TwoThreads) { checkAgainstGoldens(2); }
+TEST(Golden, EightThreads) { checkAgainstGoldens(8); }
+TEST(Golden, LegacyBaselineMode) { checkAgainstGoldens(1, true); }
+
+void
+expectBraidIdentical(const braid::BraidResult &ff,
+                     const braid::BraidResult &base,
+                     const std::string &what)
+{
+    EXPECT_EQ(ff.schedule_cycles, base.schedule_cycles) << what;
+    EXPECT_EQ(ff.critical_path_cycles, base.critical_path_cycles)
+        << what;
+    EXPECT_DOUBLE_EQ(ff.mesh_utilization, base.mesh_utilization)
+        << what;
+    EXPECT_EQ(ff.braids_placed, base.braids_placed) << what;
+    EXPECT_EQ(ff.placement_failures, base.placement_failures) << what;
+    EXPECT_EQ(ff.yx_fallbacks, base.yx_fallbacks) << what;
+    EXPECT_EQ(ff.bfs_detours, base.bfs_detours) << what;
+    EXPECT_EQ(ff.drops, base.drops) << what;
+    EXPECT_EQ(ff.magic_starvations, base.magic_starvations) << what;
+    EXPECT_DOUBLE_EQ(ff.layout_cost, base.layout_cost) << what;
+    EXPECT_EQ(base.ff_skipped_cycles, 0u) << what;
+}
+
+TEST(FastForwardMatchesBaseline, BraidAcrossPolicies)
+{
+    circuit::Circuit circ = circuit::decompose(
+        apps::generate(apps::AppKind::SHA1, {8, 1}));
+    for (int policy : {0, 1, 4, 6}) {
+        braid::BraidOptions opts;
+        opts.code_distance = 5;
+        opts.seed = 7;
+        braid::BraidResult base, ff;
+        opts.fast_forward = false;
+        base = braid::scheduleBraids(
+            circ, static_cast<braid::Policy>(policy), opts);
+        opts.fast_forward = true;
+        ff = braid::scheduleBraids(
+            circ, static_cast<braid::Policy>(policy), opts);
+        expectBraidIdentical(ff, base,
+                             "policy " + std::to_string(policy));
+        EXPECT_GT(ff.ff_skipped_cycles, 0u)
+            << "policy " << policy
+            << ": d-round stabilization waits should fast-forward";
+    }
+}
+
+TEST(FastForwardMatchesBaseline, BraidTightTimeoutsAndStarvation)
+{
+    // Aggressive escalation (adapt/bfs/drop crossings every few
+    // cycles) plus factory-limited magic-state production, so the
+    // jump planner must stop exactly on every kind of threshold.
+    circuit::Circuit circ = circuit::decompose(
+        apps::generate(apps::AppKind::SQ, {8, 2}));
+    braid::BraidOptions opts;
+    opts.code_distance = 7;
+    opts.adapt_timeout = 2;
+    opts.bfs_timeout = 3;
+    opts.drop_timeout = 5;
+    opts.magic_production_cycles = 40;
+    opts.magic_buffer_capacity = 1;
+    opts.seed = 11;
+
+    opts.fast_forward = false;
+    braid::BraidResult base =
+        braid::scheduleBraids(circ, braid::Policy::Combined, opts);
+    opts.fast_forward = true;
+    braid::BraidResult ff =
+        braid::scheduleBraids(circ, braid::Policy::Combined, opts);
+    expectBraidIdentical(ff, base, "tight timeouts + starvation");
+    EXPECT_GT(base.magic_starvations, 0u)
+        << "config should actually exercise factory starvation";
+    EXPECT_GT(ff.ff_skipped_cycles, 0u);
+}
+
+TEST(FastForwardMatchesBaseline, SurgeryChains)
+{
+    circuit::Circuit circ = circuit::decompose(
+        apps::generate(apps::AppKind::SHA1, {8, 1}));
+    for (int d : {5, 9}) {
+        surgery::SurgeryOptions opts;
+        opts.code_distance = d;
+        opts.seed = 3;
+        opts.fast_forward = false;
+        surgery::SurgeryResult base =
+            surgery::scheduleSurgery(circ, opts);
+        opts.fast_forward = true;
+        surgery::SurgeryResult ff =
+            surgery::scheduleSurgery(circ, opts);
+
+        std::string what = "surgery d=" + std::to_string(d);
+        EXPECT_EQ(ff.schedule_cycles, base.schedule_cycles) << what;
+        EXPECT_DOUBLE_EQ(ff.mesh_utilization, base.mesh_utilization)
+            << what;
+        EXPECT_EQ(ff.chains_placed, base.chains_placed) << what;
+        EXPECT_EQ(ff.placement_failures, base.placement_failures)
+            << what;
+        EXPECT_EQ(ff.transpose_fallbacks, base.transpose_fallbacks)
+            << what;
+        EXPECT_EQ(ff.bfs_detours, base.bfs_detours) << what;
+        EXPECT_EQ(ff.drops, base.drops) << what;
+        EXPECT_EQ(ff.total_chain_tiles, base.total_chain_tiles)
+            << what;
+        EXPECT_EQ(ff.max_chain_tiles, base.max_chain_tiles) << what;
+        EXPECT_EQ(ff.peak_live_chains, base.peak_live_chains) << what;
+        EXPECT_DOUBLE_EQ(ff.avg_live_chains, base.avg_live_chains)
+            << what;
+        EXPECT_EQ(base.ff_skipped_cycles, 0u) << what;
+        EXPECT_GT(ff.ff_skipped_cycles, 0u) << what;
+    }
+}
+
+} // namespace
+} // namespace qsurf::engine

@@ -139,5 +139,54 @@ TEST(Path, HopsAndEndpoints)
     EXPECT_EQ(p.dest(), (Coord{3, 0}));
 }
 
+TEST(Mesh, TryClaimSucceedsLikeClaim)
+{
+    Mesh m(5, 5);
+    Path p = straightPath(2, 0, 4);
+    EXPECT_TRUE(m.tryClaim(p, 1));
+    EXPECT_EQ(m.nodeOwner(Coord{2, 2}), 1);
+    EXPECT_EQ(m.linkOwner(Coord{0, 2}, Coord{1, 2}), 1);
+    EXPECT_EQ(m.busyLinks(), 4);
+}
+
+TEST(Mesh, FailedTryClaimLeavesMeshUntouched)
+{
+    Mesh m(5, 5);
+    m.claim(straightPath(2, 0, 4), 1);
+    // A vertical route crossing (2,2) fails mid-walk; nothing it
+    // validated before the conflict may stay claimed.
+    Path vertical;
+    for (int y = 0; y <= 4; ++y)
+        vertical.nodes.push_back(Coord{2, y});
+    EXPECT_FALSE(m.tryClaim(vertical, 2));
+    EXPECT_EQ(m.nodeOwner(Coord{2, 0}), Mesh::no_owner);
+    EXPECT_EQ(m.linkOwner(Coord{2, 0}, Coord{2, 1}), Mesh::no_owner);
+    EXPECT_EQ(m.busyLinks(), 4);
+}
+
+TEST(Mesh, VerticalLinksOnOneWideMesh)
+{
+    Mesh m(1, 4);
+    Path p;
+    for (int y = 0; y < 4; ++y)
+        p.nodes.push_back(Coord{0, y});
+    EXPECT_TRUE(m.tryClaim(p, 3));
+    EXPECT_EQ(m.linkOwner(Coord{0, 1}, Coord{0, 2}), 3);
+    m.release(p, 3);
+    EXPECT_EQ(m.busyLinks(), 0);
+}
+
+TEST(Mesh, BulkTickMatchesRepeatedTicks)
+{
+    Mesh a(3, 3), b(3, 3);
+    a.claim(straightPath(1, 0, 2), 1);
+    b.claim(straightPath(1, 0, 2), 1);
+    for (int i = 0; i < 7; ++i)
+        a.tick();
+    b.tick(7);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_DOUBLE_EQ(a.utilization(), b.utilization());
+}
+
 } // namespace
 } // namespace qsurf::network

@@ -130,5 +130,44 @@ TEST(AdaptiveRoute, OutsideMeshIsFatal)
                  qsurf::FatalError);
 }
 
+TEST(AdaptiveRoute, ReusedScratchMatchesFreshScratch)
+{
+    Mesh m(6, 6);
+    Path wall;
+    for (int y = 0; y <= 3; ++y)
+        wall.nodes.push_back(Coord{3, y});
+    m.claim(wall, 7);
+
+    // One scratch across many searches (the claimers' usage) must
+    // reproduce the one-shot overload exactly, node for node.
+    BfsScratch scratch;
+    for (int trial = 0; trial < 50; ++trial) {
+        for (const Coord &dst :
+             {Coord{5, 0}, Coord{5, 5}, Coord{0, 5}}) {
+            auto reused =
+                adaptiveRoute(m, Coord{0, 0}, dst, 1, scratch);
+            auto fresh = adaptiveRoute(m, Coord{0, 0}, dst, 1);
+            ASSERT_EQ(reused.has_value(), fresh.has_value());
+            if (reused) {
+                EXPECT_TRUE(reused->nodes == fresh->nodes);
+            }
+        }
+    }
+}
+
+TEST(AdaptiveRoute, ScratchSurvivesMeshSizeChange)
+{
+    BfsScratch scratch;
+    Mesh small(3, 3);
+    EXPECT_TRUE(adaptiveRoute(small, Coord{0, 0}, Coord{2, 2}, 1,
+                              scratch)
+                    .has_value());
+    Mesh big(9, 9);
+    auto p =
+        adaptiveRoute(big, Coord{0, 0}, Coord{8, 8}, 1, scratch);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->hops(), 16);
+}
+
 } // namespace
 } // namespace qsurf::network
