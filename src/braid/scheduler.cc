@@ -106,14 +106,9 @@ class Simulator
             factory_order[static_cast<size_t>(q)] =
                 arch.factoriesByDistance(q);
         buildOps();
-        if (opts.magic_production_cycles > 0) {
-            factory_stock.assign(
-                static_cast<size_t>(arch.numFactories()),
-                opts.magic_buffer_capacity);
-            factory_next_ready.assign(
-                static_cast<size_t>(arch.numFactories()),
-                static_cast<uint64_t>(opts.magic_production_cycles));
-        }
+        factories.configure(arch.numFactories(),
+                            opts.magic_production_cycles,
+                            opts.magic_buffer_capacity);
         // Policy 6 treats the top criticality quartile as "highest
         // criticality" (short-first); the rest go long-first.
         std::vector<int> sorted_crit = crit;
@@ -134,7 +129,7 @@ class Simulator
             fatalIf(cycle > opts.max_cycles,
                     "braid simulation exceeded ", opts.max_cycles,
                     " cycles; likely a configuration problem");
-            replenishFactories();
+            factories.replenish(cycle);
             placementPhase();
             if (opts.fast_forward)
                 fastForwardPhase();
@@ -284,27 +279,16 @@ class Simulator
         dsts.clear();
         if (op.cls == OpClass::TwoQ) {
             dsts.emplace_back(arch.terminal(op.qb), -1);
-        } else {
-            // T gate: nearest factories first; consider up to 3 once
-            // the op has been waiting.
-            const std::vector<int> &order =
-                factory_order[static_cast<size_t>(op.qa)];
-            size_t limit = op.wait >= opts.adapt_timeout
-                ? std::min<size_t>(3, order.size())
-                : 1;
-            bool any_stock = false;
-            for (size_t f = 0; f < limit; ++f) {
-                int fac = order[f];
-                if (!hasMagicState(fac))
-                    continue;
-                any_stock = true;
-                dsts.emplace_back(arch.factoryTerminal(fac), fac);
-            }
-            if (!any_stock) {
-                ++magic_starvations;
-                ++pass_starved;
-                return false;
-            }
+        } else if (!engine::appendStockedFactories(
+                       factories,
+                       factory_order[static_cast<size_t>(op.qa)],
+                       op.wait, opts.adapt_timeout, dsts,
+                       [this](int f) {
+                           return arch.factoryTerminal(f);
+                       })) {
+            ++magic_starvations;
+            ++pass_starved;
+            return false;
         }
 
         // Figure 5: the two segments take different geometries; we
@@ -314,48 +298,12 @@ class Simulator
             auto path =
                 claimer.tryClaim(src, dst, i, op.wait, closing);
             if (path) {
-                consumeMagicState(factory);
+                factories.consume(factory);
                 placed(i, std::move(*path));
                 return true;
             }
         }
         return false;
-    }
-
-    /** @return true when factory @p f can supply a magic state now. */
-    bool
-    hasMagicState(int f) const
-    {
-        if (opts.magic_production_cycles <= 0)
-            return true;
-        return factory_stock[static_cast<size_t>(f)] > 0;
-    }
-
-    /** Take one state from factory @p f (no-op when unlimited). */
-    void
-    consumeMagicState(int f)
-    {
-        if (opts.magic_production_cycles <= 0 || f < 0)
-            return;
-        auto &stock = factory_stock[static_cast<size_t>(f)];
-        panicIf(stock <= 0, "consumed magic state from empty factory");
-        --stock;
-    }
-
-    /** Advance distillation pipelines (Section 4.3). */
-    void
-    replenishFactories()
-    {
-        if (opts.magic_production_cycles <= 0)
-            return;
-        for (size_t f = 0; f < factory_stock.size(); ++f) {
-            while (factory_next_ready[f] <= cycle) {
-                factory_stock[f] = std::min(
-                    factory_stock[f] + 1, opts.magic_buffer_capacity);
-                factory_next_ready[f] += static_cast<uint64_t>(
-                    opts.magic_production_cycles);
-            }
-        }
     }
 
     /** Record a successful placement on an already-claimed route. */
@@ -479,12 +427,7 @@ class Simulator
             [this](engine::FastForward &planner) {
                 // A replenishment that raises a stock can change a
                 // T gate's candidate factories.
-                if (opts.magic_production_cycles <= 0)
-                    return;
-                for (size_t f = 0; f < factory_stock.size(); ++f)
-                    if (factory_stock[f]
-                        < opts.magic_buffer_capacity)
-                        planner.eventAt(factory_next_ready[f]);
+                factories.registerEvents(planner);
             });
         cycle += skip;
         magic_starvations += pass_starved * skip;
@@ -543,8 +486,7 @@ class Simulator
     std::vector<int> dropped_scratch;
     std::vector<std::pair<Coord, int>> dsts_scratch;
 
-    std::vector<int> factory_stock;
-    std::vector<uint64_t> factory_next_ready;
+    engine::MagicFactoryPool factories;
 
     uint64_t braids_placed = 0;
     uint64_t placement_failures = 0;

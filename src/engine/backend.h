@@ -154,6 +154,25 @@ struct RunConfig
     /** Distilled states a factory can buffer (with production on). */
     int magic_buffer_capacity = 2;
 
+    /**
+     * Route-claim escalation timeouts of the simulated backends
+     * (Section 6.1): cycles a stalled op waits before trying the
+     * transposed route, before the BFS detour, and before being
+     * dropped and re-injected.  The defaults match the schedulers'
+     * historical constants; sweeps tighten them to study contention.
+     */
+    int adapt_timeout = 4;
+    int bfs_timeout = 8;
+    int drop_timeout = 16;
+
+    /**
+     * Scheme arbiter of the "hybrid/mixed-sim" backend (a
+     * hybrid::ArbiterKind value): 0 cost-model greedy, 1 congestion
+     * reactive, 2-4 force braid/teleport/surgery.  Other backends
+     * ignore it.
+     */
+    int hybrid_arbiter = 0;
+
     /** Layout / tie-break RNG seed. */
     uint64_t seed = 1;
 };

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "engine/registry.h"
 #include "estimate/model.h"
+#include "hybrid/backend.h"
 #include "planar/planar.h"
 #include "surgery/backend.h"
 
@@ -58,6 +59,9 @@ class DoubleDefectBackend : public Backend
         opts.seed = item.config.seed;
         opts.fast_forward = item.config.fast_forward;
         opts.legacy_paths = item.config.legacy_baseline;
+        opts.adapt_timeout = item.config.adapt_timeout;
+        opts.bfs_timeout = item.config.bfs_timeout;
+        opts.drop_timeout = item.config.drop_timeout;
         opts.magic_production_cycles =
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =
@@ -216,6 +220,7 @@ registerBuiltinBackends(Registry &registry)
     registry.add(
         std::make_unique<ModelBackend>(qec::CodeKind::DoubleDefect));
     surgery::registerSurgeryBackends(registry);
+    hybrid::registerHybridBackend(registry);
 }
 
 } // namespace qsurf::engine

@@ -42,6 +42,10 @@ inline constexpr const char *surgery_sim = "planar/surgery-sim";
 /** Analytic lattice-surgery model (Section 8.2). */
 inline constexpr const char *surgery_model = "planar/surgery-model";
 
+/** Mixed-scheme simulation: per-op braid / teleport / surgery
+ *  arbitration on one shared patch machine. */
+inline constexpr const char *hybrid_mixed = "hybrid/mixed-sim";
+
 } // namespace backends
 
 /** A named set of backends.  Thread-safe. */

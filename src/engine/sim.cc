@@ -143,6 +143,16 @@ ChainClaimer::release(const network::Path &chain, int owner)
     setEndpointReserved(chain.dest(), true);
 }
 
+void
+MagicFactoryPool::consume(int f)
+{
+    if (!limited() || f < 0)
+        return;
+    auto &stock = stock_[static_cast<size_t>(f)];
+    panicIf(stock <= 0, "consumed magic state from empty factory");
+    --stock;
+}
+
 LiveIntervalProfile::Summary
 LiveIntervalProfile::summarize(uint64_t total_cycles) const
 {

@@ -433,6 +433,125 @@ class ChainClaimer
 };
 
 /**
+ * Rate-limited magic-state distillation (Section 4.3), shared by
+ * every scheduler that sources T gates from factory tiles/patches.
+ *
+ * Each factory distills one state every production_cycles cycles
+ * into a bounded buffer; a T placement consumes one state and a
+ * factory with an empty buffer refuses placements (a *starvation*).
+ * production_cycles <= 0 models the paper's critical-path-sized
+ * factories: supply is never the bottleneck and every query says
+ * stocked.  Replenishment order is deterministic (factory index),
+ * so schedulers using the pool stay bit-identical across sweep
+ * threads and fast-forward modes.
+ */
+class MagicFactoryPool
+{
+  public:
+    /**
+     * Configure @p num_factories factories distilling one state per
+     * @p production_cycles into buffers of @p buffer_capacity.
+     * Buffers start full; the first refill lands at
+     * production_cycles.
+     */
+    void
+    configure(int num_factories, int production_cycles,
+              int buffer_capacity)
+    {
+        production_ = production_cycles;
+        capacity_ = buffer_capacity;
+        if (production_ <= 0)
+            return;
+        stock_.assign(static_cast<size_t>(num_factories),
+                      buffer_capacity);
+        next_ready_.assign(static_cast<size_t>(num_factories),
+                           static_cast<uint64_t>(production_cycles));
+    }
+
+    /** @return true when production is rate-limited. */
+    bool limited() const { return production_ > 0; }
+
+    /** @return true when factory @p f can supply a state now. */
+    bool
+    hasState(int f) const
+    {
+        if (!limited())
+            return true;
+        return stock_[static_cast<size_t>(f)] > 0;
+    }
+
+    /** Take one state from factory @p f (no-op when unlimited). */
+    void consume(int f);
+
+    /** Advance every distillation pipeline to @p now. */
+    void
+    replenish(uint64_t now)
+    {
+        if (!limited())
+            return;
+        for (size_t f = 0; f < stock_.size(); ++f) {
+            while (next_ready_[f] <= now) {
+                stock_[f] = std::min(stock_[f] + 1, capacity_);
+                next_ready_[f] += static_cast<uint64_t>(production_);
+            }
+        }
+    }
+
+    /**
+     * Register the next replenishment that raises a stock as a
+     * fast-forward event candidate: a refill can change a stalled
+     * T gate's candidate factories, so the jump must not overshoot
+     * it.
+     */
+    void
+    registerEvents(FastForward &planner) const
+    {
+        if (!limited())
+            return;
+        for (size_t f = 0; f < stock_.size(); ++f)
+            if (stock_[f] < capacity_)
+                planner.eventAt(next_ready_[f]);
+    }
+
+  private:
+    int production_ = 0;
+    int capacity_ = 0;
+    std::vector<int> stock_;
+    std::vector<uint64_t> next_ready_;
+};
+
+/**
+ * T-gate factory candidate selection shared by the schedulers:
+ * nearest factories first, widening from 1 to 3 candidates once the
+ * op has waited past @p adapt_timeout, and skipping factories with
+ * no distilled state.  Appends (terminal(f), f) pairs to @p dsts.
+ *
+ * @return true when at least one stocked candidate was appended —
+ * false is a starvation, counted by the caller.
+ */
+template <typename Terminal>
+bool
+appendStockedFactories(const MagicFactoryPool &pool,
+                       const std::vector<int> &order, int wait,
+                       int adapt_timeout,
+                       std::vector<std::pair<Coord, int>> &dsts,
+                       Terminal &&terminal)
+{
+    size_t limit = wait >= adapt_timeout
+        ? std::min<size_t>(3, order.size())
+        : 1;
+    bool any_stock = false;
+    for (size_t f = 0; f < limit; ++f) {
+        int fac = order[f];
+        if (!pool.hasState(fac))
+            continue;
+        any_stock = true;
+        dsts.emplace_back(terminal(fac), fac);
+    }
+    return any_stock;
+}
+
+/**
  * A pool of identical transport channels.  acquire() reserves the
  * earliest free slot, modelling a bandwidth-limited link set whose
  * transfers queue when all channels are busy.
@@ -458,6 +577,20 @@ class ChannelPool
         }
         busy_until_.push(start + duration);
         return start;
+    }
+
+    /**
+     * @return the cycle at which acquire(@p earliest, ...) would
+     * start, without reserving anything — the queueing-delay peek a
+     * cost-model arbiter uses to price a transfer before committing
+     * to it.
+     */
+    uint64_t
+    earliestStart(uint64_t earliest) const
+    {
+        if (static_cast<int>(busy_until_.size()) < slots_)
+            return earliest;
+        return std::max(earliest, busy_until_.top());
     }
 
   private:

@@ -18,7 +18,7 @@ size_t
 SweepGrid::points() const
 {
     return apps.size() * sizes.size() * distances.size()
-        * policies.size() * backends.size();
+        * policies.size() * arbiters.size() * backends.size();
 }
 
 std::vector<SweepPoint>
@@ -27,8 +27,8 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
     fatalIf(grid.apps.empty(), "sweep grid needs at least one app");
     fatalIf(grid.backends.empty(),
             "sweep grid needs at least one backend");
-    fatalIf(grid.policies.empty() || grid.distances.empty()
-                || grid.sizes.empty(),
+    fatalIf(grid.policies.empty() || grid.arbiters.empty()
+                || grid.distances.empty() || grid.sizes.empty(),
             "sweep grid axes must be non-empty");
     grid.base.tech.check();
 
@@ -54,7 +54,7 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
     }
 
     // Expand the grid: app (outer) x size x distance x policy x
-    // backend (inner).
+    // arbiter x backend (inner).
     std::vector<SweepPoint> points;
     std::vector<const Backend *> item_backend;
     points.reserve(grid.points());
@@ -67,17 +67,20 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
         for (double kq : grid.sizes) {
             for (int d : grid.distances) {
                 for (int policy : grid.policies) {
-                    for (const Backend *backend : backends) {
-                        SweepPoint p;
-                        p.index = points.size();
-                        p.app_index = a;
-                        p.app_name = app_name;
-                        p.backend = backend->name();
-                        p.policy = policy;
-                        p.distance = d;
-                        p.kq = kq;
-                        points.push_back(std::move(p));
-                        item_backend.push_back(backend);
+                    for (int arbiter : grid.arbiters) {
+                        for (const Backend *backend : backends) {
+                            SweepPoint p;
+                            p.index = points.size();
+                            p.app_index = a;
+                            p.app_name = app_name;
+                            p.backend = backend->name();
+                            p.policy = policy;
+                            p.arbiter = arbiter;
+                            p.distance = d;
+                            p.kq = kq;
+                            points.push_back(std::move(p));
+                            item_backend.push_back(backend);
+                        }
                     }
                 }
             }
@@ -99,6 +102,7 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
             : nullptr;
         item.config = grid.base;
         item.config.policy = p.policy;
+        item.config.hybrid_arbiter = p.arbiter;
         item.config.code_distance = p.distance;
         item.config.kq = p.kq;
         // Seeds vary per application point, never along the policy/
@@ -185,6 +189,7 @@ writeSweepJson(std::ostream &os, const std::string &title,
         j.field("backend", p.backend);
         j.field("code", qec::codeKindName(p.metrics.code));
         j.field("policy", p.policy);
+        j.field("arbiter", p.arbiter);
         j.field("code_distance", p.metrics.code_distance);
         if (p.kq > 0)
             j.field("kq", p.kq);

@@ -50,6 +50,12 @@ struct SweepGrid
     /** Braid policy indices; non-braid backends ignore them. */
     std::vector<int> policies = {6};
 
+    /**
+     * Hybrid scheme-arbiter indices (hybrid::ArbiterKind values);
+     * backends other than "hybrid/mixed-sim" ignore them.
+     */
+    std::vector<int> arbiters = {0};
+
     /** Code distances; 0 selects from KQ and pP. */
     std::vector<int> distances = {0};
 
@@ -74,6 +80,7 @@ struct SweepPoint
     std::string app_name; ///< Resolved display name.
     std::string backend;  ///< Backend registry name.
     int policy = 0;
+    int arbiter = 0;      ///< Hybrid scheme-arbiter index.
     int distance = 0;     ///< Grid value (0 = auto; see metrics).
     double kq = 0;        ///< Grid value (0 = from circuit).
     Metrics metrics;

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The mixed-scheme engine backend ("hybrid/mixed-sim"): braid
+ * tracks, EPR-teleport channels and merge/split chains arbitrated
+ * per operation on one shared patch machine, plugging into the
+ * engine registry so the toolflow, the sweep driver and the figure
+ * benches drive it exactly like the pure-scheme backends.
+ */
+
+#ifndef QSURF_HYBRID_BACKEND_H
+#define QSURF_HYBRID_BACKEND_H
+
+#include "engine/registry.h"
+
+namespace qsurf::hybrid {
+
+/**
+ * Register the hybrid backend into @p registry (called by
+ * engine::registerBuiltinBackends; exposed for private-registry
+ * tests).
+ */
+void registerHybridBackend(engine::Registry &registry);
+
+} // namespace qsurf::hybrid
+
+#endif // QSURF_HYBRID_BACKEND_H

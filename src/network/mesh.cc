@@ -162,6 +162,7 @@ Mesh::tryClaim(const Path &path, int owner)
             ++busy_links;
         slot = owner;
     }
+    peak_busy_links = std::max(peak_busy_links, busy_links);
     return true;
 }
 
@@ -215,6 +216,7 @@ Mesh::reset()
     std::fill(node_owner.begin(), node_owner.end(), no_owner);
     std::fill(link_owner.begin(), link_owner.end(), no_owner);
     busy_links = 0;
+    peak_busy_links = 0;
     ticks = 0;
     busy_link_cycles = 0;
 }

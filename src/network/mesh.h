@@ -136,6 +136,23 @@ class Mesh
     /** @return currently claimed links. */
     int busyLinks() const { return busy_links; }
 
+    /**
+     * @return the maximum simultaneously claimed links seen so far —
+     * the congestion high-water mark mixed-scheme arbitration reacts
+     * to (a braid track and a surgery corridor holding links at the
+     * same time both count).
+     */
+    int peakBusyLinks() const { return peak_busy_links; }
+
+    /** @return the fraction of links claimed right now, in [0, 1]. */
+    double
+    loadNow() const
+    {
+        return numLinks()
+            ? static_cast<double>(busy_links) / numLinks()
+            : 0.0;
+    }
+
     /** @return average fraction of links busy per cycle so far. */
     double utilization() const;
 
@@ -171,6 +188,7 @@ class Mesh
     std::vector<int32_t> walk_links;
 
     int busy_links = 0;
+    int peak_busy_links = 0;
     uint64_t ticks = 0;
     uint64_t busy_link_cycles = 0;
 };

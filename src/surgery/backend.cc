@@ -36,6 +36,13 @@ class SurgerySimBackend : public engine::Backend
         opts.seed = item.config.seed;
         opts.fast_forward = item.config.fast_forward;
         opts.legacy_paths = item.config.legacy_baseline;
+        opts.adapt_timeout = item.config.adapt_timeout;
+        opts.bfs_timeout = item.config.bfs_timeout;
+        opts.drop_timeout = item.config.drop_timeout;
+        opts.magic_production_cycles =
+            item.config.magic_production_cycles;
+        opts.magic_buffer_capacity =
+            item.config.magic_buffer_capacity;
         SurgeryResult r = scheduleSurgery(*item.circuit, opts);
 
         engine::Metrics m;
@@ -57,6 +64,8 @@ class SurgerySimBackend : public engine::Backend
               static_cast<double>(r.transpose_fallbacks));
         m.set("bfs_detours", static_cast<double>(r.bfs_detours));
         m.set("drops", static_cast<double>(r.drops));
+        m.set("magic_starvations",
+              static_cast<double>(r.magic_starvations));
         m.set("total_chain_tiles",
               static_cast<double>(r.total_chain_tiles));
         m.set("max_chain_tiles",

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -48,22 +47,13 @@ classify(const circuit::Gate &g)
     return arity == 2 ? OpClass::TwoQ : OpClass::Local;
 }
 
-/** Merge/split cost of an @p tiles-tile chain, in cycles. */
+/** Merge/split cost of an @p tiles-tile chain under @p opts. */
 uint64_t
 chainCycles(const SurgeryOptions &opts, int tiles)
 {
-    return static_cast<uint64_t>(std::llround(
-        opts.rounds_per_hop
-        * static_cast<double>(opts.code_distance)
-        * static_cast<double>(std::max(1, tiles))));
+    return surgery::chainCycles(opts.rounds_per_hop,
+                                opts.code_distance, tiles);
 }
-
-/** Primary + transposed corridor of one endpoint pair. */
-struct CorridorRoutes
-{
-    network::Path primary;
-    network::Path fallback;
-};
 
 /** The simulator. */
 class Simulator
@@ -75,7 +65,7 @@ class Simulator
           graph(circuit::interactionGraph(circ)),
           arch(graph, makeArchOptions(opts)), mesh(arch.makeMesh()),
           claim_opts(makeClaimOptions(opts)),
-          claimer(mesh, claim_opts)
+          claimer(mesh, claim_opts), corridors(arch)
     {
         crit = circuit::criticality(dag);
         for (const Coord &terminal : arch.reservedTerminals())
@@ -89,6 +79,9 @@ class Simulator
             factory_order[static_cast<size_t>(q)] =
                 arch.factoriesByDistance(q);
         buildOps();
+        factories.configure(arch.numFactories(),
+                            opts.magic_production_cycles,
+                            opts.magic_buffer_capacity);
     }
 
     SurgeryResult
@@ -102,6 +95,7 @@ class Simulator
             fatalIf(cycle > opts.max_cycles,
                     "surgery simulation exceeded ", opts.max_cycles,
                     " cycles; likely a configuration problem");
+            factories.replenish(cycle);
             placementPhase();
             if (opts.fast_forward)
                 fastForwardPhase();
@@ -120,6 +114,7 @@ class Simulator
         out.transpose_fallbacks = claimer.transposeFallbacks();
         out.bfs_detours = claimer.bfsDetours();
         out.drops = drops;
+        out.magic_starvations = magic_starvations;
         out.total_chain_tiles = total_chain_tiles;
         out.max_chain_tiles = max_chain_tiles;
         auto live = live_chains.summarize(cycle);
@@ -229,23 +224,24 @@ class Simulator
         }
 
         Coord src = arch.terminal(op.qa);
-        std::vector<Coord> &dsts = dsts_scratch;
+        // Candidate destinations: (terminal, factory index or -1).
+        std::vector<std::pair<Coord, int>> &dsts = dsts_scratch;
         dsts.clear();
         if (op.cls == OpClass::TwoQ) {
-            dsts.push_back(arch.terminal(op.qb));
-        } else {
-            // T gate: nearest factory first; consider up to 3 once
-            // the op has been waiting.
-            const std::vector<int> &order =
-                factory_order[static_cast<size_t>(op.qa)];
-            size_t limit = op.wait >= opts.adapt_timeout
-                ? std::min<size_t>(3, order.size())
-                : 1;
-            for (size_t f = 0; f < limit; ++f)
-                dsts.push_back(arch.factoryTerminal(order[f]));
+            dsts.emplace_back(arch.terminal(op.qb), -1);
+        } else if (!engine::appendStockedFactories(
+                       factories,
+                       factory_order[static_cast<size_t>(op.qa)],
+                       op.wait, opts.adapt_timeout, dsts,
+                       [this](int f) {
+                           return arch.factoryTerminal(f);
+                       })) {
+            ++magic_starvations;
+            ++pass_starved;
+            return false;
         }
 
-        for (const Coord &dst : dsts) {
+        for (const auto &[dst, factory] : dsts) {
             std::optional<network::Path> chain;
             if (opts.legacy_paths) {
                 // Pre-change behavior: rebuild both corridor
@@ -257,42 +253,19 @@ class Simulator
                 chain = claimer.tryClaim(primary, fallback, i,
                                          op.wait);
             } else {
-                const CorridorRoutes &routes =
-                    corridorsFor(src, dst);
+                const CorridorRouter::Routes &routes =
+                    corridors.routes(src, dst);
                 chain = claimer.tryClaim(routes.primary,
                                          routes.fallback, i,
                                          op.wait);
             }
             if (chain) {
+                factories.consume(factory);
                 placed(i, std::move(*chain));
                 return true;
             }
         }
         return false;
-    }
-
-    /**
-     * Corridor geometries are a pure function of the endpoints, but
-     * a contended op rebuilds them every failed cycle — memoize
-     * them per (src, dst) so repeated attempts are allocation-free.
-     */
-    const CorridorRoutes &
-    corridorsFor(const Coord &src, const Coord &dst)
-    {
-        uint64_t key =
-            (static_cast<uint64_t>(static_cast<uint32_t>(
-                 linearIndex(src, mesh.width())))
-             << 32)
-            | static_cast<uint32_t>(linearIndex(dst, mesh.width()));
-        auto it = corridor_cache.find(key);
-        if (it == corridor_cache.end())
-            it = corridor_cache
-                     .emplace(key,
-                              CorridorRoutes{
-                                  arch.corridorRoute(src, dst, false),
-                                  arch.corridorRoute(src, dst, true)})
-                     .first;
-        return it->second;
     }
 
     /** Record a successful placement on a claimed corridor. */
@@ -326,6 +299,7 @@ class Simulator
     {
         pass_placed = 0;
         pass_dropped = 0;
+        pass_starved = 0;
         attempted.clear();
 
         int failures = 0;
@@ -372,13 +346,19 @@ class Simulator
     {
         if (pass_placed > 0 || pass_dropped > 0)
             return;
-        cycle += engine::fastForwardAfterStall(
+        uint64_t skip = engine::fastForwardAfterStall(
             ff, expiry, mesh, cycle, opts.max_cycles + 1, attempted,
             [this](int i) -> int & {
                 return ops[static_cast<size_t>(i)].wait;
             },
             claim_opts, opts.drop_timeout, placement_failures,
-            [](engine::FastForward &) {});
+            [this](engine::FastForward &planner) {
+                // A replenishment that raises a stock can change a
+                // T gate's candidate factories.
+                factories.registerEvents(planner);
+            });
+        cycle += skip;
+        magic_starvations += pass_starved * skip;
     }
 
     /** Retire expired chains; returns number of ops completed. */
@@ -410,6 +390,7 @@ class Simulator
     network::Mesh mesh;
     engine::RouteClaimOptions claim_opts;
     engine::ChainClaimer claimer;
+    CorridorRouter corridors;
 
     std::vector<OpRec> ops;
     std::vector<int> crit;
@@ -423,21 +404,30 @@ class Simulator
     /** Per-pass bookkeeping feeding fastForwardPhase(). */
     uint64_t pass_placed = 0;
     uint64_t pass_dropped = 0;
+    uint64_t pass_starved = 0;
     std::vector<std::pair<int, int>> attempted; ///< (id, wait used).
     std::vector<int> dropped_scratch;
-    std::vector<Coord> dsts_scratch;
+    std::vector<std::pair<Coord, int>> dsts_scratch;
 
-    /** Memoized corridor geometries, keyed by packed endpoints. */
-    std::unordered_map<uint64_t, CorridorRoutes> corridor_cache;
+    engine::MagicFactoryPool factories;
 
     uint64_t chains_placed = 0;
     uint64_t placement_failures = 0;
     uint64_t drops = 0;
+    uint64_t magic_starvations = 0;
     uint64_t total_chain_tiles = 0;
     uint64_t max_chain_tiles = 0;
 };
 
 } // namespace
+
+uint64_t
+chainCycles(double rounds_per_hop, int code_distance, int tiles)
+{
+    return static_cast<uint64_t>(std::llround(
+        rounds_per_hop * static_cast<double>(code_distance)
+        * static_cast<double>(std::max(1, tiles))));
+}
 
 uint64_t
 surgeryCriticalPath(const circuit::Circuit &circ,

@@ -58,6 +58,18 @@ struct SurgeryOptions
     /** Cap on failed placement attempts per cycle. */
     int max_attempts_per_cycle = 64;
 
+    /**
+     * Cycles a factory patch needs to distill one magic state; 0
+     * means production is never the bottleneck (Section 4.3's
+     * factories sized off the critical path).  Non-zero values make
+     * T-gate merges wait on supply, exposing the same factory
+     * space-vs-time tradeoff as the braid backend.
+     */
+    int magic_production_cycles = 0;
+
+    /** Distilled states a factory patch can buffer. */
+    int magic_buffer_capacity = 2;
+
     /** Safety bound on simulated cycles. */
     uint64_t max_cycles = 100'000'000;
 
@@ -110,6 +122,9 @@ struct SurgeryResult
     /** Drop/re-inject events. */
     uint64_t drops = 0;
 
+    /** T placements refused because no factory had a state ready. */
+    uint64_t magic_starvations = 0;
+
     /** Sum of chain lengths, in patch tiles. */
     uint64_t total_chain_tiles = 0;
 
@@ -138,6 +153,16 @@ struct SurgeryResult
             : 0.0;
     }
 };
+
+/**
+ * @return the merge/split cost of a chain across @p tiles patch
+ * tiles, in cycles: rounds_per_hop boundary-stabilization rounds of
+ * d cycles per tile.  The one formula both the pure surgery
+ * scheduler and the hybrid backend's surgery arm price and hold
+ * corridors with.
+ */
+uint64_t chainCycles(double rounds_per_hop, int code_distance,
+                     int tiles);
 
 /**
  * Dependence-limited critical path of @p circ on @p arch in cycles,

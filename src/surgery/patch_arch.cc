@@ -140,7 +140,7 @@ PatchArch::factoriesByDistance(int32_t q) const
 network::Mesh
 PatchArch::makeMesh() const
 {
-    return network::Mesh(2 * pw + 1, 2 * ph + 1);
+    return network::Mesh(meshWidth(), meshHeight());
 }
 
 std::vector<Coord>

@@ -23,6 +23,7 @@
 #ifndef QSURF_SURGERY_PATCH_ARCH_H
 #define QSURF_SURGERY_PATCH_ARCH_H
 
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/interaction.h"
@@ -69,6 +70,13 @@ class PatchArch
 
     /** @return patch-grid height. */
     int patchHeight() const { return ph; }
+
+    /** @return routing-mesh width: a router at every patch center
+     *  and every corridor point between patches. */
+    int meshWidth() const { return 2 * pw + 1; }
+
+    /** @return routing-mesh height. */
+    int meshHeight() const { return 2 * ph + 1; }
 
     /** @return number of magic-state factory patches. */
     int
@@ -137,6 +145,55 @@ class PatchArch
     int ph;
     std::vector<Coord> qubit_patch;
     std::vector<Coord> factories;
+};
+
+/**
+ * Memoized corridor geometries.  A corridor's primary and transposed
+ * routes are pure functions of its endpoints, but a contended op
+ * would rebuild them every failed cycle — the schedulers (surgery
+ * and hybrid alike) route through this cache so repeated attempts
+ * are allocation-free.
+ */
+class CorridorRouter
+{
+  public:
+    /** Primary + transposed corridor of one endpoint pair. */
+    struct Routes
+    {
+        network::Path primary;
+        network::Path fallback;
+    };
+
+    explicit CorridorRouter(const PatchArch &arch)
+        : arch_(arch), mesh_width_(arch.meshWidth())
+    {
+    }
+
+    /** @return the memoized routes between @p src and @p dst. */
+    const Routes &
+    routes(const Coord &src, const Coord &dst)
+    {
+        uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(
+                 linearIndex(src, mesh_width_)))
+             << 32)
+            | static_cast<uint32_t>(linearIndex(dst, mesh_width_));
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_
+                     .emplace(key,
+                              Routes{arch_.corridorRoute(src, dst,
+                                                         false),
+                                     arch_.corridorRoute(src, dst,
+                                                         true)})
+                     .first;
+        return it->second;
+    }
+
+  private:
+    const PatchArch &arch_;
+    int mesh_width_;
+    std::unordered_map<uint64_t, Routes> cache_;
 };
 
 } // namespace qsurf::surgery

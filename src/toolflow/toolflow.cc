@@ -69,6 +69,7 @@ run(const circuit::Circuit &logical, const Config &config)
     item.config.policy = static_cast<int>(config.policy);
     item.config.epr_window_steps = config.epr_window_steps;
     item.config.num_simd_regions = config.num_simd_regions;
+    item.config.hybrid_arbiter = config.hybrid_arbiter;
     item.config.seed = config.seed;
 
     const std::vector<std::string> default_backends{

@@ -44,6 +44,13 @@ struct Config
     /** Braid priority policy for the double-defect backend. */
     braid::Policy policy = braid::Policy::Combined;
 
+    /**
+     * Scheme arbiter for the "hybrid/mixed-sim" backend when it is
+     * listed in `backends` (a hybrid::ArbiterKind index; 0 =
+     * cost-model greedy).
+     */
+    int hybrid_arbiter = 0;
+
     /** EPR lookahead window for the planar backend (steps). */
     int epr_window_steps = 32;
 

@@ -67,11 +67,12 @@ TEST(Registry, GlobalHasBuiltinBackends)
     for (const char *name :
          {backends::planar, backends::double_defect,
           backends::planar_model, backends::double_defect_model,
-          backends::surgery_sim, backends::surgery_model}) {
+          backends::surgery_sim, backends::surgery_model,
+          backends::hybrid_mixed}) {
         EXPECT_TRUE(r.contains(name)) << name;
         EXPECT_EQ(r.get(name).name(), name);
     }
-    EXPECT_EQ(r.names().size(), 6u);
+    EXPECT_EQ(r.names().size(), 7u);
 }
 
 TEST(Registry, NamesAreSorted)

@@ -60,24 +60,28 @@ goldens()
         {"SQ", "double-defect-model", 0, 2733333u, 2733333u, 0u, 0u, 0u},
         {"SQ", "planar-model", 0, 6001903u, 6001903u, 0u, 0u, 0u},
         {"SQ", "planar/surgery-model", 0, 15346109u, 15346109u, 0u, 0u, 0u},
+        {"SQ", "hybrid/mixed-sim", 0, 5228u, 4980u, 12u, 0u, 0u},
         {"SQ", "double-defect", 6, 5331u, 5060u, 42u, 7u, 0u},
         {"SQ", "planar", 6, 3318u, 2840u, 0u, 0u, 0u},
         {"SQ", "planar/surgery-sim", 6, 19148u, 15490u, 44u, 62u, 76u},
         {"SQ", "double-defect-model", 6, 2733333u, 2733333u, 0u, 0u, 0u},
         {"SQ", "planar-model", 6, 6001903u, 6001903u, 0u, 0u, 0u},
         {"SQ", "planar/surgery-model", 6, 15346109u, 15346109u, 0u, 0u, 0u},
+        {"SQ", "hybrid/mixed-sim", 6, 5152u, 4948u, 24u, 8u, 0u},
         {"SHA-1", "double-defect", 0, 4462u, 1363u, 90u, 52u, 40u},
         {"SHA-1", "planar", 0, 1399u, 720u, 0u, 0u, 0u},
         {"SHA-1", "planar/surgery-sim", 0, 16694u, 8592u, 25u, 394u, 3306u},
         {"SHA-1", "double-defect-model", 0, 619119u, 466667u, 0u, 0u, 0u},
         {"SHA-1", "planar-model", 0, 1530608u, 1530608u, 0u, 0u, 0u},
         {"SHA-1", "planar/surgery-model", 0, 8820152u, 4243967u, 0u, 0u, 0u},
+        {"SHA-1", "hybrid/mixed-sim", 0, 1778u, 1359u, 17u, 265u, 68u},
         {"SHA-1", "double-defect", 6, 1611u, 1363u, 81u, 71u, 15u},
         {"SHA-1", "planar", 6, 1399u, 720u, 0u, 0u, 0u},
         {"SHA-1", "planar/surgery-sim", 6, 11289u, 6652u, 7u, 211u, 1141u},
         {"SHA-1", "double-defect-model", 6, 619119u, 466667u, 0u, 0u, 0u},
         {"SHA-1", "planar-model", 6, 1530608u, 1530608u, 0u, 0u, 0u},
         {"SHA-1", "planar/surgery-model", 6, 8820152u, 4243967u, 0u, 0u, 0u},
+        {"SHA-1", "hybrid/mixed-sim", 6, 1539u, 1327u, 9u, 92u, 3u},
     };
     return table;
 }
@@ -93,6 +97,7 @@ goldenGrid()
         backends::double_defect,      backends::planar,
         backends::surgery_sim,        backends::double_defect_model,
         backends::planar_model,       backends::surgery_model,
+        backends::hybrid_mixed,
     };
     grid.policies = {0, 6};
     grid.distances = {5};
@@ -145,6 +150,75 @@ TEST(Golden, OneThread) { checkAgainstGoldens(1); }
 TEST(Golden, TwoThreads) { checkAgainstGoldens(2); }
 TEST(Golden, EightThreads) { checkAgainstGoldens(8); }
 TEST(Golden, LegacyBaselineMode) { checkAgainstGoldens(1, true); }
+
+/** One pinned hybrid point: the scheme-choice histogram and the
+ *  arbitration counters, per arbiter. */
+struct HybridGolden
+{
+    const char *app;
+    int policy;
+    int arbiter;
+    uint64_t schedule_cycles;
+    uint64_t braid_ops;
+    uint64_t teleport_ops;
+    uint64_t surgery_ops;
+    uint64_t arbiter_fallbacks;
+    uint64_t drops;
+};
+
+/**
+ * Captured at seed 1234, d = 5, on the golden grid's two apps, for
+ * the cost-greedy (0) and congestion-reactive (1) arbiters.  The
+ * histogram is the hybrid backend's core output — a change here
+ * means arbitration decisions moved, not just performance.
+ */
+TEST(Golden, HybridSchemeHistogram)
+{
+    static const std::vector<HybridGolden> table = {
+        {"SQ", 0, 0, 5228u, 648u, 0u, 82u, 0u, 0u},
+        {"SQ", 0, 1, 5228u, 648u, 0u, 82u, 0u, 0u},
+        {"SQ", 6, 0, 5152u, 586u, 0u, 144u, 0u, 0u},
+        {"SQ", 6, 1, 5152u, 586u, 0u, 144u, 0u, 0u},
+        {"SHA-1", 0, 0, 1778u, 835u, 9u, 6u, 0u, 68u},
+        {"SHA-1", 0, 1, 1789u, 805u, 37u, 8u, 34u, 34u},
+        {"SHA-1", 6, 0, 1539u, 635u, 19u, 196u, 0u, 3u},
+        {"SHA-1", 6, 1, 1537u, 631u, 20u, 199u, 4u, 4u},
+    };
+
+    SweepGrid grid = goldenGrid();
+    grid.backends = {backends::hybrid_mixed};
+    grid.arbiters = {0, 1};
+    SweepOptions opts;
+    opts.num_threads = 2;
+    auto results = SweepDriver().run(grid, opts);
+    ASSERT_EQ(results.size(), table.size());
+    for (size_t i = 0; i < table.size(); ++i) {
+        const HybridGolden &g = table[i];
+        const Metrics &m = results[i].metrics;
+        std::string what = std::string(g.app) + " / policy "
+            + std::to_string(g.policy) + " / arbiter "
+            + std::to_string(g.arbiter);
+        EXPECT_EQ(results[i].app_name, g.app) << what;
+        EXPECT_EQ(results[i].policy, g.policy) << what;
+        EXPECT_EQ(results[i].arbiter, g.arbiter) << what;
+        EXPECT_EQ(m.schedule_cycles, g.schedule_cycles) << what;
+        EXPECT_EQ(static_cast<uint64_t>(m.extra("braid_ops")),
+                  g.braid_ops)
+            << what;
+        EXPECT_EQ(static_cast<uint64_t>(m.extra("teleport_ops")),
+                  g.teleport_ops)
+            << what;
+        EXPECT_EQ(static_cast<uint64_t>(m.extra("surgery_ops")),
+                  g.surgery_ops)
+            << what;
+        EXPECT_EQ(
+            static_cast<uint64_t>(m.extra("arbiter_fallbacks")),
+            g.arbiter_fallbacks)
+            << what;
+        EXPECT_EQ(static_cast<uint64_t>(m.extra("drops")), g.drops)
+            << what;
+    }
+}
 
 void
 expectBraidIdentical(const braid::BraidResult &ff,
@@ -252,6 +326,33 @@ TEST(FastForwardMatchesBaseline, SurgeryChains)
         EXPECT_EQ(base.ff_skipped_cycles, 0u) << what;
         EXPECT_GT(ff.ff_skipped_cycles, 0u) << what;
     }
+}
+
+TEST(FastForwardMatchesBaseline, SurgeryFactoryStarvation)
+{
+    // Rate-limited factory patches: the jump planner must stop on
+    // every replenishment that could re-stock a starved T merge.
+    circuit::Circuit circ = circuit::decompose(
+        apps::generate(apps::AppKind::SQ, {8, 2}));
+    surgery::SurgeryOptions opts;
+    opts.code_distance = 5;
+    opts.magic_production_cycles = 60;
+    opts.magic_buffer_capacity = 1;
+    opts.seed = 11;
+
+    opts.fast_forward = false;
+    surgery::SurgeryResult base = surgery::scheduleSurgery(circ, opts);
+    opts.fast_forward = true;
+    surgery::SurgeryResult ff = surgery::scheduleSurgery(circ, opts);
+
+    EXPECT_EQ(ff.schedule_cycles, base.schedule_cycles);
+    EXPECT_EQ(ff.chains_placed, base.chains_placed);
+    EXPECT_EQ(ff.placement_failures, base.placement_failures);
+    EXPECT_EQ(ff.drops, base.drops);
+    EXPECT_EQ(ff.magic_starvations, base.magic_starvations);
+    EXPECT_GT(base.magic_starvations, 0u)
+        << "config should actually exercise factory starvation";
+    EXPECT_GT(ff.ff_skipped_cycles, 0u);
 }
 
 } // namespace

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Mixed-scheme hybrid backend tests: arbiter cost-model behavior,
+ * scheduler invariants (histogram accounting, determinism,
+ * fast-forward equivalence, congestion-reactive fallback), and the
+ * registry backend's plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "circuit/decompose.h"
+#include "common/logging.h"
+#include "engine/registry.h"
+#include "hybrid/arbiter.h"
+#include "hybrid/scheduler.h"
+
+namespace qsurf::hybrid {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+void
+addCnot(Circuit &c, int a, int b)
+{
+    c.addGate(GateKind::CNOT, static_cast<int32_t>(a),
+              static_cast<int32_t>(b));
+}
+
+circuit::Circuit
+smallApp(apps::AppKind kind, int size, int iters)
+{
+    apps::GenOptions gen;
+    gen.problem_size = size;
+    gen.max_iterations = iters;
+    return circuit::decompose(apps::generate(kind, gen));
+}
+
+ArbiterCosts
+defaultCosts(int d)
+{
+    ArbiterCosts k;
+    k.code_distance = d;
+    k.swap_hop_cycles = 1.2 * d; // Typical tech point.
+    return k;
+}
+
+TEST(Arbiter, ForceKindsAlwaysPickTheirScheme)
+{
+    ArbiterCosts k = defaultCosts(5);
+    OpContext ctx;
+    ctx.tiles = 3;
+    EXPECT_EQ(makeArbiter(ArbiterKind::ForceBraid, k)->choose(ctx),
+              Scheme::Braid);
+    EXPECT_EQ(makeArbiter(ArbiterKind::ForceTeleport, k)->choose(ctx),
+              Scheme::Teleport);
+    EXPECT_EQ(makeArbiter(ArbiterKind::ForceSurgery, k)->choose(ctx),
+              Scheme::Surgery);
+}
+
+TEST(Arbiter, GreedyPicksSurgeryForAdjacentPatches)
+{
+    // One merge/split round pair between adjacent patches undercuts
+    // both braid segments and any swap transport.
+    ArbiterCosts k = defaultCosts(5);
+    OpContext ctx;
+    ctx.tiles = 1;
+    auto arb = makeArbiter(ArbiterKind::CostGreedy, k);
+    EXPECT_EQ(arb->choose(ctx), Scheme::Surgery);
+    EXPECT_LT(surgeryCost(k, ctx), braidCost(k, ctx));
+    EXPECT_LT(surgeryCost(k, ctx), teleportCost(k, ctx));
+}
+
+TEST(Arbiter, GreedyPicksBraidAtDistanceWhenUncontended)
+{
+    // Braids are distance-insensitive; chains pay per tile and
+    // teleports pay swap transport per tile.
+    ArbiterCosts k = defaultCosts(5);
+    OpContext ctx;
+    ctx.tiles = 4;
+    EXPECT_EQ(makeArbiter(ArbiterKind::CostGreedy, k)->choose(ctx),
+              Scheme::Braid);
+}
+
+TEST(Arbiter, GreedyFlipsToTeleportUnderMeshLoad)
+{
+    // Past the circuit-switched saturation knee, exclusive corridors
+    // inflate and the off-mesh overlay wins.
+    ArbiterCosts k = defaultCosts(5);
+    OpContext ctx;
+    ctx.tiles = 2;
+    ctx.mesh_load = 0.5;
+    EXPECT_EQ(makeArbiter(ArbiterKind::CostGreedy, k)->choose(ctx),
+              Scheme::Teleport);
+    ctx.mesh_load = 0;
+    EXPECT_EQ(makeArbiter(ArbiterKind::CostGreedy, k)->choose(ctx),
+              Scheme::Braid);
+}
+
+TEST(Arbiter, ChannelBacklogPricesTeleportUp)
+{
+    ArbiterCosts k = defaultCosts(5);
+    OpContext ctx;
+    ctx.tiles = 2;
+    double free_cost = teleportCost(k, ctx);
+    ctx.channel_backlog = 40;
+    EXPECT_DOUBLE_EQ(teleportCost(k, ctx), free_cost + 40.0);
+}
+
+TEST(Arbiter, OnlyReactiveFallsBackToTeleport)
+{
+    ArbiterCosts k = defaultCosts(5);
+    EXPECT_FALSE(makeArbiter(ArbiterKind::CostGreedy, k)
+                     ->fallbackToTeleport());
+    EXPECT_TRUE(makeArbiter(ArbiterKind::CongestionReactive, k)
+                    ->fallbackToTeleport());
+    EXPECT_FALSE(makeArbiter(ArbiterKind::ForceBraid, k)
+                     ->fallbackToTeleport());
+}
+
+TEST(Scheduler, HistogramAccountsEveryOp)
+{
+    Circuit circ = smallApp(apps::AppKind::SQ, 8, 2);
+    HybridOptions opts;
+    opts.code_distance = 5;
+    HybridResult r = scheduleHybrid(circ, opts);
+    EXPECT_EQ(r.commOps() + r.local_ops,
+              static_cast<uint64_t>(circ.size()));
+    EXPECT_GT(r.schedule_cycles, 0u);
+    EXPECT_GE(r.schedule_cycles, r.critical_path_cycles);
+}
+
+TEST(Scheduler, DeterministicRepeatRuns)
+{
+    Circuit circ = smallApp(apps::AppKind::SHA1, 8, 1);
+    HybridOptions opts;
+    opts.code_distance = 5;
+    opts.arbiter = ArbiterKind::CongestionReactive;
+    HybridResult a = scheduleHybrid(circ, opts);
+    HybridResult b = scheduleHybrid(circ, opts);
+    EXPECT_EQ(a.schedule_cycles, b.schedule_cycles);
+    EXPECT_EQ(a.braid_ops, b.braid_ops);
+    EXPECT_EQ(a.teleport_ops, b.teleport_ops);
+    EXPECT_EQ(a.surgery_ops, b.surgery_ops);
+    EXPECT_EQ(a.placement_failures, b.placement_failures);
+    EXPECT_EQ(a.drops, b.drops);
+}
+
+void
+expectHybridIdentical(const HybridResult &ff, const HybridResult &base,
+                      const std::string &what)
+{
+    EXPECT_EQ(ff.schedule_cycles, base.schedule_cycles) << what;
+    EXPECT_EQ(ff.critical_path_cycles, base.critical_path_cycles)
+        << what;
+    EXPECT_DOUBLE_EQ(ff.mesh_utilization, base.mesh_utilization)
+        << what;
+    EXPECT_EQ(ff.peak_busy_links, base.peak_busy_links) << what;
+    EXPECT_EQ(ff.braid_ops, base.braid_ops) << what;
+    EXPECT_EQ(ff.teleport_ops, base.teleport_ops) << what;
+    EXPECT_EQ(ff.surgery_ops, base.surgery_ops) << what;
+    EXPECT_EQ(ff.local_ops, base.local_ops) << what;
+    EXPECT_EQ(ff.arbiter_fallbacks, base.arbiter_fallbacks) << what;
+    EXPECT_EQ(ff.placement_failures, base.placement_failures) << what;
+    EXPECT_EQ(ff.transpose_fallbacks, base.transpose_fallbacks)
+        << what;
+    EXPECT_EQ(ff.bfs_detours, base.bfs_detours) << what;
+    EXPECT_EQ(ff.drops, base.drops) << what;
+    EXPECT_EQ(ff.magic_starvations, base.magic_starvations) << what;
+    EXPECT_EQ(ff.peak_live_eprs, base.peak_live_eprs) << what;
+    EXPECT_DOUBLE_EQ(ff.avg_live_eprs, base.avg_live_eprs) << what;
+    EXPECT_EQ(base.ff_skipped_cycles, 0u) << what;
+}
+
+TEST(Scheduler, FastForwardMatchesSteppedAcrossArbiters)
+{
+    Circuit circ = smallApp(apps::AppKind::SHA1, 8, 1);
+    for (int kind = 0; kind < num_arbiters; ++kind) {
+        HybridOptions opts;
+        opts.code_distance = 5;
+        opts.arbiter = static_cast<ArbiterKind>(kind);
+        opts.seed = 3;
+        opts.fast_forward = false;
+        HybridResult base = scheduleHybrid(circ, opts);
+        opts.fast_forward = true;
+        HybridResult ff = scheduleHybrid(circ, opts);
+        expectHybridIdentical(
+            ff, base,
+            std::string("arbiter ")
+                + arbiterName(static_cast<ArbiterKind>(kind)));
+        EXPECT_GT(ff.ff_skipped_cycles, 0u)
+            << arbiterName(static_cast<ArbiterKind>(kind));
+    }
+}
+
+TEST(Scheduler, FastForwardMatchesSteppedUnderStarvation)
+{
+    // Tight escalation plus rate-limited factories: the jump
+    // planner must stop on every threshold crossing and every
+    // replenishment, for all three schemes' T-gate paths.
+    Circuit circ = smallApp(apps::AppKind::SQ, 8, 2);
+    HybridOptions opts;
+    opts.code_distance = 7;
+    opts.adapt_timeout = 2;
+    opts.bfs_timeout = 3;
+    opts.drop_timeout = 5;
+    opts.magic_production_cycles = 40;
+    opts.magic_buffer_capacity = 1;
+    opts.arbiter = ArbiterKind::CongestionReactive;
+    opts.seed = 11;
+    opts.fast_forward = false;
+    HybridResult base = scheduleHybrid(circ, opts);
+    opts.fast_forward = true;
+    HybridResult ff = scheduleHybrid(circ, opts);
+    expectHybridIdentical(ff, base, "starvation + tight timeouts");
+    EXPECT_GT(base.magic_starvations, 0u)
+        << "config should actually exercise factory starvation";
+    EXPECT_GT(ff.ff_skipped_cycles, 0u);
+}
+
+TEST(Scheduler, ForceTeleportNeverTouchesTheMesh)
+{
+    Circuit circ = smallApp(apps::AppKind::SHA1, 8, 1);
+    HybridOptions opts;
+    opts.code_distance = 5;
+    opts.arbiter = ArbiterKind::ForceTeleport;
+    HybridResult r = scheduleHybrid(circ, opts);
+    EXPECT_EQ(r.braid_ops + r.surgery_ops, 0u);
+    EXPECT_GT(r.teleport_ops, 0u);
+    EXPECT_DOUBLE_EQ(r.mesh_utilization, 0.0);
+    EXPECT_EQ(r.peak_busy_links, 0u);
+    EXPECT_GT(r.peak_live_eprs, 0u);
+}
+
+TEST(Scheduler, MixedRunNeverWorseThanWorstForcedScheme)
+{
+    // The arbitration guarantee at its weakest: picking per op can
+    // not lose to the worst single-scheme commitment.
+    Circuit circ = smallApp(apps::AppKind::SQ, 8, 2);
+    HybridOptions opts;
+    opts.code_distance = 5;
+
+    opts.arbiter = ArbiterKind::CostGreedy;
+    uint64_t greedy = scheduleHybrid(circ, opts).schedule_cycles;
+
+    uint64_t worst = 0;
+    for (ArbiterKind kind :
+         {ArbiterKind::ForceBraid, ArbiterKind::ForceTeleport,
+          ArbiterKind::ForceSurgery}) {
+        opts.arbiter = kind;
+        worst = std::max(worst,
+                         scheduleHybrid(circ, opts).schedule_cycles);
+    }
+    EXPECT_LE(greedy, worst);
+}
+
+TEST(Scheduler, ReactiveArbiterFallsBackUnderContention)
+{
+    // Many concurrent long CNOTs on a small machine with a tight
+    // drop timeout and the naive layout (so the hot pairs are far
+    // apart): corridors stay contended, so the reactive arbiter
+    // must re-route dropped ops onto the teleport overlay.
+    Circuit circ(16);
+    for (int r = 0; r < 6; ++r)
+        for (int q = 0; q < 8; ++q)
+            addCnot(circ, q, 15 - q);
+    HybridOptions opts;
+    opts.code_distance = 5;
+    opts.drop_timeout = 4;
+    opts.optimized_layout = false;
+    opts.arbiter = ArbiterKind::CongestionReactive;
+    HybridResult r = scheduleHybrid(circ, opts);
+    EXPECT_GT(r.drops, 0u);
+    EXPECT_GT(r.arbiter_fallbacks, 0u);
+    EXPECT_GT(r.teleport_ops, 0u);
+}
+
+TEST(Scheduler, MonotoneInCodeDistance)
+{
+    Circuit circ = smallApp(apps::AppKind::SQ, 8, 2);
+    uint64_t prev = 0;
+    for (int d : {3, 5, 7, 9}) {
+        HybridOptions opts;
+        opts.code_distance = d;
+        uint64_t cycles = scheduleHybrid(circ, opts).schedule_cycles;
+        EXPECT_GE(cycles, prev) << "d=" << d;
+        prev = cycles;
+    }
+}
+
+TEST(Backend, RegistryRunMatchesDirectSimulation)
+{
+    Circuit circ = smallApp(apps::AppKind::SQ, 8, 2);
+    engine::WorkItem item;
+    item.app = apps::AppKind::SQ;
+    item.circuit = &circ;
+    item.config.code_distance = 5;
+    item.config.seed = 7;
+    item.config.hybrid_arbiter =
+        static_cast<int>(ArbiterKind::CostGreedy);
+
+    HybridOptions opts;
+    opts.code_distance = 5;
+    opts.seed = 7;
+    opts.swap_hop_cycles = item.config.tech.swapHopCycles(5);
+    HybridResult direct = scheduleHybrid(circ, opts);
+
+    const engine::Backend &b =
+        engine::Registry::global().get(engine::backends::hybrid_mixed);
+    engine::Metrics m = b.run(item);
+    EXPECT_EQ(m.schedule_cycles, direct.schedule_cycles);
+    EXPECT_EQ(m.critical_path_cycles, direct.critical_path_cycles);
+    EXPECT_DOUBLE_EQ(m.extra("braid_ops"),
+                     static_cast<double>(direct.braid_ops));
+    EXPECT_DOUBLE_EQ(m.extra("teleport_ops"),
+                     static_cast<double>(direct.teleport_ops));
+    EXPECT_DOUBLE_EQ(m.extra("surgery_ops"),
+                     static_cast<double>(direct.surgery_ops));
+    EXPECT_EQ(m.code, qec::CodeKind::Planar);
+}
+
+TEST(Backend, PrepareRejectsBadArbiter)
+{
+    Circuit circ = smallApp(apps::AppKind::SQ, 8, 2);
+    engine::WorkItem item;
+    item.circuit = &circ;
+    item.config.hybrid_arbiter = 99;
+    EXPECT_THROW(engine::Registry::global()
+                     .get(engine::backends::hybrid_mixed)
+                     .prepare(item),
+                 FatalError);
+}
+
+} // namespace
+} // namespace qsurf::hybrid

@@ -10,6 +10,7 @@
 #include "braid/scheduler.h"
 #include "circuit/decompose.h"
 #include "common/logging.h"
+#include "surgery/chain_scheduler.h"
 
 namespace qsurf::braid {
 namespace {
@@ -110,6 +111,67 @@ TEST(MagicFactory, ProgramOrderPolicyAlsoHonorsSupply)
         scheduleBraids(c, Policy::ProgramOrder, withProduction(300));
     EXPECT_EQ(r.braids_placed, static_cast<uint64_t>(c.size()));
     EXPECT_GT(r.magic_starvations, 0u);
+}
+
+/**
+ * The lattice-surgery side of the same model: factory patches used
+ * to be always stocked, so a T-heavy program never waited on
+ * distillation.  The shared engine::MagicFactoryPool now gates
+ * T-gate merges on supply.
+ */
+surgery::SurgeryOptions
+surgeryProduction(int cycles_per_state)
+{
+    surgery::SurgeryOptions opts;
+    opts.code_distance = 3;
+    opts.magic_production_cycles = cycles_per_state;
+    return opts;
+}
+
+TEST(MagicFactorySurgery, UnlimitedProductionNeverStarves)
+{
+    Circuit c = tHeavy(16, 6);
+    surgery::SurgeryOptions opts;
+    opts.code_distance = 3;
+    surgery::SurgeryResult r = surgery::scheduleSurgery(c, opts);
+    EXPECT_EQ(r.magic_starvations, 0u);
+}
+
+TEST(MagicFactorySurgery, SlowProductionStallsTGates)
+{
+    Circuit c = tHeavy(16, 6);
+    surgery::SurgeryResult r =
+        surgery::scheduleSurgery(c, surgeryProduction(200));
+    EXPECT_GT(r.magic_starvations, 0u)
+        << "200-cycle distillation must starve a T-heavy program";
+    EXPECT_EQ(r.chains_placed, static_cast<uint64_t>(c.size()));
+}
+
+TEST(MagicFactorySurgery, ProductionRateBoundsSchedule)
+{
+    Circuit c = tHeavy(12, 4);
+    surgery::SurgeryResult fast =
+        surgery::scheduleSurgery(c, surgeryProduction(1));
+    surgery::SurgeryResult slow =
+        surgery::scheduleSurgery(c, surgeryProduction(400));
+    EXPECT_GT(slow.schedule_cycles, fast.schedule_cycles * 2)
+        << "distillation throughput must dominate a T-bound app";
+}
+
+TEST(MagicFactorySurgery, CliffordProgramsUnaffected)
+{
+    Circuit c(8);
+    for (int i = 0; i < 20; ++i)
+        c.addGate(GateKind::CNOT, static_cast<int32_t>(i % 7),
+                  static_cast<int32_t>(7));
+    surgery::SurgeryResult limited =
+        surgery::scheduleSurgery(c, surgeryProduction(1000));
+    surgery::SurgeryOptions unlimited;
+    unlimited.code_distance = 3;
+    surgery::SurgeryResult free_run =
+        surgery::scheduleSurgery(c, unlimited);
+    EXPECT_EQ(limited.schedule_cycles, free_run.schedule_cycles);
+    EXPECT_EQ(limited.magic_starvations, 0u);
 }
 
 } // namespace
