@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Surgery-aware layout objectives over the Figure-8 application
+ * pair: the serial SQ workload and the parallel IM workload, across
+ * code distances, comparing the patch-layout objectives —
+ * braid-manhattan (the Section 6.2 objective historically reused for
+ * surgery), corridor (bisection seed refined against the
+ * around-patch corridor length), and corridor+lanes (corridor
+ * objective plus dedicated ancilla through-lanes sized into the
+ * mesh) — on the simulated surgery and hybrid backends.
+ *
+ * Expected shape: merge/split corridors route *around* live patches,
+ * so optimizing the braid objective leaves routing slack on the
+ * table (the ROADMAP's "Surgery-aware layout" item); the corridor
+ * objectives should shrink simulated surgery schedule_cycles on a
+ * majority of design points while the pure-braid backends (which
+ * keep the Manhattan objective) are untouched.  Emits
+ * BENCH_layout.json recording, per design point, the schedule length
+ * under every objective plus the layout/corridor costs, and the
+ * majority-win flag the acceptance checks read.
+ *
+ * Pass --smoke for the CI-sized subset of the grid.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "engine/sweep.h"
+#include "partition/layout.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qsurf;
+    setQuiet(true);
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    // The Figure-8 application pair at simulatable sizes, over the
+    // same d axis the favorability and hybrid sweeps use, with the
+    // full layout-objective axis on the two patch-machine backends.
+    engine::SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""},
+                 {apps::AppKind::IsingFull, {12, 2}, ""}};
+    grid.backends = {engine::backends::surgery_sim,
+                     engine::backends::hybrid_mixed};
+    grid.policies = {6};
+    grid.layout_objectives = {0, 1, 2};
+    grid.distances = smoke ? std::vector<int>{3, 5}
+                           : std::vector<int>{3, 5, 7, 9};
+    grid.base.lane_spacing = 3;
+    grid.base.seed = 1234;
+    grid.base.tech = qec::tech_points::futureOptimistic();
+
+    engine::SweepOptions opts;
+    opts.num_threads = engine::defaultThreads();
+    auto results = engine::SweepDriver().run(grid, opts);
+
+    // Index results: per (app, d, backend), one run per objective.
+    struct Point
+    {
+        std::string app;
+        std::string backend;
+        int d = 0;
+        uint64_t cycles[partition::num_layout_objectives] = {};
+        const engine::Metrics
+            *metrics[partition::num_layout_objectives] = {};
+
+        uint64_t
+        bestCorridor() const
+        {
+            return std::min(cycles[1], cycles[2]);
+        }
+    };
+    std::vector<Point> points;
+    for (const engine::SweepPoint &r : results) {
+        auto it = std::find_if(
+            points.begin(), points.end(), [&](const Point &p) {
+                return p.app == r.app_name && p.backend == r.backend
+                    && p.d == r.metrics.code_distance;
+            });
+        if (it == points.end()) {
+            points.push_back(Point{r.app_name, r.backend,
+                                   r.metrics.code_distance,
+                                   {},
+                                   {}});
+            it = points.end() - 1;
+        }
+        it->cycles[r.layout_objective] = r.metrics.schedule_cycles;
+        it->metrics[r.layout_objective] = &r.metrics;
+    }
+
+    // The acceptance flag: the corridor objectives against the
+    // braid-manhattan baseline on the simulated surgery backend.
+    int surgery_points = 0, surgery_wins = 0, hybrid_wins = 0,
+        hybrid_points = 0;
+    Table t("Patch-layout objectives (schedule cycles)");
+    t.header({"app", "backend", "d", "manhattan", "corridor",
+              "corr+lanes", "best/manhattan"});
+    for (const Point &p : points) {
+        bool wins = p.bestCorridor() < p.cycles[0];
+        if (p.backend == engine::backends::surgery_sim) {
+            ++surgery_points;
+            surgery_wins += wins;
+        } else {
+            ++hybrid_points;
+            hybrid_wins += wins;
+        }
+        t.addRow(p.app, p.backend, Table::num(p.d),
+                 Table::num(p.cycles[0]), Table::num(p.cycles[1]),
+                 Table::num(p.cycles[2]),
+                 Table::fixed(static_cast<double>(p.bestCorridor())
+                                  / static_cast<double>(p.cycles[0]),
+                              3));
+    }
+    t.print(std::cout);
+    bool surgery_majority = 2 * surgery_wins > surgery_points;
+    std::cout << "corridor objectives beat braid-manhattan on "
+              << surgery_wins << " of " << surgery_points
+              << " surgery design points ("
+              << (surgery_majority ? "majority" : "NO majority")
+              << ") and " << hybrid_wins << " of " << hybrid_points
+              << " hybrid points\n";
+
+    const char *json_path = "BENCH_layout.json";
+    std::ofstream os(json_path);
+    fatalIf(!os, "cannot open '", json_path, "' for writing");
+    {
+        JsonWriter j(os);
+        j.beginObject();
+        j.field("title",
+                "Patch-layout objectives over the fig8 application "
+                "pair");
+        j.field("smoke", smoke);
+        j.field("surgery_points",
+                static_cast<uint64_t>(surgery_points));
+        j.field("surgery_corridor_wins",
+                static_cast<uint64_t>(surgery_wins));
+        j.field("surgery_majority", surgery_majority);
+        j.field("hybrid_points", static_cast<uint64_t>(hybrid_points));
+        j.field("hybrid_corridor_wins",
+                static_cast<uint64_t>(hybrid_wins));
+        j.key("results");
+        j.beginArray();
+        for (const Point &p : points) {
+            j.beginObject();
+            j.field("app", p.app);
+            j.field("backend", p.backend);
+            j.field("code_distance", p.d);
+            for (int o = 0; o < partition::num_layout_objectives;
+                 ++o) {
+                const engine::Metrics *m = p.metrics[o];
+                j.key(partition::layoutObjectiveName(
+                    partition::layoutObjective(o)));
+                j.beginObject();
+                j.field("schedule_cycles", p.cycles[o]);
+                j.field("critical_path_cycles",
+                        m->critical_path_cycles);
+                j.field("layout_cost", m->extra("layout_cost"));
+                j.field("corridor_cost", m->extra("corridor_cost"));
+                j.field("lane_area_factor",
+                        m->extra("lane_area_factor", 1.0));
+                j.field("transpose_fallbacks",
+                        m->extra("transpose_fallbacks"));
+                j.field("bfs_detours", m->extra("bfs_detours"));
+                j.field("drops", m->extra("drops"));
+                j.field("physical_qubits", m->physical_qubits);
+                j.endObject();
+            }
+            j.field("corridor_beats_manhattan",
+                    p.bestCorridor() < p.cycles[0]);
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        os << "\n";
+    }
+    std::cout << "wrote " << json_path << "\n";
+
+    // The smoke grid is a CI liveness check, not the acceptance
+    // measurement; only the full grid enforces the majority win.
+    return smoke || surgery_majority ? 0 : 1;
+}

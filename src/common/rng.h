@@ -45,14 +45,19 @@ class Rng
         return result;
     }
 
-    /** @return uniform integer in [0, bound) via Lemire reduction. */
+    /** @return near-uniform integer in [0, bound) via multiply-shift
+     *  reduction (NOT exactly uniform; see below). */
     uint64_t
     below(uint64_t bound)
     {
         if (bound == 0)
             return 0;
-        // Unbiased multiply-shift; the slight modulo bias of the naive
-        // approach would be irrelevant here, but this is just as cheap.
+        // Plain multiply-shift reduction — Lemire's method *without*
+        // the rejection loop, so draws carry a bias of at most
+        // bound / 2^64.  That is negligible for the small bounds used
+        // here, but it is not the unbiased guarantee a rejection loop
+        // would give; adding one now would change every seeded draw
+        // and invalidate the pinned goldens.
         return static_cast<uint64_t>(
             (static_cast<__uint128_t>(next()) * bound) >> 64);
     }

@@ -173,6 +173,21 @@ struct RunConfig
      */
     int hybrid_arbiter = 0;
 
+    /**
+     * Patch-layout objective of the surgery and hybrid backends (a
+     * partition::LayoutObjective value): 0 braid-manhattan (the
+     * Section 6.2 objective, historically reused for surgery),
+     * 1 corridor (bisection seed refined against the around-patch
+     * corridor length), 2 corridor+lanes (corridor objective plus
+     * dedicated ancilla lanes sized into the patch mesh).  The
+     * braid backends always keep the Manhattan objective.
+     */
+    int layout_objective = 0;
+
+    /** Patch rows/columns between dedicated ancilla lanes
+     *  (layout_objective 2). */
+    int lane_spacing = 4;
+
     /** Layout / tie-break RNG seed. */
     uint64_t seed = 1;
 };

@@ -18,7 +18,8 @@ size_t
 SweepGrid::points() const
 {
     return apps.size() * sizes.size() * distances.size()
-        * policies.size() * arbiters.size() * backends.size();
+        * policies.size() * arbiters.size()
+        * layout_objectives.size() * backends.size();
 }
 
 std::vector<SweepPoint>
@@ -28,6 +29,7 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
     fatalIf(grid.backends.empty(),
             "sweep grid needs at least one backend");
     fatalIf(grid.policies.empty() || grid.arbiters.empty()
+                || grid.layout_objectives.empty()
                 || grid.distances.empty() || grid.sizes.empty(),
             "sweep grid axes must be non-empty");
     grid.base.tech.check();
@@ -54,7 +56,7 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
     }
 
     // Expand the grid: app (outer) x size x distance x policy x
-    // arbiter x backend (inner).
+    // arbiter x layout objective x backend (inner).
     std::vector<SweepPoint> points;
     std::vector<const Backend *> item_backend;
     points.reserve(grid.points());
@@ -68,18 +70,21 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
             for (int d : grid.distances) {
                 for (int policy : grid.policies) {
                     for (int arbiter : grid.arbiters) {
-                        for (const Backend *backend : backends) {
-                            SweepPoint p;
-                            p.index = points.size();
-                            p.app_index = a;
-                            p.app_name = app_name;
-                            p.backend = backend->name();
-                            p.policy = policy;
-                            p.arbiter = arbiter;
-                            p.distance = d;
-                            p.kq = kq;
-                            points.push_back(std::move(p));
-                            item_backend.push_back(backend);
+                        for (int objective : grid.layout_objectives) {
+                            for (const Backend *backend : backends) {
+                                SweepPoint p;
+                                p.index = points.size();
+                                p.app_index = a;
+                                p.app_name = app_name;
+                                p.backend = backend->name();
+                                p.policy = policy;
+                                p.arbiter = arbiter;
+                                p.layout_objective = objective;
+                                p.distance = d;
+                                p.kq = kq;
+                                points.push_back(std::move(p));
+                                item_backend.push_back(backend);
+                            }
                         }
                     }
                 }
@@ -103,6 +108,7 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
         item.config = grid.base;
         item.config.policy = p.policy;
         item.config.hybrid_arbiter = p.arbiter;
+        item.config.layout_objective = p.layout_objective;
         item.config.code_distance = p.distance;
         item.config.kq = p.kq;
         // Seeds vary per application point, never along the policy/
@@ -190,6 +196,7 @@ writeSweepJson(std::ostream &os, const std::string &title,
         j.field("code", qec::codeKindName(p.metrics.code));
         j.field("policy", p.policy);
         j.field("arbiter", p.arbiter);
+        j.field("layout_objective", p.layout_objective);
         j.field("code_distance", p.metrics.code_distance);
         if (p.kq > 0)
             j.field("kq", p.kq);

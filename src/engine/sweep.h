@@ -56,6 +56,13 @@ struct SweepGrid
      */
     std::vector<int> arbiters = {0};
 
+    /**
+     * Patch-layout objectives (partition::LayoutObjective values)
+     * for the surgery and hybrid backends; the braid and planar
+     * backends ignore them (they keep the Manhattan objective).
+     */
+    std::vector<int> layout_objectives = {0};
+
     /** Code distances; 0 selects from KQ and pP. */
     std::vector<int> distances = {0};
 
@@ -81,6 +88,7 @@ struct SweepPoint
     std::string backend;  ///< Backend registry name.
     int policy = 0;
     int arbiter = 0;      ///< Hybrid scheme-arbiter index.
+    int layout_objective = 0; ///< Patch-layout objective index.
     int distance = 0;     ///< Grid value (0 = auto; see metrics).
     double kq = 0;        ///< Grid value (0 = from circuit).
     Metrics metrics;

@@ -32,6 +32,12 @@ class HybridBackend : public engine::Backend
                     || item.config.hybrid_arbiter >= num_arbiters,
                 "hybrid arbiter must be in [0, ", num_arbiters,
                 "), got ", item.config.hybrid_arbiter);
+        partition::LayoutObjective objective =
+            partition::layoutObjective(item.config.layout_objective);
+        fatalIf(objective == partition::LayoutObjective::CorridorLanes
+                    && item.config.lane_spacing < 1,
+                "lane_spacing must be >= 1 with the corridor+lanes "
+                "objective, got ", item.config.lane_spacing);
     }
 
     engine::Metrics
@@ -58,6 +64,9 @@ class HybridBackend : public engine::Backend
         // Same convention as the other simulators: Policies 2+ use
         // the interaction-aware layout.
         opts.optimized_layout = item.config.policy >= 2;
+        opts.layout_objective =
+            partition::layoutObjective(item.config.layout_objective);
+        opts.lane_spacing = item.config.lane_spacing;
         opts.adapt_timeout = item.config.adapt_timeout;
         opts.bfs_timeout = item.config.bfs_timeout;
         opts.drop_timeout = item.config.drop_timeout;
@@ -77,9 +86,11 @@ class HybridBackend : public engine::Backend
         m.schedule_cycles = r.schedule_cycles;
         m.critical_path_cycles = r.critical_path_cycles;
         // Patch machine with boundary strips plus the EPR channel
-        // rails of the teleport overlay.
+        // rails of the teleport overlay, widened by any dedicated
+        // ancilla lanes.
         m.physical_qubits = surgery::surgeryPhysicalQubits(
-            static_cast<double>(item.circuit->numQubits()), d, 1.3);
+            static_cast<double>(item.circuit->numQubits()), d,
+            1.3 * r.lane_area_factor);
         m.seconds = static_cast<double>(r.schedule_cycles)
             * item.config.tech.surfaceCycleNs() * 1e-9;
         m.set("arbiter",
@@ -105,6 +116,8 @@ class HybridBackend : public engine::Backend
               static_cast<double>(r.peak_live_eprs));
         m.set("avg_live_eprs", r.avg_live_eprs);
         m.set("layout_cost", r.layout_cost);
+        m.set("corridor_cost", r.corridor_cost);
+        m.set("lane_area_factor", r.lane_area_factor);
         m.set("ff_skipped_cycles",
               static_cast<double>(r.ff_skipped_cycles));
         m.set("ff_skip_ratio",

@@ -268,6 +268,8 @@ class Simulator
         out.peak_live_eprs = live.peak;
         out.avg_live_eprs = live.average;
         out.layout_cost = arch.layoutCost(graph);
+        out.corridor_cost = arch.corridorCost(graph);
+        out.lane_area_factor = arch.laneAreaFactor();
         out.ff_skipped_cycles = ff.skipped();
         return out;
     }
@@ -279,6 +281,8 @@ class Simulator
         surgery::PatchArchOptions a;
         a.patches_per_factory = opts.patches_per_factory;
         a.optimized_layout = opts.optimized_layout;
+        a.layout_objective = opts.layout_objective;
+        a.lane_spacing = opts.lane_spacing;
         a.seed = opts.seed;
         return a;
     }

@@ -39,6 +39,7 @@
 
 #include "circuit/circuit.h"
 #include "hybrid/arbiter.h"
+#include "partition/layout.h"
 
 namespace qsurf::hybrid {
 
@@ -83,6 +84,14 @@ struct HybridOptions
 
     /** Use the interaction-aware layout. */
     bool optimized_layout = true;
+
+    /** Patch-layout objective (shared with the surgery backend:
+     *  corridor-aware refinement and optional dedicated lanes). */
+    partition::LayoutObjective layout_objective =
+        partition::LayoutObjective::BraidManhattan;
+
+    /** Patch rows/columns between dedicated ancilla lanes. */
+    int lane_spacing = 4;
 
     /** Cycles an op waits before trying the transposed corridor. */
     int adapt_timeout = 4;
@@ -168,8 +177,14 @@ struct HybridResult
     /** Time-averaged live EPR pairs. */
     double avg_live_eprs = 0;
 
-    /** Interaction-weighted layout cost. */
+    /** Interaction-weighted layout cost (Manhattan tiles). */
     double layout_cost = 0;
+
+    /** Interaction-weighted corridor cost (around-patch tiles). */
+    double corridor_cost = 0;
+
+    /** Mesh area relative to the lane-free machine (>= 1). */
+    double lane_area_factor = 1;
 
     /** Cycles elided by the event-driven fast-forward. */
     uint64_t ff_skipped_cycles = 0;

@@ -89,22 +89,41 @@ class Placer
             static_cast<double>(cap_a) / (cap_a + cap_b), 0.05, 0.95);
         Bisection cut = bisect(sub, rng, opts);
 
+        // Enforce hard capacities: spill overflow to the other side
+        // (the bisection balance envelope is soft).  Spill the vertex
+        // with the smallest attachment to its own side — not an
+        // arbitrary tail vertex — so the edges forced across the cut
+        // are the cheapest ones available.
+        std::vector<int> side = cut.side;
+        auto spillWeakest = [&](int overfull) {
+            int best = -1;
+            int64_t best_att = 0;
+            for (int i = 0; i < n; ++i) {
+                if (side[static_cast<size_t>(i)] != overfull)
+                    continue;
+                int64_t att = 0;
+                for (const auto &[j, w] : sub.neighbors(i))
+                    if (side[static_cast<size_t>(j)] == overfull)
+                        att += w;
+                if (best < 0 || att < best_att) {
+                    best = i;
+                    best_att = att;
+                }
+            }
+            side[static_cast<size_t>(best)] = 1 - overfull;
+        };
+        int na = 0;
+        for (int i = 0; i < n; ++i)
+            na += side[static_cast<size_t>(i)] == 0;
+        for (; na > cap_a; --na)
+            spillWeakest(0);
+        for (; n - na > cap_b; ++na)
+            spillWeakest(1);
+
         std::vector<int> va, vb;
         for (int i = 0; i < n; ++i) {
             int v = vertices[static_cast<size_t>(i)];
-            (cut.side[static_cast<size_t>(i)] == 0 ? va : vb)
-                .push_back(v);
-        }
-
-        // Enforce hard capacities: spill overflow to the other side
-        // (the bisection balance envelope is soft).
-        while (static_cast<int>(va.size()) > cap_a) {
-            vb.push_back(va.back());
-            va.pop_back();
-        }
-        while (static_cast<int>(vb.size()) > cap_b) {
-            va.push_back(vb.back());
-            vb.pop_back();
+            (side[static_cast<size_t>(i)] == 0 ? va : vb).push_back(v);
         }
         return {std::move(va), std::move(vb)};
     }
@@ -166,6 +185,133 @@ weightedManhattan(const Graph &g, const GridLayout &layout)
              * manhattan(layout.position[static_cast<size_t>(e.u)],
                          layout.position[static_cast<size_t>(e.v)]);
     return sum;
+}
+
+const char *
+layoutObjectiveName(LayoutObjective objective)
+{
+    switch (objective) {
+      case LayoutObjective::BraidManhattan:
+        return "braid-manhattan";
+      case LayoutObjective::Corridor:
+        return "corridor";
+      case LayoutObjective::CorridorLanes:
+        return "corridor+lanes";
+    }
+    panic("bad LayoutObjective");
+}
+
+LayoutObjective
+layoutObjective(int v)
+{
+    fatalIf(v < 0 || v >= num_layout_objectives,
+            "layout objective must be in [0, ",
+            num_layout_objectives, "), got ", v);
+    return static_cast<LayoutObjective>(v);
+}
+
+namespace {
+
+/** Dedicated-lane bands crossed between patch indices @p a and
+ *  @p b: one per multiple of @p spacing strictly inside the span
+ *  (boundary t sits between patches t-1 and t). */
+int
+lanesCrossed(int a, int b, int spacing)
+{
+    if (spacing <= 0)
+        return 0;
+    return std::max(a, b) / spacing - std::min(a, b) / spacing;
+}
+
+} // namespace
+
+int
+corridorTiles(const Coord &a, const Coord &b, int lane_spacing)
+{
+    int m = manhattan(a, b);
+    if (m == 0)
+        return 0;
+    // A corridor between collinear non-adjacent patches cannot run
+    // straight through the patches between them: it detours one
+    // corridor row/column to the side, one extra tile end to end.
+    // Every lane band the span crosses inserts two mesh lines, one
+    // extra tile each — routes ride lanes at zero additional hops,
+    // so this prices the actual route geometry exactly.
+    bool collinear = (a.x == b.x || a.y == b.y) && m >= 2;
+    return m + (collinear ? 1 : 0)
+        + lanesCrossed(a.x, b.x, lane_spacing)
+        + lanesCrossed(a.y, b.y, lane_spacing);
+}
+
+double
+weightedCorridorLength(const Graph &g, const GridLayout &layout,
+                       int lane_spacing)
+{
+    double sum = 0;
+    for (const Edge &e : g.edges())
+        sum += static_cast<double>(e.w)
+             * corridorTiles(layout.position[static_cast<size_t>(e.u)],
+                             layout.position[static_cast<size_t>(e.v)],
+                             lane_spacing);
+    return sum;
+}
+
+double
+refineForCorridors(const Graph &g, GridLayout &layout,
+                   int lane_spacing, int max_passes)
+{
+    fatalIf(layout.position.size()
+                != static_cast<size_t>(g.size()),
+            "layout/graph size mismatch: ", layout.position.size(),
+            " positions for ", g.size(), " vertices");
+
+    // Cost change of moving @p v from @p from to @p to, ignoring the
+    // edge to @p exclude (whose length a swap leaves unchanged).
+    auto moveDelta = [&](int v, const Coord &from, const Coord &to,
+                         int exclude) {
+        int64_t d = 0;
+        for (const auto &[n, w] : g.neighbors(v)) {
+            if (n == exclude)
+                continue;
+            const Coord &p = layout.position[static_cast<size_t>(n)];
+            d += w * (corridorTiles(to, p, lane_spacing)
+                      - corridorTiles(from, p, lane_spacing));
+        }
+        return d;
+    };
+
+    int cells = layout.width * layout.height;
+    for (int pass = 0; pass < max_passes; ++pass) {
+        bool improved = false;
+        for (int i = 0; i < cells; ++i) {
+            Coord ci = fromLinearIndex(i, layout.width);
+            int u = layout.at(ci);
+            for (int j = i + 1; j < cells; ++j) {
+                Coord cj = fromLinearIndex(j, layout.width);
+                int v = layout.at(cj);
+                if (u < 0 && v < 0)
+                    continue;
+                int64_t delta = 0;
+                if (u >= 0)
+                    delta += moveDelta(u, ci, cj, v);
+                if (v >= 0)
+                    delta += moveDelta(v, cj, ci, u);
+                if (delta >= 0)
+                    continue;
+                if (u >= 0)
+                    layout.position[static_cast<size_t>(u)] = cj;
+                if (v >= 0)
+                    layout.position[static_cast<size_t>(v)] = ci;
+                layout.vertex_at[static_cast<size_t>(i)] = v;
+                layout.vertex_at[static_cast<size_t>(j)] = u;
+                u = v;
+                improved = true;
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return weightedCorridorLength(g, layout, lane_spacing);
 }
 
 std::pair<int, int>

@@ -8,6 +8,14 @@
  * a target fraction matching the two halves' capacities.  The
  * objective is the sum of edge-weighted Manhattan distances, i.e.
  * exactly the braid-length objective of the paper.
+ *
+ * Braid routes move *through* the mesh, so Manhattan distance is
+ * their true cost — but lattice-surgery merge/split corridors route
+ * *around* live patches, which makes collinear non-adjacent pairs one
+ * tile more expensive than their Manhattan distance.  The corridor
+ * objective (weightedCorridorLength) prices edges by that
+ * around-patch route length, and refineForCorridors() improves a
+ * bisection-seeded layout against it by greedy pairwise swaps.
  */
 
 #ifndef QSURF_PARTITION_LAYOUT_H
@@ -58,6 +66,69 @@ GridLayout layoutOnGrid(const Graph &g, int width, int height,
 
 /** @return sum over edges of weight * Manhattan distance. */
 double weightedManhattan(const Graph &g, const GridLayout &layout);
+
+/**
+ * Patch-layout objective of the lattice-surgery machine.  The braid
+ * backends always optimize Manhattan length; the surgery and hybrid
+ * backends select one of these (ROADMAP: "Surgery-aware layout").
+ */
+enum class LayoutObjective : int
+{
+    /** Edge-weighted Manhattan distance (the Section 6.2 braid
+     *  objective, historically reused for surgery). */
+    BraidManhattan = 0,
+
+    /** Edge-weighted around-patch corridor length, with a greedy
+     *  pairwise-swap refinement pass on top of the bisection seed. */
+    Corridor = 1,
+
+    /** Corridor objective plus dedicated ancilla lanes reserved in
+     *  the patch mesh (surgery::PatchArchOptions::lane_spacing). */
+    CorridorLanes = 2,
+};
+
+/** Number of LayoutObjective values (for knob validation). */
+inline constexpr int num_layout_objectives = 3;
+
+/** @return the display name of @p objective. */
+const char *layoutObjectiveName(LayoutObjective objective);
+
+/** @return the checked LayoutObjective for knob value @p v. */
+LayoutObjective layoutObjective(int v);
+
+/**
+ * Merge/split corridor length between patch cells @p a and @p b, in
+ * patch tiles — the edge cost of the corridor layout objective.
+ * Mirrors surgery::PatchArch::corridorRoute exactly: adjacent
+ * patches merge through their shared boundary (1 tile), diagonal
+ * pairs route at Manhattan length, collinear non-adjacent pairs pay
+ * one extra tile to route *around* the patches between them, and —
+ * when @p lane_spacing > 0 — every dedicated-lane band the span
+ * crosses (one per multiple of lane_spacing between the cells, per
+ * axis) adds one tile, matching the two mesh lines each lane
+ * inserts.
+ */
+int corridorTiles(const Coord &a, const Coord &b,
+                  int lane_spacing = 0);
+
+/** @return sum over edges of weight * corridorTiles. */
+double weightedCorridorLength(const Graph &g,
+                              const GridLayout &layout,
+                              int lane_spacing = 0);
+
+/**
+ * Greedy pairwise-swap refinement of @p layout against the corridor
+ * objective (lane-aware when @p lane_spacing > 0): repeatedly
+ * applies the first cell swap (or move into an empty cell) that
+ * strictly reduces weightedCorridorLength, until a full pass finds
+ * none or @p max_passes passes ran.  Deterministic: scan order is
+ * fixed, so a given (graph, layout) always refines to the same
+ * placement.
+ *
+ * @return the refined layout's weightedCorridorLength.
+ */
+double refineForCorridors(const Graph &g, GridLayout &layout,
+                          int lane_spacing = 0, int max_passes = 8);
 
 /** @return the smallest near-square (width, height) covering n cells. */
 std::pair<int, int> gridShape(int n);

@@ -24,6 +24,18 @@ class SurgerySimBackend : public engine::Backend
 
     qec::CodeKind code() const override { return qec::CodeKind::Planar; }
 
+    void
+    prepare(const engine::WorkItem &item) const override
+    {
+        Backend::prepare(item);
+        partition::LayoutObjective objective =
+            partition::layoutObjective(item.config.layout_objective);
+        fatalIf(objective == partition::LayoutObjective::CorridorLanes
+                    && item.config.lane_spacing < 1,
+                "lane_spacing must be >= 1 with the corridor+lanes "
+                "objective, got ", item.config.lane_spacing);
+    }
+
     engine::Metrics
     run(const engine::WorkItem &item) const override
     {
@@ -33,6 +45,9 @@ class SurgerySimBackend : public engine::Backend
         // Same convention as the braid backend: Policies 2+ use the
         // interaction-aware layout, below that the naive one.
         opts.optimized_layout = item.config.policy >= 2;
+        opts.layout_objective =
+            partition::layoutObjective(item.config.layout_objective);
+        opts.lane_spacing = item.config.lane_spacing;
         opts.seed = item.config.seed;
         opts.fast_forward = item.config.fast_forward;
         opts.legacy_paths = item.config.legacy_baseline;
@@ -51,8 +66,11 @@ class SurgerySimBackend : public engine::Backend
         m.code_distance = d;
         m.schedule_cycles = r.schedule_cycles;
         m.critical_path_cycles = r.critical_path_cycles;
+        // Dedicated ancilla lanes widen the mesh; charge the extra
+        // area against the machine's qubit budget.
         m.physical_qubits = surgeryPhysicalQubits(
-            static_cast<double>(item.circuit->numQubits()), d);
+            static_cast<double>(item.circuit->numQubits()), d,
+            1.2 * r.lane_area_factor);
         m.seconds = static_cast<double>(r.schedule_cycles)
             * item.config.tech.surfaceCycleNs() * 1e-9;
         m.set("mesh_utilization", r.mesh_utilization);
@@ -74,6 +92,8 @@ class SurgerySimBackend : public engine::Backend
               static_cast<double>(r.peak_live_chains));
         m.set("avg_live_chains", r.avg_live_chains);
         m.set("layout_cost", r.layout_cost);
+        m.set("corridor_cost", r.corridor_cost);
+        m.set("lane_area_factor", r.lane_area_factor);
         m.set("ff_skipped_cycles",
               static_cast<double>(r.ff_skipped_cycles));
         m.set("ff_skip_ratio",

@@ -121,6 +121,8 @@ class Simulator
         out.peak_live_chains = live.peak;
         out.avg_live_chains = live.average;
         out.layout_cost = arch.layoutCost(graph);
+        out.corridor_cost = arch.corridorCost(graph);
+        out.lane_area_factor = arch.laneAreaFactor();
         out.ff_skipped_cycles = ff.skipped();
         return out;
     }
@@ -132,6 +134,8 @@ class Simulator
         PatchArchOptions a;
         a.patches_per_factory = opts.patches_per_factory;
         a.optimized_layout = opts.optimized_layout;
+        a.layout_objective = opts.layout_objective;
+        a.lane_spacing = opts.lane_spacing;
         a.seed = opts.seed;
         return a;
     }

@@ -46,6 +46,15 @@ struct SurgeryOptions
     /** Use the interaction-aware layout. */
     bool optimized_layout = true;
 
+    /** Patch-layout objective (refines the bisection seed against
+     *  the corridor metric; CorridorLanes also reserves dedicated
+     *  ancilla lanes in the mesh). */
+    partition::LayoutObjective layout_objective =
+        partition::LayoutObjective::BraidManhattan;
+
+    /** Patch rows/columns between dedicated ancilla lanes. */
+    int lane_spacing = 4;
+
     /** Cycles an op waits before trying the transposed corridor. */
     int adapt_timeout = 4;
 
@@ -137,8 +146,15 @@ struct SurgeryResult
     /** Time-averaged live chains. */
     double avg_live_chains = 0;
 
-    /** Interaction-weighted layout cost. */
+    /** Interaction-weighted layout cost (Manhattan tiles). */
     double layout_cost = 0;
+
+    /** Interaction-weighted corridor cost (around-patch tiles). */
+    double corridor_cost = 0;
+
+    /** Mesh area relative to the lane-free machine (>= 1; the
+     *  ancilla space the dedicated lanes cost). */
+    double lane_area_factor = 1;
 
     /** Cycles elided by the event-driven fast-forward. */
     uint64_t ff_skipped_cycles = 0;

@@ -18,7 +18,9 @@ toPartitionGraph(const circuit::InteractionGraph &ig)
     return g;
 }
 
-/** Step @p from one unit toward @p to (or +1 on a tie). */
+/** Step @p from one unit toward @p to (+1 on a tie; ties reach the
+ *  routing waypoints only via walkTo's unused axis — corridorRoute
+ *  never lets a tie pick a corridor side). */
 int
 stepToward(int from, int to)
 {
@@ -52,12 +54,70 @@ walkTo(network::Path::Nodes &nodes, const Coord &to)
     }
 }
 
+/** @return index of @p v in the sorted @p coords, or -1. */
+int
+indexOf(const std::vector<int> &coords, int v)
+{
+    auto it = std::lower_bound(coords.begin(), coords.end(), v);
+    if (it == coords.end() || *it != v)
+        return -1;
+    return static_cast<int>(it - coords.begin());
+}
+
+/**
+ * @return the first lane coordinate crossed travelling from @p from
+ * to @p to (strictly between them), or -1 when the span crosses none.
+ */
+int
+laneBetween(const std::vector<int> &lanes, int from, int to)
+{
+    if (from < to) {
+        auto it = std::upper_bound(lanes.begin(), lanes.end(), from);
+        if (it != lanes.end() && *it < to)
+            return *it;
+        return -1;
+    }
+    auto it = std::lower_bound(lanes.begin(), lanes.end(), from);
+    if (it != lanes.begin() && *(it - 1) > to)
+        return *(it - 1);
+    return -1;
+}
+
 } // namespace
 
 Coord
-PatchArch::patchCenter(const Coord &patch)
+PatchArch::center(const Coord &patch) const
 {
-    return Coord{2 * patch.x + 1, 2 * patch.y + 1};
+    return Coord{col_x[static_cast<size_t>(patch.x)],
+                 row_y[static_cast<size_t>(patch.y)]};
+}
+
+void
+PatchArch::buildCoordinateMaps(int lane_spacing)
+{
+    auto build = [lane_spacing](int cells, std::vector<int> &centers,
+                                std::vector<int> &lanes) {
+        centers.resize(static_cast<size_t>(cells));
+        int c = 1;
+        for (int p = 0; p < cells; ++p) {
+            if (p > 0) {
+                c += 2;
+                if (lane_spacing > 0 && p % lane_spacing == 0) {
+                    // The lane slides in between the boundary
+                    // corridor and this patch column/row, flanked by
+                    // plain corridors on both sides so patch rings
+                    // stay lane-free.
+                    lanes.push_back(c);
+                    c += 2;
+                }
+            }
+            centers[static_cast<size_t>(p)] = c;
+        }
+    };
+    build(pw, col_x, lane_cols_x);
+    build(ph, row_y, lane_rows_y);
+    mw = col_x.back() + 2;
+    mh = row_y.back() + 2;
 }
 
 PatchArch::PatchArch(const circuit::InteractionGraph &graph,
@@ -67,6 +127,10 @@ PatchArch::PatchArch(const circuit::InteractionGraph &graph,
     fatalIf(nq < 1, "patch architecture needs at least one qubit");
     fatalIf(opts.patches_per_factory < 1,
             "patches_per_factory must be >= 1");
+    bool lanes = opts.layout_objective
+        == partition::LayoutObjective::CorridorLanes;
+    fatalIf(lanes && opts.lane_spacing < 1,
+            "lane_spacing must be >= 1, got ", opts.lane_spacing);
 
     // Near-square data region plus one factory column on the right,
     // mirroring the braid machine's Figure 3b arrangement.
@@ -74,6 +138,8 @@ PatchArch::PatchArch(const circuit::InteractionGraph &graph,
     int nfac = std::max(1, nq / opts.patches_per_factory);
     pw = dw + 1;
     ph = dh;
+    lane_spacing = lanes ? opts.lane_spacing : 0;
+    buildCoordinateMaps(lane_spacing);
 
     nfac = std::min(nfac, ph);
     for (int i = 0; i < nfac; ++i) {
@@ -86,6 +152,14 @@ PatchArch::PatchArch(const circuit::InteractionGraph &graph,
     if (opts.optimized_layout) {
         partition::Graph pg = toPartitionGraph(graph);
         layout = partition::layoutOnGrid(pg, dw, dh, opts.seed);
+        // The corridor objectives refine the bisection seed against
+        // the around-patch corridor metric — lane-aware when lanes
+        // are on, so the refinement prices the machine actually
+        // built (ROADMAP: surgery-aware layout); the Manhattan
+        // objective keeps the seed untouched.
+        if (opts.layout_objective
+            != partition::LayoutObjective::BraidManhattan)
+            partition::refineForCorridors(pg, layout, lane_spacing);
     } else {
         layout = partition::naiveLayout(nq, dw, dh);
     }
@@ -104,7 +178,7 @@ PatchArch::patchOf(int32_t q) const
 Coord
 PatchArch::terminal(int32_t q) const
 {
-    return patchCenter(patchOf(q));
+    return center(patchOf(q));
 }
 
 Coord
@@ -112,7 +186,7 @@ PatchArch::factoryTerminal(int f) const
 {
     panicIf(f < 0 || f >= numFactories(), "factory ", f,
             " out of range");
-    return patchCenter(factories[static_cast<size_t>(f)]);
+    return center(factories[static_cast<size_t>(f)]);
 }
 
 Coord
@@ -143,6 +217,26 @@ PatchArch::makeMesh() const
     return network::Mesh(meshWidth(), meshHeight());
 }
 
+bool
+PatchArch::isLaneRow(int y) const
+{
+    return indexOf(lane_rows_y, y) >= 0;
+}
+
+bool
+PatchArch::isLaneCol(int x) const
+{
+    return indexOf(lane_cols_x, x) >= 0;
+}
+
+double
+PatchArch::laneAreaFactor() const
+{
+    return static_cast<double>(mw) * static_cast<double>(mh)
+        / (static_cast<double>(2 * pw + 1)
+           * static_cast<double>(2 * ph + 1));
+}
+
 std::vector<Coord>
 PatchArch::reservedTerminals() const
 {
@@ -155,6 +249,47 @@ PatchArch::reservedTerminals() const
     return out;
 }
 
+bool
+PatchArch::laneRoute(network::Path::Nodes &nodes, const Coord &src,
+                     const Coord &dst, bool yx_first) const
+{
+    if (!yx_first) {
+        // Ride the first lane row the vertical span crosses: exit
+        // into the source ring, side-step one corridor column, drop
+        // to the lane, run the long horizontal leg on it, and come
+        // back up beside the destination.
+        int lane = laneBetween(lane_rows_y, src.y, dst.y);
+        if (lane < 0)
+            return false;
+        int sy = src.y + stepToward(src.y, dst.y);
+        int cx0 = src.x + stepToward(src.x, dst.x);
+        int cx1 = dst.x + stepToward(dst.x, src.x);
+        int dy = dst.y + stepToward(dst.y, src.y);
+        walkTo(nodes, Coord{src.x, sy});
+        walkTo(nodes, Coord{cx0, sy});
+        walkTo(nodes, Coord{cx0, lane});
+        walkTo(nodes, Coord{cx1, lane});
+        walkTo(nodes, Coord{cx1, dy});
+        walkTo(nodes, Coord{dst.x, dy});
+        return true;
+    }
+    // Transposed geometry: the long vertical leg rides a lane column.
+    int lane = laneBetween(lane_cols_x, src.x, dst.x);
+    if (lane < 0)
+        return false;
+    int sx = src.x + stepToward(src.x, dst.x);
+    int ry0 = src.y + stepToward(src.y, dst.y);
+    int ry1 = dst.y + stepToward(dst.y, src.y);
+    int dx1 = dst.x + stepToward(dst.x, src.x);
+    walkTo(nodes, Coord{sx, src.y});
+    walkTo(nodes, Coord{sx, ry0});
+    walkTo(nodes, Coord{lane, ry0});
+    walkTo(nodes, Coord{lane, ry1});
+    walkTo(nodes, Coord{dx1, ry1});
+    walkTo(nodes, Coord{dx1, dst.y});
+    return true;
+}
+
 network::Path
 PatchArch::corridorRoute(const Coord &src, const Coord &dst,
                          bool yx_first) const
@@ -164,20 +299,60 @@ PatchArch::corridorRoute(const Coord &src, const Coord &dst,
     if (src == dst)
         return path;
 
-    // Adjacent patches merge directly through the shared boundary
-    // router between their centers.
-    if ((src.y == dst.y && std::abs(dst.x - src.x) == 2)
-        || (src.x == dst.x && std::abs(dst.y - src.y) == 2)) {
-        append(path.nodes,
-               Coord{(src.x + dst.x) / 2, (src.y + dst.y) / 2});
-        append(path.nodes, dst);
+    int pax = indexOf(col_x, src.x), pay = indexOf(row_y, src.y);
+    int pbx = indexOf(col_x, dst.x), pby = indexOf(row_y, dst.y);
+    panicIf(pax < 0 || pay < 0 || pbx < 0 || pby < 0,
+            "corridor endpoints must be patch centers");
+
+    // Adjacent patches merge straight through the shared boundary
+    // corridor between their centers (one router, or three where a
+    // lane band separates them).
+    if (std::abs(pax - pbx) + std::abs(pay - pby) == 1) {
+        walkTo(path.nodes, dst);
+        return path;
+    }
+
+    int tie = yx_first ? -1 : +1;
+
+    // Collinear pairs route around the patches between them along a
+    // side corridor; the primary takes the +1 side and the transposed
+    // fallback the -1 side, so contended same-row/column merges keep
+    // genuine route diversity.  (The old tie-break sent both
+    // geometries to the same corridor.)  Patch centers sit at mesh
+    // coordinates 1..size-2, so both side corridors always exist —
+    // a clamp here would silently collapse the two geometries back
+    // onto one corridor, so fail loudly instead.
+    if (pay == pby) {
+        int ry = src.y + tie;
+        panicIf(ry < 0 || ry >= mh,
+                "collinear side corridor row off the mesh");
+        walkTo(path.nodes, Coord{src.x, ry});
+        walkTo(path.nodes, Coord{dst.x, ry});
+        walkTo(path.nodes, dst);
+        return path;
+    }
+    if (pax == pbx) {
+        int cx = src.x + tie;
+        panicIf(cx < 0 || cx >= mw,
+                "collinear side corridor column off the mesh");
+        walkTo(path.nodes, Coord{cx, src.y});
+        walkTo(path.nodes, Coord{cx, dst.y});
+        walkTo(path.nodes, dst);
+        return path;
+    }
+
+    // Long hauls whose span crosses a dedicated ancilla lane ride it
+    // (same hop count as the classic geometry when the lane lies
+    // between) instead of fighting over patch-adjacent rings.
+    if (laneRoute(path.nodes, src, dst, yx_first)) {
+        walkTo(path.nodes, dst);
         return path;
     }
 
     // General case: exit into the corridor ring next to the source
-    // patch, travel along an even (corridor) row and column — never
-    // through another patch center — and enter the destination from
-    // its adjacent corridor column/row.
+    // patch, travel along a corridor row and column — never through
+    // another patch center — and enter the destination from its
+    // adjacent corridor column/row.
     if (!yx_first) {
         int ry = src.y + stepToward(src.y, dst.y);
         int cx = dst.x + stepToward(dst.x, src.x);
@@ -208,6 +383,18 @@ PatchArch::layoutCost(const circuit::InteractionGraph &graph) const
     for (const auto &[pair, w] : graph.edges)
         sum += static_cast<double>(w)
              * manhattan(patchOf(pair.first), patchOf(pair.second));
+    return sum;
+}
+
+double
+PatchArch::corridorCost(const circuit::InteractionGraph &graph) const
+{
+    double sum = 0;
+    for (const auto &[pair, w] : graph.edges)
+        sum += static_cast<double>(w)
+             * partition::corridorTiles(patchOf(pair.first),
+                                        patchOf(pair.second),
+                                        lane_spacing);
     return sum;
 }
 

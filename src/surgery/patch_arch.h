@@ -15,6 +15,15 @@
  * braid — one half of the paper's "neither the benefits of braids
  * nor teleportation" argument.
  *
+ * The layout objective is selectable (partition::LayoutObjective):
+ * the historical braid-Manhattan bisection, the corridor objective
+ * (bisection seed + greedy swap refinement against the around-patch
+ * corridor length), or corridor+lanes, which additionally sizes
+ * dedicated ancilla *through-lanes* into the mesh: every
+ * lane_spacing-th patch-row/column boundary carries an extra
+ * corridor row/column, and long-haul chains ride the lanes instead
+ * of fighting over the corridor rings next to patches.
+ *
  * Magic-state factory patches sit in a right-hand column, like the
  * braid machine's Figure 3b arrangement: T gates merge with a
  * factory patch through the same corridor fabric.
@@ -41,6 +50,16 @@ struct PatchArchOptions
 
     /** Use the interaction-aware layout (Section 6.2's objective). */
     bool optimized_layout = true;
+
+    /** Placement objective; Corridor* refine the bisection seed
+     *  against the around-patch corridor metric, CorridorLanes also
+     *  reserves dedicated ancilla lanes in the mesh. */
+    partition::LayoutObjective layout_objective =
+        partition::LayoutObjective::BraidManhattan;
+
+    /** Patch rows/columns between dedicated ancilla lanes (used by
+     *  LayoutObjective::CorridorLanes only). */
+    int lane_spacing = 4;
 
     /** Layout RNG seed. */
     uint64_t seed = 1;
@@ -71,12 +90,40 @@ class PatchArch
     /** @return patch-grid height. */
     int patchHeight() const { return ph; }
 
-    /** @return routing-mesh width: a router at every patch center
-     *  and every corridor point between patches. */
-    int meshWidth() const { return 2 * pw + 1; }
+    /** @return routing-mesh width: a router at every patch center,
+     *  every corridor point between patches, and every reserved
+     *  ancilla lane column. */
+    int meshWidth() const { return mw; }
 
     /** @return routing-mesh height. */
-    int meshHeight() const { return 2 * ph + 1; }
+    int meshHeight() const { return mh; }
+
+    /** @return number of dedicated ancilla lane rows. */
+    int
+    numLaneRows() const
+    {
+        return static_cast<int>(lane_rows_y.size());
+    }
+
+    /** @return number of dedicated ancilla lane columns. */
+    int
+    numLaneCols() const
+    {
+        return static_cast<int>(lane_cols_x.size());
+    }
+
+    /** @return true when mesh row @p y is a dedicated ancilla lane. */
+    bool isLaneRow(int y) const;
+
+    /** @return true when mesh column @p x is a dedicated lane. */
+    bool isLaneCol(int x) const;
+
+    /**
+     * @return mesh area relative to the lane-free machine of the
+     * same patch grid — the extra ancilla space the dedicated lanes
+     * cost, for physical-qubit accounting.
+     */
+    double laneAreaFactor() const;
 
     /** @return number of magic-state factory patches. */
     int
@@ -114,11 +161,15 @@ class PatchArch
 
     /**
      * Corridor-aware preferred route between patch centers @p src
-     * and @p dst: leaves the source patch, runs along corridor
-     * routers only (every intermediate node has an even coordinate)
-     * and enters the destination patch.  @p yx_first selects the
-     * transposed geometry (vertical corridor first).  Adjacent
-     * patches connect directly through their shared boundary router.
+     * and @p dst: leaves the source patch, runs along corridor (and
+     * lane) routers only — never through another patch center — and
+     * enters the destination patch.  @p yx_first selects the
+     * transposed geometry (vertical corridor first); for collinear
+     * pairs the two geometries take *opposite* sides of the patch
+     * row/column, so contended same-row/column merges keep route
+     * diversity.  Adjacent patches connect straight through their
+     * shared boundary.  With dedicated lanes, long hauls whose span
+     * crosses a lane ride it instead of a patch-adjacent ring.
      */
     network::Path corridorRoute(const Coord &src, const Coord &dst,
                                 bool yx_first) const;
@@ -137,14 +188,43 @@ class PatchArch
      */
     double layoutCost(const circuit::InteractionGraph &graph) const;
 
+    /**
+     * @return sum of interaction-weighted corridor lengths in patch
+     * tiles (the surgery-aware layout objective; see
+     * partition::weightedCorridorLength).
+     */
+    double corridorCost(const circuit::InteractionGraph &graph) const;
+
   private:
-    static Coord patchCenter(const Coord &patch);
+    /** @return the mesh router at the center of patch cell @p patch. */
+    Coord center(const Coord &patch) const;
+
+    /** Compute the lane-aware patch-cell -> mesh coordinate maps. */
+    void buildCoordinateMaps(int lane_spacing);
+
+    /** Append the lane-riding long-haul route, or return false when
+     *  no lane lies across the span of this geometry. */
+    bool laneRoute(network::Path::Nodes &nodes, const Coord &src,
+                   const Coord &dst, bool yx_first) const;
 
     int nq;
     int pw;
     int ph;
+    int mw = 0;
+    int mh = 0;
     std::vector<Coord> qubit_patch;
     std::vector<Coord> factories;
+
+    /** Mesh x of each patch column center / y of each row center. */
+    std::vector<int> col_x;
+    std::vector<int> row_y;
+
+    /** Mesh coordinates of the dedicated lane columns/rows. */
+    std::vector<int> lane_cols_x;
+    std::vector<int> lane_rows_y;
+
+    /** Patch rows/columns between lanes; 0 when lanes are off. */
+    int lane_spacing = 0;
 };
 
 /**

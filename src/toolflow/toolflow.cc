@@ -70,6 +70,8 @@ run(const circuit::Circuit &logical, const Config &config)
     item.config.epr_window_steps = config.epr_window_steps;
     item.config.num_simd_regions = config.num_simd_regions;
     item.config.hybrid_arbiter = config.hybrid_arbiter;
+    item.config.layout_objective = config.layout_objective;
+    item.config.lane_spacing = config.lane_spacing;
     item.config.seed = config.seed;
 
     const std::vector<std::string> default_backends{

@@ -51,6 +51,17 @@ struct Config
      */
     int hybrid_arbiter = 0;
 
+    /**
+     * Patch-layout objective for the surgery and hybrid backends (a
+     * partition::LayoutObjective index): 0 braid-manhattan,
+     * 1 corridor, 2 corridor+lanes.  Braid backends ignore it.
+     */
+    int layout_objective = 0;
+
+    /** Patch rows/columns between dedicated ancilla lanes (used by
+     *  layout_objective 2). */
+    int lane_spacing = 4;
+
     /** EPR lookahead window for the planar backend (steps). */
     int epr_window_steps = 32;
 

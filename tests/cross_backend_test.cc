@@ -180,6 +180,25 @@ TEST(CrossBackend, SweepThreadCountsAreBitIdentical)
     expectThreadCountInvariant(grid);
 }
 
+TEST(CrossBackend, LayoutObjectiveSweepIsBitIdentical)
+{
+    // The bench/layout_objectives grid shape: the layout-objective
+    // axis over the surgery and hybrid backends, which both rebuild
+    // the patch machine per point (bisection + corridor refinement
+    // + lane geometry) — all of it must stay deterministic across
+    // sweep thread counts.
+    SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""},
+                 {apps::AppKind::IsingFull, {10, 2}, ""}};
+    grid.backends = {backends::surgery_sim, backends::hybrid_mixed};
+    grid.policies = {6};
+    grid.layout_objectives = {0, 1, 2};
+    grid.distances = {3, 5};
+    grid.base.lane_spacing = 2;
+    grid.base.seed = 1234;
+    expectThreadCountInvariant(grid);
+}
+
 TEST(CrossBackend, FastForwardMatchesSteppedEverywhere)
 {
     Registry &registry = Registry::global();

@@ -112,6 +112,79 @@ TEST(Layout, WeightedManhattanOfKnownPlacement)
     EXPECT_DOUBLE_EQ(weightedManhattan(g, l), 3.0);
 }
 
+TEST(CorridorTiles, MatchesRoutingGeometry)
+{
+    // Adjacent patches merge through the shared boundary: one tile.
+    EXPECT_EQ(corridorTiles(Coord{0, 0}, Coord{1, 0}), 1);
+    EXPECT_EQ(corridorTiles(Coord{2, 3}, Coord{2, 4}), 1);
+    // Diagonal pairs route at Manhattan length.
+    EXPECT_EQ(corridorTiles(Coord{0, 0}, Coord{2, 3}), 5);
+    EXPECT_EQ(corridorTiles(Coord{1, 1}, Coord{0, 3}), 3);
+    // Collinear non-adjacent pairs detour around the patches between
+    // them: one extra tile.
+    EXPECT_EQ(corridorTiles(Coord{0, 0}, Coord{3, 0}), 4);
+    EXPECT_EQ(corridorTiles(Coord{2, 1}, Coord{2, 4}), 4);
+    EXPECT_EQ(corridorTiles(Coord{1, 1}, Coord{1, 1}), 0);
+}
+
+TEST(CorridorObjective, WeightedLengthOfKnownPlacement)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 2); // adjacent: 1 tile
+    g.addEdge(0, 2, 5); // collinear non-adjacent: 2 + 1 tiles
+    GridLayout l = naiveLayout(3, 3, 1);
+    EXPECT_DOUBLE_EQ(weightedManhattan(g, l), 2.0 + 10.0);
+    EXPECT_DOUBLE_EQ(weightedCorridorLength(g, l), 2.0 + 15.0);
+}
+
+TEST(CorridorObjective, RefinementImprovesAndStaysValid)
+{
+    Graph g = clusteredGraph(4, 9);
+    GridLayout seed = layoutOnGrid(g, 6, 6, 11);
+    double before = weightedCorridorLength(g, seed);
+
+    GridLayout refined = seed;
+    double after = refineForCorridors(g, refined);
+    EXPECT_LE(after, before)
+        << "greedy swaps must never worsen the corridor objective";
+    EXPECT_DOUBLE_EQ(after, weightedCorridorLength(g, refined));
+    expectValidPlacement(refined, g.size());
+
+    // Deterministic: same seed layout refines to the same placement.
+    GridLayout again = seed;
+    refineForCorridors(g, again);
+    EXPECT_EQ(refined.position, again.position);
+}
+
+TEST(CorridorObjective, RefinementUsesEmptyCells)
+{
+    // Two vertices stuck at opposite ends of a sparse row: moving one
+    // into an empty middle cell is the only improving transformation.
+    Graph g(2);
+    g.addEdge(0, 1, 1);
+    GridLayout l;
+    l.width = 5;
+    l.height = 1;
+    l.position = {Coord{0, 0}, Coord{4, 0}};
+    l.vertex_at = {0, -1, -1, -1, 1};
+    double after = refineForCorridors(g, l);
+    EXPECT_DOUBLE_EQ(after, 1.0);
+    expectValidPlacement(l, 2);
+}
+
+TEST(CorridorObjective, NamesAndCheckedCast)
+{
+    EXPECT_STREQ(layoutObjectiveName(LayoutObjective::BraidManhattan),
+                 "braid-manhattan");
+    EXPECT_STREQ(layoutObjectiveName(LayoutObjective::Corridor),
+                 "corridor");
+    EXPECT_STREQ(layoutObjectiveName(LayoutObjective::CorridorLanes),
+                 "corridor+lanes");
+    EXPECT_EQ(layoutObjective(1), LayoutObjective::Corridor);
+    EXPECT_THROW(layoutObjective(-1), qsurf::FatalError);
+    EXPECT_THROW(layoutObjective(3), qsurf::FatalError);
+}
+
 TEST(GridShape, CoversRequestedCells)
 {
     for (int n : {1, 2, 3, 4, 5, 10, 17, 100, 101}) {

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "circuit/circuit.h"
 #include "circuit/interaction.h"
 #include "common/logging.h"
@@ -53,6 +56,61 @@ naiveOptions(int d = 5)
     return opts;
 }
 
+/** A patch machine over @p nq qubits with the given layout options. */
+PatchArch
+archWith(int nq, partition::LayoutObjective objective,
+         int lane_spacing = 4, bool optimized = false)
+{
+    circuit::Circuit c("probe", nq);
+    for (int32_t q = 0; q + 1 < nq; ++q)
+        c.addGate(circuit::GateKind::CNOT, q, q + 1);
+    c.addGate(circuit::GateKind::CNOT, 0,
+              static_cast<int32_t>(nq - 1));
+    PatchArchOptions opts;
+    opts.optimized_layout = optimized;
+    opts.layout_objective = objective;
+    opts.lane_spacing = lane_spacing;
+    return PatchArch(circuit::interactionGraph(c), opts);
+}
+
+/** Every patch cell of @p arch (data qubits and factories). */
+std::vector<Coord>
+allPatches(const PatchArch &arch)
+{
+    std::vector<Coord> out;
+    for (int32_t q = 0; q < arch.numQubits(); ++q)
+        out.push_back(arch.patchOf(q));
+    for (int f = 0; f < arch.numFactories(); ++f)
+        out.push_back(arch.factoryPatch(f));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+/** Mesh router at the center of patch cell @p p. */
+Coord
+centerOf(const PatchArch &arch, const Coord &p)
+{
+    for (int32_t q = 0; q < arch.numQubits(); ++q)
+        if (arch.patchOf(q) == p)
+            return arch.terminal(q);
+    for (int f = 0; f < arch.numFactories(); ++f)
+        if (arch.factoryPatch(f) == p)
+            return arch.factoryTerminal(f);
+    ADD_FAILURE() << "no patch at " << p;
+    return Coord{};
+}
+
+/** Interior (non-endpoint) nodes of @p path. */
+std::set<Coord>
+interiorOf(const network::Path &path)
+{
+    std::set<Coord> out;
+    for (size_t i = 1; i + 1 < path.nodes.size(); ++i)
+        out.insert(path.nodes[i]);
+    return out;
+}
+
 TEST(PatchArch, CorridorRoutesAvoidOtherPatches)
 {
     PatchArch arch = fourQubitArch();
@@ -88,6 +146,288 @@ TEST(PatchArch, ChainTilesRoundsUp)
     EXPECT_EQ(PatchArch::chainTiles(3), 2);
     EXPECT_EQ(PatchArch::chainTiles(4), 2);
     EXPECT_EQ(PatchArch::chainTiles(7), 4);
+}
+
+TEST(PatchArch, CollinearPrimaryAndFallbackCorridorsAreDisjoint)
+{
+    // Regression: the old tie-break sent both the primary and the
+    // "transposed" corridor of a collinear pair to the same side
+    // (row y+1 / column x+1), so contended same-row/column merges
+    // had zero route diversity.  The fallback must mirror to the
+    // opposite side, making the two interiors disjoint.
+    PatchArch arch =
+        archWith(16, partition::LayoutObjective::BraidManhattan);
+    std::vector<Coord> patches = allPatches(arch);
+    int checked = 0;
+    for (const Coord &a : patches) {
+        for (const Coord &b : patches) {
+            if (a == b || (a.x != b.x && a.y != b.y)
+                || manhattan(a, b) < 2)
+                continue;
+            network::Path primary = arch.corridorRoute(
+                centerOf(arch, a), centerOf(arch, b), false);
+            network::Path fallback = arch.corridorRoute(
+                centerOf(arch, a), centerOf(arch, b), true);
+            std::set<Coord> pi = interiorOf(primary);
+            for (const Coord &c : interiorOf(fallback))
+                EXPECT_EQ(pi.count(c), 0u)
+                    << "collinear pair " << a << " -> " << b
+                    << " shares corridor node " << c;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(PatchArch, TransposeFallbackRelievesCollinearCollision)
+{
+    // Two vertex-disjoint same-row merges whose primary corridors
+    // overlap on the shared row: with the mirrored fallback the
+    // second chain escapes to the opposite side; with the old
+    // same-side fallback both geometries collided and the op could
+    // only stall toward a BFS detour.
+    PatchArch arch =
+        archWith(16, partition::LayoutObjective::BraidManhattan);
+    network::Mesh mesh = arch.makeMesh();
+    engine::RouteClaimOptions copts;
+    engine::ChainClaimer claimer(mesh, copts);
+    for (const Coord &t : arch.reservedTerminals())
+        claimer.reserveTerminal(t);
+
+    // Row 1 of the 4x4 data grid: qubits 4..7.
+    auto routes = [&](int32_t qa, int32_t qb, bool yx) {
+        return arch.corridorRoute(arch.terminal(qa),
+                                  arch.terminal(qb), yx);
+    };
+    auto first = claimer.tryClaim(routes(4, 6, false),
+                                  routes(4, 6, true), /*owner=*/0,
+                                  /*wait=*/0);
+    ASSERT_TRUE(first.has_value());
+
+    // The primaries overlap, so an un-escalated claim fails...
+    EXPECT_FALSE(claimer
+                     .tryClaim(routes(5, 7, false), routes(5, 7, true),
+                               1, /*wait=*/0)
+                     .has_value());
+    // ... and the escalated claim succeeds via the mirrored
+    // transposed corridor (not a BFS detour).
+    auto second = claimer.tryClaim(routes(5, 7, false),
+                                   routes(5, 7, true), 1,
+                                   copts.adapt_timeout);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(claimer.transposeFallbacks(), 1u);
+    EXPECT_EQ(claimer.bfsDetours(), 0u);
+}
+
+TEST(PatchArch, CorridorRouteInvariantsUnderAllOptions)
+{
+    using partition::LayoutObjective;
+    struct Config
+    {
+        LayoutObjective objective;
+        int lane_spacing;
+        bool optimized;
+    };
+    const std::vector<Config> configs = {
+        {LayoutObjective::BraidManhattan, 4, false},
+        {LayoutObjective::Corridor, 4, true},
+        {LayoutObjective::CorridorLanes, 2, false},
+        {LayoutObjective::CorridorLanes, 2, true},
+        {LayoutObjective::CorridorLanes, 3, true},
+    };
+    for (const Config &cfg : configs) {
+        PatchArch arch = archWith(19, cfg.objective,
+                                  cfg.lane_spacing, cfg.optimized);
+        std::vector<Coord> reserved;
+        for (const Coord &t : arch.reservedTerminals())
+            reserved.push_back(t);
+        std::set<Coord> terminals(reserved.begin(), reserved.end());
+        std::vector<Coord> patches = allPatches(arch);
+        // Patch-center coordinate lines: any (x, y) with both on a
+        // center line is a patch-cell center (occupied or not) — the
+        // lane-generalized form of "corridors live on even
+        // coordinates".
+        std::set<int> center_xs, center_ys;
+        for (const Coord &t : reserved) {
+            center_xs.insert(t.x);
+            center_ys.insert(t.y);
+        }
+        for (const Coord &a : patches) {
+            for (const Coord &b : patches) {
+                if (a == b)
+                    continue;
+                Coord ca = centerOf(arch, a), cb = centerOf(arch, b);
+                for (bool yx : {false, true}) {
+                    network::Path p = arch.corridorRoute(ca, cb, yx);
+                    EXPECT_EQ(p.source(), ca);
+                    EXPECT_EQ(p.dest(), cb);
+                    for (size_t i = 1; i < p.nodes.size(); ++i)
+                        EXPECT_EQ(manhattan(p.nodes[i - 1],
+                                            p.nodes[i]),
+                                  1)
+                            << a << " -> " << b;
+                    for (const Coord &c : interiorOf(p)) {
+                        EXPECT_GE(c.x, 0);
+                        EXPECT_LT(c.x, arch.meshWidth());
+                        EXPECT_GE(c.y, 0);
+                        EXPECT_LT(c.y, arch.meshHeight());
+                        EXPECT_EQ(terminals.count(c), 0u)
+                            << "route " << a << " -> " << b
+                            << " crosses reserved terminal " << c;
+                        EXPECT_FALSE(center_xs.count(c.x)
+                                     && center_ys.count(c.y))
+                            << "route " << a << " -> " << b
+                            << " leaves the corridor grid at " << c;
+                    }
+                    // Route length: the router-coordinate Manhattan
+                    // distance, plus the 2-hop detour of collinear
+                    // non-adjacent pairs.  Lane routes cost no extra
+                    // hops (the lane lies across the span).
+                    bool collinear = (a.x == b.x || a.y == b.y)
+                        && manhattan(a, b) >= 2;
+                    EXPECT_EQ(p.hops(),
+                              manhattan(ca, cb) + (collinear ? 2 : 0))
+                        << a << " -> " << b << " yx=" << yx;
+                }
+            }
+        }
+    }
+}
+
+TEST(PatchArch, CorridorMetricMatchesRouteGeometry)
+{
+    // partition::corridorTiles — the layout-objective edge cost —
+    // must price exactly what PatchArch::corridorRoute builds, with
+    // and without dedicated lanes (lane bands crossed cost one tile
+    // each, and rides along a lane add no hops).
+    struct Config
+    {
+        partition::LayoutObjective objective;
+        int lane_spacing; ///< Metric spacing; 0 when lanes are off.
+    };
+    const std::vector<Config> configs = {
+        {partition::LayoutObjective::Corridor, 0},
+        {partition::LayoutObjective::CorridorLanes, 2},
+        {partition::LayoutObjective::CorridorLanes, 3},
+    };
+    for (const Config &cfg : configs) {
+        PatchArch arch = archWith(19, cfg.objective,
+                                  std::max(1, cfg.lane_spacing),
+                                  true);
+        std::vector<Coord> patches = allPatches(arch);
+        for (const Coord &a : patches) {
+            for (const Coord &b : patches) {
+                if (a == b)
+                    continue;
+                for (bool yx : {false, true}) {
+                    network::Path p = arch.corridorRoute(
+                        centerOf(arch, a), centerOf(arch, b), yx);
+                    EXPECT_EQ(PatchArch::chainTiles(p.hops()),
+                              partition::corridorTiles(
+                                  a, b, cfg.lane_spacing))
+                        << a << " -> " << b << " yx=" << yx
+                        << " spacing=" << cfg.lane_spacing;
+                }
+            }
+        }
+    }
+}
+
+TEST(PatchArch, LanesAreSizedIntoTheMesh)
+{
+    // 19 qubits: 5x4 data grid + factory column -> 6x4 patches.
+    // Spacing 2 puts lane columns at patch boundaries 2 and 4 and a
+    // lane row at boundary 2, each two mesh lines wide (the lane and
+    // its far-side corridor).
+    PatchArch arch = archWith(
+        19, partition::LayoutObjective::CorridorLanes, 2);
+    EXPECT_EQ(arch.patchWidth(), 6);
+    EXPECT_EQ(arch.patchHeight(), 4);
+    EXPECT_EQ(arch.numLaneCols(), 2);
+    EXPECT_EQ(arch.numLaneRows(), 1);
+    EXPECT_EQ(arch.meshWidth(), 2 * 6 + 1 + 2 * 2);
+    EXPECT_EQ(arch.meshHeight(), 2 * 4 + 1 + 2 * 1);
+    EXPECT_GT(arch.laneAreaFactor(), 1.0);
+
+    // Without lanes the same machine keeps the compact mesh.
+    PatchArch flat =
+        archWith(19, partition::LayoutObjective::Corridor, 2);
+    EXPECT_EQ(flat.meshWidth(), 2 * 6 + 1);
+    EXPECT_EQ(flat.meshHeight(), 2 * 4 + 1);
+    EXPECT_EQ(flat.numLaneRows() + flat.numLaneCols(), 0);
+    EXPECT_DOUBLE_EQ(flat.laneAreaFactor(), 1.0);
+
+    // Lane rows/columns never coincide with patch centers.
+    for (const Coord &p : allPatches(arch)) {
+        Coord c = centerOf(arch, p);
+        EXPECT_FALSE(arch.isLaneRow(c.y));
+        EXPECT_FALSE(arch.isLaneCol(c.x));
+    }
+}
+
+TEST(PatchArch, LongHaulsRideTheLanes)
+{
+    PatchArch arch = archWith(
+        19, partition::LayoutObjective::CorridorLanes, 2);
+    // Diagonal long haul crossing the lane row (patch rows 0 -> 3)
+    // and a lane column (patch columns 0 -> 3).
+    Coord a{0, 0}, b{3, 3};
+    network::Path primary =
+        arch.corridorRoute(centerOf(arch, a), centerOf(arch, b),
+                           false);
+    bool rides_lane_row = false;
+    for (const Coord &c : interiorOf(primary))
+        rides_lane_row |= arch.isLaneRow(c.y);
+    EXPECT_TRUE(rides_lane_row)
+        << "XY long haul should run its horizontal leg on a lane";
+
+    network::Path fallback =
+        arch.corridorRoute(centerOf(arch, a), centerOf(arch, b),
+                           true);
+    bool rides_lane_col = false;
+    for (const Coord &c : interiorOf(fallback))
+        rides_lane_col |= arch.isLaneCol(c.x);
+    EXPECT_TRUE(rides_lane_col)
+        << "YX long haul should run its vertical leg on a lane";
+
+    // A local merge inside one lane band stays off the lanes.
+    network::Path local = arch.corridorRoute(
+        centerOf(arch, Coord{0, 0}), centerOf(arch, Coord{1, 1}),
+        false);
+    for (const Coord &c : interiorOf(local)) {
+        EXPECT_FALSE(arch.isLaneRow(c.y)) << c;
+        EXPECT_FALSE(arch.isLaneCol(c.x)) << c;
+    }
+}
+
+TEST(Scheduler, LayoutObjectivesRunAndStayConsistent)
+{
+    // The corridor objectives must complete the same program and
+    // report a corridor cost no worse than the Manhattan layout's
+    // (the refinement never worsens its own objective).
+    circuit::Circuit circ("mixed", 9);
+    for (int32_t q = 0; q + 1 < 9; ++q)
+        circ.addGate(circuit::GateKind::CNOT, q, q + 1);
+    circ.addGate(circuit::GateKind::CNOT, 0, 8);
+    circ.addGate(circuit::GateKind::T, 4);
+
+    SurgeryOptions opts;
+    opts.code_distance = 3;
+    opts.optimized_layout = true;
+    opts.layout_objective = partition::LayoutObjective::BraidManhattan;
+    SurgeryResult manhattan_r = scheduleSurgery(circ, opts);
+
+    opts.layout_objective = partition::LayoutObjective::Corridor;
+    SurgeryResult corridor_r = scheduleSurgery(circ, opts);
+    EXPECT_LE(corridor_r.corridor_cost, manhattan_r.corridor_cost);
+    EXPECT_EQ(corridor_r.chains_placed, manhattan_r.chains_placed);
+    EXPECT_DOUBLE_EQ(corridor_r.lane_area_factor, 1.0);
+
+    opts.layout_objective = partition::LayoutObjective::CorridorLanes;
+    opts.lane_spacing = 2;
+    SurgeryResult lanes_r = scheduleSurgery(circ, opts);
+    EXPECT_GT(lanes_r.lane_area_factor, 1.0);
+    EXPECT_GT(lanes_r.schedule_cycles, 0u);
 }
 
 TEST(ChainClaimer, ContendingChainsSerializeOnSharedCorridor)
