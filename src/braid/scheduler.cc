@@ -89,14 +89,12 @@ class Simulator
 {
   public:
     Simulator(const circuit::Circuit &circ, Policy policy,
-              const BraidOptions &opts)
-        : circ(circ), policy(policy), opts(opts), dag(circ),
-          graph(circuit::interactionGraph(circ)),
-          arch(graph, makeArchOptions(policy, opts)),
-          mesh(arch.makeMesh()), claim_opts(makeClaimOptions(opts)),
-          claimer(mesh, claim_opts)
+              const BraidOptions &opts, const BraidPrepared &prep)
+        : circ(circ), policy(policy), opts(opts), dag(prep.dag),
+          graph(prep.graph), arch(prep.arch), mesh(arch.makeMesh()),
+          claim_opts(makeClaimOptions(opts)),
+          claimer(mesh, claim_opts), crit(prep.crit)
     {
-        crit = circuit::criticality(dag);
         // Factory preference orders are a pure function of the
         // static layout; memoize them per qubit so a stalled T gate
         // doesn't re-sort the factory list every failed attempt.
@@ -155,16 +153,6 @@ class Simulator
     }
 
   private:
-    static TiledArchOptions
-    makeArchOptions(Policy policy, const BraidOptions &opts)
-    {
-        TiledArchOptions a;
-        a.tiles_per_factory = opts.tiles_per_factory;
-        a.optimized_layout = static_cast<int>(policy) >= 2;
-        a.seed = opts.seed;
-        return a;
-    }
-
     static engine::RouteClaimOptions
     makeClaimOptions(const BraidOptions &opts)
     {
@@ -462,15 +450,15 @@ class Simulator
     const circuit::Circuit &circ;
     Policy policy;
     const BraidOptions &opts;
-    circuit::Dag dag;
-    circuit::InteractionGraph graph;
-    TiledArch arch;
+    const circuit::Dag &dag;
+    const circuit::InteractionGraph &graph;
+    const TiledArch &arch;
     network::Mesh mesh;
     engine::RouteClaimOptions claim_opts;
     engine::RouteClaimer claimer;
 
     std::vector<OpRec> ops;
-    std::vector<int> crit;
+    const std::vector<int> &crit;
     std::vector<std::vector<int>> factory_order; ///< Per qubit.
     int crit_threshold = 0;
     engine::ReadyQueue ready;
@@ -514,13 +502,39 @@ braidCriticalPath(const circuit::Circuit &circ, int d)
     return best;
 }
 
+BraidPrepared::BraidPrepared(const circuit::Circuit &circ,
+                             const TiledArchOptions &arch_opts)
+    : dag(circ), graph(circuit::interactionGraph(circ)),
+      arch(graph, arch_opts), crit(circuit::criticality(dag))
+{
+}
+
+TiledArchOptions
+braidArchOptions(Policy policy, const BraidOptions &opts)
+{
+    TiledArchOptions a;
+    a.tiles_per_factory = opts.tiles_per_factory;
+    a.optimized_layout = static_cast<int>(policy) >= 2;
+    a.seed = opts.seed;
+    return a;
+}
+
 BraidResult
 scheduleBraids(const circuit::Circuit &circ, Policy policy,
                const BraidOptions &opts)
 {
     fatalIf(circ.empty(), "cannot schedule an empty circuit");
+    BraidPrepared prepared(circ, braidArchOptions(policy, opts));
+    return scheduleBraids(circ, policy, opts, prepared);
+}
+
+BraidResult
+scheduleBraids(const circuit::Circuit &circ, Policy policy,
+               const BraidOptions &opts, const BraidPrepared &prepared)
+{
+    fatalIf(circ.empty(), "cannot schedule an empty circuit");
     fatalIf(opts.code_distance < 1, "code distance must be >= 1");
-    return Simulator(circ, policy, opts).run();
+    return Simulator(circ, policy, opts, prepared).run();
 }
 
 } // namespace qsurf::braid

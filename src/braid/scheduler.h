@@ -21,9 +21,12 @@
 #define QSURF_BRAID_SCHEDULER_H
 
 #include <cstdint>
+#include <vector>
 
 #include "braid/tiled_arch.h"
 #include "circuit/circuit.h"
+#include "circuit/dag.h"
+#include "circuit/interaction.h"
 
 namespace qsurf::braid {
 
@@ -149,6 +152,33 @@ struct BraidResult
 };
 
 /**
+ * The expensive prepare artifact of braid scheduling: everything the
+ * simulator derives from the circuit and the seeded layout alone —
+ * the dependence DAG, the interaction graph, the tiled machine and
+ * the per-gate criticality.  Immutable once built and shared across
+ * concurrent runs; scheduleBraids() handed one skips straight to the
+ * cycle loop, and building it inline is bit-identical.
+ */
+struct BraidPrepared
+{
+    circuit::Dag dag;
+    circuit::InteractionGraph graph;
+    TiledArch arch;
+    std::vector<int> crit;
+
+    BraidPrepared(const circuit::Circuit &circ,
+                  const TiledArchOptions &arch_opts);
+};
+
+/**
+ * @return the TiledArchOptions (@p policy, @p opts) resolve to — the
+ * layout inputs a cached BraidPrepared must have been built with
+ * (Policies 2+ use the interaction-aware layout).
+ */
+TiledArchOptions braidArchOptions(Policy policy,
+                                  const BraidOptions &opts);
+
+/**
  * Dependence-limited critical path of @p circ in braid cycles, using
  * the same latency model as the simulator: 1-qubit ops d, T gates
  * d+1 (factory braid), 2-qubit ops 2d+2 (two braid segments).
@@ -161,6 +191,14 @@ uint64_t braidCriticalPath(const circuit::Circuit &circ, int d);
  */
 BraidResult scheduleBraids(const circuit::Circuit &circ, Policy policy,
                            const BraidOptions &opts = {});
+
+/**
+ * Same simulation, reusing @p prepared (built for this circuit with
+ * braidArchOptions(policy, opts)); bit-identical to the inline path.
+ */
+BraidResult scheduleBraids(const circuit::Circuit &circ, Policy policy,
+                           const BraidOptions &opts,
+                           const BraidPrepared &prepared);
 
 } // namespace qsurf::braid
 

@@ -1,5 +1,7 @@
 #include "circuit/circuit.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace qsurf::circuit {
@@ -100,6 +102,44 @@ Circuit::counts() const
             ++c.measurements;
     }
     return c;
+}
+
+namespace {
+
+/** FNV-1a step over one 64-bit word, then a splitmix finalizer mix
+    so adjacent small integers diverge across the whole word. */
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h = (h ^ v) * 0x100000001b3ULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return h;
+}
+
+} // namespace
+
+uint64_t
+fingerprint(const Circuit &circ)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : circ.name())
+        h = mix(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+    h = mix(h, static_cast<uint64_t>(circ.numQubits()));
+    for (const Gate &g : circ) {
+        h = mix(h, static_cast<uint64_t>(g.kind));
+        // Hash the angle's bit pattern: exact, and avoids -0.0/NaN
+        // comparison pitfalls.  Only Rz carries a meaningful angle,
+        // but every gate stores one deterministically.
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(g.angle));
+        std::memcpy(&bits, &g.angle, sizeof(bits));
+        h = mix(h, bits);
+        for (int32_t q : g.operands())
+            h = mix(h, static_cast<uint64_t>(
+                           static_cast<uint32_t>(q)));
+    }
+    return h ? h : 1; // 0 is the "unset" sentinel downstream.
 }
 
 } // namespace qsurf::circuit

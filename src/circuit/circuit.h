@@ -133,6 +133,16 @@ class Circuit
     std::vector<Gate> ops;
 };
 
+/**
+ * @return a deterministic 64-bit fingerprint of @p circ — the label,
+ * qubit count and every gate (kind, angle bits, operands) folded
+ * through an FNV-1a/splitmix mix.  Equal circuits always hash equal;
+ * the service layer uses the fingerprint to key cached prepare
+ * artifacts, so it must be stable across processes and platforms
+ * (it hashes values, never pointers or iteration order).
+ */
+uint64_t fingerprint(const Circuit &circ);
+
 } // namespace qsurf::circuit
 
 #endif // QSURF_CIRCUIT_CIRCUIT_H

@@ -44,6 +44,14 @@ WorkItem::logicalOps() const
     return static_cast<double>(circuit->counts().total);
 }
 
+uint64_t
+WorkItem::resolveFingerprint() const
+{
+    if (circuit_fingerprint)
+        return circuit_fingerprint;
+    return circuit ? circuit::fingerprint(*circuit) : 0;
+}
+
 int
 WorkItem::resolveDistance() const
 {

@@ -23,6 +23,7 @@
 #define QSURF_ENGINE_BACKEND_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -211,6 +212,14 @@ struct WorkItem
     RunConfig config;
 
     /**
+     * Optional precomputed circuit::fingerprint(*circuit); 0 means
+     * "compute on demand".  Callers that resolve the circuit through
+     * the service cache set it so repeated artifactKey() calls don't
+     * re-hash a large gate list.
+     */
+    uint64_t circuit_fingerprint = 0;
+
+    /**
      * @return the computation size: config.kq when set, otherwise
      * the circuit's logical-op count.
      */
@@ -221,6 +230,28 @@ struct WorkItem
      * chosen from logicalOps() and the technology error rate.
      */
     int resolveDistance() const;
+
+    /** @return circuit_fingerprint, computing (but not storing) it
+     *  from the circuit when unset; 0 without a circuit. */
+    uint64_t resolveFingerprint() const;
+};
+
+/**
+ * Opaque base of a backend's cacheable prepare artifact: everything
+ * run() derives from the circuit and the seeded layout alone (the
+ * interaction graph, machine geometry, dependence DAG, per-gate
+ * criticality, ...).  Artifacts are immutable once built and safe to
+ * share across threads; a backend handed one it built for the same
+ * artifactKey() produces bit-identical Metrics to an inline run.
+ */
+class PreparedArtifact
+{
+  public:
+    virtual ~PreparedArtifact() = default;
+
+    PreparedArtifact() = default;
+    PreparedArtifact(const PreparedArtifact &) = delete;
+    PreparedArtifact &operator=(const PreparedArtifact &) = delete;
 };
 
 /**
@@ -250,6 +281,48 @@ class Backend
 
     /** Run @p item to completion. */
     virtual Metrics run(const WorkItem &item) const = 0;
+
+    /**
+     * @return the cache key of the prepare artifact run() could
+     * reuse for @p item, or "" when this backend has none (the
+     * analytic models).  Keys name every input the artifact depends
+     * on — circuit fingerprint, seed, layout objective, lane
+     * spacing, resolved distance, machine kind — so two items with
+     * the same key always accept the same artifact; backends whose
+     * machines coincide (surgery and hybrid share one patch
+     * machine) intentionally return identical keys.
+     */
+    virtual std::string
+    artifactKey(const WorkItem &item) const
+    {
+        (void)item;
+        return {};
+    }
+
+    /**
+     * Build the artifact artifactKey(@p item) names, or null for a
+     * backend without one.  Thread-safe and deterministic, like
+     * run().
+     */
+    virtual std::shared_ptr<const PreparedArtifact>
+    buildArtifact(const WorkItem &item) const
+    {
+        (void)item;
+        return nullptr;
+    }
+
+    /**
+     * Run @p item reusing @p artifact (as returned by
+     * buildArtifact() for the same artifactKey()); null falls back
+     * to the inline path.  Results are bit-identical either way.
+     * panic()s when handed an artifact of the wrong type.
+     */
+    virtual Metrics
+    run(const WorkItem &item, const PreparedArtifact *artifact) const
+    {
+        (void)artifact;
+        return run(item);
+    }
 };
 
 /**

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <memory>
+#include <sstream>
 
 #include "braid/scheduler.h"
 #include "common/logging.h"
@@ -27,6 +28,32 @@ cycleSeconds(const qec::Technology &tech)
 {
     return tech.surfaceCycleNs() * 1e-9;
 }
+
+/** Cached tiled-machine artifact of the double-defect backend. */
+class BraidArtifact final : public PreparedArtifact
+{
+  public:
+    BraidArtifact(const circuit::Circuit &circ,
+                  const braid::TiledArchOptions &opts)
+        : prep(circ, opts)
+    {
+    }
+
+    braid::BraidPrepared prep;
+};
+
+/** Cached SIMD-machine artifact of the planar backend. */
+class PlanarArtifact final : public PreparedArtifact
+{
+  public:
+    PlanarArtifact(const circuit::Circuit &circ,
+                   const planar::PlanarOptions &opts)
+        : prep(circ, opts)
+    {
+    }
+
+    planar::PlanarPrepared prep;
+};
 
 /** Braid simulation on the tiled double-defect machine. */
 class DoubleDefectBackend : public Backend
@@ -53,6 +80,37 @@ class DoubleDefectBackend : public Backend
     Metrics
     run(const WorkItem &item) const override
     {
+        return run(item, nullptr);
+    }
+
+    std::string
+    artifactKey(const WorkItem &item) const override
+    {
+        std::ostringstream os;
+        os << "tiled/fp=" << std::hex << item.resolveFingerprint()
+           << "/seed=" << item.config.seed << std::dec
+           << "/d=" << item.resolveDistance()
+           << "/opt=" << (item.config.policy >= 2 ? 1 : 0)
+           << "/tpf=" << braid::BraidOptions{}.tiles_per_factory;
+        return os.str();
+    }
+
+    std::shared_ptr<const PreparedArtifact>
+    buildArtifact(const WorkItem &item) const override
+    {
+        braid::BraidOptions opts;
+        opts.seed = item.config.seed;
+        return std::make_shared<const BraidArtifact>(
+            *item.circuit,
+            braid::braidArchOptions(
+                static_cast<braid::Policy>(item.config.policy),
+                opts));
+    }
+
+    Metrics
+    run(const WorkItem &item,
+        const PreparedArtifact *artifact) const override
+    {
         int d = item.resolveDistance();
         braid::BraidOptions opts;
         opts.code_distance = d;
@@ -66,9 +124,18 @@ class DoubleDefectBackend : public Backend
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =
             item.config.magic_buffer_capacity;
-        braid::BraidResult r = braid::scheduleBraids(
-            *item.circuit,
-            static_cast<braid::Policy>(item.config.policy), opts);
+        auto policy =
+            static_cast<braid::Policy>(item.config.policy);
+        braid::BraidResult r;
+        if (artifact) {
+            auto *a = dynamic_cast<const BraidArtifact *>(artifact);
+            panicIf(!a, "backend '", name(),
+                    "' was handed an artifact of the wrong type");
+            r = braid::scheduleBraids(*item.circuit, policy, opts,
+                                      a->prep);
+        } else {
+            r = braid::scheduleBraids(*item.circuit, policy, opts);
+        }
 
         Metrics m;
         m.backend = name();
@@ -114,6 +181,40 @@ class PlanarBackend : public Backend
     Metrics
     run(const WorkItem &item) const override
     {
+        return run(item, nullptr);
+    }
+
+    std::string
+    artifactKey(const WorkItem &item) const override
+    {
+        // The SIMD machine and schedule don't depend on the seed,
+        // so it stays out of the key (one artifact serves every
+        // seed); the resolved distance stays in so distance sweeps
+        // key separately, like every other layout artifact.
+        std::ostringstream os;
+        os << "simd/fp=" << std::hex << item.resolveFingerprint()
+           << std::dec << "/d=" << item.resolveDistance()
+           << "/r=" << item.config.num_simd_regions
+           << "/cap=" << item.config.region_capacity
+           << "/legacy=" << (item.config.legacy_baseline ? 1 : 0);
+        return os.str();
+    }
+
+    std::shared_ptr<const PreparedArtifact>
+    buildArtifact(const WorkItem &item) const override
+    {
+        planar::PlanarOptions opts;
+        opts.num_regions = item.config.num_simd_regions;
+        opts.region_capacity = item.config.region_capacity;
+        opts.legacy_level_scan = item.config.legacy_baseline;
+        return std::make_shared<const PlanarArtifact>(*item.circuit,
+                                                      opts);
+    }
+
+    Metrics
+    run(const WorkItem &item,
+        const PreparedArtifact *artifact) const override
+    {
         int d = item.resolveDistance();
         planar::PlanarOptions opts;
         opts.code_distance = d;
@@ -123,7 +224,15 @@ class PlanarBackend : public Backend
         opts.epr_bandwidth = item.config.epr_bandwidth;
         opts.tech = item.config.tech;
         opts.legacy_level_scan = item.config.legacy_baseline;
-        planar::PlanarResult r = planar::runPlanar(*item.circuit, opts);
+        planar::PlanarResult r;
+        if (artifact) {
+            auto *a = dynamic_cast<const PlanarArtifact *>(artifact);
+            panicIf(!a, "backend '", name(),
+                    "' was handed an artifact of the wrong type");
+            r = planar::runPlanar(*item.circuit, opts, a->prep);
+        } else {
+            r = planar::runPlanar(*item.circuit, opts);
+        }
 
         Metrics m;
         m.backend = name();

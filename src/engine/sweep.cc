@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "circuit/decompose.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "service/artifact.h"
 
 namespace qsurf::engine {
 
@@ -44,15 +47,41 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
         any_circuit = any_circuit || b.needsCircuit();
     }
 
+    service::PrepareCache *cache = opts.use_cache
+        ? (opts.cache ? opts.cache : &service::PrepareCache::global())
+        : nullptr;
+
     // Generate and decompose each app's circuit once, serially, so
     // workers share immutable inputs and generation cost is paid per
-    // app point rather than per grid point.
-    std::vector<circuit::Circuit> circuits;
+    // app point rather than per grid point.  With the cache on, the
+    // decomposed program is shared across sweeps too (and its
+    // fingerprint rides along so artifact keys skip rehashing).
+    std::vector<std::shared_ptr<const circuit::Circuit>> circuits;
+    std::vector<uint64_t> fingerprints(grid.apps.size(), 0);
     if (any_circuit) {
         circuits.reserve(grid.apps.size());
-        for (const AppPoint &app : grid.apps)
-            circuits.push_back(circuit::decompose(
-                apps::generate(app.kind, app.gen)));
+        for (size_t a = 0; a < grid.apps.size(); ++a) {
+            const AppPoint &app = grid.apps[a];
+            if (cache) {
+                std::shared_ptr<const service::CachedProgram> prog =
+                    app.circuit
+                    ? service::cachedProgram(*cache, *app.circuit)
+                    : service::cachedAppProgram(*cache, app.kind,
+                                                app.gen);
+                // Aliasing share: the circuit pointer keeps the
+                // whole program alive.
+                circuits.emplace_back(prog, &prog->circ);
+                fingerprints[a] = prog->fingerprint;
+            } else {
+                circuits.push_back(
+                    std::make_shared<const circuit::Circuit>(
+                        circuit::decompose(
+                            app.circuit
+                                ? *app.circuit
+                                : apps::generate(app.kind,
+                                                 app.gen))));
+            }
+        }
     }
 
     // Expand the grid: app (outer) x size x distance x policy x
@@ -63,9 +92,11 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
     item_backend.reserve(grid.points());
     for (size_t a = 0; a < grid.apps.size(); ++a) {
         const AppPoint &app = grid.apps[a];
-        std::string app_name = app.label.empty()
-            ? apps::appSpec(app.kind).name
-            : app.label;
+        std::string app_name = app.label;
+        if (app_name.empty() && app.circuit)
+            app_name = app.circuit->name();
+        if (app_name.empty())
+            app_name = apps::appSpec(app.kind).name;
         for (double kq : grid.sizes) {
             for (int d : grid.distances) {
                 for (int policy : grid.policies) {
@@ -103,8 +134,11 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
         item.app = grid.apps[p.app_index].kind;
         item.app_name = p.app_name;
         item.circuit = backend->needsCircuit()
-            ? &circuits[p.app_index]
+            ? circuits[p.app_index].get()
             : nullptr;
+        item.circuit_fingerprint = backend->needsCircuit()
+            ? fingerprints[p.app_index]
+            : 0;
         item.config = grid.base;
         item.config.policy = p.policy;
         item.config.hybrid_arbiter = p.arbiter;
@@ -122,7 +156,8 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
     // Execute across the pool.  Work items are independent and
     // deterministic in their own (config, circuit), so any
     // assignment of items to threads produces identical results.
-    int threads = std::max(1, opts.num_threads);
+    int threads = opts.num_threads >= 1 ? opts.num_threads
+                                        : defaultThreads();
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
@@ -134,8 +169,25 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
             if (i >= points.size() || failed.load())
                 return;
             try {
+                // Artifact fetch is timed apart from the run: warm
+                // sweeps report near-zero prepare_ms while wall_ms
+                // keeps measuring the simulation itself.  Concurrent
+                // workers landing on one key build it once
+                // (single-flight) and share the artifact.
+                std::shared_ptr<const PreparedArtifact> artifact;
+                if (cache) {
+                    auto prep_start = std::chrono::steady_clock::now();
+                    artifact = service::fetchArtifact(
+                        *cache, *item_backend[i], items[i]);
+                    points[i].prepare_ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now()
+                            - prep_start)
+                            .count();
+                }
                 auto start = std::chrono::steady_clock::now();
-                points[i].metrics = item_backend[i]->run(items[i]);
+                points[i].metrics =
+                    item_backend[i]->run(items[i], artifact.get());
                 points[i].wall_ms =
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
@@ -167,7 +219,7 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
         std::ofstream os(opts.json_path);
         fatalIf(!os, "cannot open '", opts.json_path,
                 "' for writing");
-        writeSweepJson(os, opts.title, points);
+        writeSweepJson(os, opts.title, points, cache);
     }
     return points;
 }
@@ -175,13 +227,25 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
 int
 defaultThreads()
 {
+    // QSURF_THREADS overrides the interactive clamp, so batch
+    // machines can use their full width without touching every
+    // bench's flags.
+    if (const char *env = std::getenv("QSURF_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<int>(std::min<long>(v, 1 << 16));
+        warn("ignoring invalid QSURF_THREADS='", env,
+             "' (want a positive integer)");
+    }
     unsigned hw = std::thread::hardware_concurrency();
     return static_cast<int>(std::min(8u, std::max(1u, hw)));
 }
 
 void
 writeSweepJson(std::ostream &os, const std::string &title,
-               const std::vector<SweepPoint> &points)
+               const std::vector<SweepPoint> &points,
+               const service::PrepareCache *cache)
 {
     JsonWriter j(os);
     j.beginObject();
@@ -208,6 +272,7 @@ writeSweepJson(std::ostream &os, const std::string &title,
         j.field("seconds", p.metrics.seconds);
         j.field("space_time", p.metrics.spaceTime());
         j.field("wall_ms", p.wall_ms);
+        j.field("prepare_ms", p.prepare_ms);
         j.field("sim_cycles_per_sec", p.simCyclesPerSec());
         if (!p.metrics.extras.empty()) {
             j.key("extras");
@@ -219,6 +284,17 @@ writeSweepJson(std::ostream &os, const std::string &title,
         j.endObject();
     }
     j.endArray();
+    if (cache) {
+        service::CacheStats s = cache->stats();
+        j.key("cache");
+        j.beginObject();
+        j.field("hits", s.hits);
+        j.field("misses", s.misses);
+        j.field("evictions", s.evictions);
+        j.field("entries", s.entries);
+        j.field("hit_ratio", s.hitRatio());
+        j.endObject();
+    }
     j.endObject();
     os << "\n";
 }

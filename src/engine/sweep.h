@@ -17,6 +17,7 @@
 #ifndef QSURF_ENGINE_SWEEP_H
 #define QSURF_ENGINE_SWEEP_H
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -24,18 +25,49 @@
 #include "engine/backend.h"
 #include "engine/registry.h"
 
+namespace qsurf::service {
+class PrepareCache;
+} // namespace qsurf::service
+
 namespace qsurf::engine {
 
-/** One application axis point: a generated workload. */
+/** One application axis point: a generated or caller-built workload. */
 struct AppPoint
 {
+    AppPoint() = default;
+
+    /** A generated workload (the {kind, gen, label} shorthand the
+     *  benches use). */
+    AppPoint(apps::AppKind kind, apps::GenOptions gen = {},
+             std::string label = {})
+        : kind(kind), gen(gen), label(std::move(label))
+    {
+    }
+
+    /** A caller-built logical circuit as the workload. */
+    explicit AppPoint(std::shared_ptr<const circuit::Circuit> circuit,
+                      std::string label = {})
+        : label(std::move(label)), circuit(std::move(circuit))
+    {
+    }
+
     apps::AppKind kind = apps::AppKind::SQ;
 
     /** Generator knobs (problem size, iteration cap). */
     apps::GenOptions gen;
 
-    /** Display-name override; empty uses the app spec name. */
+    /** Display-name override; empty uses the circuit name (when
+     *  caller-built) or the app spec name. */
     std::string label;
+
+    /**
+     * Caller-built logical circuit; when set it replaces the
+     * generated app as this point's workload (the driver decomposes
+     * it like a generated one, cached by content fingerprint).
+     * Declared last so the {kind, gen, label} aggregate init every
+     * bench uses keeps working.
+     */
+    std::shared_ptr<const circuit::Circuit> circuit;
 };
 
 /** The declarative cross-product one sweep executes. */
@@ -101,6 +133,14 @@ struct SweepPoint
      */
     double wall_ms = 0;
 
+    /**
+     * Wall-clock time of this point's prepare-artifact fetch, in
+     * milliseconds.  Cache hits make it near-zero; with the cache
+     * off it stays 0 (prepare runs inside wall_ms, as it always
+     * did).
+     */
+    double prepare_ms = 0;
+
     /** @return simulated cycles per wall-clock second (the perf
      *  trajectory number), or 0 when unmeasurable. */
     double
@@ -116,7 +156,7 @@ struct SweepPoint
 /** Execution knobs of one sweep. */
 struct SweepOptions
 {
-    /** Worker threads; values < 1 clamp to 1. */
+    /** Worker threads; values < 1 use defaultThreads(). */
     int num_threads = 1;
 
     /** When non-empty, write the results as JSON to this path. */
@@ -124,6 +164,16 @@ struct SweepOptions
 
     /** Title recorded in the JSON output. */
     std::string title;
+
+    /**
+     * Route prepare work (decomposed circuits, seeded layouts)
+     * through the PrepareCache.  Results are bit-identical either
+     * way; disable for cold-path A/B measurement.
+     */
+    bool use_cache = true;
+
+    /** Cache to use; null means PrepareCache::global(). */
+    service::PrepareCache *cache = nullptr;
 };
 
 /**
@@ -150,15 +200,20 @@ class SweepDriver
 
 /**
  * Render sweep results as JSON: a title plus one record per grid
- * point with the full uniform metrics and the backend extras.
+ * point with the full uniform metrics and the backend extras.  When
+ * @p cache is non-null its hit/miss/evict counters are recorded
+ * under a top-level "cache" object.
  */
 void writeSweepJson(std::ostream &os, const std::string &title,
-                    const std::vector<SweepPoint> &points);
+                    const std::vector<SweepPoint> &points,
+                    const service::PrepareCache *cache = nullptr);
 
 /**
  * @return a sensible worker count for interactive sweeps: the
- * hardware concurrency, clamped to [1, 8].  (Results are identical
- * at any thread count; this only affects wall-clock time.)
+ * QSURF_THREADS environment variable when set to a positive integer
+ * (unclamped, for batch machines), otherwise the hardware
+ * concurrency clamped to [1, 8].  (Results are identical at any
+ * thread count; this only affects wall-clock time.)
  */
 int defaultThreads();
 

@@ -43,6 +43,28 @@ class HybridBackend : public engine::Backend
     engine::Metrics
     run(const engine::WorkItem &item) const override
     {
+        return run(item, nullptr);
+    }
+
+    /** Shared with the surgery-sim backend on purpose: the two
+     *  simulators build identical patch machines from a WorkItem,
+     *  so one cached artifact serves both. */
+    std::string
+    artifactKey(const engine::WorkItem &item) const override
+    {
+        return surgery::patchArtifactKey(item);
+    }
+
+    std::shared_ptr<const engine::PreparedArtifact>
+    buildArtifact(const engine::WorkItem &item) const override
+    {
+        return surgery::buildPatchArtifact(item);
+    }
+
+    engine::Metrics
+    run(const engine::WorkItem &item,
+        const engine::PreparedArtifact *artifact) const override
+    {
         int d = item.resolveDistance();
 
         // Price the arbitration from the same constants the
@@ -77,7 +99,16 @@ class HybridBackend : public engine::Backend
         opts.fast_forward = item.config.fast_forward;
         opts.legacy_paths = item.config.legacy_baseline;
         opts.seed = item.config.seed;
-        HybridResult r = scheduleHybrid(*item.circuit, opts);
+        HybridResult r;
+        if (artifact) {
+            auto *a = dynamic_cast<const surgery::PatchArtifact *>(
+                artifact);
+            panicIf(!a, "backend '", name(),
+                    "' was handed an artifact of the wrong type");
+            r = scheduleHybrid(*item.circuit, opts, a->prep);
+        } else {
+            r = scheduleHybrid(*item.circuit, opts);
+        }
 
         engine::Metrics m;
         m.backend = name();

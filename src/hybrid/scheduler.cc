@@ -205,16 +205,15 @@ criticalPathOn(const circuit::Circuit &circ,
 class Simulator
 {
   public:
-    Simulator(const circuit::Circuit &circ, const HybridOptions &opts)
-        : circ(circ), opts(opts), dag(circ),
-          graph(circuit::interactionGraph(circ)),
-          arch(graph, makeArchOptions(opts)), mesh(arch.makeMesh()),
+    Simulator(const circuit::Circuit &circ, const HybridOptions &opts,
+              const surgery::PatchPrepared &prep)
+        : circ(circ), opts(opts), dag(prep.dag), graph(prep.graph),
+          arch(prep.arch), mesh(arch.makeMesh()),
           claim_opts(makeClaimOptions(opts)),
           claimer(mesh, claim_opts), corridors(arch),
           arbiter(makeArbiter(opts.arbiter, makeCosts(opts))),
-          channels(channelSlots(opts, arch))
+          channels(channelSlots(opts, arch)), crit(prep.crit)
     {
-        crit = circuit::criticality(dag);
         for (const Coord &terminal : arch.reservedTerminals())
             claimer.reserveTerminal(terminal);
         factory_order.resize(
@@ -275,18 +274,6 @@ class Simulator
     }
 
   private:
-    static surgery::PatchArchOptions
-    makeArchOptions(const HybridOptions &opts)
-    {
-        surgery::PatchArchOptions a;
-        a.patches_per_factory = opts.patches_per_factory;
-        a.optimized_layout = opts.optimized_layout;
-        a.layout_objective = opts.layout_objective;
-        a.lane_spacing = opts.lane_spacing;
-        a.seed = opts.seed;
-        return a;
-    }
-
     static engine::RouteClaimOptions
     makeClaimOptions(const HybridOptions &opts)
     {
@@ -618,9 +605,9 @@ class Simulator
 
     const circuit::Circuit &circ;
     const HybridOptions &opts;
-    circuit::Dag dag;
-    circuit::InteractionGraph graph;
-    surgery::PatchArch arch;
+    const circuit::Dag &dag;
+    const circuit::InteractionGraph &graph;
+    const surgery::PatchArch &arch;
     network::Mesh mesh;
     engine::RouteClaimOptions claim_opts;
     engine::ChainClaimer claimer;
@@ -630,7 +617,7 @@ class Simulator
     engine::MagicFactoryPool factories;
 
     std::vector<OpRec> ops;
-    std::vector<int> crit;
+    const std::vector<int> &crit;
     std::vector<std::vector<int>> factory_order; ///< Per qubit.
     engine::ReadyQueue ready;
     engine::ExpiryQueue expiry;
@@ -672,8 +659,29 @@ hybridCriticalPath(const circuit::Circuit &circ,
     return criticalPathOn(circ, arch, opts);
 }
 
+surgery::PatchArchOptions
+patchArchOptions(const HybridOptions &opts)
+{
+    surgery::PatchArchOptions a;
+    a.patches_per_factory = opts.patches_per_factory;
+    a.optimized_layout = opts.optimized_layout;
+    a.layout_objective = opts.layout_objective;
+    a.lane_spacing = opts.lane_spacing;
+    a.seed = opts.seed;
+    return a;
+}
+
 HybridResult
 scheduleHybrid(const circuit::Circuit &circ, const HybridOptions &opts)
+{
+    fatalIf(circ.empty(), "cannot schedule an empty circuit");
+    surgery::PatchPrepared prepared(circ, patchArchOptions(opts));
+    return scheduleHybrid(circ, opts, prepared);
+}
+
+HybridResult
+scheduleHybrid(const circuit::Circuit &circ, const HybridOptions &opts,
+               const surgery::PatchPrepared &prepared)
 {
     fatalIf(circ.empty(), "cannot schedule an empty circuit");
     fatalIf(opts.code_distance < 1, "code distance must be >= 1");
@@ -682,7 +690,7 @@ scheduleHybrid(const circuit::Circuit &circ, const HybridOptions &opts)
     fatalIf(opts.swap_hop_cycles <= 0,
             "swap_hop_cycles must be > 0, got ",
             opts.swap_hop_cycles);
-    return Simulator(circ, opts).run();
+    return Simulator(circ, opts, prepared).run();
 }
 
 } // namespace qsurf::hybrid

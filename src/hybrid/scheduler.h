@@ -40,6 +40,7 @@
 #include "circuit/circuit.h"
 #include "hybrid/arbiter.h"
 #include "partition/layout.h"
+#include "surgery/patch_arch.h"
 
 namespace qsurf::hybrid {
 
@@ -216,11 +217,27 @@ uint64_t hybridCriticalPath(const circuit::Circuit &circ,
                             const HybridOptions &opts);
 
 /**
+ * @return the PatchArchOptions @p opts resolves to — field-for-field
+ * the same mapping as surgery::patchArchOptions, which is what lets
+ * the hybrid and surgery backends share one cached
+ * surgery::PatchPrepared artifact.
+ */
+surgery::PatchArchOptions patchArchOptions(const HybridOptions &opts);
+
+/**
  * Simulate mixed-scheme scheduling of @p circ (which must already
  * be decomposed to Clifford+T).
  */
 HybridResult scheduleHybrid(const circuit::Circuit &circ,
                             const HybridOptions &opts = {});
+
+/**
+ * Same simulation, reusing @p prepared (built for this circuit with
+ * patchArchOptions(opts)); bit-identical to the inline path.
+ */
+HybridResult scheduleHybrid(const circuit::Circuit &circ,
+                            const HybridOptions &opts,
+                            const surgery::PatchPrepared &prepared);
 
 } // namespace qsurf::hybrid
 

@@ -6,22 +6,47 @@
 
 namespace qsurf::planar {
 
+namespace {
+
+SimdArchOptions
+makeArchOptions(const circuit::Circuit &circ,
+                const PlanarOptions &opts)
+{
+    SimdArchOptions arch_opts;
+    arch_opts.num_regions = opts.num_regions;
+    arch_opts.region_capacity = opts.region_capacity;
+    arch_opts.num_qubits = circ.numQubits();
+    return arch_opts;
+}
+
+} // namespace
+
+PlanarPrepared::PlanarPrepared(const circuit::Circuit &circ,
+                               const PlanarOptions &opts)
+    : arch(makeArchOptions(circ, opts)),
+      sched(scheduleSimd(circ, arch, opts.legacy_level_scan))
+{
+    circuit::Dag dag(circ);
+    depth = static_cast<uint64_t>(circuit::levelize(dag).depth);
+}
+
 PlanarResult
 runPlanar(const circuit::Circuit &circ, const PlanarOptions &opts)
 {
     fatalIf(circ.empty(), "cannot run the planar backend on an empty "
                           "circuit");
+    PlanarPrepared prepared(circ, opts);
+    return runPlanar(circ, opts, prepared);
+}
+
+PlanarResult
+runPlanar(const circuit::Circuit &circ, const PlanarOptions &opts,
+          const PlanarPrepared &prepared)
+{
+    fatalIf(circ.empty(), "cannot run the planar backend on an empty "
+                          "circuit");
     fatalIf(opts.code_distance < 1, "code distance must be >= 1");
     opts.tech.check();
-
-    SimdArchOptions arch_opts;
-    arch_opts.num_regions = opts.num_regions;
-    arch_opts.region_capacity = opts.region_capacity;
-    arch_opts.num_qubits = circ.numQubits();
-    SimdArch arch(arch_opts);
-
-    SimdSchedule sched =
-        scheduleSimd(circ, arch, opts.legacy_level_scan);
 
     EprOptions epr_opts;
     epr_opts.window_steps = opts.epr_window_steps;
@@ -29,21 +54,19 @@ runPlanar(const circuit::Circuit &circ, const PlanarOptions &opts)
     epr_opts.code_distance = opts.code_distance;
     epr_opts.swap_hop_cycles =
         opts.tech.swapHopCycles(opts.code_distance);
-    EprResult epr = simulateEpr(sched, arch, epr_opts);
-
-    circuit::Dag dag(circ);
-    circuit::LevelSchedule levels = circuit::levelize(dag);
+    EprResult epr =
+        simulateEpr(prepared.sched, prepared.arch, epr_opts);
 
     PlanarResult out;
     out.schedule_cycles = epr.schedule_cycles;
-    out.critical_path_cycles = static_cast<uint64_t>(levels.depth)
+    out.critical_path_cycles = prepared.depth
         * static_cast<uint64_t>(opts.code_distance);
-    out.steps = sched.steps;
+    out.steps = prepared.sched.steps;
     out.teleports = epr.teleports;
     out.stall_cycles = epr.stall_cycles;
     out.peak_live_eprs = epr.peak_live_eprs;
     out.avg_live_eprs = epr.avg_live_eprs;
-    out.teleport_rate = sched.teleportRate();
+    out.teleport_rate = prepared.sched.teleportRate();
     return out;
 }
 

@@ -82,11 +82,38 @@ struct PlanarResult
 };
 
 /**
+ * The expensive prepare artifact of the planar backend: the SIMD
+ * machine geometry, the level-scheduled SimdSchedule and the
+ * levelized circuit depth.  None of it depends on the code distance
+ * or the EPR knobs, so one PlanarPrepared serves every (d, window,
+ * bandwidth) point of a sweep; handing runPlanar() one is
+ * bit-identical to building it inline.
+ */
+struct PlanarPrepared
+{
+    SimdArch arch;
+    SimdSchedule sched;
+    uint64_t depth = 0; ///< Levelized circuit depth, in levels.
+
+    PlanarPrepared(const circuit::Circuit &circ,
+                   const PlanarOptions &opts);
+};
+
+/**
  * Run the planar backend on @p circ (must already be decomposed to
  * Clifford+T).
  */
 PlanarResult runPlanar(const circuit::Circuit &circ,
                        const PlanarOptions &opts = {});
+
+/**
+ * Same run, reusing @p prepared (built for this circuit with the
+ * same num_regions / region_capacity / legacy_level_scan);
+ * bit-identical to the inline path.
+ */
+PlanarResult runPlanar(const circuit::Circuit &circ,
+                       const PlanarOptions &opts,
+                       const PlanarPrepared &prepared);
 
 } // namespace qsurf::planar
 

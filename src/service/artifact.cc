@@ -1,0 +1,124 @@
+#include "service/artifact.h"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "qasm/flatten.h"
+#include "qasm/parser.h"
+
+namespace qsurf::service {
+
+namespace {
+
+/** FNV-1a over a byte string (for QASM source keys). */
+uint64_t
+fnv1a(const std::string &text)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Key fragment naming every frontend knob the program depends on. */
+std::string
+frontendSuffix(const circuit::DecomposeConfig &cfg, bool run_peephole)
+{
+    // The T fraction goes in by bit pattern: keys must distinguish
+    // any two doubles that could produce different circuits.
+    uint64_t tf_bits = 0;
+    static_assert(sizeof(tf_bits) == sizeof(cfg.rz_t_fraction));
+    std::memcpy(&tf_bits, &cfg.rz_t_fraction, sizeof(tf_bits));
+    std::ostringstream os;
+    os << "rz=" << cfg.rz_sequence_length << "/tf=" << std::hex
+       << tf_bits << std::dec << "/sw=" << (cfg.expand_swap ? 1 : 0)
+       << "/ph=" << (run_peephole ? 1 : 0);
+    return os.str();
+}
+
+/** Shared frontend pipeline: peephole (optional), decompose,
+ *  analyze, fingerprint. */
+PrepareCache::Value
+buildProgram(const circuit::Circuit &logical,
+             const circuit::DecomposeConfig &cfg, bool run_peephole)
+{
+    auto prog = std::make_shared<CachedProgram>();
+    circuit::Circuit optimized = run_peephole
+        ? circuit::peephole(logical, &prog->peephole)
+        : logical;
+    prog->circ = circuit::decompose(optimized, cfg);
+    prog->fingerprint = circuit::fingerprint(prog->circ);
+    prog->counts = prog->circ.counts();
+    prog->parallelism = circuit::parallelismProfile(prog->circ);
+    return std::static_pointer_cast<const void>(
+        std::shared_ptr<const CachedProgram>(std::move(prog)));
+}
+
+} // namespace
+
+std::shared_ptr<const CachedProgram>
+cachedAppProgram(PrepareCache &cache, apps::AppKind kind,
+                 const apps::GenOptions &gen,
+                 const circuit::DecomposeConfig &decompose,
+                 bool run_peephole)
+{
+    std::ostringstream os;
+    os << "app/k=" << static_cast<int>(kind)
+       << "/n=" << gen.problem_size << "/it=" << gen.max_iterations
+       << "/" << frontendSuffix(decompose, run_peephole);
+    PrepareCache::Value v = cache.getOrBuild(os.str(), [&] {
+        return buildProgram(apps::generate(kind, gen), decompose,
+                            run_peephole);
+    });
+    return std::static_pointer_cast<const CachedProgram>(v);
+}
+
+std::shared_ptr<const CachedProgram>
+cachedProgram(PrepareCache &cache, const circuit::Circuit &logical,
+              const circuit::DecomposeConfig &decompose,
+              bool run_peephole)
+{
+    std::ostringstream os;
+    os << "prog/fp=" << std::hex << circuit::fingerprint(logical)
+       << std::dec << "/"
+       << frontendSuffix(decompose, run_peephole);
+    PrepareCache::Value v = cache.getOrBuild(os.str(), [&] {
+        return buildProgram(logical, decompose, run_peephole);
+    });
+    return std::static_pointer_cast<const CachedProgram>(v);
+}
+
+std::shared_ptr<const circuit::Circuit>
+cachedQasmCircuit(PrepareCache &cache, const std::string &source)
+{
+    std::ostringstream os;
+    os << "qasm/src=" << std::hex << fnv1a(source);
+    PrepareCache::Value v =
+        cache.getOrBuild(os.str(), [&]() -> PrepareCache::Value {
+            qasm::Program prog = qasm::parse(source);
+            auto circ = std::make_shared<const circuit::Circuit>(
+                qasm::flatten(prog));
+            return std::static_pointer_cast<const void>(circ);
+        });
+    return std::static_pointer_cast<const circuit::Circuit>(v);
+}
+
+std::shared_ptr<const engine::PreparedArtifact>
+fetchArtifact(PrepareCache &cache, const engine::Backend &backend,
+              const engine::WorkItem &item)
+{
+    std::string key = backend.artifactKey(item);
+    if (key.empty())
+        return nullptr;
+    PrepareCache::Value v =
+        cache.getOrBuild(key, [&]() -> PrepareCache::Value {
+            return std::static_pointer_cast<const void>(
+                backend.buildArtifact(item));
+        });
+    return std::static_pointer_cast<const engine::PreparedArtifact>(v);
+}
+
+} // namespace qsurf::service

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cache adapters for the two expensive prepare stages every entry
+ * point shares: the logical frontend (generate/parse -> peephole ->
+ * decompose -> analyze) and the per-backend machine layout
+ * (Backend::buildArtifact).  Each helper derives a key that names
+ * every input the value depends on, then goes through
+ * PrepareCache::getOrBuild, so sweeps, the toolflow and the compile
+ * service all share one warm path.
+ */
+
+#ifndef QSURF_SERVICE_ARTIFACT_H
+#define QSURF_SERVICE_ARTIFACT_H
+
+#include <memory>
+#include <string>
+
+#include "apps/apps.h"
+#include "circuit/circuit.h"
+#include "circuit/decompose.h"
+#include "circuit/peephole.h"
+#include "circuit/schedule.h"
+#include "engine/backend.h"
+#include "service/cache.h"
+
+namespace qsurf::service {
+
+/**
+ * A fully prepared program: the decomposed Clifford+T circuit plus
+ * the frontend analysis the toolflow reports.  Immutable once built;
+ * shared by every grid point / request that compiles the same
+ * logical program the same way.
+ */
+struct CachedProgram
+{
+    /** Decomposed (Clifford+T) circuit. */
+    circuit::Circuit circ;
+
+    /** circuit::fingerprint(circ), precomputed so WorkItems skip
+     *  rehashing on every grid point. */
+    uint64_t fingerprint = 0;
+
+    /** Post-decomposition op counts. */
+    circuit::OpCounts counts;
+
+    /** Post-decomposition parallelism profile. */
+    circuit::ParallelismProfile parallelism;
+
+    /** Frontend rewrite stats (zero when peephole was skipped). */
+    circuit::PeepholeStats peephole;
+};
+
+/**
+ * @return the prepared program of generated application @p kind at
+ * @p gen, built through @p cache.  The key covers the generator
+ * knobs, the decompose config and the peephole switch.
+ */
+std::shared_ptr<const CachedProgram>
+cachedAppProgram(PrepareCache &cache, apps::AppKind kind,
+                 const apps::GenOptions &gen,
+                 const circuit::DecomposeConfig &decompose = {},
+                 bool run_peephole = false);
+
+/**
+ * @return the prepared program of caller-supplied logical circuit
+ * @p logical, built through @p cache and keyed by the circuit's
+ * content fingerprint (never its address).
+ */
+std::shared_ptr<const CachedProgram>
+cachedProgram(PrepareCache &cache, const circuit::Circuit &logical,
+              const circuit::DecomposeConfig &decompose = {},
+              bool run_peephole = false);
+
+/**
+ * @return the flattened logical circuit of QASM @p source, built
+ * through @p cache and keyed by a hash of the source text, so
+ * repeated runQasm() calls parse once.
+ */
+std::shared_ptr<const circuit::Circuit>
+cachedQasmCircuit(PrepareCache &cache, const std::string &source);
+
+/**
+ * @return @p backend's prepared machine artifact for @p item via
+ * @p cache, or nullptr when the backend is not cacheable (empty
+ * artifactKey).  Callers pass the result to
+ * Backend::run(item, artifact.get()); nullptr falls back to the
+ * inline path, which is bit-identical by construction.
+ */
+std::shared_ptr<const engine::PreparedArtifact>
+fetchArtifact(PrepareCache &cache, const engine::Backend &backend,
+              const engine::WorkItem &item);
+
+} // namespace qsurf::service
+
+#endif // QSURF_SERVICE_ARTIFACT_H

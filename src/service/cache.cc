@@ -1,0 +1,151 @@
+#include "service/cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace qsurf::service {
+
+PrepareCache::PrepareCache() : PrepareCache(Options{}) {}
+
+PrepareCache::PrepareCache(const Options &opts)
+{
+    fatalIf(opts.shards < 1, "cache needs at least one shard, got ",
+            opts.shards);
+    fatalIf(opts.capacity < 1, "cache capacity must be >= 1");
+    auto n = static_cast<size_t>(opts.shards);
+    shards.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        shards.push_back(std::make_unique<Shard>());
+    // Per-shard budget, rounded up so the total is never below the
+    // requested capacity.
+    per_shard_capacity = std::max<size_t>(1, (opts.capacity + n - 1) / n);
+}
+
+PrepareCache::Shard &
+PrepareCache::shardOf(const std::string &key)
+{
+    return *shards[std::hash<std::string>{}(key) % shards.size()];
+}
+
+const PrepareCache::Shard &
+PrepareCache::shardOf(const std::string &key) const
+{
+    return *shards[std::hash<std::string>{}(key) % shards.size()];
+}
+
+PrepareCache::Value
+PrepareCache::getOrBuild(const std::string &key, const Builder &build)
+{
+    Shard &shard = shardOf(key);
+    std::promise<Value> promise;
+    std::shared_future<Value> future;
+    bool owner = false;
+
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            // Ready hit or single-flight wait: either way the value
+            // is computed at most once.
+            hits.fetch_add(1, std::memory_order_relaxed);
+            if (it->second.ready)
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second.lru_pos);
+            future = it->second.future;
+        } else {
+            misses.fetch_add(1, std::memory_order_relaxed);
+            owner = true;
+            Entry entry;
+            entry.future = promise.get_future().share();
+            future = entry.future;
+            shard.map.emplace(key, std::move(entry));
+        }
+    }
+
+    // Loser of the race (or a ready hit): wait on the shared future.
+    // get() rethrows a builder exception to every waiter.
+    if (!owner)
+        return future.get();
+
+    // Owner: run the builder outside the lock.
+    Value value;
+    try {
+        value = build();
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.map.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        // clear() may have raced the build; reinsert is harmless
+        // because the entry is keyed identically.
+        if (it == shard.map.end())
+            it = shard.map
+                     .emplace(key, Entry{future, false,
+                                         shard.lru.end()})
+                     .first;
+        shard.lru.push_front(key);
+        it->second.ready = true;
+        it->second.lru_pos = shard.lru.begin();
+        while (shard.lru.size() > per_shard_capacity) {
+            shard.map.erase(shard.lru.back());
+            shard.lru.pop_back();
+            evictions.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    promise.set_value(value);
+    return value;
+}
+
+bool
+PrepareCache::contains(const std::string &key) const
+{
+    const Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    return it != shard.map.end() && it->second.ready;
+}
+
+void
+PrepareCache::clear()
+{
+    for (auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        // Drop ready entries only; in-flight builders re-register
+        // their result when they finish.
+        for (const std::string &key : shard->lru)
+            shard->map.erase(key);
+        shard->lru.clear();
+    }
+}
+
+CacheStats
+PrepareCache::stats() const
+{
+    CacheStats s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        s.entries += shard->map.size();
+    }
+    return s;
+}
+
+PrepareCache &
+PrepareCache::global()
+{
+    static PrepareCache cache{Options{}};
+    return cache;
+}
+
+} // namespace qsurf::service

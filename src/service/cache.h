@@ -1,0 +1,154 @@
+/**
+ * @file
+ * PrepareCache: thread-safe, sharded memoization of the expensive
+ * prepare artifacts — decomposed circuits and seeded machine
+ * layouts — that every grid point of a sweep historically rebuilt
+ * from scratch.
+ *
+ * The cache stores type-erased shared_ptr values under string keys
+ * (the keys name every input the value depends on; see
+ * Backend::artifactKey).  Lookups are single-flight: concurrent
+ * getOrBuild() calls for one key run the builder exactly once and
+ * everyone shares the result, so a sweep fanning 8 workers into the
+ * same seeded layout builds it once instead of 8 times.  Ready
+ * entries are LRU-bounded per shard; in-flight entries are never
+ * evicted.  Hit/miss/evict counters feed the BENCH_*.json
+ * observability satellite.
+ */
+
+#ifndef QSURF_SERVICE_CACHE_H
+#define QSURF_SERVICE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qsurf::service {
+
+/** Counter snapshot of one PrepareCache. */
+struct CacheStats
+{
+    /** Lookups served from a ready or in-flight entry (the latter
+     *  are single-flight waits: the value was not rebuilt). */
+    uint64_t hits = 0;
+
+    /** Lookups that ran the builder. */
+    uint64_t misses = 0;
+
+    /** Ready entries discarded by the LRU bound. */
+    uint64_t evictions = 0;
+
+    /** Entries currently resident (ready + in flight). */
+    uint64_t entries = 0;
+
+    /** @return hits / (hits + misses), or 0 when empty. */
+    double
+    hitRatio() const
+    {
+        uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits)
+                / static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * Sharded, single-flight, LRU-bounded memoization of expensive
+ * prepare work.  Values are immutable once built; callers keep them
+ * alive through the returned shared_ptr, so eviction never
+ * invalidates a value in use.  All methods are thread-safe.
+ */
+class PrepareCache
+{
+  public:
+    /** A type-erased cached value. */
+    using Value = std::shared_ptr<const void>;
+
+    /** Builds the value of one key; run outside the shard lock. */
+    using Builder = std::function<Value()>;
+
+    struct Options
+    {
+        /** Ready entries retained across all shards; older entries
+         *  are evicted least-recently-used first. */
+        size_t capacity = 512;
+
+        /** Lock shards; 1 gives a single global LRU order (used by
+         *  tests that pin exact eviction behavior). */
+        int shards = 8;
+    };
+
+    PrepareCache();
+    explicit PrepareCache(const Options &opts);
+
+    PrepareCache(const PrepareCache &) = delete;
+    PrepareCache &operator=(const PrepareCache &) = delete;
+
+    /**
+     * @return the value under @p key, running @p build to create it
+     * on a miss.  Concurrent calls for the same key run the builder
+     * once (single flight); the rest wait and share the result.  A
+     * builder exception propagates to every waiter and removes the
+     * entry, so a later call retries.
+     */
+    Value getOrBuild(const std::string &key, const Builder &build);
+
+    /** @return true when @p key is resident and ready. */
+    bool contains(const std::string &key) const;
+
+    /** Drop every ready entry (counters are kept). */
+    void clear();
+
+    /** @return a snapshot of the counters. */
+    CacheStats stats() const;
+
+    /**
+     * The process-wide cache the sweep driver, the toolflow and the
+     * compile service share by default.
+     */
+    static PrepareCache &global();
+
+  private:
+    struct Entry
+    {
+        /** The (possibly still-computing) value. */
+        std::shared_future<Value> future;
+
+        /** Set once the builder finished; only ready entries are in
+         *  the LRU list and eligible for eviction. */
+        bool ready = false;
+
+        /** Position in the shard's LRU list (valid when ready). */
+        std::list<std::string>::iterator lru_pos;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, Entry> map;
+
+        /** Ready keys, most recently used first. */
+        std::list<std::string> lru;
+    };
+
+    Shard &shardOf(const std::string &key);
+    const Shard &shardOf(const std::string &key) const;
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    size_t per_shard_capacity;
+
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+};
+
+} // namespace qsurf::service
+
+#endif // QSURF_SERVICE_CACHE_H

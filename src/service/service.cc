@@ -1,0 +1,236 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "engine/sweep.h"
+#include "service/artifact.h"
+
+namespace qsurf::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now()
+                                                     - start)
+        .count();
+}
+
+/**
+ * The batch identity of a request: the program source, the backend,
+ * and every RunConfig field any backend folds into its artifactKey().
+ * Two requests with equal keys are guaranteed to resolve to the same
+ * prepared program and machine artifact, so one prepare serves both.
+ * (Fields outside the key — technology constants, timeouts, EPR
+ * windows — may still differ; each request keeps its own run.)
+ */
+std::string
+batchKey(const CompileRequest &req)
+{
+    uint64_t tf_bits = 0;
+    std::memcpy(&tf_bits, &req.decompose.rz_t_fraction,
+                sizeof(tf_bits));
+    std::ostringstream os;
+    if (req.circuit)
+        os << "fp=" << std::hex << circuit::fingerprint(*req.circuit)
+           << std::dec;
+    else
+        os << "app=" << static_cast<int>(req.app)
+           << "/n=" << req.gen.problem_size
+           << "/it=" << req.gen.max_iterations;
+    os << "/rz=" << req.decompose.rz_sequence_length << "/tf="
+       << std::hex << tf_bits << std::dec << "/sw="
+       << (req.decompose.expand_swap ? 1 : 0) << "/ph="
+       << (req.run_peephole ? 1 : 0) << "|" << req.backend << "|s="
+       << req.config.seed << "/d=" << req.config.code_distance
+       << "/p=" << req.config.policy << "/obj="
+       << req.config.layout_objective << "/lane="
+       << req.config.lane_spacing << "/r="
+       << req.config.num_simd_regions << "/cap="
+       << req.config.region_capacity << "/leg="
+       << (req.config.legacy_baseline ? 1 : 0);
+    return os.str();
+}
+
+} // namespace
+
+CompileService::CompileService() : CompileService(Options{}) {}
+
+CompileService::CompileService(const Options &opts)
+    : cache(opts.cache ? *opts.cache : PrepareCache::global()),
+      registry(opts.registry ? *opts.registry
+                             : engine::Registry::global())
+{
+    int n = opts.num_threads >= 1 ? opts.num_threads
+                                  : engine::defaultThreads();
+    workers.reserve(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+std::future<CompileResponse>
+CompileService::submit(CompileRequest req)
+{
+    Pending pending;
+    pending.key = batchKey(req);
+    pending.req = std::move(req);
+    std::future<CompileResponse> future =
+        pending.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        panicIf(stopping, "submit() on a stopping CompileService");
+        ++total_requests;
+        queue.push_back(std::move(pending));
+    }
+    cv.notify_one();
+    return future;
+}
+
+CompileResponse
+CompileService::compile(CompileRequest req)
+{
+    return submit(std::move(req)).get();
+}
+
+ServiceStats
+CompileService::stats() const
+{
+    ServiceStats s;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        s.requests = total_requests;
+        s.batches = total_batches;
+        s.batched_requests = total_batched;
+    }
+    s.cache = cache.stats();
+    return s;
+}
+
+int
+CompileService::threads() const
+{
+    return static_cast<int>(workers.size());
+}
+
+void
+CompileService::workerLoop()
+{
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock,
+                    [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // Stopping, queue drained.
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+            // Pull every queued request with the same prepare
+            // identity into this batch: one artifact fetch, N runs.
+            const std::string &key = batch.front().key;
+            for (auto it = queue.begin(); it != queue.end();) {
+                if (it->key == key) {
+                    batch.push_back(std::move(*it));
+                    it = queue.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            ++total_batches;
+            if (batch.size() > 1)
+                total_batched += batch.size();
+        }
+        serveBatch(std::move(batch));
+    }
+}
+
+void
+CompileService::serveBatch(std::vector<Pending> batch)
+{
+    // Prepare once for the whole batch (all entries share the batch
+    // key, hence the same program and machine artifact).
+    const engine::Backend *backend = nullptr;
+    std::shared_ptr<const CachedProgram> program;
+    std::shared_ptr<const engine::PreparedArtifact> artifact;
+    double prepare_ms = 0;
+    std::string prepare_error;
+    try {
+        const CompileRequest &req = batch.front().req;
+        backend = &registry.get(req.backend);
+        auto start = Clock::now();
+        // The analytic models take a circuit too (to derive the
+        // computation size), so resolve the program unless the
+        // request brings an explicit KQ instead.
+        if (backend->needsCircuit() || req.config.kq <= 0)
+            program = req.circuit
+                ? cachedProgram(cache, *req.circuit, req.decompose,
+                                req.run_peephole)
+                : cachedAppProgram(cache, req.app, req.gen,
+                                   req.decompose, req.run_peephole);
+        engine::WorkItem probe;
+        probe.app = req.app;
+        probe.config = req.config;
+        if (program) {
+            probe.circuit = &program->circ;
+            probe.circuit_fingerprint = program->fingerprint;
+        }
+        artifact = fetchArtifact(cache, *backend, probe);
+        prepare_ms = msSince(start);
+    } catch (const std::exception &e) {
+        prepare_error = e.what();
+    }
+
+    for (Pending &pending : batch) {
+        CompileResponse response;
+        response.prepare_ms = prepare_ms;
+        response.batch_size = batch.size();
+        if (!prepare_error.empty()) {
+            response.error = prepare_error;
+            pending.promise.set_value(std::move(response));
+            continue;
+        }
+        try {
+            const CompileRequest &req = pending.req;
+            engine::WorkItem item;
+            item.app = req.app;
+            item.config = req.config;
+            if (program) {
+                item.circuit = &program->circ;
+                item.circuit_fingerprint = program->fingerprint;
+            }
+            if (!req.label.empty())
+                item.app_name = req.label;
+            else if (req.circuit && !req.circuit->name().empty())
+                item.app_name = req.circuit->name();
+            else
+                item.app_name = apps::appSpec(req.app).name;
+            backend->prepare(item);
+            auto start = Clock::now();
+            response.metrics = backend->run(item, artifact.get());
+            response.run_ms = msSince(start);
+        } catch (const std::exception &e) {
+            response.error = e.what();
+        }
+        pending.promise.set_value(std::move(response));
+    }
+}
+
+} // namespace qsurf::service

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * CompileService: a long-lived, in-process compile server.
+ *
+ * Instead of paying circuit generation, decomposition and seeded
+ * layout construction per call (the batch-tool model every figure
+ * bench historically followed), a service accepts a stream of
+ * CompileRequests, keeps the shared PrepareCache warm across them,
+ * and batches queued requests that share a prepare identity so one
+ * artifact fetch serves the whole group.  Every request returns the
+ * same uniform engine::Metrics a direct Backend::run() produces —
+ * bit-identical, since the cached artifact path is bit-identical by
+ * construction.
+ */
+
+#ifndef QSURF_SERVICE_SERVICE_H
+#define QSURF_SERVICE_SERVICE_H
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.h"
+#include "circuit/circuit.h"
+#include "circuit/decompose.h"
+#include "engine/backend.h"
+#include "engine/registry.h"
+#include "service/cache.h"
+
+namespace qsurf::service {
+
+/** One compile job: a program source plus a backend and run config. */
+struct CompileRequest
+{
+    /** Generated application to compile (when `circuit` is null). */
+    apps::AppKind app = apps::AppKind::SQ;
+
+    /** Generator knobs for `app`. */
+    apps::GenOptions gen;
+
+    /**
+     * Caller-built logical circuit; when set it replaces the
+     * generated app as the program source (the service decomposes
+     * it, caching by content fingerprint).
+     */
+    std::shared_ptr<const circuit::Circuit> circuit;
+
+    /** Frontend decomposition settings. */
+    circuit::DecomposeConfig decompose;
+
+    /** Run logical peephole optimization before decomposing. */
+    bool run_peephole = false;
+
+    /** Display-name override; empty derives one from the source. */
+    std::string label;
+
+    /** Backend registry name to run on. */
+    std::string backend = engine::backends::planar;
+
+    /** Run parameters (seed, distance, policy, objective, ...). */
+    engine::RunConfig config;
+};
+
+/** Outcome of one request. */
+struct CompileResponse
+{
+    /** Uniform result record; valid when ok(). */
+    engine::Metrics metrics;
+
+    /** Wall time of the prepare stage (program + machine artifact)
+     *  this request's batch paid, in ms.  Warm requests see the
+     *  cache-hit cost, not the build cost. */
+    double prepare_ms = 0;
+
+    /** Wall time of Backend::run() for this request, in ms. */
+    double run_ms = 0;
+
+    /** Requests served by the batch that prepared this response. */
+    uint64_t batch_size = 1;
+
+    /** Failure description; empty on success. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Counter snapshot of one CompileService. */
+struct ServiceStats
+{
+    uint64_t requests = 0;         ///< Requests submitted.
+    uint64_t batches = 0;          ///< Prepare groups executed.
+    uint64_t batched_requests = 0; ///< Requests in groups of >= 2.
+    CacheStats cache;              ///< The shared cache's counters.
+};
+
+/**
+ * The in-process compile server.  submit() is thread-safe; worker
+ * threads drain the queue until destruction (the destructor finishes
+ * queued work before joining).  Responses are deterministic in the
+ * request alone — batching and caching change wall time, never
+ * metrics.
+ */
+class CompileService
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; < 1 uses engine::defaultThreads(). */
+        int num_threads = 0;
+
+        /** Cache to keep warm; null uses PrepareCache::global(). */
+        PrepareCache *cache = nullptr;
+
+        /** Backend registry; null uses Registry::global(). */
+        const engine::Registry *registry = nullptr;
+    };
+
+    CompileService();
+    explicit CompileService(const Options &opts);
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /**
+     * Enqueue @p req; the future resolves when a worker finishes it.
+     * Requests already queued that share the prepare identity are
+     * served as one batch.  Must not be called during destruction.
+     */
+    std::future<CompileResponse> submit(CompileRequest req);
+
+    /** Synchronous convenience: submit @p req and wait. */
+    CompileResponse compile(CompileRequest req);
+
+    /** @return a snapshot of the service counters. */
+    ServiceStats stats() const;
+
+    /** @return the number of worker threads. */
+    int threads() const;
+
+  private:
+    struct Pending
+    {
+        CompileRequest req;
+        std::string key; ///< Batch identity, fixed at submit.
+        std::promise<CompileResponse> promise;
+    };
+
+    void workerLoop();
+    void serveBatch(std::vector<Pending> batch);
+
+    PrepareCache &cache;
+    const engine::Registry &registry;
+
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    bool stopping = false;
+    uint64_t total_requests = 0;
+    uint64_t total_batches = 0;
+    uint64_t total_batched = 0;
+
+    std::vector<std::thread> workers;
+};
+
+} // namespace qsurf::service
+
+#endif // QSURF_SERVICE_SERVICE_H

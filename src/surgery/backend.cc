@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.h"
 #include "estimate/lattice_surgery.h"
@@ -39,6 +40,25 @@ class SurgerySimBackend : public engine::Backend
     engine::Metrics
     run(const engine::WorkItem &item) const override
     {
+        return run(item, nullptr);
+    }
+
+    std::string
+    artifactKey(const engine::WorkItem &item) const override
+    {
+        return patchArtifactKey(item);
+    }
+
+    std::shared_ptr<const engine::PreparedArtifact>
+    buildArtifact(const engine::WorkItem &item) const override
+    {
+        return buildPatchArtifact(item);
+    }
+
+    engine::Metrics
+    run(const engine::WorkItem &item,
+        const engine::PreparedArtifact *artifact) const override
+    {
         int d = item.resolveDistance();
         SurgeryOptions opts;
         opts.code_distance = d;
@@ -58,7 +78,15 @@ class SurgerySimBackend : public engine::Backend
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =
             item.config.magic_buffer_capacity;
-        SurgeryResult r = scheduleSurgery(*item.circuit, opts);
+        SurgeryResult r;
+        if (artifact) {
+            auto *a = dynamic_cast<const PatchArtifact *>(artifact);
+            panicIf(!a, "backend '", name(),
+                    "' was handed an artifact of the wrong type");
+            r = scheduleSurgery(*item.circuit, opts, a->prep);
+        } else {
+            r = scheduleSurgery(*item.circuit, opts);
+        }
 
         engine::Metrics m;
         m.backend = name();
@@ -158,6 +186,37 @@ class SurgeryModelBackend : public engine::Backend
 };
 
 } // namespace
+
+std::string
+patchArtifactKey(const engine::WorkItem &item)
+{
+    const engine::RunConfig &c = item.config;
+    std::ostringstream os;
+    os << "patch/fp=" << std::hex << item.resolveFingerprint()
+       << "/seed=" << c.seed << std::dec
+       << "/d=" << item.resolveDistance()
+       << "/opt=" << (c.policy >= 2 ? 1 : 0)
+       << "/obj=" << c.layout_objective
+       << "/lane=" << c.lane_spacing
+       << "/ppf=" << PatchArchOptions{}.patches_per_factory;
+    return os.str();
+}
+
+std::shared_ptr<const engine::PreparedArtifact>
+buildPatchArtifact(const engine::WorkItem &item)
+{
+    // The SurgeryOptions defaults carry patches_per_factory; the
+    // hybrid scheduler's patchArchOptions() maps its own options to
+    // the very same PatchArchOptions, so this artifact serves both.
+    SurgeryOptions opts;
+    opts.optimized_layout = item.config.policy >= 2;
+    opts.layout_objective =
+        partition::layoutObjective(item.config.layout_objective);
+    opts.lane_spacing = item.config.lane_spacing;
+    opts.seed = item.config.seed;
+    return std::make_shared<const PatchArtifact>(
+        *item.circuit, patchArchOptions(opts));
+}
 
 double
 surgeryPhysicalQubits(double logical_qubits, int d,

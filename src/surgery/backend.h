@@ -10,7 +10,11 @@
 #ifndef QSURF_SURGERY_BACKEND_H
 #define QSURF_SURGERY_BACKEND_H
 
+#include <memory>
+#include <string>
+
 #include "engine/registry.h"
+#include "surgery/patch_arch.h"
 
 namespace qsurf::surgery {
 
@@ -20,6 +24,38 @@ namespace qsurf::surgery {
  * tests).
  */
 void registerSurgeryBackends(engine::Registry &registry);
+
+/**
+ * The cacheable patch-machine artifact.  The surgery-sim and hybrid
+ * backends derive identical PatchArchOptions from a WorkItem, so
+ * they share this one type (and one cache entry per key): a sweep
+ * running both backends over the same grid point builds the machine
+ * once.
+ */
+class PatchArtifact final : public engine::PreparedArtifact
+{
+  public:
+    PatchArtifact(const circuit::Circuit &circ,
+                  const PatchArchOptions &opts)
+        : prep(circ, opts)
+    {
+    }
+
+    PatchPrepared prep;
+};
+
+/**
+ * @return the shared artifact key of @p item's patch machine —
+ * circuit fingerprint, seed, resolved distance, layout flavor
+ * (optimized = policy >= 2), objective, lane spacing and factory
+ * ratio.  The surgery and hybrid backends both return exactly this
+ * from artifactKey().
+ */
+std::string patchArtifactKey(const engine::WorkItem &item);
+
+/** Build the PatchArtifact patchArtifactKey(@p item) names. */
+std::shared_ptr<const engine::PreparedArtifact>
+buildPatchArtifact(const engine::WorkItem &item);
 
 /**
  * @return total physical qubits of a surgery machine holding

@@ -60,14 +60,13 @@ class Simulator
 {
   public:
     Simulator(const circuit::Circuit &circ,
-              const SurgeryOptions &opts)
-        : circ(circ), opts(opts), dag(circ),
-          graph(circuit::interactionGraph(circ)),
-          arch(graph, makeArchOptions(opts)), mesh(arch.makeMesh()),
+              const SurgeryOptions &opts, const PatchPrepared &prep)
+        : circ(circ), opts(opts), dag(prep.dag), graph(prep.graph),
+          arch(prep.arch), mesh(arch.makeMesh()),
           claim_opts(makeClaimOptions(opts)),
-          claimer(mesh, claim_opts), corridors(arch)
+          claimer(mesh, claim_opts), corridors(arch),
+          crit(prep.crit)
     {
-        crit = circuit::criticality(dag);
         for (const Coord &terminal : arch.reservedTerminals())
             claimer.reserveTerminal(terminal);
         // Factory preference orders are a pure function of the
@@ -128,18 +127,6 @@ class Simulator
     }
 
   private:
-    static PatchArchOptions
-    makeArchOptions(const SurgeryOptions &opts)
-    {
-        PatchArchOptions a;
-        a.patches_per_factory = opts.patches_per_factory;
-        a.optimized_layout = opts.optimized_layout;
-        a.layout_objective = opts.layout_objective;
-        a.lane_spacing = opts.lane_spacing;
-        a.seed = opts.seed;
-        return a;
-    }
-
     static engine::RouteClaimOptions
     makeClaimOptions(const SurgeryOptions &opts)
     {
@@ -388,16 +375,16 @@ class Simulator
 
     const circuit::Circuit &circ;
     const SurgeryOptions &opts;
-    circuit::Dag dag;
-    circuit::InteractionGraph graph;
-    PatchArch arch;
+    const circuit::Dag &dag;
+    const circuit::InteractionGraph &graph;
+    const PatchArch &arch;
     network::Mesh mesh;
     engine::RouteClaimOptions claim_opts;
     engine::ChainClaimer claimer;
     CorridorRouter corridors;
 
     std::vector<OpRec> ops;
-    std::vector<int> crit;
+    const std::vector<int> &crit;
     std::vector<std::vector<int>> factory_order; ///< Per qubit.
     engine::ReadyQueue ready;
     engine::ExpiryQueue expiry;
@@ -476,15 +463,37 @@ surgeryCriticalPath(const circuit::Circuit &circ,
     return best;
 }
 
+PatchArchOptions
+patchArchOptions(const SurgeryOptions &opts)
+{
+    PatchArchOptions a;
+    a.patches_per_factory = opts.patches_per_factory;
+    a.optimized_layout = opts.optimized_layout;
+    a.layout_objective = opts.layout_objective;
+    a.lane_spacing = opts.lane_spacing;
+    a.seed = opts.seed;
+    return a;
+}
+
 SurgeryResult
 scheduleSurgery(const circuit::Circuit &circ,
                 const SurgeryOptions &opts)
 {
     fatalIf(circ.empty(), "cannot schedule an empty circuit");
+    PatchPrepared prepared(circ, patchArchOptions(opts));
+    return scheduleSurgery(circ, opts, prepared);
+}
+
+SurgeryResult
+scheduleSurgery(const circuit::Circuit &circ,
+                const SurgeryOptions &opts,
+                const PatchPrepared &prepared)
+{
+    fatalIf(circ.empty(), "cannot schedule an empty circuit");
     fatalIf(opts.code_distance < 1, "code distance must be >= 1");
     fatalIf(opts.rounds_per_hop <= 0,
             "rounds_per_hop must be > 0, got ", opts.rounds_per_hop);
-    return Simulator(circ, opts).run();
+    return Simulator(circ, opts, prepared).run();
 }
 
 } // namespace qsurf::surgery

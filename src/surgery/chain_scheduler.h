@@ -191,11 +191,28 @@ uint64_t surgeryCriticalPath(const circuit::Circuit &circ,
                              const SurgeryOptions &opts);
 
 /**
+ * @return the PatchArchOptions @p opts resolves to — the layout
+ * inputs a cached PatchPrepared must have been built with.  The
+ * hybrid scheduler derives the *same* options from its own knobs
+ * (hybrid::patchArchOptions), which is what lets the two backends
+ * share one artifact.
+ */
+PatchArchOptions patchArchOptions(const SurgeryOptions &opts);
+
+/**
  * Simulate lattice-surgery scheduling of @p circ (which must
  * already be decomposed to Clifford+T).
  */
 SurgeryResult scheduleSurgery(const circuit::Circuit &circ,
                               const SurgeryOptions &opts = {});
+
+/**
+ * Same simulation, reusing @p prepared (built for this circuit with
+ * patchArchOptions(opts)); bit-identical to the inline path.
+ */
+SurgeryResult scheduleSurgery(const circuit::Circuit &circ,
+                              const SurgeryOptions &opts,
+                              const PatchPrepared &prepared);
 
 } // namespace qsurf::surgery
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "circuit/schedule.h"
 #include "common/logging.h"
 
 namespace qsurf::surgery {
@@ -396,6 +397,13 @@ PatchArch::corridorCost(const circuit::InteractionGraph &graph) const
                                         patchOf(pair.second),
                                         lane_spacing);
     return sum;
+}
+
+PatchPrepared::PatchPrepared(const circuit::Circuit &circ,
+                             const PatchArchOptions &arch_opts)
+    : dag(circ), graph(circuit::interactionGraph(circ)),
+      arch(graph, arch_opts), crit(circuit::criticality(dag))
+{
 }
 
 } // namespace qsurf::surgery

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "circuit/dag.h"
 #include "circuit/interaction.h"
 #include "common/geometry.h"
 #include "network/mesh.h"
@@ -225,6 +226,27 @@ class PatchArch
 
     /** Patch rows/columns between lanes; 0 when lanes are off. */
     int lane_spacing = 0;
+};
+
+/**
+ * The expensive prepare artifact of the patch machine: everything a
+ * scheduler derives from the circuit and the seeded layout alone —
+ * the dependence DAG, the interaction graph, the PatchArch geometry
+ * (bisection, corridor refinement, lanes) and the per-gate
+ * criticality.  Immutable once built and shared across concurrent
+ * runs.  The surgery and hybrid simulators build their machines from
+ * identical PatchArchOptions, so one PatchPrepared serves both;
+ * handing a scheduler one is bit-identical to building it inline.
+ */
+struct PatchPrepared
+{
+    circuit::Dag dag;
+    circuit::InteractionGraph graph;
+    PatchArch arch;
+    std::vector<int> crit;
+
+    PatchPrepared(const circuit::Circuit &circ,
+                  const PatchArchOptions &arch_opts);
 };
 
 /**

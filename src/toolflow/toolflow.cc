@@ -1,10 +1,13 @@
 #include "toolflow/toolflow.h"
 
+#include <memory>
+
 #include "common/logging.h"
 #include "engine/registry.h"
 #include "qasm/flatten.h"
 #include "qasm/parser.h"
 #include "qec/factory.h"
+#include "service/artifact.h"
 
 namespace qsurf::toolflow {
 
@@ -41,14 +44,31 @@ run(const circuit::Circuit &logical, const Config &config)
         logical.name().empty() ? "circuit" : logical.name();
 
     // Frontend: optimize, decompose to Clifford+T and analyze
-    // (Figure 4 left).
-    circuit::Circuit optimized = config.run_peephole
-        ? circuit::peephole(logical, &report.peephole)
-        : logical;
-    circuit::Circuit circ =
-        circuit::decompose(optimized, config.decompose);
-    report.counts = circ.counts();
-    report.parallelism = circuit::parallelismProfile(circ);
+    // (Figure 4 left) — through the shared cache when enabled, so
+    // repeated runs of one program pay the frontend once.
+    service::PrepareCache *cache =
+        config.use_cache ? &service::PrepareCache::global() : nullptr;
+    std::shared_ptr<const service::CachedProgram> program;
+    circuit::Circuit local_circ;
+    const circuit::Circuit *circ = nullptr;
+    uint64_t fingerprint = 0;
+    if (cache) {
+        program = service::cachedProgram(
+            *cache, logical, config.decompose, config.run_peephole);
+        report.peephole = program->peephole;
+        report.counts = program->counts;
+        report.parallelism = program->parallelism;
+        circ = &program->circ;
+        fingerprint = program->fingerprint;
+    } else {
+        circuit::Circuit optimized = config.run_peephole
+            ? circuit::peephole(logical, &report.peephole)
+            : logical;
+        local_circ = circuit::decompose(optimized, config.decompose);
+        report.counts = local_circ.counts();
+        report.parallelism = circuit::parallelismProfile(local_circ);
+        circ = &local_circ;
+    }
 
     // Code-distance selection from the logical-op count and pP.
     auto kq = static_cast<double>(report.counts.total);
@@ -63,7 +83,8 @@ run(const circuit::Circuit &logical, const Config &config)
     engine::WorkItem item;
     item.app = config.app;
     item.app_name = report.app_name;
-    item.circuit = &circ;
+    item.circuit = circ;
+    item.circuit_fingerprint = fingerprint;
     item.config.tech = config.tech;
     item.config.code_distance = report.code_distance;
     item.config.policy = static_cast<int>(config.policy);
@@ -83,7 +104,10 @@ run(const circuit::Circuit &logical, const Config &config)
     for (const std::string &name : names) {
         const engine::Backend &backend = registry.get(name);
         backend.prepare(item);
-        engine::Metrics m = backend.run(item);
+        std::shared_ptr<const engine::PreparedArtifact> artifact;
+        if (cache)
+            artifact = service::fetchArtifact(*cache, backend, item);
+        engine::Metrics m = backend.run(item, artifact.get());
         if (m.backend == engine::backends::planar)
             report.planar = toBackendReport(m);
         else if (m.backend == engine::backends::double_defect)
@@ -96,6 +120,14 @@ run(const circuit::Circuit &logical, const Config &config)
 Report
 runQasm(const std::string &qasm_source, const Config &config)
 {
+    if (config.use_cache) {
+        // Keyed by a hash of the source text: repeated runs of one
+        // QASM program skip the parse/flatten stage entirely.
+        std::shared_ptr<const circuit::Circuit> circ =
+            service::cachedQasmCircuit(
+                service::PrepareCache::global(), qasm_source);
+        return run(*circ, config);
+    }
     qasm::Program prog = qasm::parse(qasm_source);
     circuit::Circuit circ = qasm::flatten(prog);
     return run(circ, config);

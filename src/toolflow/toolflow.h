@@ -41,6 +41,14 @@ struct Config
     /** Run logical-level peephole optimization before decomposing. */
     bool run_peephole = true;
 
+    /**
+     * Route the frontend (parse/peephole/decompose/analyze) and the
+     * per-backend machine layouts through the process-wide
+     * PrepareCache, so repeated runs of one program warm-start.
+     * Reports are bit-identical either way.
+     */
+    bool use_cache = true;
+
     /** Braid priority policy for the double-defect backend. */
     braid::Policy policy = braid::Policy::Combined;
 

@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "engine/sweep.h"
+#include "service/cache.h"
 
 namespace qsurf::engine {
 namespace {
@@ -176,9 +177,11 @@ TEST(Sweep, WritesParseableJson)
     grid.distances = {5};
 
     std::string path = "sweep_test_output.json";
+    service::PrepareCache cache;
     SweepOptions opts;
     opts.json_path = path;
     opts.title = "sweep \"test\"";
+    opts.cache = &cache;
     auto results = SweepDriver().run(grid, opts);
 
     std::ifstream in(path);
@@ -195,7 +198,7 @@ TEST(Sweep, WritesParseableJson)
         EXPECT_NE(json.find(needle), std::string::npos) << needle;
 
     std::ostringstream direct;
-    writeSweepJson(direct, "sweep \"test\"", results);
+    writeSweepJson(direct, "sweep \"test\"", results, &cache);
     EXPECT_EQ(json, direct.str());
 }
 
