@@ -13,12 +13,20 @@
  * two modes stayed bit-identical (they must; a mismatch makes the
  * bench exit nonzero so CI catches it).
  *
+ * The grid then runs twice more in event-driven mode to price the
+ * observability hooks: once against the null TraceRecorder (every
+ * emission site takes its branch, events vanish at the no-op
+ * virtual) and once under a full TraceSession with all three sinks
+ * rendered.  BENCH_perf.json records both overheads; results must
+ * stay bit-identical across all four passes.
+ *
  * Run with --smoke for a reduced grid (CI-friendly).
  */
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +34,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "engine/sweep.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -100,6 +109,25 @@ main(int argc, char **argv)
     fatalIf(baseline.size() != fast.size(),
             "mode runs expanded to different grids");
 
+    // Tracing overhead, both tiers: the null recorder (pure hook
+    // dispatch cost) and a full recording session with the sinks
+    // rendered to memory.
+    obs::NullTraceRecorder null_recorder;
+    grid.base.trace = &null_recorder;
+    auto null_traced = engine::SweepDriver().run(grid, opts);
+    grid.base.trace = nullptr;
+
+    obs::TraceSession session;
+    engine::SweepOptions traced_opts = opts;
+    traced_opts.trace = &session;
+    auto traced = engine::SweepDriver().run(grid, traced_opts);
+    {
+        std::ostringstream sinks;
+        session.writeTrace(sinks);
+        session.writeHeatmap(sinks);
+        session.writeMetrics(sinks);
+    }
+
     Table t(std::string("Engine perf: event-driven fast-forward vs "
                         "cycle-stepped baseline")
             + (smoke ? " (smoke grid)" : ""));
@@ -108,13 +136,19 @@ main(int argc, char **argv)
 
     double base_total_ms = 0;
     double fast_total_ms = 0;
+    double null_total_ms = 0;
+    double traced_total_ms = 0;
     bool identical = true;
     for (size_t i = 0; i < fast.size(); ++i) {
         const engine::SweepPoint &b = baseline[i];
         const engine::SweepPoint &f = fast[i];
-        identical = identical && sameResults(b.metrics, f.metrics);
+        identical = identical && sameResults(b.metrics, f.metrics)
+            && sameResults(f.metrics, null_traced[i].metrics)
+            && sameResults(f.metrics, traced[i].metrics);
         base_total_ms += b.wall_ms;
         fast_total_ms += f.wall_ms;
+        null_total_ms += null_traced[i].wall_ms;
+        traced_total_ms += traced[i].wall_ms;
         double speedup =
             f.wall_ms > 0 ? b.wall_ms / f.wall_ms : 0.0;
         t.addRow(f.app_name, f.backend, f.metrics.code_distance,
@@ -129,6 +163,21 @@ main(int argc, char **argv)
 
     double total_speedup =
         fast_total_ms > 0 ? base_total_ms / fast_total_ms : 0.0;
+    double null_overhead = fast_total_ms > 0
+        ? null_total_ms / fast_total_ms - 1.0
+        : 0.0;
+    double traced_overhead = fast_total_ms > 0
+        ? traced_total_ms / fast_total_ms - 1.0
+        : 0.0;
+
+    Table to("Tracing overhead (event-driven grid)");
+    to.header({"mode", "total ms", "overhead"});
+    to.addRow("untraced", Table::fixed(fast_total_ms, 1), "-");
+    to.addRow("null recorder", Table::fixed(null_total_ms, 1),
+              Table::fixed(null_overhead * 100, 1) + "%");
+    to.addRow("full session", Table::fixed(traced_total_ms, 1),
+              Table::fixed(traced_overhead * 100, 1) + "%");
+    to.print(std::cout);
 
     const char *json_path = "BENCH_perf.json";
     {
@@ -143,6 +192,10 @@ main(int argc, char **argv)
         j.field("baseline_wall_ms_total", base_total_ms);
         j.field("fast_forward_wall_ms_total", fast_total_ms);
         j.field("speedup_total", total_speedup);
+        j.field("null_trace_wall_ms_total", null_total_ms);
+        j.field("null_trace_overhead", null_overhead);
+        j.field("traced_wall_ms_total", traced_total_ms);
+        j.field("traced_overhead", traced_overhead);
         j.key("results");
         j.beginArray();
         for (size_t i = 0; i < fast.size(); ++i) {

@@ -19,7 +19,10 @@
  * seeded layouts, and the surgery and hybrid backends share one
  * patch machine.
  *
- * Run with --smoke for a reduced workload (CI-friendly).
+ * Run with --smoke for a reduced workload (CI-friendly), and
+ * --metrics=PATH to dump the service telemetry registry (request
+ * latency histograms, queue depth, per-shard cache traffic) as JSON
+ * on exit.
  */
 
 #include <chrono>
@@ -34,6 +37,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "engine/sweep.h"
+#include "obs/metrics.h"
 #include "service/cache.h"
 #include "service/service.h"
 
@@ -197,8 +201,13 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    std::string metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strncmp(argv[i], "--metrics=", 10) == 0)
+            metrics_path = argv[i] + 10;
+    }
 
     // ---- Part A: cold vs warm request throughput. ----------------
     std::vector<service::CompileRequest> unique =
@@ -375,6 +384,16 @@ main(int argc, char **argv)
         os << "\n";
     }
     std::cout << "wrote " << json_path << "\n";
+
+    if (!metrics_path.empty()) {
+        svc.exportTelemetry();
+        std::ofstream os(metrics_path);
+        fatalIf(!os, "cannot open '", metrics_path,
+                "' for writing");
+        obs::writeMetricsJson(
+            os, obs::MetricsRegistry::global().snapshot());
+        std::cout << "wrote " << metrics_path << "\n";
+    }
 
     if (!identical || !sweep_identical) {
         std::cerr << "ERROR: cached results diverged from "

@@ -20,6 +20,7 @@
 
 #include "common/table.h"
 #include "engine/registry.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 int
@@ -84,6 +85,30 @@ main()
               << " misses (hit ratio "
               << Table::fixed(stats.cache.hitRatio(), 2) << "), "
               << stats.cache.entries << " entries\n";
+    // Service telemetry: the "service.*" stream metrics recorded
+    // live by submit() and the workers, plus the point-in-time
+    // queue/cache gauges exportTelemetry() publishes.
+    svc.exportTelemetry();
+    obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    Table tele("Service telemetry");
+    tele.header({"histogram", "count", "mean", "p50", "p95"});
+    for (const auto &[name, h] : snap.histograms) {
+        if (name.compare(0, 8, "service.") != 0)
+            continue;
+        tele.addRow(name, h.count, Table::fixed(h.mean(), 2),
+                    Table::fixed(h.p50, 2), Table::fixed(h.p95, 2));
+    }
+    std::cout << "\n";
+    tele.print(std::cout);
+    std::cout << "gauges:";
+    for (const auto &[name, v] : snap.gauges)
+        if (name.compare(0, 6, "cache.") == 0
+                ? name.find(".shard") == std::string::npos
+                : name == "service.queue.depth")
+            std::cout << " " << name << "=" << v;
+    std::cout << "\n";
+
     std::cout << "\nTry: submit your own circuit by setting "
                  "CompileRequest::circuit, or point\nseveral "
                  "clients at one service and watch the batch "

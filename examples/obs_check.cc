@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Schema checker for the observability sinks — the CI gate behind
+ * the traced smoke runs.
+ *
+ *   $ ./obs_check trace trace.json
+ *   $ ./obs_check heatmap trace.heatmap.json
+ *   $ ./obs_check metrics metrics.json
+ *
+ * Parses the file with the common JSON parser and validates the
+ * structural invariants of the named sink (Chrome trace-event
+ * shape, heatmap link bounds, histogram ordering).  Prints one
+ * summary line and exits 0 when valid, 1 with a diagnostic when
+ * not.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace {
+
+using qsurf::JsonValue;
+
+std::string fail_reason;
+
+bool
+fail(const std::string &why)
+{
+    if (fail_reason.empty())
+        fail_reason = why;
+    return false;
+}
+
+bool
+isUint(const JsonValue *v)
+{
+    return v && v->isNumber() && v->num >= 0;
+}
+
+bool
+checkTrace(const JsonValue &root)
+{
+    if (!root.isObject())
+        return fail("root is not an object");
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("missing traceEvents array");
+    size_t real_events = 0;
+    for (size_t i = 0; i < events->items.size(); ++i) {
+        const JsonValue &e = events->items[i];
+        std::string at = "traceEvents[" + std::to_string(i) + "]";
+        if (!e.isObject())
+            return fail(at + " is not an object");
+        const JsonValue *ph = e.find("ph");
+        if (!ph || !ph->isString())
+            return fail(at + " has no ph");
+        const JsonValue *name = e.find("name");
+        if (!name || !name->isString())
+            return fail(at + " has no name");
+        if (!isUint(e.find("pid")))
+            return fail(at + " has no pid");
+        if (ph->str == "M")
+            continue; // Metadata: process/thread names.
+        ++real_events;
+        if (!e.find("tid") || !e.find("tid")->isNumber())
+            return fail(at + " has no tid");
+        if (!e.find("ts") || !e.find("ts")->isNumber())
+            return fail(at + " has no ts");
+        if (ph->str == "X") {
+            if (!isUint(e.find("dur")))
+                return fail(at + " complete event has no dur");
+        } else if (ph->str == "i") {
+            const JsonValue *scope = e.find("s");
+            if (!scope || !scope->isString())
+                return fail(at + " instant event has no scope");
+        } else {
+            return fail(at + " has unexpected ph '" + ph->str + "'");
+        }
+        const JsonValue *args = e.find("args");
+        if (!args || !args->isObject())
+            return fail(at + " has no args");
+    }
+    if (real_events == 0)
+        return fail("trace contains no events");
+    std::cout << "trace OK: " << real_events << " events\n";
+    return true;
+}
+
+bool
+checkHeatmap(const JsonValue &root)
+{
+    if (!root.isObject())
+        return fail("root is not an object");
+    const JsonValue *runs = root.find("runs");
+    if (!runs || !runs->isArray())
+        return fail("missing runs array");
+    size_t links = 0;
+    double busy_total = 0;
+    for (size_t r = 0; r < runs->items.size(); ++r) {
+        const JsonValue &run = runs->items[r];
+        std::string at = "runs[" + std::to_string(r) + "]";
+        if (!run.isObject())
+            return fail(at + " is not an object");
+        const JsonValue *w = run.find("width");
+        const JsonValue *h = run.find("height");
+        if (!isUint(w) || w->num < 1 || !isUint(h) || h->num < 1)
+            return fail(at + " has bad mesh dimensions");
+        const JsonValue *bucket = run.find("bucket_cycles");
+        if (!isUint(bucket) || bucket->num < 1)
+            return fail(at + " has bad bucket_cycles");
+        const JsonValue *backend = run.find("backend");
+        if (!backend || !backend->isString())
+            return fail(at + " has no backend");
+        const JsonValue *ls = run.find("links");
+        if (!ls || !ls->isArray())
+            return fail(at + " has no links array");
+        for (size_t l = 0; l < ls->items.size(); ++l) {
+            const JsonValue &link = ls->items[l];
+            std::string lat = at + ".links[" + std::to_string(l)
+                + "]";
+            const JsonValue *x = link.find("x");
+            const JsonValue *y = link.find("y");
+            const JsonValue *dir = link.find("dir");
+            if (!isUint(x) || x->num >= w->num || !isUint(y)
+                || y->num >= h->num)
+                return fail(lat + " is out of mesh bounds");
+            if (!isUint(dir) || dir->num > 1)
+                return fail(lat + " has bad dir");
+            const JsonValue *busy = link.find("busy");
+            if (!busy || !busy->isArray() || busy->items.empty())
+                return fail(lat + " has no busy buckets");
+            double total = 0;
+            for (const JsonValue &b : busy->items) {
+                if (!b.isNumber() || b.num < 0)
+                    return fail(lat + " has a bad busy value");
+                total += b.num;
+            }
+            if (total <= 0)
+                return fail(lat + " is all-zero (should be "
+                                  "trimmed)");
+            busy_total += total;
+            ++links;
+        }
+    }
+    std::cout << "heatmap OK: " << runs->items.size() << " runs, "
+              << links << " busy links, " << busy_total
+              << " link-busy cycles\n";
+    return true;
+}
+
+bool
+checkMetrics(const JsonValue &root)
+{
+    if (!root.isObject())
+        return fail("root is not an object");
+    for (const char *section : {"counters", "gauges", "histograms"}) {
+        const JsonValue *s = root.find(section);
+        if (!s || !s->isObject())
+            return fail(std::string("missing ") + section
+                        + " object");
+    }
+    for (const auto &[name, v] : root.find("counters")->members)
+        if (!v.isNumber() || v.num < 0)
+            return fail("counter '" + name + "' is not a "
+                                             "non-negative number");
+    for (const auto &[name, v] : root.find("gauges")->members)
+        if (!v.isNumber())
+            return fail("gauge '" + name + "' is not a number");
+    const JsonValue *hists = root.find("histograms");
+    for (const auto &[name, h] : hists->members) {
+        if (!h.isObject())
+            return fail("histogram '" + name
+                        + "' is not an object");
+        for (const char *field : {"count", "sum", "mean", "min",
+                                  "max", "p50", "p95", "p99"}) {
+            const JsonValue *f = h.find(field);
+            if (!f || !f->isNumber())
+                return fail("histogram '" + name + "' misses "
+                            + field);
+        }
+        if (h.find("count")->num < 1)
+            return fail("histogram '" + name + "' has count < 1");
+        double p50 = h.find("p50")->num;
+        double p95 = h.find("p95")->num;
+        double p99 = h.find("p99")->num;
+        double max = h.find("max")->num;
+        if (!(p50 <= p95 && p95 <= p99 && p99 <= max))
+            return fail("histogram '" + name
+                        + "' percentiles are out of order");
+    }
+    std::cout << "metrics OK: "
+              << root.find("counters")->members.size()
+              << " counters, "
+              << root.find("gauges")->members.size() << " gauges, "
+              << hists->members.size() << " histograms\n";
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr
+            << "usage: obs_check <trace|heatmap|metrics> <file>\n";
+        return 2;
+    }
+    std::string kind = argv[1];
+    std::ifstream in(argv[2]);
+    if (!in) {
+        std::cerr << "cannot open " << argv[2] << "\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    bool ok = false;
+    try {
+        JsonValue root = qsurf::parseJson(buf.str());
+        if (kind == "trace")
+            ok = checkTrace(root);
+        else if (kind == "heatmap")
+            ok = checkHeatmap(root);
+        else if (kind == "metrics")
+            ok = checkMetrics(root);
+        else {
+            std::cerr << "unknown sink kind '" << kind << "'\n";
+            return 2;
+        }
+    } catch (const qsurf::FatalError &e) {
+        fail_reason = e.what();
+    }
+    if (!ok) {
+        std::cerr << kind << " check failed: " << fail_reason
+                  << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -7,11 +7,16 @@
  *
  *   $ ./qasm_compiler program.qasm
  *   $ echo 'qbit q[2]; H q[0]; CNOT q[0], q[1];' | ./qasm_compiler
+ *
+ * Pass --trace=PATH and/or --metrics=PATH to also write the
+ * observability sinks for the backend comparison (see README,
+ * "Observability").
  */
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "circuit/decompose.h"
 #include "common/logging.h"
@@ -26,11 +31,28 @@ main(int argc, char **argv)
 {
     using namespace qsurf;
 
+    toolflow::Config config;
+    std::string input_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.compare(0, 8, "--trace=") == 0) {
+            config.trace_path = arg.substr(8);
+        } else if (arg.compare(0, 10, "--metrics=") == 0) {
+            config.metrics_path = arg.substr(10);
+        } else if (input_path.empty()) {
+            input_path = arg;
+        } else {
+            std::cerr << "usage: qasm_compiler [--trace=PATH] "
+                         "[--metrics=PATH] [program.qasm]\n";
+            return 2;
+        }
+    }
+
     std::string source;
-    if (argc > 1) {
-        std::ifstream in(argv[1]);
+    if (!input_path.empty()) {
+        std::ifstream in(input_path);
         if (!in) {
-            std::cerr << "cannot open " << argv[1] << "\n";
+            std::cerr << "cannot open " << input_path << "\n";
             return 1;
         }
         std::ostringstream buf;
@@ -57,7 +79,7 @@ main(int argc, char **argv)
         std::cout << "Flattened QASM:\n"
                   << qasm::writeString(flat) << "\n";
 
-        toolflow::Report report = toolflow::run(flat);
+        toolflow::Report report = toolflow::run(flat, config);
         std::cout << toolflow::format(report);
     } catch (const qsurf::FatalError &e) {
         std::cerr << "compilation failed: " << e.what() << "\n";

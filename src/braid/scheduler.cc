@@ -93,8 +93,11 @@ class Simulator
         : circ(circ), policy(policy), opts(opts), dag(prep.dag),
           graph(prep.graph), arch(prep.arch), mesh(arch.makeMesh()),
           claim_opts(makeClaimOptions(opts)),
-          claimer(mesh, claim_opts), crit(prep.crit)
+          claimer(mesh, claim_opts), crit(prep.crit),
+          trace(opts.trace)
     {
+        if (trace)
+            trace->meshDims(mesh.width(), mesh.height());
         // Factory preference orders are a pure function of the
         // static layout; memoize them per qubit so a stalled T gate
         // doesn't re-sort the factory list every failed attempt.
@@ -107,6 +110,7 @@ class Simulator
         factories.configure(arch.numFactories(),
                             opts.magic_production_cycles,
                             opts.magic_buffer_capacity);
+        factories.setTrace(trace);
         // Policy 6 treats the top criticality quartile as "highest
         // criticality" (short-first); the rest go long-first.
         std::vector<int> sorted_crit = crit;
@@ -212,6 +216,9 @@ class Simulator
         ops[static_cast<size_t>(i)].stage = stage;
         ops[static_cast<size_t>(i)].wait = 0;
         ready.insert(makeEntry(i));
+        if (trace)
+            trace->record({cycle, obs::EventKind::OpReady, i,
+                           stage == Stage::Seg2Ready ? 1 : 0});
     }
 
     /** Build the policy-specific sort key (Section 6.3). */
@@ -257,6 +264,9 @@ class Simulator
     {
         OpRec &op = ops[static_cast<size_t>(i)];
         if (op.cls == OpClass::Local) {
+            if (trace)
+                trace->record({cycle, obs::EventKind::OpIssue, i, 0,
+                               opts.code_distance});
             activate(i, opts.code_distance);
             return true;
         }
@@ -276,21 +286,60 @@ class Simulator
                        })) {
             ++magic_starvations;
             ++pass_starved;
+            if (trace
+                && obs::stallEventGate(op.wait, opts.adapt_timeout,
+                                       opts.bfs_timeout))
+                trace->record(
+                    {cycle, obs::EventKind::FactoryStarve, i});
             return false;
         }
 
         // Figure 5: the two segments take different geometries; we
         // open part 1 XY-first and part 2 YX-first.
         bool closing = op.stage == Stage::Seg2Ready;
+        uint64_t transpose_before = 0;
+        uint64_t bfs_before = 0;
+        if (trace) {
+            transpose_before = claimer.transposeFallbacks();
+            bfs_before = claimer.bfsDetours();
+        }
         for (const auto &[dst, factory] : dsts) {
             auto path =
                 claimer.tryClaim(src, dst, i, op.wait, closing);
             if (path) {
                 factories.consume(factory);
+                if (trace) {
+                    int64_t stage =
+                        claimer.bfsDetours() > bfs_before ? 2
+                        : claimer.transposeFallbacks()
+                                > transpose_before
+                            ? 1
+                            : 0;
+                    trace->record({cycle,
+                                   obs::EventKind::RouteClaim, i,
+                                   stage, path->hops(), factory});
+                    if (stage > 0)
+                        trace->record(
+                            {cycle, obs::EventKind::RouteFallback,
+                             i, stage});
+                    trace->routeHeld(
+                        *path, cycle,
+                        static_cast<uint64_t>(opts.code_distance)
+                            + 1);
+                    trace->record(
+                        {cycle, obs::EventKind::OpIssue, i,
+                         op.cls == OpClass::TGate ? 1 : 2,
+                         opts.code_distance + 1});
+                }
                 placed(i, std::move(*path));
                 return true;
             }
         }
+        if (trace
+            && obs::stallEventGate(op.wait, opts.adapt_timeout,
+                                   opts.bfs_timeout))
+            trace->record({cycle, obs::EventKind::RouteDeny, i,
+                           op.wait});
         return false;
     }
 
@@ -351,6 +400,9 @@ class Simulator
                 op.wait = 0;
                 it = ready.erase(it);
                 dropped_scratch.push_back(i);
+                if (trace)
+                    trace->record(
+                        {cycle, obs::EventKind::RouteDrop, i});
                 continue;
             }
             attempted.push_back({i, wait_used});
@@ -390,6 +442,8 @@ class Simulator
             ++drops;
             ++pass_dropped;
             op.wait = opts.bfs_timeout;
+            if (trace)
+                trace->record({cycle, obs::EventKind::RouteDrop, i});
         }
         attempted.push_back({i, wait_used});
     }
@@ -417,6 +471,9 @@ class Simulator
                 // T gate's candidate factories.
                 factories.registerEvents(planner);
             });
+        if (trace && skip > 0)
+            trace->record({cycle, obs::EventKind::FastForwardSkip,
+                           -1, static_cast<int64_t>(skip)});
         cycle += skip;
         magic_starvations += pass_starved * skip;
     }
@@ -440,6 +497,8 @@ class Simulator
             }
             op.stage = Stage::Done;
             ++completed;
+            if (trace)
+                trace->record({cycle, obs::EventKind::OpRetire, i});
             for (int s : dag.succs(i))
                 if (--ops[static_cast<size_t>(s)].pending_preds == 0)
                     makeReady(s, Stage::Ready);
@@ -475,6 +534,7 @@ class Simulator
     std::vector<std::pair<Coord, int>> dsts_scratch;
 
     engine::MagicFactoryPool factories;
+    obs::TraceRecorder *trace;
 
     uint64_t braids_placed = 0;
     uint64_t placement_failures = 0;

@@ -27,6 +27,7 @@
 #include "circuit/circuit.h"
 #include "circuit/dag.h"
 #include "circuit/interaction.h"
+#include "obs/trace.h"
 
 namespace qsurf::braid {
 
@@ -102,6 +103,10 @@ struct BraidOptions
 
     /** Layout RNG seed. */
     uint64_t seed = 1;
+
+    /** Structured-event trace hook; null disables tracing (see
+     *  obs/trace.h).  Never changes results. */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Results of one braid-scheduling run (one Figure 6 bar). */

@@ -1,7 +1,10 @@
 #include "common/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -205,6 +208,295 @@ JsonWriter::null()
     separate();
     os << "null";
     need_comma = true;
+}
+
+// --------------------------------------------------------------- parser
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    // Last value wins on duplicate keys, matching what a rewriting
+    // producer would have meant.
+    const JsonValue *found = nullptr;
+    for (const auto &[name, value] : members)
+        if (name == key)
+            found = &value;
+    return found;
+}
+
+namespace {
+
+/** Recursive-descent parser over the whole input string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos != text.size())
+            fatal("json: trailing content at ", where());
+        return v;
+    }
+
+  private:
+    // where() rescans the input to locate pos, so every call below
+    // guards it behind its failure condition (never pass it to the
+    // eager fatalIf) — otherwise each token pays a scan and parsing
+    // goes quadratic.
+    std::string
+    where() const
+    {
+        size_t line = 1;
+        size_t col = 1;
+        for (size_t i = 0; i < pos && i < text.size(); ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        return "line " + std::to_string(line) + ", column "
+            + std::to_string(col);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        fatalIf(pos >= text.size(),
+                "json: unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= text.size() || text[pos] != c)
+            fatal("json: expected '", std::string(1, c), "' at ",
+                  where());
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (text.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.str = parseString();
+            return v;
+          }
+          case 't': {
+            if (!consumeLiteral("true"))
+                fatal("json: bad literal at ", where());
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+          }
+          case 'f': {
+            if (!consumeLiteral("false"))
+                fatal("json: bad literal at ", where());
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+          }
+          case 'n':
+            if (!consumeLiteral("null"))
+                fatal("json: bad literal at ", where());
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            fatalIf(pos >= text.size(),
+                    "json: unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                if (static_cast<unsigned char>(c) < 0x20)
+                    fatal("json: raw control character in string "
+                          "at ",
+                          where());
+                out += c;
+                continue;
+            }
+            fatalIf(pos >= text.size(),
+                    "json: unterminated escape");
+            char esc = text[pos++];
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fatal("json: truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fatal("json: bad \\u escape at ", where());
+                }
+                // UTF-8 encode; the writers only emit \u00xx but
+                // hand-written inputs may carry the full BMP.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80
+                                             | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fatal("json: bad escape '\\",
+                      std::string(1, esc), "' at ", where());
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size()
+               && (std::isdigit(
+                       static_cast<unsigned char>(text[pos]))
+                   || text[pos] == '.' || text[pos] == 'e'
+                   || text[pos] == 'E' || text[pos] == '+'
+                   || text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            fatal("json: unexpected character '",
+                  std::string(1, text[start]), "' at ", where());
+        std::string lit = text.substr(start, pos - start);
+        char *end = nullptr;
+        double v = std::strtod(lit.c_str(), &end);
+        if (end != lit.c_str() + lit.size())
+            fatal("json: bad number '", lit, "' at ", where());
+        JsonValue out;
+        out.kind = JsonValue::Kind::Number;
+        out.num = v;
+        return out;
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
 }
 
 } // namespace qsurf

@@ -11,8 +11,10 @@
 #define QSURF_COMMON_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qsurf {
@@ -80,6 +82,50 @@ class JsonWriter
     bool need_comma = false;
     bool after_key = false;
 };
+
+/**
+ * A parsed JSON document node.  The parser exists so tools can read
+ * back what the writers emit — the obs_check schema validator and
+ * round-trip tests — not as a general-purpose JSON library: object
+ * members keep insertion order, duplicate keys keep the last value.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double num = 0;
+    std::string str;
+    std::vector<JsonValue> items; ///< Array elements.
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** @return the member named @p key, or null when absent (or when
+     *  this is not an object). */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing content not).  Syntax errors fatal() with a line/column
+ * description.
+ */
+JsonValue parseJson(const std::string &text);
 
 } // namespace qsurf
 

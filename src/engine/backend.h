@@ -33,6 +33,10 @@
 #include "qec/code.h"
 #include "qec/technology.h"
 
+namespace qsurf::obs {
+class TraceRecorder;
+} // namespace qsurf::obs
+
 namespace qsurf::engine {
 
 /** Uniform result record of one backend run (one figure point). */
@@ -191,6 +195,17 @@ struct RunConfig
 
     /** Layout / tie-break RNG seed. */
     uint64_t seed = 1;
+
+    /**
+     * Structured-event trace hook (see obs/trace.h); null disables
+     * tracing.  Recording never changes simulation behaviour —
+     * Metrics are bit-identical with tracing on or off — and the
+     * pointer is deliberately excluded from every artifactKey()
+     * (tracing is an observation channel, not an input).  A
+     * recorder is owned by exactly one run; the sweep driver wires
+     * a fresh one into each item.
+     */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** One unit of work handed to a backend. */

@@ -124,6 +124,7 @@ class DoubleDefectBackend : public Backend
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =
             item.config.magic_buffer_capacity;
+        opts.trace = item.config.trace;
         auto policy =
             static_cast<braid::Policy>(item.config.policy);
         braid::BraidResult r;
@@ -224,6 +225,7 @@ class PlanarBackend : public Backend
         opts.epr_bandwidth = item.config.epr_bandwidth;
         opts.tech = item.config.tech;
         opts.legacy_level_scan = item.config.legacy_baseline;
+        opts.trace = item.config.trace;
         planar::PlanarResult r;
         if (artifact) {
             auto *a = dynamic_cast<const PlanarArtifact *>(artifact);

@@ -25,6 +25,7 @@
 
 #include "network/mesh.h"
 #include "network/route.h"
+#include "obs/trace.h"
 
 namespace qsurf::engine {
 
@@ -471,6 +472,15 @@ class MagicFactoryPool
     /** @return true when production is rate-limited. */
     bool limited() const { return production_ > 0; }
 
+    /**
+     * Attach a trace hook; replenish() then emits FactoryReplenish
+     * events.  Events are timestamped with the factory's production
+     * deadline, not the cycle replenish() happened to be called at,
+     * so a fast-forwarding scheduler catching up several refills in
+     * one call produces the exact event stream of the stepped loop.
+     */
+    void setTrace(obs::TraceRecorder *trace) { trace_ = trace; }
+
     /** @return true when factory @p f can supply a state now. */
     bool
     hasState(int f) const
@@ -491,7 +501,14 @@ class MagicFactoryPool
             return;
         for (size_t f = 0; f < stock_.size(); ++f) {
             while (next_ready_[f] <= now) {
-                stock_[f] = std::min(stock_[f] + 1, capacity_);
+                if (stock_[f] < capacity_) {
+                    ++stock_[f];
+                    if (trace_)
+                        trace_->record(
+                            {next_ready_[f],
+                             obs::EventKind::FactoryReplenish,
+                             static_cast<int32_t>(f), stock_[f]});
+                }
                 next_ready_[f] += static_cast<uint64_t>(production_);
             }
         }
@@ -518,6 +535,7 @@ class MagicFactoryPool
     int capacity_ = 0;
     std::vector<int> stock_;
     std::vector<uint64_t> next_ready_;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 /**

@@ -185,6 +185,15 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
                             - prep_start)
                             .count();
                 }
+                // Each item is executed by exactly one worker, so
+                // wiring a per-run recorder into its config races
+                // with nothing.
+                std::unique_ptr<obs::RunRecorder> rec;
+                if (opts.trace) {
+                    rec = opts.trace->beginRun(i, points[i].app_name,
+                                               points[i].backend);
+                    items[i].config.trace = rec.get();
+                }
                 auto start = std::chrono::steady_clock::now();
                 points[i].metrics =
                     item_backend[i]->run(items[i], artifact.get());
@@ -192,6 +201,16 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
+                if (rec) {
+                    items[i].config.trace = nullptr;
+                    opts.trace->endRun(std::move(rec));
+                }
+                if (opts.metrics) {
+                    opts.metrics->observe("sweep.phase.prepare_ms",
+                                          points[i].prepare_ms);
+                    opts.metrics->observe("sweep.phase.run_ms",
+                                          points[i].wall_ms);
+                }
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error)

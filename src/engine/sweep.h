@@ -24,6 +24,7 @@
 
 #include "engine/backend.h"
 #include "engine/registry.h"
+#include "obs/trace.h"
 
 namespace qsurf::service {
 class PrepareCache;
@@ -174,6 +175,23 @@ struct SweepOptions
 
     /** Cache to use; null means PrepareCache::global(). */
     service::PrepareCache *cache = nullptr;
+
+    /**
+     * Trace session collecting structured events from every grid
+     * point; null disables tracing.  Each point gets its own
+     * RunRecorder keyed by grid index, so the session's files are
+     * identical at any thread count, and results are bit-identical
+     * with tracing on or off.
+     */
+    obs::TraceSession *trace = nullptr;
+
+    /**
+     * Registry receiving wall-clock per-point phase timings
+     * ("sweep.phase.prepare_ms", "sweep.phase.run_ms"); null
+     * disables.  Wall-clock numbers are kept out of the trace
+     * session's deterministic metrics on purpose.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /**

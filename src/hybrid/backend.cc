@@ -99,6 +99,7 @@ class HybridBackend : public engine::Backend
         opts.fast_forward = item.config.fast_forward;
         opts.legacy_paths = item.config.legacy_baseline;
         opts.seed = item.config.seed;
+        opts.trace = item.config.trace;
         HybridResult r;
         if (artifact) {
             auto *a = dynamic_cast<const surgery::PatchArtifact *>(

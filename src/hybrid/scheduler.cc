@@ -212,8 +212,11 @@ class Simulator
           claim_opts(makeClaimOptions(opts)),
           claimer(mesh, claim_opts), corridors(arch),
           arbiter(makeArbiter(opts.arbiter, makeCosts(opts))),
-          channels(channelSlots(opts, arch)), crit(prep.crit)
+          channels(channelSlots(opts, arch)), crit(prep.crit),
+          trace(opts.trace)
     {
+        if (trace)
+            trace->meshDims(mesh.width(), mesh.height());
         for (const Coord &terminal : arch.reservedTerminals())
             claimer.reserveTerminal(terminal);
         factory_order.resize(
@@ -225,6 +228,7 @@ class Simulator
         factories.configure(arch.numFactories(),
                             opts.magic_production_cycles,
                             opts.magic_buffer_capacity);
+        factories.setTrace(trace);
     }
 
     HybridResult
@@ -342,6 +346,8 @@ class Simulator
     {
         ops[static_cast<size_t>(i)].wait = 0;
         ready.insert(makeEntry(i));
+        if (trace)
+            trace->record({cycle, obs::EventKind::OpReady, i});
     }
 
     /** Criticality-first, short-corridor tie-break (like surgery:
@@ -384,6 +390,9 @@ class Simulator
         OpRec &op = ops[static_cast<size_t>(i)];
         if (op.cls == OpClass::Local) {
             ++local_ops;
+            if (trace)
+                trace->record({cycle, obs::EventKind::OpIssue, i, 0,
+                               opts.code_distance});
             activate(i, static_cast<uint64_t>(opts.code_distance));
             return true;
         }
@@ -394,8 +403,14 @@ class Simulator
         // so a per-attempt re-decision would answer identically —
         // which is what keeps fast-forward elision exact.
         if (!op.scheme_set) {
-            op.scheme = arbiter->choose(contextFor(op));
+            OpContext ctx = contextFor(op);
+            op.scheme = arbiter->choose(ctx);
             op.scheme_set = true;
+            if (trace)
+                trace->record({cycle,
+                               obs::EventKind::ArbiterDecision, i,
+                               static_cast<int64_t>(op.scheme),
+                               ctx.tiles});
         }
         return op.scheme == Scheme::Teleport ? placeTeleport(i)
                                              : placeCorridor(i);
@@ -417,6 +432,12 @@ class Simulator
             if (fac < 0) {
                 ++magic_starvations;
                 ++pass_starved;
+                if (trace
+                    && obs::stallEventGate(op.wait,
+                                           opts.adapt_timeout,
+                                           opts.bfs_timeout))
+                    trace->record(
+                        {cycle, obs::EventKind::FactoryStarve, i});
                 return false;
             }
             factories.consume(fac);
@@ -428,7 +449,19 @@ class Simulator
         uint64_t arrival = start + transport;
         live_eprs.add(cycle, arrival);
         ++teleport_ops;
-        activate(i, arrival - cycle + teleportTail(opts));
+        uint64_t duration = arrival - cycle + teleportTail(opts);
+        if (trace) {
+            trace->record({cycle, obs::EventKind::TeleportChannel, i,
+                           static_cast<int64_t>(start),
+                           static_cast<int64_t>(arrival)});
+            if (start > cycle)
+                trace->record({cycle, obs::EventKind::TeleportStall,
+                               i,
+                               static_cast<int64_t>(start - cycle)});
+            trace->record({cycle, obs::EventKind::OpIssue, i, 2,
+                           static_cast<int64_t>(duration)});
+        }
+        activate(i, duration);
         return true;
     }
 
@@ -466,9 +499,20 @@ class Simulator
                        })) {
             ++magic_starvations;
             ++pass_starved;
+            if (trace
+                && obs::stallEventGate(op.wait, opts.adapt_timeout,
+                                       opts.bfs_timeout))
+                trace->record(
+                    {cycle, obs::EventKind::FactoryStarve, i});
             return false;
         }
 
+        uint64_t transpose_before = 0;
+        uint64_t bfs_before = 0;
+        if (trace) {
+            transpose_before = claimer.transposeFallbacks();
+            bfs_before = claimer.bfsDetours();
+        }
         for (const auto &[dst, factory] : dsts) {
             const surgery::CorridorRouter::Routes &routes =
                 corridors.routes(src, dst);
@@ -476,11 +520,30 @@ class Simulator
                                           routes.fallback, i,
                                           op.wait);
             if (chain) {
+                if (trace) {
+                    int64_t stage = 0;
+                    if (claimer.bfsDetours() != bfs_before)
+                        stage = 2;
+                    else if (claimer.transposeFallbacks()
+                             != transpose_before)
+                        stage = 1;
+                    trace->record({cycle, obs::EventKind::RouteClaim,
+                                   i, stage, chain->hops(), factory});
+                    if (stage > 0)
+                        trace->record({cycle,
+                                       obs::EventKind::RouteFallback,
+                                       i, stage});
+                }
                 factories.consume(factory);
                 placed(i, std::move(*chain));
                 return true;
             }
         }
+        if (trace
+            && obs::stallEventGate(op.wait, opts.adapt_timeout,
+                                   opts.bfs_timeout))
+            trace->record(
+                {cycle, obs::EventKind::RouteDeny, i, op.wait});
         return false;
     }
 
@@ -490,15 +553,29 @@ class Simulator
     {
         OpRec &op = ops[static_cast<size_t>(i)];
         uint64_t duration;
+        int64_t lane;
+        int64_t tiles_held = 0;
         if (op.scheme == Scheme::Braid) {
             ++braid_ops;
             duration = braidHold(opts, op.cls);
+            lane = 1;
         } else {
             ++surgery_ops;
             int tiles = surgery::PatchArch::chainTiles(chain.hops());
             duration = chainCycles(opts, tiles) + 1;
+            lane = 3;
+            tiles_held = tiles;
         }
         op.route = std::move(chain);
+        if (trace) {
+            if (op.scheme == Scheme::Surgery)
+                trace->record({cycle, obs::EventKind::ChainHold, i,
+                               tiles_held,
+                               static_cast<int64_t>(duration)});
+            trace->routeHeld(op.route, cycle, duration);
+            trace->record({cycle, obs::EventKind::OpIssue, i, lane,
+                           static_cast<int64_t>(duration)});
+        }
         activate(i, duration);
     }
 
@@ -539,11 +616,20 @@ class Simulator
                 // teleport overlay; others re-arbitrate fresh.
                 ++drops;
                 ++pass_dropped;
+                if (trace)
+                    trace->record(
+                        {cycle, obs::EventKind::RouteDrop, i});
                 op.wait = 0;
                 if (op.scheme_set && op.scheme != Scheme::Teleport
                     && arbiter->fallbackToTeleport()) {
                     op.scheme = Scheme::Teleport;
                     ++arbiter_fallbacks;
+                    if (trace)
+                        trace->record(
+                            {cycle, obs::EventKind::ArbiterDecision,
+                             i,
+                             static_cast<int64_t>(Scheme::Teleport),
+                             op.est_tiles, 1});
                 } else {
                     op.scheme_set = false;
                 }
@@ -579,6 +665,9 @@ class Simulator
             [this](engine::FastForward &planner) {
                 factories.registerEvents(planner);
             });
+        if (trace && skip > 0)
+            trace->record({cycle, obs::EventKind::FastForwardSkip, -1,
+                           static_cast<int64_t>(skip)});
         cycle += skip;
         magic_starvations += pass_starved * skip;
     }
@@ -595,6 +684,8 @@ class Simulator
                 claimer.release(op.route, i);
                 op.route = network::Path{};
             }
+            if (trace)
+                trace->record({cycle, obs::EventKind::OpRetire, i});
             ++completed;
             for (int s : dag.succs(i))
                 if (--ops[static_cast<size_t>(s)].pending_preds == 0)
@@ -618,6 +709,7 @@ class Simulator
 
     std::vector<OpRec> ops;
     const std::vector<int> &crit;
+    obs::TraceRecorder *trace;
     std::vector<std::vector<int>> factory_order; ///< Per qubit.
     engine::ReadyQueue ready;
     engine::ExpiryQueue expiry;

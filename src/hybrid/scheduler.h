@@ -39,6 +39,7 @@
 
 #include "circuit/circuit.h"
 #include "hybrid/arbiter.h"
+#include "obs/trace.h"
 #include "partition/layout.h"
 #include "surgery/patch_arch.h"
 
@@ -128,6 +129,10 @@ struct HybridOptions
 
     /** Layout RNG seed. */
     uint64_t seed = 1;
+
+    /** Structured-event trace hook; null disables tracing (see
+     *  obs/trace.h).  Never changes results. */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Results of one hybrid-scheduling run. */

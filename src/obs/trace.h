@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Structured event tracing across every simulated backend.
+ *
+ * A TraceRecorder is a hook the schedulers call at their decision
+ * points — op lifecycle, route claims and denials, corridor holds,
+ * teleport channel use, factory replenish/starve, arbiter scheme
+ * picks, fast-forward skips.  The hook is a raw pointer defaulting
+ * to null in every options struct, and every emission site is
+ * guarded by `if (trace)`, so runs without tracing pay one untaken
+ * branch per event site and nothing else.  Tracing never changes
+ * simulation behaviour: results are bit-identical with tracing on or
+ * off, at any thread count.
+ *
+ * Event streams are pinned identical between fast-forward and
+ * stepped execution (modulo the FastForwardSkip events themselves).
+ * Success-path events only happen on passes that make progress, and
+ * fast-forward executes every progress pass.  Stall-path events
+ * (RouteDeny, FactoryStarve) are gated by stallEventGate(): they are
+ * recorded only on passes a fast-forwarding scheduler provably also
+ * executes — the first attempt after an op becomes ready or is
+ * re-queued (wait == 0) and the adapt/bfs escalation-threshold
+ * crossings, which are exactly fast-forward's wake-up targets.  The
+ * gate is a pure function of the op's wait counter, so both modes
+ * agree on it.  Replenish events are timestamped with the factory's
+ * production deadline (not the observation cycle), which the bulk
+ * catch-up loop reproduces exactly.
+ *
+ * Three sinks (see TraceSession::write*): a Chrome trace-event JSON
+ * that Perfetto loads directly, a per-link busy-cycle heatmap (the
+ * spatial congestion input the ROADMAP's congestion-aware layout
+ * items need), and the aggregate counter/histogram registry in
+ * obs/metrics.h.
+ */
+
+#ifndef QSURF_OBS_TRACE_H
+#define QSURF_OBS_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace qsurf::network {
+struct Path;
+} // namespace qsurf::network
+
+namespace qsurf::obs {
+
+/** Typed trace events.  The enum order is the canonical same-cycle
+ *  sort order (ready before issue before retire...). */
+enum class EventKind : uint8_t
+{
+    OpReady = 0,       ///< Op entered a ready queue (a = stage).
+    OpIssue,           ///< Op placed; a = lane, b = hold cycles.
+    OpRetire,          ///< Op finished and released its resources.
+    RouteClaim,        ///< Route claimed; a = fallback stage
+                       ///  (0 primary / 1 transpose / 2 bfs),
+                       ///  b = hops, c = factory index or -1.
+    RouteFallback,     ///< Claim needed a fallback; a = stage.
+    RouteDeny,         ///< Claim failed (gated; see stallEventGate).
+    RouteDrop,         ///< Op hit drop_timeout and was re-queued.
+    ChainHold,         ///< Surgery chain; a = tiles, b = hold cycles.
+    TeleportChannel,   ///< EPR transport; a = start, b = arrival.
+    TeleportStall,     ///< Planar step waited; a = stall cycles.
+    FactoryReplenish,  ///< Magic state produced; op = factory,
+                       ///  a = stock after.
+    FactoryStarve,     ///< No magic state available (gated).
+    ArbiterDecision,   ///< Hybrid scheme pick; a = scheme, b = tiles,
+                       ///  c = 1 on a reactive re-decision.
+    FastForwardSkip,   ///< Cycles elided; a = skipped count
+                       ///  (ff mode only; filtered in comparisons).
+};
+
+/** @return the stable lowercase name of @p kind ("route_deny"). */
+const char *eventKindName(EventKind kind);
+
+/** Number of EventKind values (for per-kind counter arrays). */
+inline constexpr int num_event_kinds =
+    static_cast<int>(EventKind::FastForwardSkip) + 1;
+
+/** One trace event.  Interpretation of a/b/c depends on kind. */
+struct TraceEvent
+{
+    uint64_t cycle = 0;
+    EventKind kind = EventKind::OpReady;
+    int32_t op = -1; ///< Scheduler op id, factory or step index.
+    int64_t a = 0;
+    int64_t b = 0;
+    int64_t c = 0;
+
+    friend bool operator==(const TraceEvent &,
+                           const TraceEvent &) = default;
+};
+
+/**
+ * Should a stall on this pass emit a RouteDeny/FactoryStarve event?
+ *
+ * True exactly on the passes both execution modes run: the first
+ * attempt (wait == 0, which follows a ready/retire/drop pass that
+ * always executes) and the adapt/bfs threshold crossings
+ * (fast-forward's stalled-op wake-up targets).  Intermediate waits
+ * are elided by fast-forward, so emitting there would make the
+ * streams diverge.
+ */
+inline bool
+stallEventGate(int wait_used, int adapt_timeout, int bfs_timeout)
+{
+    return wait_used == 0 || wait_used == adapt_timeout
+        || wait_used == bfs_timeout;
+}
+
+/**
+ * The scheduler-facing hook.  The base class is the null recorder:
+ * every virtual is a no-op, so a bench can measure pure dispatch
+ * cost by pointing schedulers at a plain TraceRecorder (the real
+ * "null vs off" overhead row in BENCH_perf.json).
+ */
+class TraceRecorder
+{
+  public:
+    virtual ~TraceRecorder() = default;
+
+    /** Record one event. */
+    virtual void record(const TraceEvent &) {}
+
+    /** Announce the mesh dimensions (sizes the heatmap). */
+    virtual void meshDims(int /*width*/, int /*height*/) {}
+
+    /**
+     * A route's links are held for [start, start + duration) —
+     * the heatmap's input.  Called alongside the RouteClaim /
+     * ChainHold event for the same claim.
+     */
+    virtual void routeHeld(const network::Path & /*route*/,
+                           uint64_t /*start*/,
+                           uint64_t /*duration*/)
+    {
+    }
+};
+
+/** Alias making "null recorder" call sites self-describing. */
+using NullTraceRecorder = TraceRecorder;
+
+/**
+ * Per-link busy-cycle accumulator with time bucketing.  Link ids are
+ * derived from route geometry alone: link (x, y, dir) is the link
+ * leaving node (x, y) toward +x (dir 0) or +y (dir 1).  Buckets
+ * start at 64 cycles wide and double (folding pairwise) whenever a
+ * hold lands past the last of the 64 buckets, so any run length maps
+ * onto a fixed-size dense grid.
+ */
+class HeatmapAccumulator
+{
+  public:
+    static constexpr int max_buckets = 64;
+
+    /** Size (or resize) to a @p width x @p height mesh. */
+    void configure(int width, int height);
+
+    /** Accumulate @p duration busy cycles starting at @p start over
+     *  every link of @p route. */
+    void add(const network::Path &route, uint64_t start,
+             uint64_t duration);
+
+    bool configured() const { return width_ > 0; }
+    int width() const { return width_; }
+    int height() const { return height_; }
+    uint64_t bucketCycles() const { return bucket_cycles_; }
+
+    /** @return the busy-cycle total of link (x, y, dir) summed over
+     *  all buckets. */
+    double linkTotal(int x, int y, int dir) const;
+
+    /** @return busy cycles of link (x, y, dir) in bucket @p b. */
+    double at(int x, int y, int dir, int b) const;
+
+  private:
+    void widen();
+    size_t linkIndex(int x, int y, int dir) const;
+
+    int width_ = 0;
+    int height_ = 0;
+    uint64_t bucket_cycles_ = 64;
+    /** Dense [link][bucket] grid, link-major. */
+    std::vector<double> cells_;
+};
+
+/**
+ * The recorder of one backend run: buffers events, accumulates the
+ * heatmap, and canonicalizes on finish().  Not thread-safe — each
+ * run owns exactly one recorder (sweep workers never share one).
+ */
+class RunRecorder final : public TraceRecorder
+{
+  public:
+    RunRecorder(size_t run_index, std::string label,
+                std::string backend)
+        : run_index_(run_index), label_(std::move(label)),
+          backend_(std::move(backend))
+    {
+    }
+
+    void record(const TraceEvent &e) override;
+    void meshDims(int width, int height) override;
+    void routeHeld(const network::Path &route, uint64_t start,
+                   uint64_t duration) override;
+
+    /**
+     * Canonicalize: stable-sort the event buffer by (cycle, kind,
+     * op, a, b, c).  Within one cycle the two execution modes (and
+     * the scheduler's internal phases) may interleave event kinds
+     * differently; the canonical order makes equal histories compare
+     * equal.  Idempotent.
+     */
+    void finish();
+
+    size_t runIndex() const { return run_index_; }
+    const std::string &label() const { return label_; }
+    const std::string &backend() const { return backend_; }
+    const std::vector<TraceEvent> &events() const { return events_; }
+    const HeatmapAccumulator &heatmap() const { return heatmap_; }
+
+  private:
+    size_t run_index_;
+    std::string label_;
+    std::string backend_;
+    std::vector<TraceEvent> events_;
+    HeatmapAccumulator heatmap_;
+};
+
+/**
+ * A tracing session aggregating any number of runs (e.g. every point
+ * of a sweep).  beginRun()/endRun() are thread-safe; runs are keyed
+ * by their caller-assigned index, so the written files depend only
+ * on the run set, never on completion order or thread count.
+ */
+class TraceSession
+{
+  public:
+    /** @return a fresh recorder for run @p index.  The caller wires
+     *  it into the scheduler options and hands it back to endRun. */
+    std::unique_ptr<RunRecorder> beginRun(size_t index,
+                                          std::string label,
+                                          std::string backend);
+
+    /** Finish @p rec, fold its event-derived metrics into the
+     *  session registry, and store it for the sinks. */
+    void endRun(std::unique_ptr<RunRecorder> rec);
+
+    /** @return the number of runs ended so far. */
+    size_t runs() const;
+
+    /** Event-derived aggregate metrics over all ended runs
+     *  (deterministic at any thread count). */
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /** Write all runs as Chrome trace-event JSON (Perfetto "Open
+     *  trace file"): one process per run, one track per lane. */
+    void writeTrace(std::ostream &os) const;
+
+    /** Write every run's heatmap as JSON (schema in the README). */
+    void writeHeatmap(std::ostream &os) const;
+
+    /** Write the session metrics registry (merged with @p extra when
+     *  non-null, e.g. the process-wide wall-clock registry). */
+    void writeMetrics(std::ostream &os,
+                      const MetricsRegistry *extra = nullptr) const;
+
+  private:
+    std::vector<const RunRecorder *> sortedRuns() const;
+    void aggregate(const RunRecorder &rec);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<RunRecorder>> ended_;
+    MetricsRegistry metrics_;
+};
+
+/** @return "<stem>.<suffix>.json" for "<stem>[.json]" — the derived
+ *  heatmap path of a --trace output. */
+std::string derivedPath(const std::string &path,
+                        const std::string &suffix);
+
+} // namespace qsurf::obs
+
+#endif // QSURF_OBS_TRACE_H

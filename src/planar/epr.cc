@@ -52,6 +52,12 @@ simulateEpr(const SimdSchedule &sched, const SimdArch &arch,
         uint64_t start = channels.acquire(now, duration);
         transports[e] = Transport{e, now, start + duration};
         launched[e] = 1;
+        if (opts.trace)
+            opts.trace->record(
+                {now, obs::EventKind::TeleportChannel,
+                 static_cast<int32_t>(e),
+                 static_cast<int64_t>(start),
+                 static_cast<int64_t>(start + duration)});
     };
 
     // Infinite window: everything launches at cycle 0 in use order.
@@ -88,6 +94,10 @@ simulateEpr(const SimdSchedule &sched, const SimdArch &arch,
 
         uint64_t stall = ready_at - step_start;
         out.stall_cycles += stall;
+        if (opts.trace && stall > 0)
+            opts.trace->record({step_start,
+                                obs::EventKind::TeleportStall, step,
+                                static_cast<int64_t>(stall)});
         uint64_t overhead = any_teleport
             ? static_cast<uint64_t>(opts.teleport_overhead_cycles)
             : 0;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "planar/simd_arch.h"
 #include "planar/simd_schedule.h"
 
@@ -43,6 +44,10 @@ struct EprOptions
     /** Concurrent EPR transports the channels sustain; 0 means use
      *  the architecture's channelLinks(). */
     int bandwidth = 0;
+
+    /** Structured-event trace hook; null disables tracing (see
+     *  obs/trace.h).  Never changes results. */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Result of one EPR-distribution simulation. */

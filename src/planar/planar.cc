@@ -54,6 +54,7 @@ runPlanar(const circuit::Circuit &circ, const PlanarOptions &opts,
     epr_opts.code_distance = opts.code_distance;
     epr_opts.swap_hop_cycles =
         opts.tech.swapHopCycles(opts.code_distance);
+    epr_opts.trace = opts.trace;
     EprResult epr =
         simulateEpr(prepared.sched, prepared.arch, epr_opts);
 

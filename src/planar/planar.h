@@ -41,6 +41,10 @@ struct PlanarOptions
     /** Reproduce the pre-optimization level scan (see
      *  scheduleSimd); identical results, original cost. */
     bool legacy_level_scan = false;
+
+    /** Structured-event trace hook; null disables tracing (see
+     *  obs/trace.h).  Never changes results. */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Combined result of one planar-backend run. */

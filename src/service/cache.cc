@@ -50,12 +50,14 @@ PrepareCache::getOrBuild(const std::string &key, const Builder &build)
             // Ready hit or single-flight wait: either way the value
             // is computed at most once.
             hits.fetch_add(1, std::memory_order_relaxed);
+            shard.hits.fetch_add(1, std::memory_order_relaxed);
             if (it->second.ready)
                 shard.lru.splice(shard.lru.begin(), shard.lru,
                                  it->second.lru_pos);
             future = it->second.future;
         } else {
             misses.fetch_add(1, std::memory_order_relaxed);
+            shard.misses.fetch_add(1, std::memory_order_relaxed);
             owner = true;
             Entry entry;
             entry.future = promise.get_future().share();
@@ -139,6 +141,24 @@ PrepareCache::stats() const
         s.entries += shard->map.size();
     }
     return s;
+}
+
+std::vector<ShardStats>
+PrepareCache::shardStats() const
+{
+    std::vector<ShardStats> out;
+    out.reserve(shards.size());
+    for (const auto &shard : shards) {
+        ShardStats s;
+        s.hits = shard->hits.load(std::memory_order_relaxed);
+        s.misses = shard->misses.load(std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            s.entries = shard->map.size();
+        }
+        out.push_back(s);
+    }
+    return out;
 }
 
 PrepareCache &

@@ -59,6 +59,14 @@ struct CacheStats
     }
 };
 
+/** Per-shard counter snapshot (see PrepareCache::shardStats). */
+struct ShardStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+};
+
 /**
  * Sharded, single-flight, LRU-bounded memoization of expensive
  * prepare work.  Values are immutable once built; callers keep them
@@ -110,6 +118,14 @@ class PrepareCache
     CacheStats stats() const;
 
     /**
+     * @return per-shard hit/miss/residency counters, in shard order.
+     * A skewed distribution (one hot shard) means key hashing is
+     * serializing lookups on one mutex; the service telemetry
+     * exports these as "cache.shard<i>.*" gauges.
+     */
+    std::vector<ShardStats> shardStats() const;
+
+    /**
      * The process-wide cache the sweep driver, the toolflow and the
      * compile service share by default.
      */
@@ -136,6 +152,10 @@ class PrepareCache
 
         /** Ready keys, most recently used first. */
         std::list<std::string> lru;
+
+        /** Per-shard lookup counters (shard skew telemetry). */
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> misses{0};
     };
 
     Shard &shardOf(const std::string &key);

@@ -66,7 +66,9 @@ CompileService::CompileService() : CompileService(Options{}) {}
 CompileService::CompileService(const Options &opts)
     : cache(opts.cache ? *opts.cache : PrepareCache::global()),
       registry(opts.registry ? *opts.registry
-                             : engine::Registry::global())
+                             : engine::Registry::global()),
+      metrics(opts.metrics ? *opts.metrics
+                           : obs::MetricsRegistry::global())
 {
     int n = opts.num_threads >= 1 ? opts.num_threads
                                   : engine::defaultThreads();
@@ -92,14 +94,20 @@ CompileService::submit(CompileRequest req)
     Pending pending;
     pending.key = batchKey(req);
     pending.req = std::move(req);
+    pending.enqueued = Clock::now();
     std::future<CompileResponse> future =
         pending.promise.get_future();
+    size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex);
         panicIf(stopping, "submit() on a stopping CompileService");
         ++total_requests;
         queue.push_back(std::move(pending));
+        depth = queue.size();
     }
+    metrics.inc("service.requests");
+    metrics.set("service.queue.depth",
+                static_cast<double>(depth));
     cv.notify_one();
     return future;
 }
@@ -122,6 +130,34 @@ CompileService::stats() const
     }
     s.cache = cache.stats();
     return s;
+}
+
+void
+CompileService::exportTelemetry() const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        metrics.set("service.queue.depth",
+                    static_cast<double>(queue.size()));
+    }
+    CacheStats totals = cache.stats();
+    metrics.set("cache.hits", static_cast<double>(totals.hits));
+    metrics.set("cache.misses", static_cast<double>(totals.misses));
+    metrics.set("cache.evictions",
+                static_cast<double>(totals.evictions));
+    metrics.set("cache.entries",
+                static_cast<double>(totals.entries));
+    std::vector<ShardStats> per_shard = cache.shardStats();
+    for (size_t i = 0; i < per_shard.size(); ++i) {
+        std::string prefix =
+            "cache.shard" + std::to_string(i) + ".";
+        metrics.set(prefix + "hits",
+                    static_cast<double>(per_shard[i].hits));
+        metrics.set(prefix + "misses",
+                    static_cast<double>(per_shard[i].misses));
+        metrics.set(prefix + "entries",
+                    static_cast<double>(per_shard[i].entries));
+    }
 }
 
 int
@@ -197,6 +233,9 @@ CompileService::serveBatch(std::vector<Pending> batch)
     } catch (const std::exception &e) {
         prepare_error = e.what();
     }
+    metrics.observe("service.batch.size",
+                    static_cast<double>(batch.size()));
+    metrics.observe("service.prepare_ms", prepare_ms);
 
     for (Pending &pending : batch) {
         CompileResponse response;
@@ -204,6 +243,9 @@ CompileService::serveBatch(std::vector<Pending> batch)
         response.batch_size = batch.size();
         if (!prepare_error.empty()) {
             response.error = prepare_error;
+            metrics.observe("service.request.latency_ms",
+                            msSince(pending.enqueued));
+            metrics.inc("service.errors");
             pending.promise.set_value(std::move(response));
             continue;
         }
@@ -229,6 +271,11 @@ CompileService::serveBatch(std::vector<Pending> batch)
         } catch (const std::exception &e) {
             response.error = e.what();
         }
+        metrics.observe("service.run_ms", response.run_ms);
+        metrics.observe("service.request.latency_ms",
+                        msSince(pending.enqueued));
+        if (!response.ok())
+            metrics.inc("service.errors");
         pending.promise.set_value(std::move(response));
     }
 }

@@ -16,6 +16,7 @@
 #ifndef QSURF_SERVICE_SERVICE_H
 #define QSURF_SERVICE_SERVICE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -30,6 +31,7 @@
 #include "circuit/decompose.h"
 #include "engine/backend.h"
 #include "engine/registry.h"
+#include "obs/metrics.h"
 #include "service/cache.h"
 
 namespace qsurf::service {
@@ -118,6 +120,11 @@ class CompileService
 
         /** Backend registry; null uses Registry::global(). */
         const engine::Registry *registry = nullptr;
+
+        /** Telemetry registry ("service.*" counters, gauges and
+         *  latency histograms); null uses
+         *  obs::MetricsRegistry::global(). */
+        obs::MetricsRegistry *metrics = nullptr;
     };
 
     CompileService();
@@ -140,6 +147,16 @@ class CompileService
     /** @return a snapshot of the service counters. */
     ServiceStats stats() const;
 
+    /**
+     * Publish point-in-time gauges to the telemetry registry: the
+     * current queue depth plus the shared cache's totals and
+     * per-shard hit/miss/residency ("cache.shard<i>.*").  The
+     * streaming counters and histograms ("service.requests",
+     * "service.request.latency_ms", ...) are recorded live by
+     * submit() and the workers; call this before dumping metrics.
+     */
+    void exportTelemetry() const;
+
     /** @return the number of worker threads. */
     int threads() const;
 
@@ -149,6 +166,7 @@ class CompileService
         CompileRequest req;
         std::string key; ///< Batch identity, fixed at submit.
         std::promise<CompileResponse> promise;
+        std::chrono::steady_clock::time_point enqueued;
     };
 
     void workerLoop();
@@ -156,6 +174,7 @@ class CompileService
 
     PrepareCache &cache;
     const engine::Registry &registry;
+    obs::MetricsRegistry &metrics;
 
     mutable std::mutex mutex;
     std::condition_variable cv;

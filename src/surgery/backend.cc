@@ -78,6 +78,7 @@ class SurgerySimBackend : public engine::Backend
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =
             item.config.magic_buffer_capacity;
+        opts.trace = item.config.trace;
         SurgeryResult r;
         if (artifact) {
             auto *a = dynamic_cast<const PatchArtifact *>(artifact);

@@ -65,8 +65,10 @@ class Simulator
           arch(prep.arch), mesh(arch.makeMesh()),
           claim_opts(makeClaimOptions(opts)),
           claimer(mesh, claim_opts), corridors(arch),
-          crit(prep.crit)
+          crit(prep.crit), trace(opts.trace)
     {
+        if (trace)
+            trace->meshDims(mesh.width(), mesh.height());
         for (const Coord &terminal : arch.reservedTerminals())
             claimer.reserveTerminal(terminal);
         // Factory preference orders are a pure function of the
@@ -81,6 +83,7 @@ class Simulator
         factories.configure(arch.numFactories(),
                             opts.magic_production_cycles,
                             opts.magic_buffer_capacity);
+        factories.setTrace(trace);
     }
 
     SurgeryResult
@@ -186,6 +189,8 @@ class Simulator
     {
         ops[static_cast<size_t>(i)].wait = 0;
         ready.insert(makeEntry(i));
+        if (trace)
+            trace->record({cycle, obs::EventKind::OpReady, i});
     }
 
     /**
@@ -210,6 +215,9 @@ class Simulator
     {
         OpRec &op = ops[static_cast<size_t>(i)];
         if (op.cls == OpClass::Local) {
+            if (trace)
+                trace->record({cycle, obs::EventKind::OpIssue, i, 0,
+                               opts.code_distance});
             activate(i, static_cast<uint64_t>(opts.code_distance));
             return true;
         }
@@ -229,9 +237,20 @@ class Simulator
                        })) {
             ++magic_starvations;
             ++pass_starved;
+            if (trace
+                && obs::stallEventGate(op.wait, opts.adapt_timeout,
+                                       opts.bfs_timeout))
+                trace->record(
+                    {cycle, obs::EventKind::FactoryStarve, i});
             return false;
         }
 
+        uint64_t transpose_before = 0;
+        uint64_t bfs_before = 0;
+        if (trace) {
+            transpose_before = claimer.transposeFallbacks();
+            bfs_before = claimer.bfsDetours();
+        }
         for (const auto &[dst, factory] : dsts) {
             std::optional<network::Path> chain;
             if (opts.legacy_paths) {
@@ -251,11 +270,30 @@ class Simulator
                                          op.wait);
             }
             if (chain) {
+                if (trace) {
+                    int64_t stage = 0;
+                    if (claimer.bfsDetours() != bfs_before)
+                        stage = 2;
+                    else if (claimer.transposeFallbacks()
+                             != transpose_before)
+                        stage = 1;
+                    trace->record({cycle, obs::EventKind::RouteClaim,
+                                   i, stage, chain->hops(), factory});
+                    if (stage > 0)
+                        trace->record({cycle,
+                                       obs::EventKind::RouteFallback,
+                                       i, stage});
+                }
                 factories.consume(factory);
                 placed(i, std::move(*chain));
                 return true;
             }
         }
+        if (trace
+            && obs::stallEventGate(op.wait, opts.adapt_timeout,
+                                   opts.bfs_timeout))
+            trace->record(
+                {cycle, obs::EventKind::RouteDeny, i, op.wait});
         return false;
     }
 
@@ -274,6 +312,15 @@ class Simulator
         // merge/split rounds across the whole corridor.
         uint64_t duration =
             chainCycles(opts, static_cast<int>(tiles)) + 1;
+        if (trace) {
+            trace->record({cycle, obs::EventKind::ChainHold, i,
+                           static_cast<int64_t>(tiles),
+                           static_cast<int64_t>(duration)});
+            trace->routeHeld(op.route, cycle, duration);
+            trace->record({cycle, obs::EventKind::OpIssue, i,
+                           op.cls == OpClass::TGate ? 1 : 2,
+                           static_cast<int64_t>(duration)});
+        }
         live_chains.add(cycle, cycle + duration);
         activate(i, duration);
     }
@@ -313,6 +360,9 @@ class Simulator
                 // Drop and re-inject at the back of the queue.
                 ++drops;
                 ++pass_dropped;
+                if (trace)
+                    trace->record(
+                        {cycle, obs::EventKind::RouteDrop, i});
                 op.wait = 0;
                 it = ready.erase(it);
                 dropped_scratch.push_back(i);
@@ -348,6 +398,9 @@ class Simulator
                 // T gate's candidate factories.
                 factories.registerEvents(planner);
             });
+        if (trace && skip > 0)
+            trace->record({cycle, obs::EventKind::FastForwardSkip, -1,
+                           static_cast<int64_t>(skip)});
         cycle += skip;
         magic_starvations += pass_starved * skip;
     }
@@ -365,6 +418,8 @@ class Simulator
                 op.route = network::Path{};
             }
             op.done = true;
+            if (trace)
+                trace->record({cycle, obs::EventKind::OpRetire, i});
             ++completed;
             for (int s : dag.succs(i))
                 if (--ops[static_cast<size_t>(s)].pending_preds == 0)
@@ -401,6 +456,7 @@ class Simulator
     std::vector<std::pair<Coord, int>> dsts_scratch;
 
     engine::MagicFactoryPool factories;
+    obs::TraceRecorder *trace;
 
     uint64_t chains_placed = 0;
     uint64_t placement_failures = 0;

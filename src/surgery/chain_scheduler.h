@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "circuit/circuit.h"
+#include "obs/trace.h"
 #include "surgery/patch_arch.h"
 
 namespace qsurf::surgery {
@@ -101,6 +102,10 @@ struct SurgeryOptions
 
     /** Layout RNG seed. */
     uint64_t seed = 1;
+
+    /** Structured-event trace hook; null disables tracing (see
+     *  obs/trace.h).  Never changes results. */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Results of one chain-scheduling run. */

@@ -1,9 +1,11 @@
 #include "toolflow/toolflow.h"
 
+#include <fstream>
 #include <memory>
 
 #include "common/logging.h"
 #include "engine/registry.h"
+#include "obs/trace.h"
 #include "qasm/flatten.h"
 #include "qasm/parser.h"
 #include "qec/factory.h"
@@ -100,19 +102,54 @@ run(const circuit::Circuit &logical, const Config &config)
     const std::vector<std::string> &names =
         config.backends.empty() ? default_backends : config.backends;
 
+    // Observability sinks: one trace session spanning every backend
+    // dispatched below, written out after the loop.
+    const bool tracing =
+        !config.trace_path.empty() || !config.metrics_path.empty();
+    obs::TraceSession session;
+
     engine::Registry &registry = engine::Registry::global();
+    size_t run_index = 0;
     for (const std::string &name : names) {
         const engine::Backend &backend = registry.get(name);
         backend.prepare(item);
         std::shared_ptr<const engine::PreparedArtifact> artifact;
         if (cache)
             artifact = service::fetchArtifact(*cache, backend, item);
+        std::unique_ptr<obs::RunRecorder> rec;
+        if (tracing) {
+            rec = session.beginRun(run_index++, report.app_name,
+                                   name);
+            item.config.trace = rec.get();
+        }
         engine::Metrics m = backend.run(item, artifact.get());
+        if (rec) {
+            item.config.trace = nullptr;
+            session.endRun(std::move(rec));
+        }
         if (m.backend == engine::backends::planar)
             report.planar = toBackendReport(m);
         else if (m.backend == engine::backends::double_defect)
             report.double_defect = toBackendReport(m);
         report.backend_metrics.push_back(std::move(m));
+    }
+
+    if (!config.trace_path.empty()) {
+        std::ofstream os(config.trace_path);
+        fatalIf(!os, "cannot open '", config.trace_path,
+                "' for writing");
+        session.writeTrace(os);
+        std::string heat_path =
+            obs::derivedPath(config.trace_path, "heatmap");
+        std::ofstream hos(heat_path);
+        fatalIf(!hos, "cannot open '", heat_path, "' for writing");
+        session.writeHeatmap(hos);
+    }
+    if (!config.metrics_path.empty()) {
+        std::ofstream os(config.metrics_path);
+        fatalIf(!os, "cannot open '", config.metrics_path,
+                "' for writing");
+        session.writeMetrics(os, &obs::MetricsRegistry::global());
     }
     return report;
 }

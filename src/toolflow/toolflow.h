@@ -95,6 +95,23 @@ struct Config
      * the circuit alone).
      */
     apps::AppKind app = apps::AppKind::SQ;
+
+    /**
+     * When non-empty, record structured events from every backend
+     * run and write them here as Chrome trace-event JSON (load it
+     * with Perfetto), plus a "<stem>.heatmap.json" per-link mesh
+     * congestion heatmap next to it.  Tracing never changes
+     * results.
+     */
+    std::string trace_path;
+
+    /**
+     * When non-empty, write the aggregate counter/histogram registry
+     * here as JSON: event-derived aggregates of this run's backends
+     * (when tracing) merged with the process-wide wall-clock
+     * registry (service / sweep telemetry).
+     */
+    std::string metrics_path;
 };
 
 /** Per-backend outcome. */

@@ -1,7 +1,9 @@
 /**
  * @file
- * JSON writer tests: nesting, comma placement, escaping, number
- * round-tripping and misuse panics.
+ * JSON writer tests (nesting, comma placement, escaping, number
+ * round-tripping, misuse panics) and parser tests (round-trips
+ * through the writer, escapes, \uXXXX decoding, error reporting
+ * with line/column positions).
  */
 
 #include <gtest/gtest.h>
@@ -94,6 +96,94 @@ TEST(Json, KeyOutsideObjectPanics)
     j.beginArray();
     EXPECT_THROW(j.key("x"), PanicError);
     j.endArray();
+}
+
+TEST(JsonParser, Values)
+{
+    JsonValue v = parseJson(
+        " {\"s\": \"hi\", \"n\": -2.5, \"t\": true, \"f\": false,"
+        " \"z\": null, \"a\": [1, 2, 3], \"o\": {\"k\": 1e2}} ");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.members.size(), 7u);
+    EXPECT_EQ(v.find("s")->str, "hi");
+    EXPECT_DOUBLE_EQ(v.find("n")->num, -2.5);
+    EXPECT_TRUE(v.find("t")->boolean);
+    EXPECT_TRUE(v.find("t")->isBool());
+    EXPECT_FALSE(v.find("f")->boolean);
+    EXPECT_TRUE(v.find("z")->isNull());
+    ASSERT_TRUE(v.find("a")->isArray());
+    ASSERT_EQ(v.find("a")->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("a")->items[2].num, 3.0);
+    EXPECT_DOUBLE_EQ(v.find("o")->find("k")->num, 100.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, EmptyContainers)
+{
+    EXPECT_TRUE(parseJson("{}").isObject());
+    EXPECT_TRUE(parseJson("{}").members.empty());
+    EXPECT_TRUE(parseJson("[]").isArray());
+    EXPECT_TRUE(parseJson("[]").items.empty());
+}
+
+TEST(JsonParser, DuplicateKeysLastWins)
+{
+    JsonValue v = parseJson("{\"k\": 1, \"k\": 2}");
+    EXPECT_DOUBLE_EQ(v.find("k")->num, 2.0);
+}
+
+TEST(JsonParser, Escapes)
+{
+    JsonValue v =
+        parseJson("\"a\\\"b\\\\c\\nd\\te\\u0041\\u00e9\\u20ac\"");
+    // é and € UTF-8 encode to 2 and 3 bytes.
+    EXPECT_EQ(v.str,
+              "a\"b\\c\nd\teA\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParser, WriterOutputRoundTrips)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.beginObject();
+        j.field("name", "tricky \"quotes\"\n");
+        j.field("x", 0.30000000000000004);
+        j.key("rows");
+        j.beginArray();
+        j.value(int64_t{-7});
+        j.value(true);
+        j.null();
+        j.endArray();
+        j.endObject();
+    }
+    JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.find("name")->str, "tricky \"quotes\"\n");
+    EXPECT_DOUBLE_EQ(v.find("x")->num, 0.30000000000000004);
+    const JsonValue *rows = v.find("rows");
+    ASSERT_TRUE(rows && rows->isArray());
+    ASSERT_EQ(rows->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(rows->items[0].num, -7.0);
+    EXPECT_TRUE(rows->items[1].boolean);
+    EXPECT_TRUE(rows->items[2].isNull());
+}
+
+TEST(JsonParser, ErrorsThrowWithPosition)
+{
+    for (const char *bad :
+         {"", "{", "[1, 2", "{\"a\" 1}", "{\"a\": }", "tru",
+          "\"unterminated", "\"bad \\q escape\"", "1.2.3",
+          "[1] trailing", "{\"a\": 1,}"}) {
+        EXPECT_THROW(parseJson(bad), FatalError) << bad;
+    }
+    try {
+        parseJson("{\n  \"a\": flse\n}");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 } // namespace
