@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Global operator new/delete replacement counting heap allocations.
+ *
+ * Bench binaries that report allocation behaviour (bench/perf_engine,
+ * bench/scaleout) include this header in their single translation
+ * unit; the replaced operators are program-wide, so every allocation
+ * the process makes — library code included — increments the
+ * counter.  Sampling qsurf::benchhook::heapAllocs() around a region
+ * gives its allocation count; the sweep driver takes the sampler as
+ * SweepOptions::heap_alloc_counter and attributes per-point deltas.
+ *
+ * Counting uses a relaxed atomic: the counter is a measurement, not
+ * a synchronization point, and adds a few nanoseconds per call —
+ * negligible against the cost of the allocation itself.  Never
+ * include this from library code or multi-TU targets (duplicate
+ * operator definitions).
+ */
+
+#ifndef QSURF_BENCH_ALLOC_HOOK_H
+#define QSURF_BENCH_ALLOC_HOOK_H
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace qsurf::benchhook {
+
+inline std::atomic<uint64_t> g_heap_allocs{0};
+
+/** @return cumulative operator-new calls of this process. */
+inline uint64_t
+heapAllocs()
+{
+    return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+inline void *
+countedAlloc(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    // malloc(0) may return null legally; normalize to 1 byte.
+    return std::malloc(size ? size : 1);
+}
+
+inline void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void *) ? sizeof(void *)
+                                                  : align,
+                       size ? size : 1)
+        != 0)
+        return nullptr;
+    return p;
+}
+
+} // namespace qsurf::benchhook
+
+// The replaced operator new allocates with malloc, so the replaced
+// operator delete frees with free — a pairing GCC's heuristic
+// cannot see through once the operators are inlined at call sites.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *
+operator new(std::size_t size)
+{
+    void *p = qsurf::benchhook::countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = qsurf::benchhook::countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return qsurf::benchhook::countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return qsurf::benchhook::countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = qsurf::benchhook::countedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = qsurf::benchhook::countedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif // QSURF_BENCH_ALLOC_HOOK_H

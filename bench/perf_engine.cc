@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
+
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/table.h"
@@ -94,15 +96,21 @@ main(int argc, char **argv)
     engine::SweepGrid grid = perfGrid(smoke);
     engine::SweepOptions opts;
     // Single-threaded on purpose: per-point wall_ms is the measured
-    // quantity, and pool contention would pollute it.
+    // quantity, and pool contention would pollute it.  The global
+    // new/delete hook above attributes a heap-allocation count to
+    // every point alongside its wall clock (exact at one thread).
     opts.num_threads = 1;
+    opts.heap_alloc_counter = [] { return benchhook::heapAllocs(); };
 
     // Baseline first: the pre-change simulator, reproduced exactly —
     // cycle-stepped loop plus the legacy (allocating, double-walk)
-    // hot paths.
+    // hot paths, with the scratch arena disabled so its allocation
+    // column is the pre-arena heap behaviour.
     grid.base.fast_forward = false;
     grid.base.legacy_baseline = true;
-    auto baseline = engine::SweepDriver().run(grid, opts);
+    engine::SweepOptions baseline_opts = opts;
+    baseline_opts.use_arena = false;
+    auto baseline = engine::SweepDriver().run(grid, baseline_opts);
     grid.base.fast_forward = true;
     grid.base.legacy_baseline = false;
     auto fast = engine::SweepDriver().run(grid, opts);
@@ -138,6 +146,9 @@ main(int argc, char **argv)
     double fast_total_ms = 0;
     double null_total_ms = 0;
     double traced_total_ms = 0;
+    uint64_t base_allocs = 0;
+    uint64_t fast_allocs = 0;
+    uint64_t arena_allocs = 0;
     bool identical = true;
     for (size_t i = 0; i < fast.size(); ++i) {
         const engine::SweepPoint &b = baseline[i];
@@ -149,6 +160,9 @@ main(int argc, char **argv)
         fast_total_ms += f.wall_ms;
         null_total_ms += null_traced[i].wall_ms;
         traced_total_ms += traced[i].wall_ms;
+        base_allocs += b.heap_allocs;
+        fast_allocs += f.heap_allocs;
+        arena_allocs += f.arena_allocs;
         double speedup =
             f.wall_ms > 0 ? b.wall_ms / f.wall_ms : 0.0;
         t.addRow(f.app_name, f.backend, f.metrics.code_distance,
@@ -196,6 +210,9 @@ main(int argc, char **argv)
         j.field("null_trace_overhead", null_overhead);
         j.field("traced_wall_ms_total", traced_total_ms);
         j.field("traced_overhead", traced_overhead);
+        j.field("baseline_heap_allocs_total", base_allocs);
+        j.field("heap_allocs_total", fast_allocs);
+        j.field("arena_allocs_total", arena_allocs);
         j.key("results");
         j.beginArray();
         for (size_t i = 0; i < fast.size(); ++i) {
@@ -217,6 +234,10 @@ main(int argc, char **argv)
             j.field("sim_cycles_per_sec", f.simCyclesPerSec());
             j.field("baseline_sim_cycles_per_sec",
                     b.simCyclesPerSec());
+            j.field("baseline_heap_allocs", b.heap_allocs);
+            j.field("heap_allocs", f.heap_allocs);
+            j.field("arena_allocs", f.arena_allocs);
+            j.field("arena_bytes", f.arena_bytes);
             j.endObject();
         }
         j.endArray();
@@ -229,6 +250,9 @@ main(int argc, char **argv)
               << Table::fixed(fast_total_ms, 1) << " ms, speedup "
               << Table::fixed(total_speedup, 1) << "x, modes "
               << (identical ? "bit-identical" : "DIVERGED") << "\n";
+    std::cout << "allocations: baseline " << base_allocs
+              << " heap, optimized " << fast_allocs << " heap + "
+              << arena_allocs << " arena\n";
     std::cout << "wrote " << json_path << "\n";
 
     if (!identical) {

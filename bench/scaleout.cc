@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Scale-out benchmark: multi-process sharded sweeps and arena A/B.
+ *
+ *   $ ./scaleout           # full large-distance grid
+ *   $ ./scaleout --smoke   # small grid, CI-sized
+ *
+ * Three claims, each measured and enforced (nonzero exit on
+ * violation):
+ *
+ *  1. Correctness: a sharded sweep's merged rows are identical to a
+ *     single-process run's (canonicalSweepRows(), which excludes
+ *     wall-clock and allocation observations — those physically
+ *     differ between runs) at every worker count.
+ *  2. Scale: wall clock improves with worker count on a
+ *     large-distance lattice-surgery grid; the JSON records the
+ *     speedup ladder.  Enforced only when the machine actually has
+ *     the cores (>= 4): on a 1-core container every extra process
+ *     is pure overhead and the ladder is reported, not judged.
+ *  3. Allocation: running points under the per-point scratch arena
+ *     is not slower than the plain-heap path and cuts global-heap
+ *     allocations (counted by the replaced operator new below).
+ *
+ * Every run uses its own cold PrepareCache and one thread per
+ * process, so the sharded/single comparison measures process
+ * scale-out, not cache warmth.  Results land in BENCH_scaleout.json.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc_hook.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "engine/sweep.h"
+#include "service/cache.h"
+#include "service/shard.h"
+
+namespace {
+
+using namespace qsurf;
+using Clock = std::chrono::steady_clock;
+
+struct RunResult
+{
+    double wall_ms = 0;
+    std::string canonical;
+    uint64_t heap_allocs = 0;
+    uint64_t arena_allocs = 0;
+    uint64_t arena_bytes = 0;
+    std::vector<engine::SweepPoint> points;
+};
+
+engine::SweepGrid
+makeGrid(bool smoke)
+{
+    // Simulation wall time tracks circuit size (fast-forward skips
+    // idle cycles, so distance mostly rescales reported cycles, not
+    // work); the full grid uses deep iteration counts so each point
+    // costs enough for process scale-out to be the dominant term.
+    engine::SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, smoke ? 2 : 96}, ""},
+                 {apps::AppKind::GSE, {16, smoke ? 2 : 256}, ""}};
+    grid.backends = {engine::backends::surgery_sim};
+    grid.distances = smoke ? std::vector<int>{9, 13}
+                           : std::vector<int>{63, 75, 87, 99};
+    // Deep circuits at d=99 legitimately run past the default
+    // runaway guard (cycles scale with gates x distance).
+    if (!smoke)
+        grid.base.max_cycles = 100'000'000'000ull;
+    return grid;
+}
+
+/** One single-process run (1 thread, cold cache). */
+RunResult
+runSingle(const engine::SweepGrid &grid, bool use_arena)
+{
+    service::PrepareCache cache;
+    engine::SweepOptions opts;
+    opts.num_threads = 1;
+    opts.cache = &cache;
+    opts.stream_rows = false;
+    opts.use_arena = use_arena;
+    opts.heap_alloc_counter = [] { return benchhook::heapAllocs(); };
+
+    RunResult r;
+    auto start = Clock::now();
+    r.points = engine::SweepDriver().run(grid, opts);
+    r.wall_ms = std::chrono::duration<double, std::milli>(
+                    Clock::now() - start)
+                    .count();
+    r.canonical = engine::canonicalSweepRows(r.points);
+    for (const engine::SweepPoint &p : r.points) {
+        r.heap_allocs += p.heap_allocs;
+        r.arena_allocs += p.arena_allocs;
+        r.arena_bytes += p.arena_bytes;
+    }
+    return r;
+}
+
+/** One sharded run (N forked workers, 1 thread each, cold cache). */
+RunResult
+runSharded(const engine::SweepGrid &grid, int workers)
+{
+    service::PrepareCache cache;
+    service::ShardOptions opts;
+    opts.workers = workers;
+    opts.sweep.num_threads = 1;
+    opts.sweep.cache = &cache;
+    opts.sweep.stream_rows = false;
+    opts.idle_timeout_sec = 300;
+
+    RunResult r;
+    auto start = Clock::now();
+    r.points = service::runShardedSweep(grid, opts);
+    r.wall_ms = std::chrono::duration<double, std::milli>(
+                    Clock::now() - start)
+                    .count();
+    r.canonical = engine::canonicalSweepRows(r.points);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke") {
+            smoke = true;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--smoke]\n";
+            return 2;
+        }
+    }
+    setQuiet(true);
+
+    engine::SweepGrid grid = makeGrid(smoke);
+    std::vector<int> worker_counts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    unsigned cores = std::thread::hardware_concurrency();
+
+    std::cout << "scale-out grid: " << grid.points()
+              << " lattice-surgery points, distances";
+    for (int d : grid.distances)
+        std::cout << " " << d;
+    std::cout << (smoke ? " (smoke)" : "") << ", " << cores
+              << " cores\n\n";
+
+    // Claim 3 first (the arena A/B runs double as the single-process
+    // baseline): heap path, then arena path, same grid.
+    RunResult heap_run = runSingle(grid, /*use_arena=*/false);
+    RunResult arena_run = runSingle(grid, /*use_arena=*/true);
+    bool rows_ok = arena_run.canonical == heap_run.canonical;
+    bool fewer_allocs =
+        arena_run.heap_allocs < heap_run.heap_allocs;
+
+    const RunResult &baseline = arena_run;
+
+    // Claims 1 and 2: the worker ladder against the baseline.
+    struct ShardRow
+    {
+        int workers;
+        double wall_ms;
+        double speedup;
+        bool identical;
+    };
+    std::vector<ShardRow> ladder;
+    for (int w : worker_counts) {
+        RunResult r = runSharded(grid, w);
+        ladder.push_back(
+            {w, r.wall_ms, baseline.wall_ms / r.wall_ms,
+             r.canonical == baseline.canonical});
+    }
+
+    Table t("Sharded sweep vs single process (1 thread per process)");
+    t.header({"mode", "workers", "wall ms", "speedup", "rows",
+              "heap allocs", "arena allocs"});
+    t.addRow("single (heap)", 1, Table::fixed(heap_run.wall_ms, 1),
+             Table::fixed(1.0, 2), "baseline",
+             heap_run.heap_allocs, heap_run.arena_allocs);
+    t.addRow("single (arena)", 1,
+             Table::fixed(arena_run.wall_ms, 1),
+             Table::fixed(heap_run.wall_ms / arena_run.wall_ms, 2),
+             rows_ok ? "identical" : "MISMATCH",
+             arena_run.heap_allocs, arena_run.arena_allocs);
+    for (const ShardRow &row : ladder)
+        t.addRow("sharded", row.workers,
+                 Table::fixed(row.wall_ms, 1),
+                 Table::fixed(row.speedup, 2),
+                 row.identical ? "identical" : "MISMATCH", "-", "-");
+    t.print(std::cout);
+
+    std::cout << "\narena A/B: " << heap_run.heap_allocs
+              << " heap allocs without arena vs "
+              << arena_run.heap_allocs << " with ("
+              << arena_run.arena_allocs
+              << " arena allocs absorbed)\n";
+
+    const char *json_path = "BENCH_scaleout.json";
+    {
+        std::ofstream os(json_path);
+        fatalIf(!os, "cannot open '", json_path, "' for writing");
+        JsonWriter j(os);
+        j.beginObject();
+        j.field("title",
+                "Scale-out: sharded sweeps and per-point arenas");
+        j.field("smoke", smoke);
+        j.field("cores", static_cast<uint64_t>(cores));
+        j.field("points", static_cast<uint64_t>(grid.points()));
+        j.field("grid_fingerprint",
+                engine::sweepGridFingerprint(grid));
+        j.key("arena_ab");
+        j.beginArray();
+        for (const RunResult *r : {&heap_run, &arena_run}) {
+            j.beginObject();
+            j.field("arena", r == &arena_run);
+            j.field("wall_ms", r->wall_ms);
+            j.field("heap_allocs", r->heap_allocs);
+            j.field("arena_allocs", r->arena_allocs);
+            j.field("arena_bytes", r->arena_bytes);
+            j.field("rows_identical",
+                    r->canonical == baseline.canonical);
+            j.endObject();
+        }
+        j.endArray();
+        j.key("sharded");
+        j.beginArray();
+        for (const ShardRow &row : ladder) {
+            j.beginObject();
+            j.field("workers", row.workers);
+            j.field("wall_ms", row.wall_ms);
+            j.field("speedup", row.speedup);
+            j.field("rows_identical", row.identical);
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        os << "\n";
+    }
+    std::cout << "wrote " << json_path << "\n";
+
+    bool ok = rows_ok && fewer_allocs;
+    for (const ShardRow &row : ladder)
+        ok = ok && row.identical;
+    if (!rows_ok)
+        std::cerr << "FAIL: arena rows differ from heap rows\n";
+    if (!fewer_allocs)
+        std::cerr << "FAIL: arena did not reduce heap allocations ("
+                  << arena_run.heap_allocs << " vs "
+                  << heap_run.heap_allocs << ")\n";
+    for (const ShardRow &row : ladder)
+        if (!row.identical)
+            std::cerr << "FAIL: " << row.workers
+                      << "-worker sharded rows differ from "
+                         "single-process rows\n";
+
+    // The speedup claim needs cores to scale onto; a 1-core
+    // container can only demonstrate correctness, not wall clock.
+    if (!smoke && cores >= 4) {
+        const ShardRow &widest = ladder.back();
+        if (widest.speedup < 2.0) {
+            std::cerr << "FAIL: " << widest.workers
+                      << "-worker speedup "
+                      << Table::fixed(widest.speedup, 2) << "x < 2x on "
+                      << cores << " cores\n";
+            ok = false;
+        }
+    } else if (!smoke) {
+        std::cout << "note: " << cores
+                  << " core(s) — speedup ladder recorded, not "
+                     "enforced\n";
+    }
+    return ok ? 0 : 1;
+}

@@ -3,10 +3,13 @@
  * Section 8.1: pipelined just-in-time EPR distribution.
  *
  * Sweeps the lookahead window on a teleport-heavy workload through
- * the "planar" engine backend — one single-point sweep grid per
- * window on the parallel driver, with channel bandwidth constrained
- * so prefetch-all pays queueing — and reports the live-EPR footprint
- * (space) against schedule length (time).  All points land in
+ * the "planar" engine backend — one grid with the EPR-window axis
+ * (SweepGrid::epr_windows) on the parallel driver, with channel
+ * bandwidth constrained so prefetch-all pays queueing — and reports
+ * the live-EPR footprint (space) against schedule length (time).
+ * The workload is a caller-built Circuit AppPoint (the generated
+ * SHA-1 round function built once, shared by every window point via
+ * its content fingerprint).  All points land in
  * BENCH_sec81_epr_pipelining.json.
  *
  * Expected shape: a well-chosen window cuts the EPR qubit footprint
@@ -17,6 +20,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,30 +36,32 @@ main()
 
     // SHA-1 keeps words migrating between SIMD regions, giving a
     // teleport stream spread across the whole run.  Window 0 is the
-    // prefetch-all baseline.  One single-point grid per window:
-    // the grid has no window axis (yet — see ROADMAP), so each
-    // point re-derives the SIMD schedule; acceptable at this size.
+    // prefetch-all baseline (kept first: the table normalizes
+    // against it).  One grid, windows as an axis: the circuit is
+    // generated and decomposed once and the per-window points share
+    // its prepare artifact.
     const std::vector<int> windows{0, 256, 64, 16, 8, 4, 2, 1};
 
-    std::vector<engine::SweepPoint> points;
-    for (int w : windows) {
-        engine::SweepGrid grid;
-        grid.apps = {{apps::AppKind::SHA1, {16, 20}, ""}};
-        grid.backends = {engine::backends::planar};
-        grid.distances = {5};
-        grid.base.epr_window_steps = w;
-        grid.base.epr_bandwidth = 32;
+    engine::SweepGrid grid;
+    grid.apps = {engine::AppPoint(
+        std::make_shared<const circuit::Circuit>(
+            apps::generate(apps::AppKind::SHA1, {16, 20})),
+        "SHA-1")};
+    grid.backends = {engine::backends::planar};
+    grid.distances = {5};
+    grid.epr_windows = windows;
+    grid.base.epr_bandwidth = 32;
 
-        auto results = engine::SweepDriver().run(grid);
-        for (engine::SweepPoint &p : results) {
-            p.index = points.size();
-            p.metrics.set("epr_window_steps",
-                          static_cast<double>(w));
-            points.push_back(std::move(p));
-        }
-    }
+    engine::SweepOptions opts;
+    opts.num_threads = -1;
+    opts.json_path = "BENCH_sec81_epr_pipelining.json";
+    opts.title = "Section 8.1: EPR lookahead-window sweep";
+    std::vector<engine::SweepPoint> points =
+        engine::SweepDriver().run(grid, opts);
 
     const engine::Metrics &all = points.front().metrics;
+    fatalIf(points.front().epr_window != 0,
+            "expected the prefetch-all point first");
     Table t("Section 8.1: EPR lookahead-window sweep (SHA-1, "
             + std::to_string(
                   static_cast<uint64_t>(all.extra("teleports")))
@@ -73,9 +79,8 @@ main()
         double overhead = static_cast<double>(m.schedule_cycles)
                 / static_cast<double>(all.schedule_cycles)
             - 1.0;
-        int w = static_cast<int>(m.extra("epr_window_steps"));
-        t.addRow(w == 0 ? std::string("prefetch-all")
-                        : std::to_string(w),
+        t.addRow(p.epr_window == 0 ? std::string("prefetch-all")
+                                   : std::to_string(p.epr_window),
                  static_cast<uint64_t>(m.extra("peak_live_eprs")),
                  Table::fixed(avg, 2),
                  static_cast<uint64_t>(m.extra("stall_cycles")),
@@ -84,20 +89,12 @@ main()
     }
     t.print(std::cout);
 
-    const char *json_path = "BENCH_sec81_epr_pipelining.json";
-    {
-        std::ofstream os(json_path);
-        fatalIf(!os, "cannot open '", json_path, "' for writing");
-        engine::writeSweepJson(
-            os, "Section 8.1: EPR lookahead-window sweep", points);
-    }
-
     std::cout
         << "Shape check: a mid-sized window keeps latency within a "
            "few percent of\nprefetch-all while shrinking the live-"
            "EPR footprint sharply (paper: ~24x qubit\nsavings at "
            "<= ~4% latency); a window of 1 starves teleports "
            "instead.\n";
-    std::cout << "wrote " << json_path << "\n";
+    std::cout << "wrote " << opts.json_path << "\n";
     return 0;
 }

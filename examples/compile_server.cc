@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Out-of-process compile server speaking the framed wire protocol.
+ *
+ *   $ ./compile_server --socket=qsurf.sock     # Unix socket server
+ *   $ ./compile_server --stdio                 # serve stdin/stdout
+ *
+ * Wraps a CompileService in wire::serveConnection(): clients connect
+ * (examples/compile_service --connect=qsurf.sock), exchange framed
+ * CompileRequests/Responses, query telemetry, and can shut the
+ * server down with a Shutdown frame.  Socket mode serves connections
+ * one after another until a client asks for shutdown; stdio mode
+ * serves exactly one connection over pipes (the "spawn a compiler
+ * child" integration shape — no socket files involved).
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "service/service.h"
+#include "service/wire.h"
+
+namespace wire = qsurf::service::wire;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--socket=PATH | --stdio] [--threads=N]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qsurf;
+
+    std::string socket_path = "qsurf-compile.sock";
+    bool stdio = false;
+    int threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--socket=", 0) == 0)
+            socket_path = arg.substr(9);
+        else if (arg == "--stdio")
+            stdio = true;
+        else if (arg.rfind("--threads=", 0) == 0)
+            threads = std::atoi(arg.c_str() + 10);
+        else
+            return usage(argv[0]);
+    }
+
+    // A vanishing client must fail the one write, not the server.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    service::CompileService::Options opts;
+    opts.num_threads = threads;
+    service::CompileService svc(opts);
+
+    try {
+        if (stdio) {
+            wire::ServeStats stats =
+                wire::serveConnection(svc, 0, 1);
+            std::cerr << "compile_server: served " << stats.requests
+                      << " requests over stdio\n";
+            return 0;
+        }
+
+        wire::UnixListener listener(socket_path);
+        std::cerr << "compile_server: listening on " << socket_path
+                  << " with " << svc.threads()
+                  << " worker threads\n";
+        for (;;) {
+            int client = listener.accept();
+            wire::ServeStats stats;
+            try {
+                stats = wire::serveConnection(svc, client, client);
+            } catch (const FatalError &e) {
+                // One broken client never takes the server down.
+                std::cerr << "compile_server: connection failed: "
+                          << e.what() << "\n";
+                ::close(client);
+                continue;
+            }
+            ::close(client);
+            std::cerr << "compile_server: connection done ("
+                      << stats.requests << " requests, "
+                      << stats.errors << " errors)\n";
+            if (stats.shutdown) {
+                std::cerr << "compile_server: shutdown requested\n";
+                break;
+            }
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "compile_server: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

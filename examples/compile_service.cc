@@ -1,40 +1,46 @@
 /**
  * @file
- * Compile-service demo: a long-lived in-process compile server.
+ * Compile-service demo: a long-lived compile server, in-process or
+ * over the wire.
  *
- *   $ ./compile_service
+ *   $ ./compile_service                        # in-process service
+ *   $ ./compile_server --socket=qsurf.sock &   # ... then:
+ *   $ ./compile_service --connect=qsurf.sock   # framed-protocol client
  *
- * Starts a CompileService, submits a mixed request stream — the
- * same programs repeatedly, across backends, layout objectives and
- * seeds — and prints each response with its prepare/run wall-time
- * split.  Requests after the first for any (program, layout)
- * identity hit the shared PrepareCache, so their prepare column
- * collapses to ~0 while the metrics stay bit-identical to a cold
- * compile; the closing stats line shows the hit ratio and how many
- * queued requests were batched onto one artifact fetch.
+ * Submits a mixed request stream — the same programs repeatedly,
+ * across backends, layout objectives and seeds — and prints each
+ * response with its prepare/run wall-time split.  Requests after the
+ * first for any (program, layout) identity hit the server's shared
+ * PrepareCache, so their prepare column collapses to ~0 while the
+ * metrics stay bit-identical to a cold compile; the closing stats
+ * show the hit ratio and how many queued requests were batched onto
+ * one artifact fetch.  In --connect mode the identical stream goes
+ * through wire frames instead of function calls (and finishes by
+ * asking the server to shut down), demonstrating that the two paths
+ * return the same metrics.
  */
 
+#include <chrono>
 #include <future>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "common/table.h"
 #include "engine/registry.h"
 #include "obs/metrics.h"
 #include "service/service.h"
+#include "service/wire.h"
 
-int
-main()
+namespace {
+
+using namespace qsurf;
+namespace wire = qsurf::service::wire;
+
+/** The demo request stream: two rounds so round two is fully warm. */
+std::vector<service::CompileRequest>
+requestStream()
 {
-    using namespace qsurf;
-
-    service::CompileService svc;
-    std::cout << "compile service up, " << svc.threads()
-              << " worker threads\n\n";
-
-    // A mixed stream: two generated apps, two simulation backends,
-    // two layout objectives — each combination submitted twice, so
-    // the second round is fully warm.
     std::vector<service::CompileRequest> stream;
     for (int round = 0; round < 2; ++round)
         for (auto kind : {apps::AppKind::SQ, apps::AppKind::GSE})
@@ -50,9 +56,75 @@ main()
                     req.config.layout_objective = objective;
                     stream.push_back(req);
                 }
+    return stream;
+}
+
+/** Run the stream against a remote compile_server and shut it down. */
+int
+runClient(const std::string &socket_path)
+{
+    // The server may still be binding its socket; retry briefly.
+    int fd = -1;
+    for (int attempt = 0; attempt < 50 && fd < 0; ++attempt) {
+        fd = wire::connectUnix(socket_path);
+        if (fd < 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+    }
+    if (fd < 0) {
+        std::cerr << "cannot connect to '" << socket_path << "'\n";
+        return 1;
+    }
+    wire::Client client(fd, fd);
+    std::cout << "connected to compile server at " << socket_path
+              << "\n\n";
+
+    std::vector<service::CompileRequest> stream = requestStream();
+    Table t("Compile stream over the wire (two rounds)");
+    t.header({"app", "backend", "obj", "cycles", "prep ms",
+              "run ms", "batch"});
+    for (size_t i = 0; i < stream.size(); ++i) {
+        service::CompileResponse r = client.compile(stream[i]);
+        if (!r.ok()) {
+            std::cerr << "request " << i << " failed: " << r.error
+                      << "\n";
+            return 1;
+        }
+        t.addRow(apps::appSpec(stream[i].app).name,
+                 stream[i].backend,
+                 stream[i].config.layout_objective,
+                 r.metrics.schedule_cycles,
+                 Table::fixed(r.prepare_ms, 2),
+                 Table::fixed(r.run_ms, 2), r.batch_size);
+    }
+    t.print(std::cout);
+    std::cout << "\nserver telemetry: " << client.telemetry()
+              << "\n";
+    client.shutdown();
+    std::cout << "server shut down cleanly\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--connect=", 0) == 0)
+            return runClient(arg.substr(10));
+        std::cerr << "usage: " << argv[0] << " [--connect=PATH]\n";
+        return 2;
+    }
+
+    service::CompileService svc;
+    std::cout << "compile service up, " << svc.threads()
+              << " worker threads\n\n";
 
     // Submit everything up front (the service batches queued
     // requests that share a prepare identity), then collect.
+    std::vector<service::CompileRequest> stream = requestStream();
     std::vector<std::future<service::CompileResponse>> futures;
     for (const service::CompileRequest &req : stream)
         futures.push_back(svc.submit(req));

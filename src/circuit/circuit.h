@@ -104,6 +104,10 @@ class Circuit
     /** Append a pre-built gate (validated). */
     int addGate(const Gate &g);
 
+    /** Pre-size the gate list for @p n gates (decompose() passes
+     *  its exact output size, eliminating growth reallocations). */
+    void reserve(size_t n) { ops.reserve(n); }
+
     /** Append every gate of @p other (qubit ids unchanged). */
     void append(const Circuit &other);
 

@@ -61,6 +61,7 @@ decompose(const Circuit &circ, const DecomposeConfig &cfg)
             cfg.rz_sequence_length);
 
     Circuit out(circ.name(), circ.numQubits());
+    out.reserve(decomposedSize(circ, cfg));
     for (const Gate &g : circ) {
         switch (g.kind) {
           case GateKind::Toffoli:

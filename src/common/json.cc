@@ -84,7 +84,7 @@ JsonWriter::separate()
     }
     if (need_comma)
         os << ",";
-    if (!stack.empty()) {
+    if (!stack.empty() && !compact) {
         os << "\n";
         indent();
     }
@@ -112,8 +112,10 @@ JsonWriter::endObject()
     panicIf(stack.empty() || !stack.back(),
             "endObject() without a matching beginObject()");
     stack.pop_back();
-    os << "\n";
-    indent();
+    if (!compact) {
+        os << "\n";
+        indent();
+    }
     os << "}";
     need_comma = true;
 }
@@ -133,8 +135,10 @@ JsonWriter::endArray()
     panicIf(stack.empty() || stack.back(),
             "endArray() without a matching beginArray()");
     stack.pop_back();
-    os << "\n";
-    indent();
+    if (!compact) {
+        os << "\n";
+        indent();
+    }
     os << "]";
     need_comma = true;
 }

@@ -34,7 +34,14 @@ namespace qsurf {
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::ostream &os) : os(os) {}
+    /** @p compact drops all newlines and indentation (", " key
+     *  separators stay), producing one-line documents — the sweep
+     *  row stream and wire frames use it so one record is one
+     *  flushable line. */
+    explicit JsonWriter(std::ostream &os, bool compact = false)
+        : os(os), compact(compact)
+    {
+    }
     ~JsonWriter();
 
     JsonWriter(const JsonWriter &) = delete;
@@ -77,6 +84,7 @@ class JsonWriter
     void indent();
 
     std::ostream &os;
+    bool compact;
     /** One frame per open container: true = object, false = array. */
     std::vector<bool> stack;
     bool need_comma = false;

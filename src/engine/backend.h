@@ -171,6 +171,15 @@ struct RunConfig
     int drop_timeout = 16;
 
     /**
+     * Runaway guard of the simulated backends: a run that exceeds
+     * this many simulated cycles aborts as misconfigured.  Deep
+     * workloads at large code distance legitimately pass the
+     * default (cycle counts scale with gates x distance); raise it
+     * when the workload is known to be that big (bench/scaleout).
+     */
+    uint64_t max_cycles = 100'000'000;
+
+    /**
      * Scheme arbiter of the "hybrid/mixed-sim" backend (a
      * hybrid::ArbiterKind value): 0 cost-model greedy, 1 congestion
      * reactive, 2-4 force braid/teleport/surgery.  Other backends

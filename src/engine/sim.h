@@ -23,6 +23,7 @@
 #include <set>
 #include <vector>
 
+#include "common/arena.h"
 #include "network/mesh.h"
 #include "network/route.h"
 #include "obs/trace.h"
@@ -61,13 +62,19 @@ struct ReadyEntry
 /**
  * Priority-ordered ready queue with deterministic FIFO tie-breaking.
  * Iteration yields entries best-first; erase/insert during a scan
- * follows std::set iterator rules.
+ * follows std::set iterator rules.  Node storage comes from the
+ * thread's scratch arena when one is bound at construction (every
+ * insert is a tree-node allocation — by far the hottest allocation
+ * site of a simulator run), the global heap otherwise; ordering and
+ * results are identical either way.
  */
 class ReadyQueue
 {
   public:
-    using iterator = std::set<ReadyEntry>::iterator;
-    using const_iterator = std::set<ReadyEntry>::const_iterator;
+    using Set = std::set<ReadyEntry, std::less<ReadyEntry>,
+                         ArenaAllocator<ReadyEntry>>;
+    using iterator = Set::iterator;
+    using const_iterator = Set::const_iterator;
 
     /** Insert @p e, stamping the next insertion sequence number. */
     void
@@ -89,7 +96,7 @@ class ReadyQueue
     size_t size() const { return entries_.size(); }
 
   private:
-    std::set<ReadyEntry> entries_;
+    Set entries_;
     uint64_t next_seq_ = 0;
 };
 
@@ -129,8 +136,9 @@ class ExpiryQueue
     }
 
   private:
-    std::priority_queue<std::pair<uint64_t, int>,
-                        std::vector<std::pair<uint64_t, int>>,
+    using Event = std::pair<uint64_t, int>;
+    std::priority_queue<Event,
+                        std::vector<Event, ArenaAllocator<Event>>,
                         std::greater<>>
         heap_;
 };

@@ -92,6 +92,7 @@ class HybridBackend : public engine::Backend
         opts.adapt_timeout = item.config.adapt_timeout;
         opts.bfs_timeout = item.config.bfs_timeout;
         opts.drop_timeout = item.config.drop_timeout;
+        opts.max_cycles = item.config.max_cycles;
         opts.magic_production_cycles =
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =

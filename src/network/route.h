@@ -14,10 +14,13 @@
 #ifndef QSURF_NETWORK_ROUTE_H
 #define QSURF_NETWORK_ROUTE_H
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/arena.h"
 #include "network/mesh.h"
 
 namespace qsurf::network {
@@ -37,14 +40,42 @@ Path yxRoute(const Coord &src, const Coord &dst);
 class BfsScratch
 {
   public:
-    /** Size the arrays for @p num_nodes and open a fresh epoch. */
+    /**
+     * Size the arrays for @p num_nodes and open a fresh epoch.  The
+     * backing store comes from the thread's bound scratch arena when
+     * one is set (Arena::Scope; the sweep driver and compile service
+     * bind one per work unit), otherwise from the heap; an arena
+     * reset between searches is detected via its generation counter
+     * and re-acquires the arrays.  Results never depend on which
+     * store backs the search.
+     */
     void
     beginSearch(int num_nodes)
     {
         auto n = static_cast<size_t>(num_nodes);
-        if (prev_.size() < n || epoch_ == UINT32_MAX) {
-            prev_.assign(n, -1);
-            seen_.assign(n, 0);
+        Arena *a = Arena::scratch();
+        bool recycled = a != arena_
+            || (a && a->generation() != arena_generation_);
+        if (cap_ < n || recycled || epoch_ == UINT32_MAX) {
+            if (cap_ < n || recycled) {
+                arena_ = a;
+                arena_generation_ = a ? a->generation() : 0;
+                size_t want = std::max(cap_, n);
+                if (a) {
+                    prev_ = a->allocArray<int32_t>(want);
+                    seen_ = a->allocArray<uint32_t>(want);
+                    heap_.reset();
+                } else {
+                    heap_ = std::make_unique<char[]>(
+                        want * (sizeof(int32_t) + sizeof(uint32_t)));
+                    prev_ = reinterpret_cast<int32_t *>(heap_.get());
+                    seen_ = reinterpret_cast<uint32_t *>(
+                        heap_.get() + want * sizeof(int32_t));
+                }
+                cap_ = want;
+            }
+            std::fill(prev_, prev_ + cap_, -1);
+            std::fill(seen_, seen_ + cap_, 0u);
             epoch_ = 0;
         }
         ++epoch_;
@@ -70,8 +101,12 @@ class BfsScratch
     std::vector<int32_t> &frontier() { return frontier_; }
 
   private:
-    std::vector<int32_t> prev_;
-    std::vector<uint32_t> seen_;
+    int32_t *prev_ = nullptr;
+    uint32_t *seen_ = nullptr;
+    size_t cap_ = 0;
+    Arena *arena_ = nullptr; ///< Backing arena; null = heap_.
+    uint64_t arena_generation_ = 0;
+    std::unique_ptr<char[]> heap_;
     std::vector<int32_t> frontier_;
     uint32_t epoch_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "engine/sweep.h"
 #include "service/artifact.h"
@@ -68,7 +69,8 @@ CompileService::CompileService(const Options &opts)
       registry(opts.registry ? *opts.registry
                              : engine::Registry::global()),
       metrics(opts.metrics ? *opts.metrics
-                           : obs::MetricsRegistry::global())
+                           : obs::MetricsRegistry::global()),
+      use_arena(opts.use_arena)
 {
     int n = opts.num_threads >= 1 ? opts.num_threads
                                   : engine::defaultThreads();
@@ -169,6 +171,10 @@ CompileService::threads() const
 void
 CompileService::workerLoop()
 {
+    // One scratch arena per worker thread, living as long as the
+    // thread: after warm-up it reaches a single coalesced block and
+    // batch execution stops touching the global heap.
+    Arena arena;
     for (;;) {
         std::vector<Pending> batch;
         {
@@ -194,13 +200,16 @@ CompileService::workerLoop()
             if (batch.size() > 1)
                 total_batched += batch.size();
         }
-        serveBatch(std::move(batch));
+        serveBatch(std::move(batch), use_arena ? &arena : nullptr);
     }
 }
 
 void
-CompileService::serveBatch(std::vector<Pending> batch)
+CompileService::serveBatch(std::vector<Pending> batch, Arena *arena)
 {
+    if (arena)
+        arena->reset();
+    Arena::Scope scope(arena);
     // Prepare once for the whole batch (all entries share the batch
     // key, hence the same program and machine artifact).
     const engine::Backend *backend = nullptr;
@@ -238,6 +247,16 @@ CompileService::serveBatch(std::vector<Pending> batch)
     metrics.observe("service.prepare_ms", prepare_ms);
 
     for (Pending &pending : batch) {
+        // Nested scope: the batch reset bounds the whole group, the
+        // per-request rewind recycles one request's scratch for the
+        // next without invalidating the shared prepare artifacts
+        // (those live in the cache, never in the arena).
+        Arena::Checkpoint cp;
+        Arena::Stats arena_before;
+        if (arena) {
+            cp = arena->checkpoint();
+            arena_before = arena->stats();
+        }
         CompileResponse response;
         response.prepare_ms = prepare_ms;
         response.batch_size = batch.size();
@@ -270,6 +289,18 @@ CompileService::serveBatch(std::vector<Pending> batch)
             response.run_ms = msSince(start);
         } catch (const std::exception &e) {
             response.error = e.what();
+        }
+        if (arena) {
+            Arena::Stats after = arena->stats();
+            metrics.observe("service.arena.allocs",
+                            static_cast<double>(
+                                after.allocations
+                                - arena_before.allocations));
+            metrics.observe(
+                "service.arena.bytes",
+                static_cast<double>(after.bytes
+                                    - arena_before.bytes));
+            arena->rewind(cp);
         }
         metrics.observe("service.run_ms", response.run_ms);
         metrics.observe("service.request.latency_ms",

@@ -34,6 +34,10 @@
 #include "obs/metrics.h"
 #include "service/cache.h"
 
+namespace qsurf {
+class Arena;
+} // namespace qsurf
+
 namespace qsurf::service {
 
 /** One compile job: a program source plus a backend and run config. */
@@ -125,6 +129,16 @@ class CompileService
          *  latency histograms); null uses
          *  obs::MetricsRegistry::global(). */
         obs::MetricsRegistry *metrics = nullptr;
+
+        /**
+         * Bind a per-worker scratch arena around request execution:
+         * reset per batch, checkpoint/rewound between the batch's
+         * requests, so steady-state request scratch (BFS working
+         * sets and friends) never touches the global heap.  Results
+         * are bit-identical on or off; the per-request arena
+         * activity feeds the "service.arena.*" histograms.
+         */
+        bool use_arena = true;
     };
 
     CompileService();
@@ -170,11 +184,12 @@ class CompileService
     };
 
     void workerLoop();
-    void serveBatch(std::vector<Pending> batch);
+    void serveBatch(std::vector<Pending> batch, Arena *arena);
 
     PrepareCache &cache;
     const engine::Registry &registry;
     obs::MetricsRegistry &metrics;
+    bool use_arena;
 
     mutable std::mutex mutex;
     std::condition_variable cv;

@@ -1,0 +1,440 @@
+#include "service/shard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "service/wire.h"
+
+namespace qsurf::service {
+
+namespace {
+
+using engine::SweepGrid;
+using engine::SweepOptions;
+using engine::SweepPoint;
+
+std::string
+jsonError(const std::string &message)
+{
+    std::ostringstream os;
+    JsonWriter j(os, /*compact=*/true);
+    j.beginObject();
+    j.field("error", message);
+    j.endObject();
+    return os.str();
+}
+
+/**
+ * Worker-process body: take the slice assignment off the wire, run
+ * the grid under a modulo point filter, stream each completed row up
+ * as a Row frame, and finish with Done.  Never returns to the
+ * caller's stack — the worker _exit()s (a forked child must not run
+ * the parent's destructors or flush its inherited stdio buffers).
+ */
+[[noreturn]] void
+workerMain(int fd, const SweepGrid &grid,
+           const engine::Registry &registry, const SweepOptions &base,
+           const std::vector<uint8_t> &done)
+{
+    try {
+        wire::Frame assign;
+        fatalIf(!wire::readFrame(fd, assign),
+                "shard parent closed before assigning a slice");
+        fatalIf(assign.type != wire::FrameType::ShardAssign,
+                "expected a ShardAssign frame, got ",
+                wire::frameTypeName(assign.type));
+        JsonValue doc = parseJson(assign.payload);
+        const JsonValue *worker = doc.find("worker");
+        const JsonValue *workers = doc.find("workers");
+        const JsonValue *fp = doc.find("grid_fingerprint");
+        fatalIf(!worker || !worker->isNumber() || !workers
+                    || !workers->isNumber(),
+                "malformed ShardAssign payload");
+        auto w = static_cast<size_t>(worker->num);
+        auto n = static_cast<size_t>(workers->num);
+        fatalIf(n == 0 || w >= n, "ShardAssign names worker ", w,
+                " of ", n);
+        // The grid is inherited memory, but the assignment still
+        // names what it believes the worker is running; a mismatch
+        // means the processes disagree about the experiment.
+        fatalIf(fp && fp->isNumber()
+                    && fp->num
+                        != static_cast<double>(
+                            engine::sweepGridFingerprint(grid)),
+                "ShardAssign grid fingerprint does not match the "
+                "inherited grid");
+
+        std::atomic<uint64_t> rows{0};
+        SweepOptions opts = base;
+        opts.json_path.clear();
+        opts.rows_path.clear();
+        opts.stream_rows = false;
+        opts.resume = false;
+        opts.trace = nullptr;
+        opts.metrics = nullptr;
+        opts.heap_alloc_counter = nullptr;
+        opts.point_filter = [w, n, &done](size_t i) {
+            return i % n == w && !done[i];
+        };
+        // on_row runs under the driver's row lock, so frames from a
+        // multi-threaded worker never interleave on the socket.
+        opts.on_row = [fd, &rows](const SweepPoint &,
+                                  std::string_view line) {
+            wire::writeFrame(fd, wire::FrameType::Row,
+                             std::string(line));
+            ++rows;
+        };
+        engine::SweepDriver(registry).run(grid, opts);
+
+        std::ostringstream os;
+        JsonWriter j(os, /*compact=*/true);
+        j.beginObject();
+        j.field("rows", rows.load());
+        j.endObject();
+        wire::writeFrame(fd, wire::FrameType::Done, os.str());
+        ::_exit(0);
+    } catch (const std::exception &e) {
+        try {
+            wire::writeFrame(fd, wire::FrameType::Error,
+                             jsonError(e.what()));
+        } catch (...) {
+            // The parent is gone; the exit status still says failed.
+        }
+        ::_exit(1);
+    }
+}
+
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int fd = -1;
+    std::string buf;   ///< Undecoded bytes read so far.
+    bool finished = false;
+};
+
+/** Kill and reap whatever the fleet still has running; safe to call
+ *  after a partial or failed launch. */
+void
+killFleet(std::vector<WorkerProc> &fleet)
+{
+    for (WorkerProc &w : fleet) {
+        if (w.fd >= 0) {
+            ::close(w.fd);
+            w.fd = -1;
+        }
+        if (w.pid > 0)
+            ::kill(w.pid, SIGKILL);
+    }
+    for (WorkerProc &w : fleet) {
+        if (w.pid > 0) {
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+            w.pid = -1;
+        }
+    }
+}
+
+/** RAII backstop: any exception out of the parent loop tears the
+ *  fleet down instead of leaking live children. */
+struct FleetGuard
+{
+    std::vector<WorkerProc> &fleet;
+    bool armed = true;
+
+    ~FleetGuard()
+    {
+        if (armed)
+            killFleet(fleet);
+    }
+};
+
+} // namespace
+
+std::vector<SweepPoint>
+runShardedSweep(const SweepGrid &grid, const ShardOptions &opts,
+                const engine::Registry &registry)
+{
+    fatalIf(opts.workers < 1, "sharded sweep needs >= 1 worker, got ",
+            opts.workers);
+    fatalIf(static_cast<bool>(opts.sweep.point_filter)
+                || static_cast<bool>(opts.sweep.on_row)
+                || opts.sweep.trace != nullptr
+                || opts.sweep.metrics != nullptr
+                || static_cast<bool>(opts.sweep.heap_alloc_counter),
+            "sharded sweeps cannot forward point_filter / on_row / "
+            "trace / metrics / heap_alloc_counter into workers");
+
+    std::vector<SweepPoint> points =
+        engine::expandSweepPoints(grid, registry);
+    std::vector<uint8_t> done(points.size(), 0);
+
+    std::string rows_path;
+    if (opts.sweep.stream_rows) {
+        rows_path = !opts.sweep.rows_path.empty()
+            ? opts.sweep.rows_path
+            : (!opts.sweep.json_path.empty()
+                   ? opts.sweep.json_path + ".rows"
+                   : std::string());
+    }
+    size_t resumed = 0;
+    size_t rows_valid_bytes = 0;
+    if (opts.sweep.resume && !rows_path.empty()) {
+        resumed = engine::loadSweepRows(rows_path, grid,
+                                        opts.sweep.title, points,
+                                        done, &rows_valid_bytes);
+        if (resumed)
+            inform("resuming sharded sweep: ", resumed, " of ",
+                   points.size(), " points from '", rows_path, "'");
+    }
+    size_t remaining = 0;
+    for (uint8_t d : done)
+        if (!d)
+            ++remaining;
+
+    std::ofstream rows_stream;
+    if (!rows_path.empty()) {
+        if (resumed) {
+            // Drop any torn tail before appending (see the
+            // single-process driver for the rationale).
+            std::error_code ec;
+            std::filesystem::resize_file(rows_path,
+                                         rows_valid_bytes, ec);
+            fatalIf(static_cast<bool>(ec), "cannot truncate '",
+                    rows_path, "': ", ec.message());
+        }
+        rows_stream.open(rows_path, resumed ? std::ios::app
+                                            : std::ios::trunc);
+        fatalIf(!rows_stream, "cannot open '", rows_path,
+                "' for writing");
+        if (!resumed) {
+            engine::writeSweepRowsHeader(rows_stream, grid,
+                                         opts.sweep.title);
+            rows_stream << "\n";
+        }
+        rows_stream.flush();
+    }
+
+    auto workers = static_cast<size_t>(opts.workers);
+    std::vector<WorkerProc> fleet(workers);
+    FleetGuard guard{fleet};
+
+    for (size_t w = 0; w < workers; ++w) {
+        int sv[2];
+        fatalIf(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0,
+                "socketpair() failed: ", std::strerror(errno));
+        pid_t pid = ::fork();
+        fatalIf(pid < 0, "fork() failed: ", std::strerror(errno));
+        if (pid == 0) {
+            // Child: keep only its own socket end.
+            ::close(sv[0]);
+            for (const WorkerProc &other : fleet)
+                if (other.fd >= 0)
+                    ::close(other.fd);
+            workerMain(sv[1], grid, registry, opts.sweep, done);
+        }
+        ::close(sv[1]);
+        fleet[w].pid = pid;
+        fleet[w].fd = sv[0];
+    }
+
+    // Assign slices over the wire.  The deterministic modulo
+    // partition plus per-point seeding means each worker's rows are
+    // exactly what a single-process run produces for those indices.
+    uint64_t grid_fp = engine::sweepGridFingerprint(grid);
+    for (size_t w = 0; w < workers; ++w) {
+        std::ostringstream os;
+        JsonWriter j(os, /*compact=*/true);
+        j.beginObject();
+        j.field("worker", static_cast<uint64_t>(w));
+        j.field("workers", static_cast<uint64_t>(workers));
+        j.field("grid_fingerprint", grid_fp);
+        j.endObject();
+        wire::writeFrame(fleet[w].fd, wire::FrameType::ShardAssign,
+                         os.str());
+    }
+
+    auto fail = [&](const std::string &msg) {
+        killFleet(fleet);
+        guard.armed = false;
+        fatal(msg);
+    };
+
+    auto mergeRow = [&](const std::string &line) {
+        SweepPoint row = engine::parseSweepRowLine(line);
+        fatalIf(row.index >= points.size(),
+                "worker row names out-of-range index ", row.index);
+        SweepPoint &dst = points[row.index];
+        fatalIf(row.app_name != dst.app_name
+                    || row.backend != dst.backend
+                    || row.policy != dst.policy
+                    || row.arbiter != dst.arbiter
+                    || row.layout_objective != dst.layout_objective
+                    || row.epr_window != dst.epr_window,
+                "worker row ", row.index,
+                " disagrees with the grid expansion");
+        // Rows stream to disk as they land, so a killed sharded
+        // sweep leaves the same resumable partial file a killed
+        // single-process one does.
+        if (rows_stream.is_open()) {
+            rows_stream << line << "\n";
+            rows_stream.flush();
+        }
+        size_t index = dst.index;
+        size_t app_index = dst.app_index;
+        int distance = dst.distance;
+        double kq = dst.kq;
+        dst = std::move(row);
+        dst.index = index;
+        dst.app_index = app_index;
+        dst.distance = distance;
+        dst.kq = kq;
+        if (!done[dst.index]) {
+            done[dst.index] = 1;
+            --remaining;
+        }
+    };
+
+    auto last_progress = std::chrono::steady_clock::now();
+    size_t live = workers;
+    while (live > 0) {
+        std::vector<pollfd> fds;
+        std::vector<size_t> owner;
+        for (size_t w = 0; w < workers; ++w) {
+            if (fleet[w].fd >= 0) {
+                fds.push_back({fleet[w].fd, POLLIN, 0});
+                owner.push_back(w);
+            }
+        }
+        int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   1000);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            fail(std::string("poll() failed: ")
+                 + std::strerror(errno));
+        }
+        if (ready == 0) {
+            if (opts.idle_timeout_sec > 0
+                && std::chrono::steady_clock::now() - last_progress
+                    > std::chrono::seconds(opts.idle_timeout_sec))
+                fail("sharded sweep hung: no worker progress in "
+                     + std::to_string(opts.idle_timeout_sec)
+                     + "s; fleet killed");
+            continue;
+        }
+        for (size_t i = 0; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            WorkerProc &w = fleet[owner[i]];
+            char chunk[64 * 1024];
+            ssize_t n = ::read(w.fd, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fail(std::string("worker read failed: ")
+                     + std::strerror(errno));
+            }
+            if (n == 0) {
+                if (!w.buf.empty())
+                    fail("worker " + std::to_string(owner[i])
+                         + " closed mid-frame");
+                if (!w.finished)
+                    fail("worker " + std::to_string(owner[i])
+                         + " exited without a Done frame");
+                ::close(w.fd);
+                w.fd = -1;
+                --live;
+                continue;
+            }
+            w.buf.append(chunk, static_cast<size_t>(n));
+            last_progress = std::chrono::steady_clock::now();
+            for (;;) {
+                wire::Frame frame;
+                size_t consumed = 0;
+                wire::DecodeStatus st = wire::decodeFrame(
+                    w.buf.data(), w.buf.size(), frame, consumed);
+                if (st == wire::DecodeStatus::NeedMore)
+                    break;
+                if (st != wire::DecodeStatus::Ok)
+                    fail("worker " + std::to_string(owner[i])
+                         + " sent a corrupt frame ("
+                         + wire::decodeStatusName(st) + ")");
+                w.buf.erase(0, consumed);
+                switch (frame.type) {
+                  case wire::FrameType::Row:
+                    try {
+                        mergeRow(frame.payload);
+                    } catch (const FatalError &) {
+                        killFleet(fleet);
+                        guard.armed = false;
+                        throw;
+                    }
+                    break;
+                  case wire::FrameType::Done:
+                    w.finished = true;
+                    break;
+                  case wire::FrameType::Error: {
+                    std::string msg = frame.payload;
+                    try {
+                        JsonValue doc = parseJson(frame.payload);
+                        if (const JsonValue *e = doc.find("error"))
+                            if (e->isString())
+                                msg = e->str;
+                    } catch (const FatalError &) {
+                    }
+                    fail("worker " + std::to_string(owner[i])
+                         + " failed: " + msg);
+                    break;
+                  }
+                  default:
+                    fail("worker " + std::to_string(owner[i])
+                         + " sent an unexpected "
+                         + wire::frameTypeName(frame.type)
+                         + " frame");
+                }
+            }
+        }
+    }
+
+    // The fds are closed; reap and insist on clean exits.
+    for (size_t w = 0; w < workers; ++w) {
+        int status = 0;
+        pid_t r = ::waitpid(fleet[w].pid, &status, 0);
+        pid_t pid = fleet[w].pid;
+        fleet[w].pid = -1;
+        fatalIf(r != pid, "waitpid(worker ", w,
+                ") failed: ", std::strerror(errno));
+        fatalIf(!WIFEXITED(status) || WEXITSTATUS(status) != 0,
+                "worker ", w, " exited uncleanly (status ", status,
+                ")");
+    }
+    guard.armed = false;
+
+    fatalIf(remaining != 0, "sharded sweep finished with ",
+            remaining, " points unaccounted for");
+
+    if (!opts.sweep.json_path.empty()) {
+        std::ofstream os(opts.sweep.json_path);
+        fatalIf(!os, "cannot open '", opts.sweep.json_path,
+                "' for writing");
+        engine::writeSweepJson(os, opts.sweep.title, points);
+    }
+    return points;
+}
+
+} // namespace qsurf::service

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-process sharded sweep execution.
+ *
+ * runShardedSweep() partitions a SweepGrid across N forked worker
+ * processes and merges their rows into the same results (and the
+ * same BENCH_*.json) a single-process SweepDriver::run() produces.
+ * The partition is deterministic (grid index modulo worker count)
+ * and per-point seeds depend only on the grid, so a worker
+ * reproduces exactly the rows any other execution would produce for
+ * its indices — the merged document is byte-identical to the
+ * single-process one (canonicalSweepRows() compares them; wall-clock
+ * observations are excluded, they physically differ).
+ *
+ * Workers are fork()ed without exec, so caller-built circuits and
+ * registry state are inherited and nothing about the grid needs
+ * serializing; each worker speaks the wire protocol (src/service/
+ * wire.h) over its socketpair — ShardAssign down, Row per completed
+ * point and Done up — and the parent streams every received row to
+ * the row-stream file as it lands, so a killed sharded sweep leaves
+ * the same resumable partial file a killed single-process one does.
+ */
+
+#ifndef QSURF_SERVICE_SHARD_H
+#define QSURF_SERVICE_SHARD_H
+
+#include <string>
+#include <vector>
+
+#include "engine/registry.h"
+#include "engine/sweep.h"
+
+namespace qsurf::service {
+
+/** Knobs of one sharded sweep. */
+struct ShardOptions
+{
+    /** Worker processes to fork; values < 1 fatal(). */
+    int workers = 2;
+
+    /**
+     * Per-worker sweep execution options.  json_path / rows_path /
+     * resume / title apply to the parent's merged output; the
+     * workers run with num_threads / use_cache / use_arena of this
+     * and never write files themselves.  trace / metrics / on_row /
+     * point_filter / heap_alloc_counter are parent-side concepts and
+     * must be unset (fatal() otherwise): a forked worker's registry
+     * would die with it.
+     */
+    engine::SweepOptions sweep;
+
+    /**
+     * Seconds of silence (no Row/Done frame from any worker) before
+     * the parent declares the fleet hung, kills it and fatal()s;
+     * 0 disables.  This is the CI guard against a wedged worker
+     * stalling a pipeline forever.
+     */
+    int idle_timeout_sec = 600;
+};
+
+/**
+ * Run @p grid across forked workers; @return results in grid
+ * expansion order, exactly as SweepDriver::run() would.  fatal()s
+ * when a worker crashes, reports an error, exits unclean, or the
+ * fleet goes silent past the idle timeout.
+ */
+std::vector<engine::SweepPoint>
+runShardedSweep(const engine::SweepGrid &grid,
+                const ShardOptions &opts,
+                const engine::Registry &registry =
+                    engine::Registry::global());
+
+} // namespace qsurf::service
+
+#endif // QSURF_SERVICE_SHARD_H

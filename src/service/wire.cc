@@ -1,0 +1,759 @@
+#include "service/wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace qsurf::service::wire {
+
+namespace {
+
+void
+putU16(std::string &out, uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint16_t
+getU16(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+
+uint32_t
+getU32(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8)
+        | (static_cast<uint32_t>(u[2]) << 16)
+        | (static_cast<uint32_t>(u[3]) << 24);
+}
+
+/** Read exactly @p len bytes; @return bytes read (short = EOF). */
+size_t
+readFull(int fd, char *buf, size_t len)
+{
+    size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::read(fd, buf + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("wire read failed: ", std::strerror(errno));
+        }
+        if (n == 0)
+            break;
+        got += static_cast<size_t>(n);
+    }
+    return got;
+}
+
+/** Write all of @p buf; a closed peer fatal()s (never SIGPIPE). */
+void
+writeFull(int fd, const char *buf, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        // MSG_NOSIGNAL suppresses SIGPIPE on sockets; plain pipes
+        // reject send() with ENOTSOCK and take the write() path
+        // (qsurf binaries ignore SIGPIPE where they serve pipes).
+        ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, buf + sent, len - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("wire write failed: ", std::strerror(errno));
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+bool
+validType(uint16_t t)
+{
+    return t >= static_cast<uint16_t>(FrameType::Hello)
+        && t <= static_cast<uint16_t>(FrameType::Shutdown);
+}
+
+apps::AppKind
+parseAppKind(const std::string &name)
+{
+    for (apps::AppKind kind : apps::allApps())
+        if (apps::appSpec(kind).name == name)
+            return kind;
+    fatal("unknown app '", name, "' in wire request");
+}
+
+qec::CodeKind
+parseCodeKind(const std::string &name)
+{
+    for (qec::CodeKind kind :
+         {qec::CodeKind::Planar, qec::CodeKind::DoubleDefect})
+        if (name == qec::codeKindName(kind))
+            return kind;
+    fatal("unknown code kind '", name, "' in wire response");
+}
+
+double
+num(const JsonValue &obj, const std::string &key, double fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    fatalIf(!v->isNumber(), "wire field '", key,
+            "' is not a number");
+    return v->num;
+}
+
+bool
+flag(const JsonValue &obj, const std::string &key, bool fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    fatalIf(!v->isBool(), "wire field '", key, "' is not a bool");
+    return v->boolean;
+}
+
+std::string
+text(const JsonValue &obj, const std::string &key,
+     const std::string &fallback = {})
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    fatalIf(!v->isString(), "wire field '", key,
+            "' is not a string");
+    return v->str;
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello:
+        return "hello";
+      case FrameType::Request:
+        return "request";
+      case FrameType::Response:
+        return "response";
+      case FrameType::Telemetry:
+        return "telemetry";
+      case FrameType::Row:
+        return "row";
+      case FrameType::ShardAssign:
+        return "shard-assign";
+      case FrameType::Done:
+        return "done";
+      case FrameType::Error:
+        return "error";
+      case FrameType::Shutdown:
+        return "shutdown";
+    }
+    return "unknown";
+}
+
+const char *
+decodeStatusName(DecodeStatus status)
+{
+    switch (status) {
+      case DecodeStatus::Ok:
+        return "ok";
+      case DecodeStatus::NeedMore:
+        return "need-more";
+      case DecodeStatus::BadMagic:
+        return "bad-magic";
+      case DecodeStatus::BadVersion:
+        return "bad-version";
+      case DecodeStatus::BadType:
+        return "bad-type";
+      case DecodeStatus::Oversized:
+        return "oversized";
+      case DecodeStatus::BadHash:
+        return "bad-hash";
+    }
+    return "unknown";
+}
+
+uint32_t
+payloadHash(const char *data, size_t len)
+{
+    uint32_t h = 2166136261u;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 16777619u;
+    }
+    return h;
+}
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    fatalIf(frame.payload.size() > kMaxPayload,
+            "wire frame payload of ", frame.payload.size(),
+            " bytes exceeds the ", kMaxPayload, "-byte limit");
+    std::string out;
+    out.reserve(kHeaderSize + frame.payload.size());
+    putU32(out, kMagic);
+    putU16(out, kVersion);
+    putU16(out, static_cast<uint16_t>(frame.type));
+    putU32(out, static_cast<uint32_t>(frame.payload.size()));
+    putU32(out,
+           payloadHash(frame.payload.data(), frame.payload.size()));
+    out += frame.payload;
+    return out;
+}
+
+DecodeStatus
+decodeFrame(const char *data, size_t len, Frame &out,
+            size_t &consumed)
+{
+    consumed = 0;
+    // Even a partial buffer can prove it will never be a frame: the
+    // magic bytes must match as far as they go.
+    for (size_t i = 0; i < len && i < 4; ++i)
+        if (static_cast<unsigned char>(data[i])
+            != ((kMagic >> (8 * i)) & 0xff))
+            return DecodeStatus::BadMagic;
+    if (len < kHeaderSize)
+        return DecodeStatus::NeedMore;
+    uint16_t version = getU16(data + 4);
+    if (version != kVersion)
+        return DecodeStatus::BadVersion;
+    uint16_t type = getU16(data + 6);
+    if (!validType(type))
+        return DecodeStatus::BadType;
+    uint32_t payload_len = getU32(data + 8);
+    if (payload_len > kMaxPayload)
+        return DecodeStatus::Oversized;
+    if (len < kHeaderSize + payload_len)
+        return DecodeStatus::NeedMore;
+    uint32_t hash = getU32(data + 12);
+    if (payloadHash(data + kHeaderSize, payload_len) != hash)
+        return DecodeStatus::BadHash;
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(data + kHeaderSize, payload_len);
+    consumed = kHeaderSize + payload_len;
+    return DecodeStatus::Ok;
+}
+
+bool
+readFrame(int fd, Frame &out)
+{
+    char header[kHeaderSize];
+    size_t got = readFull(fd, header, kHeaderSize);
+    if (got == 0)
+        return false;
+    fatalIf(got < kHeaderSize,
+            "wire stream truncated mid-header (", got, " of ",
+            kHeaderSize, " bytes)");
+    fatalIf(getU32(header) != kMagic,
+            "wire stream is not frame-aligned (bad magic)");
+    uint16_t version = getU16(header + 4);
+    fatalIf(version != kVersion, "wire peer speaks version ",
+            version, ", this build speaks ", kVersion);
+    uint16_t type = getU16(header + 6);
+    fatalIf(!validType(type), "wire frame has unknown type ", type);
+    uint32_t payload_len = getU32(header + 8);
+    fatalIf(payload_len > kMaxPayload, "wire frame claims ",
+            payload_len, "-byte payload (limit ", kMaxPayload, ")");
+    uint32_t hash = getU32(header + 12);
+    out.type = static_cast<FrameType>(type);
+    out.payload.resize(payload_len);
+    if (payload_len) {
+        size_t body = readFull(fd, out.payload.data(), payload_len);
+        fatalIf(body < payload_len,
+                "wire stream truncated mid-payload (", body, " of ",
+                payload_len, " bytes of a ", frameTypeName(out.type),
+                " frame)");
+    }
+    fatalIf(payloadHash(out.payload.data(), out.payload.size())
+                != hash,
+            "wire frame payload hash mismatch (corrupt ",
+            frameTypeName(out.type), " frame)");
+    return true;
+}
+
+void
+writeFrame(int fd, const Frame &frame)
+{
+    std::string bytes = encodeFrame(frame);
+    writeFull(fd, bytes.data(), bytes.size());
+}
+
+void
+writeFrame(int fd, FrameType type, std::string payload)
+{
+    Frame f;
+    f.type = type;
+    f.payload = std::move(payload);
+    writeFrame(fd, f);
+}
+
+std::string
+encodeCompileRequest(const CompileRequest &req)
+{
+    fatalIf(req.circuit != nullptr,
+            "caller-built circuits are not representable in wire "
+            "protocol v1; submit in-process instead");
+    std::ostringstream os;
+    JsonWriter j(os, /*compact=*/true);
+    j.beginObject();
+    j.field("app", apps::appSpec(req.app).name);
+    j.key("gen");
+    j.beginObject();
+    j.field("problem_size", req.gen.problem_size);
+    j.field("max_iterations", req.gen.max_iterations);
+    j.endObject();
+    j.key("decompose");
+    j.beginObject();
+    j.field("rz_sequence_length", req.decompose.rz_sequence_length);
+    j.field("rz_t_fraction", req.decompose.rz_t_fraction);
+    j.field("expand_swap", req.decompose.expand_swap);
+    j.endObject();
+    j.field("run_peephole", req.run_peephole);
+    j.field("label", req.label);
+    j.field("backend", req.backend);
+    const engine::RunConfig &c = req.config;
+    j.key("config");
+    j.beginObject();
+    j.key("tech");
+    j.beginObject();
+    j.field("p_physical", c.tech.p_physical);
+    j.field("t_two_qubit_ns", c.tech.t_two_qubit_ns);
+    j.field("single_qubit_speedup", c.tech.single_qubit_speedup);
+    j.field("t_measure_ns", c.tech.t_measure_ns);
+    j.endObject();
+    j.field("code_distance", c.code_distance);
+    j.field("policy", c.policy);
+    j.field("epr_window_steps", c.epr_window_steps);
+    j.field("epr_bandwidth", c.epr_bandwidth);
+    j.field("num_simd_regions", c.num_simd_regions);
+    j.field("region_capacity", c.region_capacity);
+    j.field("kq", c.kq);
+    j.field("fast_forward", c.fast_forward);
+    j.field("legacy_baseline", c.legacy_baseline);
+    j.field("magic_production_cycles", c.magic_production_cycles);
+    j.field("magic_buffer_capacity", c.magic_buffer_capacity);
+    j.field("adapt_timeout", c.adapt_timeout);
+    j.field("bfs_timeout", c.bfs_timeout);
+    j.field("drop_timeout", c.drop_timeout);
+    j.field("max_cycles", c.max_cycles);
+    j.field("hybrid_arbiter", c.hybrid_arbiter);
+    j.field("layout_objective", c.layout_objective);
+    j.field("lane_spacing", c.lane_spacing);
+    j.field("seed", c.seed);
+    j.endObject();
+    j.endObject();
+    return os.str();
+}
+
+CompileRequest
+decodeCompileRequest(const std::string &json)
+{
+    JsonValue doc = parseJson(json);
+    fatalIf(!doc.isObject(), "wire request is not a JSON object");
+    CompileRequest req;
+    req.app = parseAppKind(text(doc, "app", "SQ"));
+    if (const JsonValue *gen = doc.find("gen")) {
+        fatalIf(!gen->isObject(), "wire 'gen' is not an object");
+        req.gen.problem_size = static_cast<int>(
+            num(*gen, "problem_size", req.gen.problem_size));
+        req.gen.max_iterations = static_cast<int>(
+            num(*gen, "max_iterations", req.gen.max_iterations));
+    }
+    if (const JsonValue *d = doc.find("decompose")) {
+        fatalIf(!d->isObject(), "wire 'decompose' is not an object");
+        req.decompose.rz_sequence_length =
+            static_cast<int>(num(*d, "rz_sequence_length",
+                                 req.decompose.rz_sequence_length));
+        req.decompose.rz_t_fraction =
+            num(*d, "rz_t_fraction", req.decompose.rz_t_fraction);
+        req.decompose.expand_swap =
+            flag(*d, "expand_swap", req.decompose.expand_swap);
+    }
+    req.run_peephole = flag(doc, "run_peephole", req.run_peephole);
+    req.label = text(doc, "label");
+    req.backend = text(doc, "backend", req.backend);
+    if (const JsonValue *cfg = doc.find("config")) {
+        fatalIf(!cfg->isObject(), "wire 'config' is not an object");
+        engine::RunConfig &c = req.config;
+        if (const JsonValue *tech = cfg->find("tech")) {
+            fatalIf(!tech->isObject(),
+                    "wire 'tech' is not an object");
+            c.tech.p_physical =
+                num(*tech, "p_physical", c.tech.p_physical);
+            c.tech.t_two_qubit_ns =
+                num(*tech, "t_two_qubit_ns", c.tech.t_two_qubit_ns);
+            c.tech.single_qubit_speedup =
+                num(*tech, "single_qubit_speedup",
+                    c.tech.single_qubit_speedup);
+            c.tech.t_measure_ns =
+                num(*tech, "t_measure_ns", c.tech.t_measure_ns);
+        }
+        c.code_distance = static_cast<int>(
+            num(*cfg, "code_distance", c.code_distance));
+        c.policy = static_cast<int>(num(*cfg, "policy", c.policy));
+        c.epr_window_steps = static_cast<int>(
+            num(*cfg, "epr_window_steps", c.epr_window_steps));
+        c.epr_bandwidth = static_cast<int>(
+            num(*cfg, "epr_bandwidth", c.epr_bandwidth));
+        c.num_simd_regions = static_cast<int>(
+            num(*cfg, "num_simd_regions", c.num_simd_regions));
+        c.region_capacity = static_cast<int>(
+            num(*cfg, "region_capacity", c.region_capacity));
+        c.kq = num(*cfg, "kq", c.kq);
+        c.fast_forward =
+            flag(*cfg, "fast_forward", c.fast_forward);
+        c.legacy_baseline =
+            flag(*cfg, "legacy_baseline", c.legacy_baseline);
+        c.magic_production_cycles =
+            static_cast<int>(num(*cfg, "magic_production_cycles",
+                                 c.magic_production_cycles));
+        c.magic_buffer_capacity =
+            static_cast<int>(num(*cfg, "magic_buffer_capacity",
+                                 c.magic_buffer_capacity));
+        c.adapt_timeout = static_cast<int>(
+            num(*cfg, "adapt_timeout", c.adapt_timeout));
+        c.bfs_timeout = static_cast<int>(
+            num(*cfg, "bfs_timeout", c.bfs_timeout));
+        c.drop_timeout = static_cast<int>(
+            num(*cfg, "drop_timeout", c.drop_timeout));
+        c.max_cycles = static_cast<uint64_t>(num(
+            *cfg, "max_cycles", static_cast<double>(c.max_cycles)));
+        c.hybrid_arbiter = static_cast<int>(
+            num(*cfg, "hybrid_arbiter", c.hybrid_arbiter));
+        c.layout_objective = static_cast<int>(
+            num(*cfg, "layout_objective", c.layout_objective));
+        c.lane_spacing = static_cast<int>(
+            num(*cfg, "lane_spacing", c.lane_spacing));
+        c.seed = static_cast<uint64_t>(
+            num(*cfg, "seed", static_cast<double>(c.seed)));
+    }
+    return req;
+}
+
+std::string
+encodeCompileResponse(const CompileResponse &resp)
+{
+    std::ostringstream os;
+    JsonWriter j(os, /*compact=*/true);
+    j.beginObject();
+    j.field("error", resp.error);
+    j.field("prepare_ms", resp.prepare_ms);
+    j.field("run_ms", resp.run_ms);
+    j.field("batch_size", resp.batch_size);
+    const engine::Metrics &m = resp.metrics;
+    j.key("metrics");
+    j.beginObject();
+    j.field("backend", m.backend);
+    j.field("code", qec::codeKindName(m.code));
+    j.field("code_distance", m.code_distance);
+    j.field("schedule_cycles", m.schedule_cycles);
+    j.field("critical_path_cycles", m.critical_path_cycles);
+    j.field("physical_qubits", m.physical_qubits);
+    j.field("seconds", m.seconds);
+    j.key("extras");
+    j.beginObject();
+    for (const auto &[name, v] : m.extras)
+        j.field(name, v);
+    j.endObject();
+    j.endObject();
+    j.endObject();
+    return os.str();
+}
+
+CompileResponse
+decodeCompileResponse(const std::string &json)
+{
+    JsonValue doc = parseJson(json);
+    fatalIf(!doc.isObject(), "wire response is not a JSON object");
+    CompileResponse resp;
+    resp.error = text(doc, "error");
+    resp.prepare_ms = num(doc, "prepare_ms", 0);
+    resp.run_ms = num(doc, "run_ms", 0);
+    resp.batch_size =
+        static_cast<uint64_t>(num(doc, "batch_size", 1));
+    if (const JsonValue *m = doc.find("metrics")) {
+        fatalIf(!m->isObject(), "wire 'metrics' is not an object");
+        resp.metrics.backend = text(*m, "backend");
+        resp.metrics.code = parseCodeKind(
+            text(*m, "code", qec::codeKindName(resp.metrics.code)));
+        resp.metrics.code_distance = static_cast<int>(
+            num(*m, "code_distance", 0));
+        resp.metrics.schedule_cycles = static_cast<uint64_t>(
+            num(*m, "schedule_cycles", 0));
+        resp.metrics.critical_path_cycles = static_cast<uint64_t>(
+            num(*m, "critical_path_cycles", 0));
+        resp.metrics.physical_qubits =
+            num(*m, "physical_qubits", 0);
+        resp.metrics.seconds = num(*m, "seconds", 0);
+        if (const JsonValue *extras = m->find("extras")) {
+            fatalIf(!extras->isObject(),
+                    "wire 'extras' is not an object");
+            for (const auto &[name, v] : extras->members) {
+                fatalIf(!v.isNumber(), "wire extra '", name,
+                        "' is not a number");
+                resp.metrics.extras.emplace_back(name, v.num);
+            }
+        }
+    }
+    return resp;
+}
+
+namespace {
+
+std::string
+helloPayload()
+{
+    std::ostringstream os;
+    JsonWriter j(os, /*compact=*/true);
+    j.beginObject();
+    j.field("service", "qsurf-compile");
+    j.field("version", static_cast<int>(kVersion));
+    j.endObject();
+    return os.str();
+}
+
+std::string
+telemetryPayload(const CompileService &service)
+{
+    ServiceStats s = service.stats();
+    std::ostringstream os;
+    JsonWriter j(os, /*compact=*/true);
+    j.beginObject();
+    j.field("requests", s.requests);
+    j.field("batches", s.batches);
+    j.field("batched_requests", s.batched_requests);
+    j.field("threads", service.threads());
+    j.key("cache");
+    j.beginObject();
+    j.field("hits", s.cache.hits);
+    j.field("misses", s.cache.misses);
+    j.field("evictions", s.cache.evictions);
+    j.field("entries", s.cache.entries);
+    j.field("hit_ratio", s.cache.hitRatio());
+    j.endObject();
+    j.endObject();
+    return os.str();
+}
+
+std::string
+errorPayload(const std::string &message)
+{
+    std::ostringstream os;
+    JsonWriter j(os, /*compact=*/true);
+    j.beginObject();
+    j.field("error", message);
+    j.endObject();
+    return os.str();
+}
+
+} // namespace
+
+ServeStats
+serveConnection(CompileService &service, int in_fd, int out_fd)
+{
+    ServeStats stats;
+    writeFrame(out_fd, FrameType::Hello, helloPayload());
+    Frame frame;
+    while (readFrame(in_fd, frame)) {
+        ++stats.frames;
+        switch (frame.type) {
+          case FrameType::Request:
+            try {
+                CompileRequest req =
+                    decodeCompileRequest(frame.payload);
+                CompileResponse resp =
+                    service.compile(std::move(req));
+                ++stats.requests;
+                writeFrame(out_fd, FrameType::Response,
+                           encodeCompileResponse(resp));
+            } catch (const FatalError &e) {
+                // A malformed request poisons that request, not the
+                // connection: the client gets the diagnostic.
+                ++stats.errors;
+                writeFrame(out_fd, FrameType::Error,
+                           errorPayload(e.what()));
+            }
+            break;
+          case FrameType::Telemetry:
+            writeFrame(out_fd, FrameType::Telemetry,
+                       telemetryPayload(service));
+            break;
+          case FrameType::Shutdown:
+            stats.shutdown = true;
+            writeFrame(out_fd, FrameType::Done, "");
+            return stats;
+          default:
+            ++stats.errors;
+            writeFrame(
+                out_fd, FrameType::Error,
+                errorPayload(std::string("unexpected ")
+                             + frameTypeName(frame.type)
+                             + " frame on a compile connection"));
+            break;
+        }
+    }
+    return stats;
+}
+
+UnixListener::UnixListener(const std::string &path) : path_(path)
+{
+    sockaddr_un addr{};
+    fatalIf(path.size() >= sizeof(addr.sun_path),
+            "socket path '", path, "' exceeds the ",
+            sizeof(addr.sun_path) - 1, "-byte sockaddr_un limit");
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatalIf(fd_ < 0, "socket() failed: ", std::strerror(errno));
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr))
+        != 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        fatal("bind('", path, "') failed: ", std::strerror(err));
+    }
+    if (::listen(fd_, 8) != 0) {
+        int err = errno;
+        ::close(fd_);
+        ::unlink(path.c_str());
+        fd_ = -1;
+        fatal("listen('", path, "') failed: ", std::strerror(err));
+    }
+}
+
+UnixListener::~UnixListener()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    if (!path_.empty())
+        ::unlink(path_.c_str());
+}
+
+int
+UnixListener::accept()
+{
+    for (;;) {
+        int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0)
+            return client;
+        if (errno != EINTR)
+            fatal("accept('", path_,
+                  "') failed: ", std::strerror(errno));
+    }
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+Client::Client(int in_fd, int out_fd, bool owns_fds)
+    : in_fd_(in_fd), out_fd_(out_fd), owns_(owns_fds)
+{
+    Frame hello;
+    fatalIf(!readFrame(in_fd_, hello),
+            "compile server closed the connection before Hello");
+    fatalIf(hello.type != FrameType::Hello,
+            "expected a Hello frame, got ",
+            frameTypeName(hello.type));
+    JsonValue doc = parseJson(hello.payload);
+    fatalIf(text(doc, "service") != "qsurf-compile",
+            "peer is not a qsurf compile server");
+}
+
+Client::~Client()
+{
+    if (!owns_)
+        return;
+    ::close(in_fd_);
+    if (out_fd_ != in_fd_)
+        ::close(out_fd_);
+}
+
+CompileResponse
+Client::compile(const CompileRequest &req)
+{
+    writeFrame(out_fd_, FrameType::Request,
+               encodeCompileRequest(req));
+    Frame reply;
+    fatalIf(!readFrame(in_fd_, reply),
+            "compile server closed mid-request");
+    if (reply.type == FrameType::Error) {
+        JsonValue doc = parseJson(reply.payload);
+        CompileResponse resp;
+        resp.error = text(doc, "error", "unknown server error");
+        return resp;
+    }
+    fatalIf(reply.type != FrameType::Response,
+            "expected a Response frame, got ",
+            frameTypeName(reply.type));
+    return decodeCompileResponse(reply.payload);
+}
+
+std::string
+Client::telemetry()
+{
+    writeFrame(out_fd_, FrameType::Telemetry, "");
+    Frame reply;
+    fatalIf(!readFrame(in_fd_, reply),
+            "compile server closed mid-telemetry");
+    fatalIf(reply.type != FrameType::Telemetry,
+            "expected a Telemetry frame, got ",
+            frameTypeName(reply.type));
+    return reply.payload;
+}
+
+void
+Client::shutdown()
+{
+    writeFrame(out_fd_, FrameType::Shutdown, "");
+    Frame reply;
+    fatalIf(!readFrame(in_fd_, reply),
+            "compile server closed without acking Shutdown");
+    fatalIf(reply.type != FrameType::Done,
+            "expected a Done frame, got ",
+            frameTypeName(reply.type));
+}
+
+} // namespace qsurf::service::wire

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Framed wire protocol of the out-of-process compile service.
+ *
+ * A frame is a fixed 16-byte header — magic, protocol version, frame
+ * type, payload length, and an FNV-1a payload hash — followed by a
+ * JSON payload.  The header makes the stream self-describing and
+ * self-checking: a reader rejects truncated, corrupt, oversized or
+ * wrong-version frames instead of mis-parsing them, which is what
+ * lets the shard parent treat a crashed worker's half-written frame
+ * as a clean failure.  The same framing carries three conversations:
+ *
+ *  - compile_server <-> client: Request/Response/Telemetry over a
+ *    Unix socket or stdin/stdout pipes (examples/compile_server);
+ *  - shard parent <-> worker: ShardAssign down, Row/Done/Error up
+ *    over a socketpair (src/service/shard.h);
+ *  - both start with a server Hello naming the protocol version.
+ *
+ * Payloads are JSON (the repo's one interchange format), so every
+ * frame is inspectable with a hex dump and a JSON pretty-printer.
+ */
+
+#ifndef QSURF_SERVICE_WIRE_H
+#define QSURF_SERVICE_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/service.h"
+
+namespace qsurf::service::wire {
+
+/** Frame header magic, "QSRF" in stream order. */
+constexpr uint32_t kMagic = 0x46525351u;
+
+/** Protocol version; bumped on any incompatible change. */
+constexpr uint16_t kVersion = 1;
+
+/** Bytes of the fixed frame header. */
+constexpr size_t kHeaderSize = 16;
+
+/**
+ * Payload size ceiling (64 MiB).  Far above any real frame; its job
+ * is making a corrupt length field fail fast instead of driving a
+ * multi-gigabyte read.
+ */
+constexpr size_t kMaxPayload = 64u << 20;
+
+/** Frame types; values are wire format, never reorder. */
+enum class FrameType : uint16_t
+{
+    Hello = 1,       ///< Server greeting: {service, version}.
+    Request = 2,     ///< CompileRequest (client -> server).
+    Response = 3,    ///< CompileResponse (server -> client).
+    Telemetry = 4,   ///< Stats query (empty up, stats JSON down).
+    Row = 5,         ///< One sweep row line (shard worker -> parent).
+    ShardAssign = 6, ///< Shard slice assignment (parent -> worker).
+    Done = 7,        ///< End of a worker's slice / shutdown ack.
+    Error = 8,       ///< Failure description, then stream continues.
+    Shutdown = 9,    ///< Client asks the server loop to return.
+};
+
+/** @return a human-readable frame-type name (diagnostics). */
+const char *frameTypeName(FrameType type);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::string payload;
+};
+
+/** Outcome of decoding bytes from a buffer. */
+enum class DecodeStatus
+{
+    Ok,         ///< A frame was decoded; `consumed` bytes used.
+    NeedMore,   ///< Prefix of a valid frame; read more bytes.
+    BadMagic,   ///< Stream is not frame-aligned (or not ours).
+    BadVersion, ///< Peer speaks an incompatible protocol version.
+    BadType,    ///< Type field outside the known range.
+    Oversized,  ///< Length field exceeds kMaxPayload.
+    BadHash,    ///< Payload bytes do not match the header hash.
+};
+
+/** @return a human-readable decode-status name. */
+const char *decodeStatusName(DecodeStatus status);
+
+/** FNV-1a over @p len bytes (the payload hash of the header). */
+uint32_t payloadHash(const char *data, size_t len);
+
+/** @return @p frame encoded as header + payload bytes. */
+std::string encodeFrame(const Frame &frame);
+
+/**
+ * Decode one frame from the front of @p data.  On Ok, @p out holds
+ * the frame and @p consumed its total encoded size; on NeedMore the
+ * buffer is a valid prefix shorter than one frame; any other status
+ * means the bytes can never become a valid frame.
+ */
+DecodeStatus decodeFrame(const char *data, size_t len, Frame &out,
+                         size_t &consumed);
+
+/**
+ * Read one frame from @p fd (blocking, EINTR-safe).
+ *
+ * @return true with @p out filled, or false on clean EOF at a frame
+ * boundary.  fatal()s on EOF mid-frame (truncation), corruption, or
+ * a read error — a broken peer is a user-visible failure, not data.
+ */
+bool readFrame(int fd, Frame &out);
+
+/**
+ * Write @p frame to @p fd (blocking, EINTR-safe, SIGPIPE-proof: a
+ * closed peer fatal()s instead of killing the process).
+ */
+void writeFrame(int fd, const Frame &frame);
+
+/** Shorthand: writeFrame with @p type and @p payload. */
+void writeFrame(int fd, FrameType type, std::string payload);
+
+/** @return @p req as a JSON payload (Request frames).  Caller-built
+ *  circuits are not representable on the wire; fatal()s when set. */
+std::string encodeCompileRequest(const CompileRequest &req);
+
+/** Parse a Request payload; fatal()s on malformed input. */
+CompileRequest decodeCompileRequest(const std::string &json);
+
+/** @return @p resp as a JSON payload (Response frames). */
+std::string encodeCompileResponse(const CompileResponse &resp);
+
+/** Parse a Response payload; fatal()s on malformed input. */
+CompileResponse decodeCompileResponse(const std::string &json);
+
+/** Counters of one serveConnection() session. */
+struct ServeStats
+{
+    uint64_t frames = 0;   ///< Frames read (all types).
+    uint64_t requests = 0; ///< Compile requests served.
+    uint64_t errors = 0;   ///< Error frames sent back.
+    bool shutdown = false; ///< Peer sent Shutdown (vs plain EOF).
+};
+
+/**
+ * Serve one connection: read frames from @p in_fd until EOF or
+ * Shutdown, answering Request with Response (in request order),
+ * Telemetry with a stats snapshot, and malformed payloads with Error
+ * (the connection survives bad requests; a corrupt *frame* is fatal).
+ * Sends the Hello greeting first.  @p in_fd == @p out_fd is the
+ * socket case; distinct fds are the stdin/stdout pipe case.
+ */
+ServeStats serveConnection(CompileService &service, int in_fd,
+                           int out_fd);
+
+/**
+ * A listening Unix-domain socket.  The path is unlinked first (stale
+ * sockets from a killed server never block a restart) and again on
+ * destruction.
+ */
+class UnixListener
+{
+  public:
+    explicit UnixListener(const std::string &path);
+    ~UnixListener();
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    /** Block until a client connects; @return its fd (caller
+     *  closes).  fatal()s on accept failure. */
+    int accept();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+/** Connect to a serving Unix socket; @return the fd, or -1 when the
+ *  server is not (yet) there — callers retry. */
+int connectUnix(const std::string &path);
+
+/**
+ * Client side of a compile-server connection: verifies the Hello,
+ * then exchanges frames synchronously.  Works over one socket fd or
+ * a pipe pair.
+ */
+class Client
+{
+  public:
+    /** Adopt @p in_fd / @p out_fd (equal for a socket); reads and
+     *  checks the server Hello.  Closes owned fds on destruction. */
+    Client(int in_fd, int out_fd, bool owns_fds = true);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Round-trip one compile request. */
+    CompileResponse compile(const CompileRequest &req);
+
+    /** @return the server's telemetry snapshot (JSON text). */
+    std::string telemetry();
+
+    /** Ask the server loop to return; waits for its Done ack. */
+    void shutdown();
+
+  private:
+    int in_fd_;
+    int out_fd_;
+    bool owns_;
+};
+
+} // namespace qsurf::service::wire
+
+#endif // QSURF_SERVICE_WIRE_H

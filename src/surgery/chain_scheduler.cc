@@ -7,6 +7,7 @@
 
 #include "circuit/dag.h"
 #include "circuit/schedule.h"
+#include "common/arena.h"
 #include "common/logging.h"
 #include "engine/sim.h"
 
@@ -109,7 +110,7 @@ class Simulator
         SurgeryResult out;
         out.schedule_cycles = cycle;
         out.critical_path_cycles =
-            surgeryCriticalPath(circ, arch, opts);
+            surgeryCriticalPath(circ, dag, arch, opts);
         out.mesh_utilization = mesh.utilization();
         out.chains_placed = chains_placed;
         out.placement_failures = placement_failures;
@@ -481,11 +482,20 @@ surgeryCriticalPath(const circuit::Circuit &circ,
                     const PatchArch &arch,
                     const SurgeryOptions &opts)
 {
+    circuit::Dag dag(circ);
+    return surgeryCriticalPath(circ, dag, arch, opts);
+}
+
+uint64_t
+surgeryCriticalPath(const circuit::Circuit &circ,
+                    const circuit::Dag &dag,
+                    const PatchArch &arch,
+                    const SurgeryOptions &opts)
+{
     fatalIf(opts.code_distance < 1,
             "code distance must be >= 1, got ", opts.code_distance);
-    circuit::Dag dag(circ);
-    std::vector<uint64_t> finish(static_cast<size_t>(circ.size()),
-                                 0);
+    std::vector<uint64_t, ArenaAllocator<uint64_t>> finish(
+        static_cast<size_t>(circ.size()), 0);
     uint64_t best = 0;
     for (int i = 0; i < circ.size(); ++i) {
         uint64_t start = 0;

@@ -196,6 +196,17 @@ uint64_t surgeryCriticalPath(const circuit::Circuit &circ,
                              const SurgeryOptions &opts);
 
 /**
+ * Same computation reusing an already-built dependence DAG of
+ * @p circ (e.g. PatchPrepared::dag) instead of rebuilding one —
+ * the rebuild is two heap vectors per gate, which the simulator's
+ * per-run call has no reason to pay twice.
+ */
+uint64_t surgeryCriticalPath(const circuit::Circuit &circ,
+                             const circuit::Dag &dag,
+                             const PatchArch &arch,
+                             const SurgeryOptions &opts);
+
+/**
  * @return the PatchArchOptions @p opts resolves to — the layout
  * inputs a cached PatchPrepared must have been built with.  The
  * hybrid scheduler derives the *same* options from its own knobs

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <memory>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "engine/registry.h"
 #include "obs/trace.h"
@@ -110,7 +111,13 @@ run(const circuit::Circuit &logical, const Config &config)
 
     engine::Registry &registry = engine::Registry::global();
     size_t run_index = 0;
+    // Scratch arena spanning the backend dispatches, reset between
+    // them; scratch-aware callees (BFS working sets) bump-allocate
+    // here instead of the heap.  Results are identical either way.
+    Arena arena;
     for (const std::string &name : names) {
+        arena.reset();
+        Arena::Scope scope(&arena);
         const engine::Backend &backend = registry.get(name);
         backend.prepare(item);
         std::shared_ptr<const engine::PreparedArtifact> artifact;

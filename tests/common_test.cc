@@ -2,17 +2,23 @@
  * @file
  * Unit tests for the common substrate: logging contract, RNG
  * determinism and distribution bounds, geometry, statistics
- * accumulators and table rendering.
+ * accumulators, table rendering, and the scratch arena
+ * (alignment, checkpoint/rewind, reset coalescing, counters, the
+ * thread-local scope binding and the STL allocator over it).
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <set>
 #include <sstream>
 
 #include <algorithm>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/geometry.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -111,6 +117,131 @@ TEST(Rng, UniformInUnitInterval)
         sum += u;
     }
     EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+
+TEST(Arena, AlignsEveryAllocation)
+{
+    Arena arena(64); // Tiny first block: growth paths get hit.
+    for (size_t align : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                         alignof(std::max_align_t)}) {
+        for (size_t size : {size_t{1}, size_t{3}, size_t{17},
+                            size_t{128}}) {
+            void *p = arena.alloc(size, align);
+            ASSERT_NE(p, nullptr);
+            EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+                << "size " << size << " align " << align;
+            std::memset(p, 0xAB, size); // Must be writable.
+        }
+    }
+    // Size 0 still returns a valid (distinct-use) pointer.
+    EXPECT_NE(arena.alloc(0), nullptr);
+}
+
+TEST(Arena, CheckpointRewindReusesMemory)
+{
+    Arena arena(1024);
+    Arena::Checkpoint cp = arena.checkpoint();
+    void *first = arena.alloc(64);
+    arena.rewind(cp);
+    void *again = arena.alloc(64);
+    // Same position after rewind => the bytes were reused.
+    EXPECT_EQ(first, again);
+
+    // Counters are cumulative: rewind never rolls them back.
+    Arena::Stats s = arena.stats();
+    EXPECT_EQ(s.allocations, 2u);
+    EXPECT_GE(s.bytes, 128u);
+}
+
+TEST(Arena, ResetCoalescesToOneBlockAndBumpsGeneration)
+{
+    Arena arena(64);
+    uint64_t gen = arena.generation();
+    for (int i = 0; i < 64; ++i)
+        arena.alloc(64); // Forces several growth blocks.
+    EXPECT_GT(arena.stats().blocks, 1u);
+
+    arena.reset();
+    EXPECT_EQ(arena.stats().blocks, 1u);
+    EXPECT_GT(arena.generation(), gen);
+    EXPECT_EQ(arena.stats().resets, 1u);
+
+    // Steady state: the coalesced block absorbs the same load
+    // without growing again.
+    uint64_t reserved = arena.stats().reserved;
+    for (int i = 0; i < 64; ++i)
+        arena.alloc(64);
+    EXPECT_EQ(arena.stats().blocks, 1u);
+    EXPECT_EQ(arena.stats().reserved, reserved);
+}
+
+TEST(Arena, ScopeBindsAndRestoresThreadScratch)
+{
+    EXPECT_EQ(Arena::scratch(), nullptr);
+    Arena outer_arena;
+    {
+        Arena::Scope outer(&outer_arena);
+        EXPECT_EQ(Arena::scratch(), &outer_arena);
+        {
+            // Null masks the outer binding (heap-fallback region).
+            Arena::Scope masked(nullptr);
+            EXPECT_EQ(Arena::scratch(), nullptr);
+        }
+        EXPECT_EQ(Arena::scratch(), &outer_arena);
+    }
+    EXPECT_EQ(Arena::scratch(), nullptr);
+}
+
+TEST(ArenaAllocator, DefaultCapturesScratchExplicitWins)
+{
+    // No binding: heap-backed, results still correct.
+    {
+        std::set<int, std::less<int>, ArenaAllocator<int>> s;
+        for (int i = 0; i < 100; ++i)
+            s.insert(99 - i);
+        EXPECT_EQ(*s.begin(), 0);
+        EXPECT_EQ(s.size(), 100u);
+    }
+
+    Arena arena;
+    uint64_t before = arena.stats().allocations;
+    {
+        Arena::Scope scope(&arena);
+        std::set<int, std::less<int>, ArenaAllocator<int>> s;
+        for (int i = 0; i < 100; ++i)
+            s.insert(99 - i);
+        EXPECT_EQ(*s.begin(), 0);
+        // Node storage came from the bound arena.
+        EXPECT_GE(arena.stats().allocations, before + 100);
+    }
+    arena.reset();
+
+    // Explicit construction needs no binding at all.
+    uint64_t explicit_before = arena.stats().allocations;
+    std::vector<int, ArenaAllocator<int>> v{
+        ArenaAllocator<int>(arena)};
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.back(), 99);
+    EXPECT_GT(arena.stats().allocations, explicit_before);
+}
+
+TEST(ArenaStreamBuf, AssemblesBytesFromTheBoundArena)
+{
+    Arena arena;
+    Arena::Scope scope(&arena);
+    ArenaStreamBuf buf(16);
+    std::ostream os(&buf);
+    for (int i = 0; i < 100; ++i)
+        os << "row-" << i << ";";
+    std::string out = buf.str();
+    EXPECT_EQ(out.size(), buf.size());
+    EXPECT_NE(out.find("row-99;"), std::string::npos);
+    buf.clear();
+    EXPECT_EQ(buf.size(), 0u);
+    os << "fresh";
+    EXPECT_EQ(buf.str(), "fresh");
 }
 
 TEST(Geometry, ManhattanAndChebyshev)

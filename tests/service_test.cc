@@ -18,6 +18,10 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "apps/apps.h"
 #include "circuit/decompose.h"
 #include "common/logging.h"
@@ -25,6 +29,7 @@
 #include "service/artifact.h"
 #include "service/cache.h"
 #include "service/service.h"
+#include "service/shard.h"
 #include "toolflow/toolflow.h"
 
 namespace qsurf {
@@ -518,6 +523,159 @@ TEST(Toolflow, CachedQasmMatchesUncached)
             EXPECT_TRUE(sameMetrics(r->backend_metrics[i],
                                     uncached.backend_metrics[i]));
     }
+}
+
+/** Small mixed grid for the sharding tests: a generated app plus a
+ *  caller-built circuit (forked workers must inherit the latter —
+ *  it cannot be re-made from an AppKind). */
+engine::SweepGrid
+shardGrid()
+{
+    engine::SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""},
+                 engine::AppPoint(
+                     std::make_shared<const circuit::Circuit>(
+                         apps::generate(apps::AppKind::GSE, {8, 2})),
+                     "gse-caller")};
+    grid.backends = {engine::backends::surgery_sim};
+    grid.distances = {3, 5};
+    grid.base.seed = 21;
+    return grid;
+}
+
+TEST(ShardedSweep, MergedRowsMatchSingleProcessAtEveryWidth)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = shardGrid();
+    engine::SweepOptions opts;
+    opts.num_threads = 1;
+    opts.stream_rows = false;
+    std::string expected = engine::canonicalSweepRows(
+        engine::SweepDriver().run(grid, opts));
+
+    for (int workers : {1, 2, 4}) {
+        service::ShardOptions shard;
+        shard.workers = workers;
+        shard.sweep.num_threads = 1;
+        shard.idle_timeout_sec = 120;
+        std::vector<engine::SweepPoint> merged =
+            service::runShardedSweep(grid, shard);
+        EXPECT_EQ(engine::canonicalSweepRows(merged), expected)
+            << workers << " workers";
+    }
+}
+
+TEST(ShardedSweep, RejectsParentSideOptionsOnWorkers)
+{
+    setQuiet(true);
+    service::ShardOptions shard;
+    shard.workers = 0;
+    EXPECT_THROW(service::runShardedSweep(shardGrid(), shard),
+                 FatalError);
+
+    shard.workers = 1;
+    shard.sweep.point_filter = [](size_t) { return true; };
+    EXPECT_THROW(service::runShardedSweep(shardGrid(), shard),
+                 FatalError);
+}
+
+TEST(SweepRows, StreamedFileRoundTripsAndResumes)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = shardGrid();
+    std::string path = testing::TempDir() + "/qsurf_rows.jsonl";
+    std::remove(path.c_str());
+
+    engine::SweepOptions opts;
+    opts.num_threads = 1;
+    opts.rows_path = path;
+    std::vector<engine::SweepPoint> full =
+        engine::SweepDriver().run(grid, opts);
+    std::string expected = engine::canonicalSweepRows(full);
+
+    // The streamed file loads back: every row accounted for.
+    {
+        std::vector<engine::SweepPoint> loaded =
+            engine::expandSweepPoints(grid);
+        std::vector<uint8_t> done(loaded.size(), 0);
+        EXPECT_EQ(engine::loadSweepRows(path, grid, "", loaded,
+                                        done),
+                  full.size());
+        EXPECT_EQ(engine::canonicalSweepRows(loaded), expected);
+    }
+
+    // Truncate to the header, one complete row, and a torn line —
+    // the partial file a killed sweep leaves behind.
+    {
+        std::ifstream in(path);
+        std::string header, row;
+        ASSERT_TRUE(std::getline(in, header));
+        ASSERT_TRUE(std::getline(in, row));
+        in.close();
+        std::ofstream out(path, std::ios::trunc);
+        out << header << "\n" << row << "\n"
+            << row.substr(0, row.size() / 2); // No newline: torn.
+    }
+
+    // Resume completes the missing points and the merged results
+    // are identical to the uninterrupted run.
+    engine::SweepOptions resume_opts = opts;
+    resume_opts.resume = true;
+    std::vector<engine::SweepPoint> resumed =
+        engine::SweepDriver().run(grid, resume_opts);
+    EXPECT_EQ(engine::canonicalSweepRows(resumed), expected);
+
+    // And the rewritten row stream is complete again.
+    std::vector<engine::SweepPoint> loaded =
+        engine::expandSweepPoints(grid);
+    std::vector<uint8_t> done(loaded.size(), 0);
+    EXPECT_EQ(engine::loadSweepRows(path, grid, "", loaded, done),
+              full.size());
+    std::remove(path.c_str());
+}
+
+TEST(SweepRows, ShardedStreamMatchesSingleProcessStream)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = shardGrid();
+    std::string single_path =
+        testing::TempDir() + "/qsurf_rows_single.jsonl";
+    std::string sharded_path =
+        testing::TempDir() + "/qsurf_rows_sharded.jsonl";
+    std::remove(single_path.c_str());
+    std::remove(sharded_path.c_str());
+
+    engine::SweepOptions opts;
+    opts.num_threads = 1;
+    opts.rows_path = single_path;
+    engine::SweepDriver().run(grid, opts);
+
+    service::ShardOptions shard;
+    shard.workers = 2;
+    shard.sweep.num_threads = 1;
+    shard.sweep.rows_path = sharded_path;
+    shard.idle_timeout_sec = 120;
+    service::runShardedSweep(grid, shard);
+
+    // Same grid, same rows: the two streams load to identical
+    // results (on-disk order may differ — workers finish
+    // asynchronously — so compare the merged documents).
+    std::vector<engine::SweepPoint> single_pts =
+        engine::expandSweepPoints(grid);
+    std::vector<engine::SweepPoint> sharded_pts =
+        engine::expandSweepPoints(grid);
+    std::vector<uint8_t> done(single_pts.size(), 0);
+    ASSERT_EQ(engine::loadSweepRows(single_path, grid, "",
+                                    single_pts, done),
+              static_cast<size_t>(grid.points()));
+    done.assign(sharded_pts.size(), 0);
+    ASSERT_EQ(engine::loadSweepRows(sharded_path, grid, "",
+                                    sharded_pts, done),
+              static_cast<size_t>(grid.points()));
+    EXPECT_EQ(engine::canonicalSweepRows(sharded_pts),
+              engine::canonicalSweepRows(single_pts));
+    std::remove(single_path.c_str());
+    std::remove(sharded_path.c_str());
 }
 
 TEST(DefaultThreads, EnvOverrideAndFallback)

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Wire-protocol tests: framing round-trips, rejection of every
+ * malformed-frame class (truncated, corrupt, oversized, wrong
+ * version, wrong type, unaligned), request/response codec
+ * round-trips, and a live serveConnection() session over a
+ * socketpair matching the in-process CompileService bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "engine/registry.h"
+#include "service/service.h"
+#include "service/wire.h"
+
+namespace qsurf {
+namespace {
+
+namespace wire = service::wire;
+
+wire::Frame
+roundTrip(const std::string &encoded)
+{
+    wire::Frame out;
+    size_t consumed = 0;
+    EXPECT_EQ(wire::decodeFrame(encoded.data(), encoded.size(), out,
+                                consumed),
+              wire::DecodeStatus::Ok);
+    EXPECT_EQ(consumed, encoded.size());
+    return out;
+}
+
+TEST(WireFraming, RoundTripsEveryType)
+{
+    for (wire::FrameType type :
+         {wire::FrameType::Hello, wire::FrameType::Request,
+          wire::FrameType::Response, wire::FrameType::Telemetry,
+          wire::FrameType::Row, wire::FrameType::ShardAssign,
+          wire::FrameType::Done, wire::FrameType::Error,
+          wire::FrameType::Shutdown}) {
+        wire::Frame in{type, R"({"k":1})"};
+        wire::Frame out = roundTrip(wire::encodeFrame(in));
+        EXPECT_EQ(out.type, type);
+        EXPECT_EQ(out.payload, in.payload);
+    }
+    // Empty payloads are legal (Telemetry queries, Done).
+    wire::Frame empty{wire::FrameType::Done, ""};
+    EXPECT_EQ(roundTrip(wire::encodeFrame(empty)).payload, "");
+}
+
+TEST(WireFraming, EveryPrefixOfAValidFrameNeedsMore)
+{
+    std::string encoded = wire::encodeFrame(
+        {wire::FrameType::Request, R"({"backend":"planar"})"});
+    for (size_t len = 0; len < encoded.size(); ++len) {
+        wire::Frame out;
+        size_t consumed = 0;
+        EXPECT_EQ(wire::decodeFrame(encoded.data(), len, out,
+                                    consumed),
+                  wire::DecodeStatus::NeedMore)
+            << "prefix length " << len;
+    }
+}
+
+TEST(WireFraming, RejectsUnalignedStream)
+{
+    std::string garbage = "GET / HTTP/1.1\r\n";
+    wire::Frame out;
+    size_t consumed = 0;
+    EXPECT_EQ(wire::decodeFrame(garbage.data(), garbage.size(), out,
+                                consumed),
+              wire::DecodeStatus::BadMagic);
+    // Even a one-byte wrong prefix is rejected immediately.
+    EXPECT_EQ(wire::decodeFrame("X", 1, out, consumed),
+              wire::DecodeStatus::BadMagic);
+}
+
+TEST(WireFraming, RejectsWrongVersionTypeSizeAndHash)
+{
+    std::string good = wire::encodeFrame(
+        {wire::FrameType::Row, R"({"index":3})"});
+    wire::Frame out;
+    size_t consumed = 0;
+
+    std::string bad = good;
+    bad[4] = static_cast<char>(0xFF); // Version field (LE u16).
+    EXPECT_EQ(wire::decodeFrame(bad.data(), bad.size(), out,
+                                consumed),
+              wire::DecodeStatus::BadVersion);
+
+    bad = good;
+    bad[6] = 0x7F; // Type field outside the known range.
+    EXPECT_EQ(wire::decodeFrame(bad.data(), bad.size(), out,
+                                consumed),
+              wire::DecodeStatus::BadType);
+
+    bad = good;
+    bad[11] = 0x7F; // Length field's high byte: > kMaxPayload.
+    EXPECT_EQ(wire::decodeFrame(bad.data(), bad.size(), out,
+                                consumed),
+              wire::DecodeStatus::Oversized);
+
+    bad = good;
+    bad.back() ^= 0x01; // Flip one payload bit.
+    EXPECT_EQ(wire::decodeFrame(bad.data(), bad.size(), out,
+                                consumed),
+              wire::DecodeStatus::BadHash);
+}
+
+TEST(WireFraming, ReadFrameDistinguishesCleanEofFromTruncation)
+{
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    // Clean close at a frame boundary: one frame, then false.
+    wire::writeFrame(fds[0], wire::FrameType::Done, "{}");
+    ::close(fds[0]);
+    wire::Frame out;
+    EXPECT_TRUE(wire::readFrame(fds[1], out));
+    EXPECT_EQ(out.type, wire::FrameType::Done);
+    EXPECT_FALSE(wire::readFrame(fds[1], out));
+    ::close(fds[1]);
+
+    // A peer dying mid-frame is truncation, and that is fatal.
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::string encoded = wire::encodeFrame(
+        {wire::FrameType::Row, R"({"index":0})"});
+    ASSERT_EQ(::write(fds[0], encoded.data(), encoded.size() - 3),
+              static_cast<ssize_t>(encoded.size() - 3));
+    ::close(fds[0]);
+    EXPECT_THROW(wire::readFrame(fds[1], out), FatalError);
+    ::close(fds[1]);
+}
+
+TEST(WireCodec, CompileRequestRoundTripsEveryField)
+{
+    service::CompileRequest req;
+    req.app = apps::AppKind::SHA1;
+    req.gen = {32, 7};
+    req.decompose.rz_sequence_length = 11;
+    req.decompose.rz_t_fraction = 0.25;
+    req.decompose.expand_swap = false;
+    req.run_peephole = false;
+    req.label = "round-trip";
+    req.backend = engine::backends::hybrid_mixed;
+    req.config.tech.p_physical = 1e-6;
+    req.config.code_distance = 17;
+    req.config.policy = 3;
+    req.config.epr_window_steps = 48;
+    req.config.kq = 1e7;
+    req.config.fast_forward = false;
+    req.config.adapt_timeout = 6;
+    req.config.max_cycles = 3'000'000'000ull;
+    req.config.hybrid_arbiter = 2;
+    req.config.layout_objective = 2;
+    req.config.lane_spacing = 3;
+    req.config.seed = 424242;
+
+    service::CompileRequest back =
+        wire::decodeCompileRequest(wire::encodeCompileRequest(req));
+    EXPECT_EQ(back.app, req.app);
+    EXPECT_EQ(back.gen.problem_size, req.gen.problem_size);
+    EXPECT_EQ(back.gen.max_iterations, req.gen.max_iterations);
+    EXPECT_EQ(back.decompose.rz_sequence_length,
+              req.decompose.rz_sequence_length);
+    EXPECT_DOUBLE_EQ(back.decompose.rz_t_fraction,
+                     req.decompose.rz_t_fraction);
+    EXPECT_EQ(back.decompose.expand_swap,
+              req.decompose.expand_swap);
+    EXPECT_EQ(back.run_peephole, req.run_peephole);
+    EXPECT_EQ(back.label, req.label);
+    EXPECT_EQ(back.backend, req.backend);
+    EXPECT_DOUBLE_EQ(back.config.tech.p_physical,
+                     req.config.tech.p_physical);
+    EXPECT_EQ(back.config.code_distance, req.config.code_distance);
+    EXPECT_EQ(back.config.policy, req.config.policy);
+    EXPECT_EQ(back.config.epr_window_steps,
+              req.config.epr_window_steps);
+    EXPECT_DOUBLE_EQ(back.config.kq, req.config.kq);
+    EXPECT_EQ(back.config.fast_forward, req.config.fast_forward);
+    EXPECT_EQ(back.config.adapt_timeout, req.config.adapt_timeout);
+    EXPECT_EQ(back.config.max_cycles, req.config.max_cycles);
+    EXPECT_EQ(back.config.hybrid_arbiter,
+              req.config.hybrid_arbiter);
+    EXPECT_EQ(back.config.layout_objective,
+              req.config.layout_objective);
+    EXPECT_EQ(back.config.lane_spacing, req.config.lane_spacing);
+    EXPECT_EQ(back.config.seed, req.config.seed);
+}
+
+TEST(WireCodec, CallerCircuitsAreNotRepresentable)
+{
+    service::CompileRequest req;
+    req.circuit = std::make_shared<const circuit::Circuit>(
+        apps::generate(apps::AppKind::SQ, {8, 1}));
+    EXPECT_THROW(wire::encodeCompileRequest(req), FatalError);
+}
+
+TEST(WireCodec, CompileResponseRoundTripsMetricsAndErrors)
+{
+    service::CompileResponse resp;
+    resp.prepare_ms = 1.5;
+    resp.run_ms = 20.25;
+    resp.batch_size = 3;
+    resp.metrics.backend = "surgery-sim";
+    resp.metrics.code = qec::CodeKind::Planar;
+    resp.metrics.code_distance = 9;
+    resp.metrics.schedule_cycles = 123456789;
+    resp.metrics.critical_path_cycles = 7777;
+    resp.metrics.physical_qubits = 1e5;
+    resp.metrics.seconds = 0.125;
+    resp.metrics.set("mesh_utilization", 0.5);
+    resp.metrics.set("teleports", 42);
+
+    service::CompileResponse back = wire::decodeCompileResponse(
+        wire::encodeCompileResponse(resp));
+    EXPECT_TRUE(back.ok());
+    EXPECT_DOUBLE_EQ(back.prepare_ms, resp.prepare_ms);
+    EXPECT_DOUBLE_EQ(back.run_ms, resp.run_ms);
+    EXPECT_EQ(back.batch_size, resp.batch_size);
+    EXPECT_EQ(back.metrics.backend, resp.metrics.backend);
+    EXPECT_EQ(back.metrics.code_distance,
+              resp.metrics.code_distance);
+    EXPECT_EQ(back.metrics.schedule_cycles,
+              resp.metrics.schedule_cycles);
+    EXPECT_EQ(back.metrics.critical_path_cycles,
+              resp.metrics.critical_path_cycles);
+    EXPECT_DOUBLE_EQ(back.metrics.physical_qubits,
+                     resp.metrics.physical_qubits);
+    EXPECT_DOUBLE_EQ(back.metrics.seconds, resp.metrics.seconds);
+    ASSERT_EQ(back.metrics.extras.size(),
+              resp.metrics.extras.size());
+    EXPECT_DOUBLE_EQ(back.metrics.extra("mesh_utilization"), 0.5);
+    EXPECT_DOUBLE_EQ(back.metrics.extra("teleports"), 42);
+
+    service::CompileResponse failed;
+    failed.error = "no such backend";
+    service::CompileResponse failed_back =
+        wire::decodeCompileResponse(
+            wire::encodeCompileResponse(failed));
+    EXPECT_FALSE(failed_back.ok());
+    EXPECT_EQ(failed_back.error, failed.error);
+}
+
+TEST(WireServe, SocketpairSessionMatchesInProcessService)
+{
+    setQuiet(true);
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    service::CompileService::Options opts;
+    opts.num_threads = 1;
+    service::CompileService server_svc(opts);
+    wire::ServeStats stats;
+    std::thread server([&] {
+        stats = wire::serveConnection(server_svc, fds[0], fds[0]);
+        ::close(fds[0]);
+    });
+
+    service::CompileRequest req;
+    req.app = apps::AppKind::SQ;
+    req.gen = {8, 2};
+    req.backend = engine::backends::surgery_sim;
+    req.config.code_distance = 5;
+    req.config.seed = 3;
+
+    {
+        wire::Client client(fds[1], fds[1]);
+
+        service::CompileResponse over_wire = client.compile(req);
+        ASSERT_TRUE(over_wire.ok()) << over_wire.error;
+
+        service::CompileService local_svc(opts);
+        service::CompileResponse direct = local_svc.compile(req);
+        ASSERT_TRUE(direct.ok()) << direct.error;
+        EXPECT_EQ(over_wire.metrics.schedule_cycles,
+                  direct.metrics.schedule_cycles);
+        EXPECT_EQ(over_wire.metrics.critical_path_cycles,
+                  direct.metrics.critical_path_cycles);
+        EXPECT_DOUBLE_EQ(over_wire.metrics.physical_qubits,
+                         direct.metrics.physical_qubits);
+
+        // A bad request gets an error response; the session lives.
+        service::CompileRequest bad = req;
+        bad.backend = "no-such-backend";
+        service::CompileResponse err = client.compile(bad);
+        EXPECT_FALSE(err.ok());
+        EXPECT_NE(err.error.find("no-such-backend"),
+                  std::string::npos);
+
+        std::string telemetry = client.telemetry();
+        EXPECT_NE(telemetry.find("\"requests\""),
+                  std::string::npos);
+
+        client.shutdown();
+    }
+    server.join();
+    EXPECT_TRUE(stats.shutdown);
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(WireServe, MalformedPayloadGetsErrorFrameSessionSurvives)
+{
+    setQuiet(true);
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    service::CompileService::Options opts;
+    opts.num_threads = 1;
+    service::CompileService svc(opts);
+    wire::ServeStats stats;
+    std::thread server([&] {
+        stats = wire::serveConnection(svc, fds[0], fds[0]);
+        ::close(fds[0]);
+    });
+
+    wire::Frame frame;
+    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    EXPECT_EQ(frame.type, wire::FrameType::Hello);
+
+    // Valid frame, garbage payload: the request is poisoned, the
+    // connection is not.
+    wire::writeFrame(fds[1], wire::FrameType::Request, "not json");
+    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    EXPECT_EQ(frame.type, wire::FrameType::Error);
+
+    service::CompileRequest req;
+    req.app = apps::AppKind::SQ;
+    req.gen = {8, 1};
+    req.config.code_distance = 3;
+    wire::writeFrame(fds[1], wire::FrameType::Request,
+                     wire::encodeCompileRequest(req));
+    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    EXPECT_EQ(frame.type, wire::FrameType::Response);
+    EXPECT_TRUE(
+        wire::decodeCompileResponse(frame.payload).ok());
+
+    wire::writeFrame(fds[1], wire::FrameType::Shutdown, "");
+    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    EXPECT_EQ(frame.type, wire::FrameType::Done);
+    ::close(fds[1]);
+    server.join();
+    EXPECT_EQ(stats.errors, 1u);
+    EXPECT_EQ(stats.requests, 1u);
+    EXPECT_TRUE(stats.shutdown);
+}
+
+} // namespace
+} // namespace qsurf
