@@ -20,6 +20,14 @@
  *  3. Allocation: running points under the per-point scratch arena
  *     is not slower than the plain-heap path and cuts global-heap
  *     allocations (counted by the replaced operator new below).
+ *  4. Fault tolerance: a worker SIGKILLed mid-sweep (fault
+ *     injection in the shard scheduler) costs wall clock, never
+ *     rows — the merged rows are still byte-identical to the
+ *     single-process run, and the fleet reports degraded mode.
+ *  5. Transport equivalence: the same fleet over TCP loopback
+ *     (ShardOptions::local_tcp) produces byte-identical rows at
+ *     every worker count — the framing, not the socket family,
+ *     carries the determinism.
  *
  * Every run uses its own cold PrepareCache and one thread per
  * process, so the sharded/single comparison measures process
@@ -105,9 +113,19 @@ runSingle(const engine::SweepGrid &grid, bool use_arena)
     return r;
 }
 
+/** Knobs of one sharded bench run beyond the worker count. */
+struct ShardVariant
+{
+    bool local_tcp = false;    ///< TCP loopback instead of socketpair.
+    int fault_kill_worker = -1; ///< Fault injection (see shard.h).
+    int fault_kill_after_rows = 0;
+    service::FleetStats *stats = nullptr;
+};
+
 /** One sharded run (N forked workers, 1 thread each, cold cache). */
 RunResult
-runSharded(const engine::SweepGrid &grid, int workers)
+runSharded(const engine::SweepGrid &grid, int workers,
+           const ShardVariant &variant = {})
 {
     service::PrepareCache cache;
     service::ShardOptions opts;
@@ -116,6 +134,10 @@ runSharded(const engine::SweepGrid &grid, int workers)
     opts.sweep.cache = &cache;
     opts.sweep.stream_rows = false;
     opts.idle_timeout_sec = 300;
+    opts.local_tcp = variant.local_tcp;
+    opts.fault_kill_worker = variant.fault_kill_worker;
+    opts.fault_kill_after_rows = variant.fault_kill_after_rows;
+    opts.stats = variant.stats;
 
     RunResult r;
     auto start = Clock::now();
@@ -181,6 +203,28 @@ main(int argc, char **argv)
              r.canonical == baseline.canonical});
     }
 
+    // Claim 5: the same ladder over TCP loopback.
+    std::vector<ShardRow> tcp_ladder;
+    for (int w : worker_counts) {
+        ShardVariant tcp;
+        tcp.local_tcp = true;
+        RunResult r = runSharded(grid, w, tcp);
+        tcp_ladder.push_back(
+            {w, r.wall_ms, baseline.wall_ms / r.wall_ms,
+             r.canonical == baseline.canonical});
+    }
+
+    // Claim 4: kill one of two workers mid-sweep; the scheduler
+    // must recover the orphaned slice and the rows must not move.
+    service::FleetStats fault_stats;
+    ShardVariant fault;
+    fault.fault_kill_worker = 1;
+    fault.fault_kill_after_rows = 2;
+    fault.stats = &fault_stats;
+    RunResult fault_run = runSharded(grid, 2, fault);
+    bool fault_ok = fault_run.canonical == baseline.canonical
+        && fault_stats.degraded && fault_stats.worker_failures >= 1;
+
     Table t("Sharded sweep vs single process (1 thread per process)");
     t.header({"mode", "workers", "wall ms", "speedup", "rows",
               "heap allocs", "arena allocs"});
@@ -197,7 +241,27 @@ main(int argc, char **argv)
                  Table::fixed(row.wall_ms, 1),
                  Table::fixed(row.speedup, 2),
                  row.identical ? "identical" : "MISMATCH", "-", "-");
+    for (const ShardRow &row : tcp_ladder)
+        t.addRow("sharded (tcp)", row.workers,
+                 Table::fixed(row.wall_ms, 1),
+                 Table::fixed(row.speedup, 2),
+                 row.identical ? "identical" : "MISMATCH", "-", "-");
+    t.addRow("sharded (kill 1 of 2)", 2,
+             Table::fixed(fault_run.wall_ms, 1),
+             Table::fixed(baseline.wall_ms / fault_run.wall_ms, 2),
+             fault_run.canonical == baseline.canonical
+                 ? "identical"
+                 : "MISMATCH",
+             "-", "-");
     t.print(std::cout);
+
+    std::cout << "\nfault injection: killed worker 1 after "
+              << fault.fault_kill_after_rows << " rows; "
+              << fault_stats.worker_failures << " failure(s), "
+              << fault_stats.worker_restarts << " restart(s), "
+              << fault_stats.points_reassigned
+              << " point(s) reassigned, degraded="
+              << (fault_stats.degraded ? "true" : "false") << "\n";
 
     std::cout << "\narena A/B: " << heap_run.heap_allocs
               << " heap allocs without arena vs "
@@ -243,13 +307,43 @@ main(int argc, char **argv)
             j.endObject();
         }
         j.endArray();
+        j.key("sharded_tcp");
+        j.beginArray();
+        for (const ShardRow &row : tcp_ladder) {
+            j.beginObject();
+            j.field("workers", row.workers);
+            j.field("wall_ms", row.wall_ms);
+            j.field("speedup", row.speedup);
+            j.field("rows_identical", row.identical);
+            j.endObject();
+        }
+        j.endArray();
+        // Degraded-mode summary of the kill-one-worker run: the
+        // fleet lost a worker and still produced exact rows.
+        j.key("fault");
+        j.beginObject();
+        j.field("workers", 2);
+        j.field("killed_worker", fault.fault_kill_worker);
+        j.field("killed_after_rows", fault.fault_kill_after_rows);
+        j.field("wall_ms", fault_run.wall_ms);
+        j.field("rows_identical",
+                fault_run.canonical == baseline.canonical);
+        j.field("degraded", fault_stats.degraded);
+        j.field("worker_failures", fault_stats.worker_failures);
+        j.field("worker_restarts", fault_stats.worker_restarts);
+        j.field("reassignments", fault_stats.reassignments);
+        j.field("points_reassigned",
+                fault_stats.points_reassigned);
+        j.endObject();
         j.endObject();
         os << "\n";
     }
     std::cout << "wrote " << json_path << "\n";
 
-    bool ok = rows_ok && fewer_allocs;
+    bool ok = rows_ok && fewer_allocs && fault_ok;
     for (const ShardRow &row : ladder)
+        ok = ok && row.identical;
+    for (const ShardRow &row : tcp_ladder)
         ok = ok && row.identical;
     if (!rows_ok)
         std::cerr << "FAIL: arena rows differ from heap rows\n";
@@ -262,6 +356,17 @@ main(int argc, char **argv)
             std::cerr << "FAIL: " << row.workers
                       << "-worker sharded rows differ from "
                          "single-process rows\n";
+    for (const ShardRow &row : tcp_ladder)
+        if (!row.identical)
+            std::cerr << "FAIL: " << row.workers
+                      << "-worker TCP-transport rows differ from "
+                         "single-process rows\n";
+    if (!fault_ok)
+        std::cerr << "FAIL: kill-one-worker run "
+                  << (fault_run.canonical == baseline.canonical
+                          ? "did not report degraded mode"
+                          : "changed the merged rows")
+                  << "\n";
 
     // The speedup claim needs cores to scale onto; a 1-core
     // container can only demonstrate correctness, not wall clock.

@@ -6,6 +6,7 @@
  *   $ ./compile_service                        # in-process service
  *   $ ./compile_server --socket=qsurf.sock &   # ... then:
  *   $ ./compile_service --connect=qsurf.sock   # framed-protocol client
+ *   $ ./compile_service --connect=127.0.0.1:7700   # ... over TCP
  *
  * Submits a mixed request stream — the same programs repeatedly,
  * across backends, layout objectives and seeds — and prints each
@@ -20,10 +21,8 @@
  * return the same metrics.
  */
 
-#include <chrono>
 #include <future>
 #include <iostream>
-#include <thread>
 #include <vector>
 
 #include "common/table.h"
@@ -59,24 +58,22 @@ requestStream()
     return stream;
 }
 
-/** Run the stream against a remote compile_server and shut it down. */
+/** Run the stream against a remote compile_server and shut it down.
+ *  @p spec is a Unix-socket path or "host:port". */
 int
-runClient(const std::string &socket_path)
+runClient(const std::string &spec)
 {
-    // The server may still be binding its socket; retry briefly.
-    int fd = -1;
-    for (int attempt = 0; attempt < 50 && fd < 0; ++attempt) {
-        fd = wire::connectUnix(socket_path);
-        if (fd < 0)
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(100));
-    }
+    // The server may still be binding its socket (or coming up on
+    // another host); capped exponential backoff covers both.
+    wire::RetryPolicy policy;
+    policy.max_attempts = 10;
+    int fd = wire::connectWithRetry(spec, policy);
     if (fd < 0) {
-        std::cerr << "cannot connect to '" << socket_path << "'\n";
+        std::cerr << "cannot connect to '" << spec << "'\n";
         return 1;
     }
     wire::Client client(fd, fd);
-    std::cout << "connected to compile server at " << socket_path
+    std::cout << "connected to compile server at " << spec
               << "\n\n";
 
     std::vector<service::CompileRequest> stream = requestStream();
@@ -114,7 +111,8 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg.rfind("--connect=", 0) == 0)
             return runClient(arg.substr(10));
-        std::cerr << "usage: " << argv[0] << " [--connect=PATH]\n";
+        std::cerr << "usage: " << argv[0]
+                  << " [--connect=PATH | --connect=HOST:PORT]\n";
         return 2;
     }
 

@@ -168,6 +168,12 @@ CompileService::threads() const
     return static_cast<int>(workers.size());
 }
 
+obs::MetricsRegistry &
+CompileService::metricsRegistry() const
+{
+    return metrics;
+}
+
 void
 CompileService::workerLoop()
 {

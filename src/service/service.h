@@ -174,6 +174,15 @@ class CompileService
     /** @return the number of worker threads. */
     int threads() const;
 
+    /**
+     * The telemetry registry this service records into.  Connection
+     * handlers (wire::serveConnection) use it for the wire-level
+     * health counters — "service.wire.corrupt_frames",
+     * "service.wire.peer_gone" — so fleet dashboards see broken
+     * peers next to request latency.
+     */
+    obs::MetricsRegistry &metricsRegistry() const;
+
   private:
     struct Pending
     {

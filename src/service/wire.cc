@@ -1,15 +1,23 @@
 #include "service/wire.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace qsurf::service::wire {
 
@@ -45,44 +53,81 @@ getU32(const char *p)
         | (static_cast<uint32_t>(u[3]) << 24);
 }
 
-/** Read exactly @p len bytes; @return bytes read (short = EOF). */
-size_t
+/** Bytes moved by one readFull/writeFull, plus the stopping errno
+ *  (0 means clean: short reads are EOF, not errors). */
+struct RawIo
+{
+    size_t n = 0;
+    int err = 0;
+};
+
+/** Read exactly @p len bytes; stops early on EOF or a non-EINTR
+ *  error.  Peer failure is reported, never thrown. */
+RawIo
 readFull(int fd, char *buf, size_t len)
 {
-    size_t got = 0;
-    while (got < len) {
-        ssize_t n = ::read(fd, buf + got, len - got);
+    RawIo io;
+    while (io.n < len) {
+        ssize_t n = ::read(fd, buf + io.n, len - io.n);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            fatal("wire read failed: ", std::strerror(errno));
+            io.err = errno;
+            return io;
         }
         if (n == 0)
-            break;
-        got += static_cast<size_t>(n);
+            return io;
+        io.n += static_cast<size_t>(n);
     }
-    return got;
+    return io;
 }
 
-/** Write all of @p buf; a closed peer fatal()s (never SIGPIPE). */
-void
+/** Write all of @p buf; a closed peer is reported as its errno
+ *  (EPIPE / ECONNRESET), never SIGPIPE and never thrown. */
+RawIo
 writeFull(int fd, const char *buf, size_t len)
 {
-    size_t sent = 0;
-    while (sent < len) {
+    RawIo io;
+    while (io.n < len) {
         // MSG_NOSIGNAL suppresses SIGPIPE on sockets; plain pipes
         // reject send() with ENOTSOCK and take the write() path
         // (qsurf binaries ignore SIGPIPE where they serve pipes).
-        ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+        ssize_t n = ::send(fd, buf + io.n, len - io.n, MSG_NOSIGNAL);
         if (n < 0 && errno == ENOTSOCK)
-            n = ::write(fd, buf + sent, len - sent);
+            n = ::write(fd, buf + io.n, len - io.n);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            fatal("wire write failed: ", std::strerror(errno));
+            io.err = errno;
+            return io;
         }
-        sent += static_cast<size_t>(n);
+        io.n += static_cast<size_t>(n);
     }
+    return io;
+}
+
+/** @return whether @p err means "the peer vanished". */
+bool
+peerGoneErrno(int err)
+{
+    return err == EPIPE || err == ECONNRESET || err == ESHUTDOWN;
+}
+
+IoResult
+ioOk()
+{
+    return {};
+}
+
+IoResult
+ioError(IoStatus status, int err = 0,
+        DecodeStatus decode = DecodeStatus::Ok)
+{
+    IoResult r;
+    r.status = status;
+    r.sys_errno = err;
+    r.decode = decode;
+    return r;
 }
 
 bool
@@ -90,6 +135,25 @@ validType(uint16_t t)
 {
     return t >= static_cast<uint16_t>(FrameType::Hello)
         && t <= static_cast<uint16_t>(FrameType::Shutdown);
+}
+
+/** Validate a full 16-byte header; on Ok, its fields are out. */
+DecodeStatus
+checkHeader(const char *header, uint16_t &type,
+            uint32_t &payload_len, uint32_t &hash)
+{
+    if (getU32(header) != kMagic)
+        return DecodeStatus::BadMagic;
+    if (getU16(header + 4) != kVersion)
+        return DecodeStatus::BadVersion;
+    type = getU16(header + 6);
+    if (!validType(type))
+        return DecodeStatus::BadType;
+    payload_len = getU32(header + 8);
+    if (payload_len > kMaxPayload)
+        return DecodeStatus::Oversized;
+    hash = getU32(header + 12);
+    return DecodeStatus::Ok;
 }
 
 apps::AppKind
@@ -142,6 +206,98 @@ text(const JsonValue &obj, const std::string &key,
     fatalIf(!v->isString(), "wire field '", key,
             "' is not a string");
     return v->str;
+}
+
+/** Write @p c as a JSON object (shared by CompileRequest and
+ *  SweepGrid payloads; the caller emits the key). */
+void
+writeRunConfig(JsonWriter &j, const engine::RunConfig &c)
+{
+    j.beginObject();
+    j.key("tech");
+    j.beginObject();
+    j.field("p_physical", c.tech.p_physical);
+    j.field("t_two_qubit_ns", c.tech.t_two_qubit_ns);
+    j.field("single_qubit_speedup", c.tech.single_qubit_speedup);
+    j.field("t_measure_ns", c.tech.t_measure_ns);
+    j.endObject();
+    j.field("code_distance", c.code_distance);
+    j.field("policy", c.policy);
+    j.field("epr_window_steps", c.epr_window_steps);
+    j.field("epr_bandwidth", c.epr_bandwidth);
+    j.field("num_simd_regions", c.num_simd_regions);
+    j.field("region_capacity", c.region_capacity);
+    j.field("kq", c.kq);
+    j.field("fast_forward", c.fast_forward);
+    j.field("legacy_baseline", c.legacy_baseline);
+    j.field("magic_production_cycles", c.magic_production_cycles);
+    j.field("magic_buffer_capacity", c.magic_buffer_capacity);
+    j.field("adapt_timeout", c.adapt_timeout);
+    j.field("bfs_timeout", c.bfs_timeout);
+    j.field("drop_timeout", c.drop_timeout);
+    j.field("max_cycles", c.max_cycles);
+    j.field("hybrid_arbiter", c.hybrid_arbiter);
+    j.field("layout_objective", c.layout_objective);
+    j.field("lane_spacing", c.lane_spacing);
+    j.field("seed", c.seed);
+    j.endObject();
+}
+
+/** Parse a writeRunConfig object into @p c (absent fields keep
+ *  their current values). */
+void
+readRunConfig(const JsonValue &cfg, engine::RunConfig &c)
+{
+    fatalIf(!cfg.isObject(), "wire 'config' is not an object");
+    if (const JsonValue *tech = cfg.find("tech")) {
+        fatalIf(!tech->isObject(), "wire 'tech' is not an object");
+        c.tech.p_physical =
+            num(*tech, "p_physical", c.tech.p_physical);
+        c.tech.t_two_qubit_ns =
+            num(*tech, "t_two_qubit_ns", c.tech.t_two_qubit_ns);
+        c.tech.single_qubit_speedup =
+            num(*tech, "single_qubit_speedup",
+                c.tech.single_qubit_speedup);
+        c.tech.t_measure_ns =
+            num(*tech, "t_measure_ns", c.tech.t_measure_ns);
+    }
+    c.code_distance = static_cast<int>(
+        num(cfg, "code_distance", c.code_distance));
+    c.policy = static_cast<int>(num(cfg, "policy", c.policy));
+    c.epr_window_steps = static_cast<int>(
+        num(cfg, "epr_window_steps", c.epr_window_steps));
+    c.epr_bandwidth = static_cast<int>(
+        num(cfg, "epr_bandwidth", c.epr_bandwidth));
+    c.num_simd_regions = static_cast<int>(
+        num(cfg, "num_simd_regions", c.num_simd_regions));
+    c.region_capacity = static_cast<int>(
+        num(cfg, "region_capacity", c.region_capacity));
+    c.kq = num(cfg, "kq", c.kq);
+    c.fast_forward = flag(cfg, "fast_forward", c.fast_forward);
+    c.legacy_baseline =
+        flag(cfg, "legacy_baseline", c.legacy_baseline);
+    c.magic_production_cycles =
+        static_cast<int>(num(cfg, "magic_production_cycles",
+                             c.magic_production_cycles));
+    c.magic_buffer_capacity =
+        static_cast<int>(num(cfg, "magic_buffer_capacity",
+                             c.magic_buffer_capacity));
+    c.adapt_timeout = static_cast<int>(
+        num(cfg, "adapt_timeout", c.adapt_timeout));
+    c.bfs_timeout =
+        static_cast<int>(num(cfg, "bfs_timeout", c.bfs_timeout));
+    c.drop_timeout =
+        static_cast<int>(num(cfg, "drop_timeout", c.drop_timeout));
+    c.max_cycles = static_cast<uint64_t>(
+        num(cfg, "max_cycles", static_cast<double>(c.max_cycles)));
+    c.hybrid_arbiter = static_cast<int>(
+        num(cfg, "hybrid_arbiter", c.hybrid_arbiter));
+    c.layout_objective = static_cast<int>(
+        num(cfg, "layout_objective", c.layout_objective));
+    c.lane_spacing = static_cast<int>(
+        num(cfg, "lane_spacing", c.lane_spacing));
+    c.seed = static_cast<uint64_t>(
+        num(cfg, "seed", static_cast<double>(c.seed)));
 }
 
 } // namespace
@@ -236,18 +392,14 @@ decodeFrame(const char *data, size_t len, Frame &out,
             return DecodeStatus::BadMagic;
     if (len < kHeaderSize)
         return DecodeStatus::NeedMore;
-    uint16_t version = getU16(data + 4);
-    if (version != kVersion)
-        return DecodeStatus::BadVersion;
-    uint16_t type = getU16(data + 6);
-    if (!validType(type))
-        return DecodeStatus::BadType;
-    uint32_t payload_len = getU32(data + 8);
-    if (payload_len > kMaxPayload)
-        return DecodeStatus::Oversized;
+    uint16_t type = 0;
+    uint32_t payload_len = 0;
+    uint32_t hash = 0;
+    DecodeStatus st = checkHeader(data, type, payload_len, hash);
+    if (st != DecodeStatus::Ok)
+        return st;
     if (len < kHeaderSize + payload_len)
         return DecodeStatus::NeedMore;
-    uint32_t hash = getU32(data + 12);
     if (payloadHash(data + kHeaderSize, payload_len) != hash)
         return DecodeStatus::BadHash;
     out.type = static_cast<FrameType>(type);
@@ -256,57 +408,105 @@ decodeFrame(const char *data, size_t len, Frame &out,
     return DecodeStatus::Ok;
 }
 
-bool
+const char *
+ioStatusName(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::Ok:
+        return "ok";
+      case IoStatus::Eof:
+        return "eof";
+      case IoStatus::PeerGone:
+        return "peer-gone";
+      case IoStatus::Truncated:
+        return "truncated";
+      case IoStatus::Corrupt:
+        return "corrupt";
+      case IoStatus::SysError:
+        return "sys-error";
+    }
+    return "unknown";
+}
+
+std::string
+IoResult::describe() const
+{
+    switch (status) {
+      case IoStatus::Ok:
+        return "ok";
+      case IoStatus::Eof:
+        return "peer closed the connection";
+      case IoStatus::PeerGone:
+        return std::string("peer vanished (")
+            + std::strerror(sys_errno ? sys_errno : ECONNRESET)
+            + ")";
+      case IoStatus::Truncated:
+        return "peer closed mid-frame (truncated stream)";
+      case IoStatus::Corrupt:
+        return std::string("corrupt frame (")
+            + decodeStatusName(decode) + ")";
+      case IoStatus::SysError:
+        return std::string("wire I/O failed (")
+            + std::strerror(sys_errno) + ")";
+    }
+    return "unknown";
+}
+
+IoResult
 readFrame(int fd, Frame &out)
 {
     char header[kHeaderSize];
-    size_t got = readFull(fd, header, kHeaderSize);
-    if (got == 0)
-        return false;
-    fatalIf(got < kHeaderSize,
-            "wire stream truncated mid-header (", got, " of ",
-            kHeaderSize, " bytes)");
-    fatalIf(getU32(header) != kMagic,
-            "wire stream is not frame-aligned (bad magic)");
-    uint16_t version = getU16(header + 4);
-    fatalIf(version != kVersion, "wire peer speaks version ",
-            version, ", this build speaks ", kVersion);
-    uint16_t type = getU16(header + 6);
-    fatalIf(!validType(type), "wire frame has unknown type ", type);
-    uint32_t payload_len = getU32(header + 8);
-    fatalIf(payload_len > kMaxPayload, "wire frame claims ",
-            payload_len, "-byte payload (limit ", kMaxPayload, ")");
-    uint32_t hash = getU32(header + 12);
+    RawIo io = readFull(fd, header, kHeaderSize);
+    if (io.err)
+        return ioError(peerGoneErrno(io.err) ? IoStatus::PeerGone
+                                             : IoStatus::SysError,
+                       io.err);
+    if (io.n == 0)
+        return ioError(IoStatus::Eof);
+    if (io.n < kHeaderSize)
+        return ioError(IoStatus::Truncated);
+    uint16_t type = 0;
+    uint32_t payload_len = 0;
+    uint32_t hash = 0;
+    DecodeStatus st = checkHeader(header, type, payload_len, hash);
+    if (st != DecodeStatus::Ok)
+        return ioError(IoStatus::Corrupt, 0, st);
     out.type = static_cast<FrameType>(type);
     out.payload.resize(payload_len);
     if (payload_len) {
-        size_t body = readFull(fd, out.payload.data(), payload_len);
-        fatalIf(body < payload_len,
-                "wire stream truncated mid-payload (", body, " of ",
-                payload_len, " bytes of a ", frameTypeName(out.type),
-                " frame)");
+        io = readFull(fd, out.payload.data(), payload_len);
+        if (io.err)
+            return ioError(peerGoneErrno(io.err)
+                               ? IoStatus::PeerGone
+                               : IoStatus::SysError,
+                           io.err);
+        if (io.n < payload_len)
+            return ioError(IoStatus::Truncated);
     }
-    fatalIf(payloadHash(out.payload.data(), out.payload.size())
-                != hash,
-            "wire frame payload hash mismatch (corrupt ",
-            frameTypeName(out.type), " frame)");
-    return true;
+    if (payloadHash(out.payload.data(), out.payload.size()) != hash)
+        return ioError(IoStatus::Corrupt, 0, DecodeStatus::BadHash);
+    return ioOk();
 }
 
-void
+IoResult
 writeFrame(int fd, const Frame &frame)
 {
     std::string bytes = encodeFrame(frame);
-    writeFull(fd, bytes.data(), bytes.size());
+    RawIo io = writeFull(fd, bytes.data(), bytes.size());
+    if (io.err)
+        return ioError(peerGoneErrno(io.err) ? IoStatus::PeerGone
+                                             : IoStatus::SysError,
+                       io.err);
+    return ioOk();
 }
 
-void
+IoResult
 writeFrame(int fd, FrameType type, std::string payload)
 {
     Frame f;
     f.type = type;
     f.payload = std::move(payload);
-    writeFrame(fd, f);
+    return writeFrame(fd, f);
 }
 
 std::string
@@ -333,36 +533,8 @@ encodeCompileRequest(const CompileRequest &req)
     j.field("run_peephole", req.run_peephole);
     j.field("label", req.label);
     j.field("backend", req.backend);
-    const engine::RunConfig &c = req.config;
     j.key("config");
-    j.beginObject();
-    j.key("tech");
-    j.beginObject();
-    j.field("p_physical", c.tech.p_physical);
-    j.field("t_two_qubit_ns", c.tech.t_two_qubit_ns);
-    j.field("single_qubit_speedup", c.tech.single_qubit_speedup);
-    j.field("t_measure_ns", c.tech.t_measure_ns);
-    j.endObject();
-    j.field("code_distance", c.code_distance);
-    j.field("policy", c.policy);
-    j.field("epr_window_steps", c.epr_window_steps);
-    j.field("epr_bandwidth", c.epr_bandwidth);
-    j.field("num_simd_regions", c.num_simd_regions);
-    j.field("region_capacity", c.region_capacity);
-    j.field("kq", c.kq);
-    j.field("fast_forward", c.fast_forward);
-    j.field("legacy_baseline", c.legacy_baseline);
-    j.field("magic_production_cycles", c.magic_production_cycles);
-    j.field("magic_buffer_capacity", c.magic_buffer_capacity);
-    j.field("adapt_timeout", c.adapt_timeout);
-    j.field("bfs_timeout", c.bfs_timeout);
-    j.field("drop_timeout", c.drop_timeout);
-    j.field("max_cycles", c.max_cycles);
-    j.field("hybrid_arbiter", c.hybrid_arbiter);
-    j.field("layout_objective", c.layout_objective);
-    j.field("lane_spacing", c.lane_spacing);
-    j.field("seed", c.seed);
-    j.endObject();
+    writeRunConfig(j, req.config);
     j.endObject();
     return os.str();
 }
@@ -394,62 +566,121 @@ decodeCompileRequest(const std::string &json)
     req.run_peephole = flag(doc, "run_peephole", req.run_peephole);
     req.label = text(doc, "label");
     req.backend = text(doc, "backend", req.backend);
-    if (const JsonValue *cfg = doc.find("config")) {
-        fatalIf(!cfg->isObject(), "wire 'config' is not an object");
-        engine::RunConfig &c = req.config;
-        if (const JsonValue *tech = cfg->find("tech")) {
-            fatalIf(!tech->isObject(),
-                    "wire 'tech' is not an object");
-            c.tech.p_physical =
-                num(*tech, "p_physical", c.tech.p_physical);
-            c.tech.t_two_qubit_ns =
-                num(*tech, "t_two_qubit_ns", c.tech.t_two_qubit_ns);
-            c.tech.single_qubit_speedup =
-                num(*tech, "single_qubit_speedup",
-                    c.tech.single_qubit_speedup);
-            c.tech.t_measure_ns =
-                num(*tech, "t_measure_ns", c.tech.t_measure_ns);
-        }
-        c.code_distance = static_cast<int>(
-            num(*cfg, "code_distance", c.code_distance));
-        c.policy = static_cast<int>(num(*cfg, "policy", c.policy));
-        c.epr_window_steps = static_cast<int>(
-            num(*cfg, "epr_window_steps", c.epr_window_steps));
-        c.epr_bandwidth = static_cast<int>(
-            num(*cfg, "epr_bandwidth", c.epr_bandwidth));
-        c.num_simd_regions = static_cast<int>(
-            num(*cfg, "num_simd_regions", c.num_simd_regions));
-        c.region_capacity = static_cast<int>(
-            num(*cfg, "region_capacity", c.region_capacity));
-        c.kq = num(*cfg, "kq", c.kq);
-        c.fast_forward =
-            flag(*cfg, "fast_forward", c.fast_forward);
-        c.legacy_baseline =
-            flag(*cfg, "legacy_baseline", c.legacy_baseline);
-        c.magic_production_cycles =
-            static_cast<int>(num(*cfg, "magic_production_cycles",
-                                 c.magic_production_cycles));
-        c.magic_buffer_capacity =
-            static_cast<int>(num(*cfg, "magic_buffer_capacity",
-                                 c.magic_buffer_capacity));
-        c.adapt_timeout = static_cast<int>(
-            num(*cfg, "adapt_timeout", c.adapt_timeout));
-        c.bfs_timeout = static_cast<int>(
-            num(*cfg, "bfs_timeout", c.bfs_timeout));
-        c.drop_timeout = static_cast<int>(
-            num(*cfg, "drop_timeout", c.drop_timeout));
-        c.max_cycles = static_cast<uint64_t>(num(
-            *cfg, "max_cycles", static_cast<double>(c.max_cycles)));
-        c.hybrid_arbiter = static_cast<int>(
-            num(*cfg, "hybrid_arbiter", c.hybrid_arbiter));
-        c.layout_objective = static_cast<int>(
-            num(*cfg, "layout_objective", c.layout_objective));
-        c.lane_spacing = static_cast<int>(
-            num(*cfg, "lane_spacing", c.lane_spacing));
-        c.seed = static_cast<uint64_t>(
-            num(*cfg, "seed", static_cast<double>(c.seed)));
-    }
+    if (const JsonValue *cfg = doc.find("config"))
+        readRunConfig(*cfg, req.config);
     return req;
+}
+
+std::string
+encodeSweepGrid(const engine::SweepGrid &grid)
+{
+    std::ostringstream os;
+    JsonWriter j(os, /*compact=*/true);
+    j.beginObject();
+    j.key("apps");
+    j.beginArray();
+    for (const engine::AppPoint &a : grid.apps) {
+        fatalIf(a.circuit != nullptr,
+                "caller-built circuits are not representable in "
+                "wire protocol v1; such grids shard over forked "
+                "workers only");
+        j.beginObject();
+        j.field("app", apps::appSpec(a.kind).name);
+        j.field("problem_size", a.gen.problem_size);
+        j.field("max_iterations", a.gen.max_iterations);
+        j.field("label", a.label);
+        j.endObject();
+    }
+    j.endArray();
+    j.key("backends");
+    j.beginArray();
+    for (const std::string &b : grid.backends)
+        j.value(b);
+    j.endArray();
+    auto int_axis = [&](const char *name,
+                        const std::vector<int> &values) {
+        j.key(name);
+        j.beginArray();
+        for (int v : values)
+            j.value(v);
+        j.endArray();
+    };
+    int_axis("policies", grid.policies);
+    int_axis("arbiters", grid.arbiters);
+    int_axis("layout_objectives", grid.layout_objectives);
+    int_axis("distances", grid.distances);
+    int_axis("epr_windows", grid.epr_windows);
+    j.key("sizes");
+    j.beginArray();
+    for (double v : grid.sizes)
+        j.value(v);
+    j.endArray();
+    j.key("base");
+    writeRunConfig(j, grid.base);
+    j.endObject();
+    return os.str();
+}
+
+engine::SweepGrid
+decodeSweepGrid(const std::string &json)
+{
+    JsonValue doc = parseJson(json);
+    fatalIf(!doc.isObject(), "wire grid is not a JSON object");
+    engine::SweepGrid grid;
+    const JsonValue *apps_v = doc.find("apps");
+    fatalIf(!apps_v || !apps_v->isArray(),
+            "wire grid has no 'apps' array");
+    grid.apps.clear();
+    for (const JsonValue &a : apps_v->items) {
+        fatalIf(!a.isObject(), "wire grid app is not an object");
+        engine::AppPoint point;
+        point.kind = parseAppKind(text(a, "app", "SQ"));
+        point.gen.problem_size = static_cast<int>(
+            num(a, "problem_size", point.gen.problem_size));
+        point.gen.max_iterations = static_cast<int>(
+            num(a, "max_iterations", point.gen.max_iterations));
+        point.label = text(a, "label");
+        grid.apps.push_back(std::move(point));
+    }
+    const JsonValue *backends = doc.find("backends");
+    fatalIf(!backends || !backends->isArray(),
+            "wire grid has no 'backends' array");
+    grid.backends.clear();
+    for (const JsonValue &b : backends->items) {
+        fatalIf(!b.isString(), "wire grid backend is not a string");
+        grid.backends.push_back(b.str);
+    }
+    auto int_axis = [&](const char *name, std::vector<int> &out) {
+        const JsonValue *v = doc.find(name);
+        if (!v)
+            return;
+        fatalIf(!v->isArray(), "wire grid '", name,
+                "' is not an array");
+        out.clear();
+        for (const JsonValue &e : v->items) {
+            fatalIf(!e.isNumber(), "wire grid '", name,
+                    "' element is not a number");
+            out.push_back(static_cast<int>(e.num));
+        }
+    };
+    int_axis("policies", grid.policies);
+    int_axis("arbiters", grid.arbiters);
+    int_axis("layout_objectives", grid.layout_objectives);
+    int_axis("distances", grid.distances);
+    int_axis("epr_windows", grid.epr_windows);
+    if (const JsonValue *sizes = doc.find("sizes")) {
+        fatalIf(!sizes->isArray(),
+                "wire grid 'sizes' is not an array");
+        grid.sizes.clear();
+        for (const JsonValue &e : sizes->items) {
+            fatalIf(!e.isNumber(),
+                    "wire grid 'sizes' element is not a number");
+            grid.sizes.push_back(e.num);
+        }
+    }
+    if (const JsonValue *base = doc.find("base"))
+        readRunConfig(*base, grid.base);
+    return grid;
 }
 
 std::string
@@ -574,47 +805,80 @@ ServeStats
 serveConnection(CompileService &service, int in_fd, int out_fd)
 {
     ServeStats stats;
-    writeFrame(out_fd, FrameType::Hello, helloPayload());
+    obs::MetricsRegistry &reg = service.metricsRegistry();
+
+    // Per-connection failure policy: a corrupt frame header or a
+    // vanished peer ends *this* connection (recorded, not thrown) —
+    // exactly like the existing malformed-payload path ends the
+    // request, one level up.
+    auto drop = [&](const IoResult &r) {
+        if (r.status == IoStatus::Corrupt) {
+            ++stats.corrupt_frames;
+            reg.inc("service.wire.corrupt_frames");
+        } else if (r.status != IoStatus::Eof) {
+            stats.peer_gone = true;
+            reg.inc("service.wire.peer_gone");
+        }
+    };
+    auto send = [&](FrameType type, std::string payload) {
+        IoResult w = writeFrame(out_fd, type, std::move(payload));
+        if (!w.ok())
+            drop(w);
+        return w.ok();
+    };
+
+    if (!send(FrameType::Hello, helloPayload()))
+        return stats;
     Frame frame;
-    while (readFrame(in_fd, frame)) {
+    for (;;) {
+        IoResult r = readFrame(in_fd, frame);
+        if (!r.ok()) {
+            drop(r);
+            return stats;
+        }
         ++stats.frames;
         switch (frame.type) {
-          case FrameType::Request:
+          case FrameType::Request: {
+            bool sent;
             try {
                 CompileRequest req =
                     decodeCompileRequest(frame.payload);
                 CompileResponse resp =
                     service.compile(std::move(req));
                 ++stats.requests;
-                writeFrame(out_fd, FrameType::Response,
-                           encodeCompileResponse(resp));
+                sent = send(FrameType::Response,
+                            encodeCompileResponse(resp));
             } catch (const FatalError &e) {
                 // A malformed request poisons that request, not the
                 // connection: the client gets the diagnostic.
                 ++stats.errors;
-                writeFrame(out_fd, FrameType::Error,
-                           errorPayload(e.what()));
+                sent = send(FrameType::Error,
+                            errorPayload(e.what()));
             }
+            if (!sent)
+                return stats;
             break;
+          }
           case FrameType::Telemetry:
-            writeFrame(out_fd, FrameType::Telemetry,
-                       telemetryPayload(service));
+            if (!send(FrameType::Telemetry,
+                      telemetryPayload(service)))
+                return stats;
             break;
           case FrameType::Shutdown:
             stats.shutdown = true;
-            writeFrame(out_fd, FrameType::Done, "");
+            send(FrameType::Done, "");
             return stats;
           default:
             ++stats.errors;
-            writeFrame(
-                out_fd, FrameType::Error,
-                errorPayload(std::string("unexpected ")
-                             + frameTypeName(frame.type)
-                             + " frame on a compile connection"));
+            if (!send(FrameType::Error,
+                      errorPayload(std::string("unexpected ")
+                                   + frameTypeName(frame.type)
+                                   + " frame on a compile "
+                                     "connection")))
+                return stats;
             break;
         }
     }
-    return stats;
 }
 
 UnixListener::UnixListener(const std::string &path) : path_(path)
@@ -623,9 +887,29 @@ UnixListener::UnixListener(const std::string &path) : path_(path)
     fatalIf(path.size() >= sizeof(addr.sun_path),
             "socket path '", path, "' exceeds the ",
             sizeof(addr.sun_path) - 1, "-byte sockaddr_un limit");
+    // Only a *stale* socket may be unlinked: probe it first.  A live
+    // server answering the connect means binding here would silently
+    // steal its clients — that is a user error, not a cleanup case.
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) == 0) {
+        if (S_ISSOCK(st.st_mode)) {
+            int probe = connectUnix(path);
+            if (probe >= 0) {
+                ::close(probe);
+                fatal("socket '", path,
+                      "' already has a live server; refusing to "
+                      "steal it (pick another path or stop that "
+                      "server)");
+            }
+            ::unlink(path.c_str());
+        } else {
+            fatal("'", path,
+                  "' exists and is not a socket; refusing to "
+                  "unlink it");
+        }
+    }
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     fatalIf(fd_ < 0, "socket() failed: ", std::strerror(errno));
-    ::unlink(path.c_str());
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, path.c_str(),
                  sizeof(addr.sun_path) - 1);
@@ -661,10 +945,23 @@ UnixListener::accept()
         int client = ::accept(fd_, nullptr, nullptr);
         if (client >= 0)
             return client;
-        if (errno != EINTR)
-            fatal("accept('", path_,
-                  "') failed: ", std::strerror(errno));
+        if (errno == EINTR)
+            continue;
+        // shutdown() makes a blocked accept fail (EINVAL on Linux,
+        // ECONNABORTED elsewhere): the clean-stop path, not a bug.
+        if (errno == EINVAL || errno == ECONNABORTED
+            || errno == EBADF)
+            return -1;
+        fatal("accept('", path_,
+              "') failed: ", std::strerror(errno));
     }
+}
+
+void
+UnixListener::shutdown()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
 }
 
 int
@@ -688,12 +985,211 @@ connectUnix(const std::string &path)
     return fd;
 }
 
+namespace {
+
+/** getaddrinfo over @p host/@p port; @return the resolved list or
+ *  null.  @p passive selects bind-side flags. */
+addrinfo *
+resolveTcp(const std::string &host, uint16_t port, bool passive)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+    addrinfo *res = nullptr;
+    std::string service = std::to_string(port);
+    if (::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                      service.c_str(), &hints, &res)
+        != 0)
+        return nullptr;
+    return res;
+}
+
+} // namespace
+
+bool
+parseHostPort(const std::string &spec, std::string &host,
+              uint16_t &port)
+{
+    // A Unix-socket path contains '/' (or has no ':' at all); a TCP
+    // spec is "host:port" or "[v6addr]:port" with a numeric port.
+    if (spec.find('/') != std::string::npos)
+        return false;
+    size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size())
+        return false;
+    std::string h = spec.substr(0, colon);
+    if (h.size() >= 2 && h.front() == '[' && h.back() == ']')
+        h = h.substr(1, h.size() - 2);
+    unsigned long p = 0;
+    for (size_t i = colon + 1; i < spec.size(); ++i) {
+        if (spec[i] < '0' || spec[i] > '9')
+            return false;
+        p = p * 10 + static_cast<unsigned long>(spec[i] - '0');
+        if (p > 65535)
+            return false;
+    }
+    host = std::move(h);
+    port = static_cast<uint16_t>(p);
+    return true;
+}
+
+int
+connectTcp(const std::string &host, uint16_t port)
+{
+    addrinfo *res = resolveTcp(host, port, /*passive=*/false);
+    if (!res)
+        return -1;
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd >= 0) {
+        // Frames are small and latency-sensitive (a Row per sweep
+        // point); Nagle only adds merge latency here.
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+    }
+    return fd;
+}
+
+int
+connectWithRetry(const std::string &spec, const RetryPolicy &policy,
+                 uint64_t *retries)
+{
+    std::string host;
+    uint16_t port = 0;
+    bool tcp = parseHostPort(spec, host, port);
+    uint64_t failed = 0;
+    int fd = -1;
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+        if (attempt > 0) {
+            // Capped exponential backoff with deterministic full
+            // jitter over [delay/2, delay]: a respawning fleet never
+            // hammers a booting worker in lockstep.
+            int64_t delay = policy.base_delay_ms;
+            for (int i = 1; i < attempt && delay < policy.max_delay_ms;
+                 ++i)
+                delay *= 2;
+            delay = std::min<int64_t>(delay, policy.max_delay_ms);
+            uint64_t z = policy.jitter_seed
+                + 0x9e3779b97f4a7c15ull
+                    * static_cast<uint64_t>(attempt);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            z ^= z >> 31;
+            if (delay > 1)
+                delay = delay / 2
+                    + static_cast<int64_t>(
+                        z % static_cast<uint64_t>(delay / 2 + 1));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+        fd = tcp ? connectTcp(host, port) : connectUnix(spec);
+        if (fd >= 0)
+            break;
+        ++failed;
+    }
+    if (retries)
+        *retries = failed;
+    return fd;
+}
+
+TcpListener::TcpListener(const std::string &host_port)
+{
+    std::string host;
+    uint16_t port = 0;
+    fatalIf(!parseHostPort(host_port, host, port), "'", host_port,
+            "' is not a host:port listen spec");
+    addrinfo *res = resolveTcp(host, port, /*passive=*/true);
+    fatalIf(!res, "cannot resolve '", host_port, "'");
+    int err = 0;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd_ = ::socket(ai->ai_family, ai->ai_socktype,
+                       ai->ai_protocol);
+        if (fd_ < 0) {
+            err = errno;
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(fd_, ai->ai_addr, ai->ai_addrlen) == 0
+            && ::listen(fd_, 16) == 0) {
+            sockaddr_storage bound{};
+            socklen_t len = sizeof(bound);
+            if (::getsockname(
+                    fd_, reinterpret_cast<sockaddr *>(&bound), &len)
+                == 0) {
+                if (bound.ss_family == AF_INET)
+                    port_ = ntohs(reinterpret_cast<sockaddr_in *>(
+                                      &bound)
+                                      ->sin_port);
+                else if (bound.ss_family == AF_INET6)
+                    port_ = ntohs(reinterpret_cast<sockaddr_in6 *>(
+                                      &bound)
+                                      ->sin6_port);
+            }
+            break;
+        }
+        err = errno;
+        ::close(fd_);
+        fd_ = -1;
+    }
+    ::freeaddrinfo(res);
+    fatalIf(fd_ < 0, "cannot listen on '", host_port,
+            "': ", std::strerror(err));
+}
+
+TcpListener::~TcpListener()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+int
+TcpListener::accept()
+{
+    for (;;) {
+        int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) {
+            int one = 1;
+            ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return client;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EINVAL || errno == ECONNABORTED
+            || errno == EBADF)
+            return -1;
+        fatal("tcp accept failed: ", std::strerror(errno));
+    }
+}
+
+void
+TcpListener::shutdown()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
 Client::Client(int in_fd, int out_fd, bool owns_fds)
     : in_fd_(in_fd), out_fd_(out_fd), owns_(owns_fds)
 {
     Frame hello;
-    fatalIf(!readFrame(in_fd_, hello),
-            "compile server closed the connection before Hello");
+    IoResult r = readFrame(in_fd_, hello);
+    fatalIf(!r.ok(), "compile server handshake failed: ",
+            r.describe());
     fatalIf(hello.type != FrameType::Hello,
             "expected a Hello frame, got ",
             frameTypeName(hello.type));
@@ -714,11 +1210,24 @@ Client::~Client()
 CompileResponse
 Client::compile(const CompileRequest &req)
 {
-    writeFrame(out_fd_, FrameType::Request,
-               encodeCompileRequest(req));
+    // A dead connection is a response the caller can act on
+    // (reconnect, fail over), not a process-level failure.
+    IoResult w = writeFrame(out_fd_, FrameType::Request,
+                            encodeCompileRequest(req));
+    if (!w.ok()) {
+        CompileResponse resp;
+        resp.error = "connection lost sending the request: "
+            + w.describe();
+        return resp;
+    }
     Frame reply;
-    fatalIf(!readFrame(in_fd_, reply),
-            "compile server closed mid-request");
+    IoResult r = readFrame(in_fd_, reply);
+    if (!r.ok()) {
+        CompileResponse resp;
+        resp.error =
+            "connection lost awaiting the response: " + r.describe();
+        return resp;
+    }
     if (reply.type == FrameType::Error) {
         JsonValue doc = parseJson(reply.payload);
         CompileResponse resp;
@@ -734,10 +1243,12 @@ Client::compile(const CompileRequest &req)
 std::string
 Client::telemetry()
 {
-    writeFrame(out_fd_, FrameType::Telemetry, "");
+    IoResult w = writeFrame(out_fd_, FrameType::Telemetry, "");
+    fatalIf(!w.ok(), "telemetry query failed: ", w.describe());
     Frame reply;
-    fatalIf(!readFrame(in_fd_, reply),
-            "compile server closed mid-telemetry");
+    IoResult r = readFrame(in_fd_, reply);
+    fatalIf(!r.ok(), "compile server died mid-telemetry: ",
+            r.describe());
     fatalIf(reply.type != FrameType::Telemetry,
             "expected a Telemetry frame, got ",
             frameTypeName(reply.type));
@@ -747,10 +1258,13 @@ Client::telemetry()
 void
 Client::shutdown()
 {
-    writeFrame(out_fd_, FrameType::Shutdown, "");
+    IoResult w = writeFrame(out_fd_, FrameType::Shutdown, "");
+    fatalIf(!w.ok(), "shutdown request failed: ", w.describe());
     Frame reply;
-    fatalIf(!readFrame(in_fd_, reply),
-            "compile server closed without acking Shutdown");
+    IoResult r = readFrame(in_fd_, reply);
+    fatalIf(!r.ok(),
+            "compile server closed without acking Shutdown: ",
+            r.describe());
     fatalIf(reply.type != FrameType::Done,
             "expected a Done frame, got ",
             frameTypeName(reply.type));

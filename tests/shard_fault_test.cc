@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Fault-tolerance tests of the sharded sweep fleet: a worker
+ * SIGKILLed mid-sweep must cost wall clock, never rows — the merged
+ * results stay byte-identical to a single-process run whether the
+ * orphaned slice lands on a respawned worker or a survivor, and the
+ * same holds when workers are remote TCP processes instead of forked
+ * locals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "apps/apps.h"
+#include "common/logging.h"
+#include "engine/registry.h"
+#include "engine/sweep.h"
+#include "service/shard.h"
+#include "service/wire.h"
+
+namespace qsurf {
+namespace {
+
+namespace wire = service::wire;
+
+/** A grid big enough that killing a worker mid-slice leaves points
+ *  to reassign, small enough for a unit test: 2 apps x 3 distances
+ *  x 2 objectives = 12 points. */
+engine::SweepGrid
+faultGrid()
+{
+    engine::SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""},
+                 {apps::AppKind::GSE, {8, 2}, ""}};
+    grid.backends = {engine::backends::surgery_sim};
+    grid.distances = {3, 5, 7};
+    grid.layout_objectives = {0, 2};
+    grid.base.seed = 21;
+    return grid;
+}
+
+std::string
+singleProcessRows(const engine::SweepGrid &grid)
+{
+    engine::SweepOptions opts;
+    opts.num_threads = 1;
+    return engine::canonicalSweepRows(
+        engine::SweepDriver().run(grid, opts));
+}
+
+TEST(ShardFault, KilledWorkerIsRespawnedAndRowsStayIdentical)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = faultGrid();
+    std::string expected = singleProcessRows(grid);
+
+    service::FleetStats stats;
+    service::ShardOptions shard;
+    shard.workers = 1;
+    shard.sweep.num_threads = 1;
+    shard.idle_timeout_sec = 120;
+    shard.stats = &stats;
+    // SIGKILL the only worker right after its second row lands: no
+    // survivor exists, so recovery must fork a replacement.
+    shard.fault_kill_worker = 0;
+    shard.fault_kill_after_rows = 2;
+
+    std::vector<engine::SweepPoint> merged =
+        service::runShardedSweep(grid, shard);
+    EXPECT_EQ(engine::canonicalSweepRows(merged), expected);
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_GE(stats.worker_failures, 1u);
+    EXPECT_EQ(stats.worker_restarts, 1u);
+    EXPECT_GE(stats.points_reassigned, 1u);
+    EXPECT_GE(stats.reassignments, 1u);
+}
+
+TEST(ShardFault, TwoWorkerFleetSurvivesAKillEitherWay)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = faultGrid();
+    std::string expected = singleProcessRows(grid);
+
+    service::FleetStats stats;
+    service::ShardOptions shard;
+    shard.workers = 2;
+    shard.sweep.num_threads = 1;
+    shard.idle_timeout_sec = 120;
+    shard.stats = &stats;
+    shard.fault_kill_worker = 1;
+    shard.fault_kill_after_rows = 2;
+
+    // Whether the orphaned slice lands on a respawn or on the
+    // survivor depends on who is idle at death time; the rows must
+    // be byte-identical either way.
+    std::vector<engine::SweepPoint> merged =
+        service::runShardedSweep(grid, shard);
+    EXPECT_EQ(engine::canonicalSweepRows(merged), expected);
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_GE(stats.worker_failures, 1u);
+    EXPECT_LE(stats.worker_restarts, 1u);
+    EXPECT_GE(stats.points_reassigned, 1u);
+    EXPECT_GE(stats.reassignments, 1u);
+}
+
+TEST(ShardFault, RestartsExhaustedSurvivorAbsorbsTheSlice)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = faultGrid();
+    std::string expected = singleProcessRows(grid);
+
+    service::FleetStats stats;
+    service::ShardOptions shard;
+    shard.workers = 2;
+    shard.sweep.num_threads = 1;
+    shard.idle_timeout_sec = 120;
+    shard.stats = &stats;
+    shard.fault_kill_worker = 1;
+    shard.fault_kill_after_rows = 2;
+    // No respawn budget: the orphaned slice must wait for the
+    // surviving worker to finish its own slice and pick it up.
+    shard.max_worker_restarts = 0;
+
+    std::vector<engine::SweepPoint> merged =
+        service::runShardedSweep(grid, shard);
+    EXPECT_EQ(engine::canonicalSweepRows(merged), expected);
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_EQ(stats.worker_restarts, 0u);
+    EXPECT_GE(stats.reassignments, 1u);
+}
+
+TEST(ShardFault, LocalTcpTransportMatchesSocketpairRows)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = faultGrid();
+    std::string expected = singleProcessRows(grid);
+
+    service::ShardOptions shard;
+    shard.workers = 2;
+    shard.sweep.num_threads = 1;
+    shard.idle_timeout_sec = 120;
+    shard.local_tcp = true;
+
+    std::vector<engine::SweepPoint> merged =
+        service::runShardedSweep(grid, shard);
+    EXPECT_EQ(engine::canonicalSweepRows(merged), expected);
+}
+
+TEST(ShardFault, RemoteTcpWorkerReceivesGridOverTheWire)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = faultGrid();
+    std::string expected = singleProcessRows(grid);
+
+    // A "remote" worker: a process that shares no grid memory with
+    // the parent (fork before any assignment, grid decoded off the
+    // wire by serveSweepWorker).  The listener is created pre-fork
+    // so the port is known to both sides.
+    wire::TcpListener listener("127.0.0.1:0");
+    std::string spec =
+        "127.0.0.1:" + std::to_string(listener.port());
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        int fd = listener.accept();
+        if (fd < 0)
+            ::_exit(2);
+        service::SweepWorkerEnv env; // env.grid == nullptr.
+        env.base.num_threads = 1;
+        bool orderly = service::serveSweepWorker(fd, env);
+        ::close(fd);
+        ::_exit(orderly ? 0 : 1);
+    }
+
+    service::ShardOptions shard;
+    shard.workers = 1;
+    shard.sweep.num_threads = 1;
+    shard.idle_timeout_sec = 120;
+    shard.remote_workers = {spec};
+
+    std::vector<engine::SweepPoint> merged =
+        service::runShardedSweep(grid, shard);
+    EXPECT_EQ(engine::canonicalSweepRows(merged), expected);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "remote worker exit status " << status;
+}
+
+} // namespace
+} // namespace qsurf

@@ -9,16 +9,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/logging.h"
 #include "engine/registry.h"
+#include "engine/sweep.h"
 #include "service/service.h"
 #include "service/wire.h"
 
@@ -121,24 +125,69 @@ TEST(WireFraming, ReadFrameDistinguishesCleanEofFromTruncation)
     int fds[2];
     ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
 
-    // Clean close at a frame boundary: one frame, then false.
-    wire::writeFrame(fds[0], wire::FrameType::Done, "{}");
+    // Clean close at a frame boundary: one frame, then Eof.
+    EXPECT_TRUE(
+        wire::writeFrame(fds[0], wire::FrameType::Done, "{}").ok());
     ::close(fds[0]);
     wire::Frame out;
-    EXPECT_TRUE(wire::readFrame(fds[1], out));
+    EXPECT_TRUE(wire::readFrame(fds[1], out).ok());
     EXPECT_EQ(out.type, wire::FrameType::Done);
-    EXPECT_FALSE(wire::readFrame(fds[1], out));
+    EXPECT_EQ(wire::readFrame(fds[1], out).status,
+              wire::IoStatus::Eof);
     ::close(fds[1]);
 
-    // A peer dying mid-frame is truncation, and that is fatal.
+    // A peer dying mid-payload is truncation — a value the caller
+    // handles, never an exception.
     ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
     std::string encoded = wire::encodeFrame(
         {wire::FrameType::Row, R"({"index":0})"});
     ASSERT_EQ(::write(fds[0], encoded.data(), encoded.size() - 3),
               static_cast<ssize_t>(encoded.size() - 3));
     ::close(fds[0]);
-    EXPECT_THROW(wire::readFrame(fds[1], out), FatalError);
+    EXPECT_EQ(wire::readFrame(fds[1], out).status,
+              wire::IoStatus::Truncated);
     ::close(fds[1]);
+
+    // ... and dying inside the fixed header is the same torn-frame
+    // class, not a clean EOF.
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_EQ(::write(fds[0], encoded.data(), 7), 7);
+    ::close(fds[0]);
+    EXPECT_EQ(wire::readFrame(fds[1], out).status,
+              wire::IoStatus::Truncated);
+    ::close(fds[1]);
+}
+
+TEST(WireFraming, ReadFrameReportsCorruptHeadersAsValues)
+{
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::string bad = wire::encodeFrame(
+        {wire::FrameType::Row, R"({"index":1})"});
+    bad[0] = 'X'; // Break the magic.
+    ASSERT_EQ(::write(fds[0], bad.data(), bad.size()),
+              static_cast<ssize_t>(bad.size()));
+    ::close(fds[0]);
+    wire::Frame out;
+    wire::IoResult r = wire::readFrame(fds[1], out);
+    EXPECT_EQ(r.status, wire::IoStatus::Corrupt);
+    EXPECT_EQ(r.decode, wire::DecodeStatus::BadMagic);
+    EXPECT_NE(r.describe().find("bad-magic"), std::string::npos);
+    ::close(fds[1]);
+}
+
+TEST(WireFraming, WriteFrameToClosedPeerReturnsPeerGone)
+{
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[1]);
+    // The first write may land in the buffer; keep writing until
+    // the kernel reports the peer is gone (no SIGPIPE either way).
+    wire::IoResult r;
+    for (int i = 0; i < 8 && r.ok(); ++i)
+        r = wire::writeFrame(fds[0], wire::FrameType::Row, "{}");
+    EXPECT_EQ(r.status, wire::IoStatus::PeerGone);
+    ::close(fds[0]);
 }
 
 TEST(WireCodec, CompileRequestRoundTripsEveryField)
@@ -325,13 +374,13 @@ TEST(WireServe, MalformedPayloadGetsErrorFrameSessionSurvives)
     });
 
     wire::Frame frame;
-    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    ASSERT_TRUE(wire::readFrame(fds[1], frame).ok());
     EXPECT_EQ(frame.type, wire::FrameType::Hello);
 
     // Valid frame, garbage payload: the request is poisoned, the
     // connection is not.
     wire::writeFrame(fds[1], wire::FrameType::Request, "not json");
-    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    ASSERT_TRUE(wire::readFrame(fds[1], frame).ok());
     EXPECT_EQ(frame.type, wire::FrameType::Error);
 
     service::CompileRequest req;
@@ -340,19 +389,238 @@ TEST(WireServe, MalformedPayloadGetsErrorFrameSessionSurvives)
     req.config.code_distance = 3;
     wire::writeFrame(fds[1], wire::FrameType::Request,
                      wire::encodeCompileRequest(req));
-    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    ASSERT_TRUE(wire::readFrame(fds[1], frame).ok());
     EXPECT_EQ(frame.type, wire::FrameType::Response);
     EXPECT_TRUE(
         wire::decodeCompileResponse(frame.payload).ok());
 
     wire::writeFrame(fds[1], wire::FrameType::Shutdown, "");
-    ASSERT_TRUE(wire::readFrame(fds[1], frame));
+    ASSERT_TRUE(wire::readFrame(fds[1], frame).ok());
     EXPECT_EQ(frame.type, wire::FrameType::Done);
     ::close(fds[1]);
     server.join();
     EXPECT_EQ(stats.errors, 1u);
     EXPECT_EQ(stats.requests, 1u);
     EXPECT_TRUE(stats.shutdown);
+}
+
+TEST(WireServe, ClientVanishingMidSessionIsPeerGoneNotFatal)
+{
+    setQuiet(true);
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    service::CompileService::Options opts;
+    opts.num_threads = 1;
+    service::CompileService svc(opts);
+    wire::ServeStats stats;
+    std::thread server([&] {
+        // The regression: this must return, not throw, when the
+        // client disappears after sending a request.
+        stats = wire::serveConnection(svc, fds[0], fds[0]);
+        ::close(fds[0]);
+    });
+
+    wire::Frame frame;
+    ASSERT_TRUE(wire::readFrame(fds[1], frame).ok());
+    EXPECT_EQ(frame.type, wire::FrameType::Hello);
+
+    service::CompileRequest req;
+    req.app = apps::AppKind::SQ;
+    req.gen = {8, 1};
+    req.config.code_distance = 3;
+    wire::writeFrame(fds[1], wire::FrameType::Request,
+                     wire::encodeCompileRequest(req));
+    // Vanish without reading the response.
+    ::close(fds[1]);
+    server.join();
+    EXPECT_TRUE(stats.peer_gone);
+    EXPECT_FALSE(stats.shutdown);
+}
+
+TEST(WireServe, CorruptFrameHeaderDropsConnectionAndIsCounted)
+{
+    setQuiet(true);
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    service::CompileService::Options opts;
+    opts.num_threads = 1;
+    service::CompileService svc(opts);
+    wire::ServeStats stats;
+    std::thread server([&] {
+        stats = wire::serveConnection(svc, fds[0], fds[0]);
+        ::close(fds[0]);
+    });
+
+    wire::Frame frame;
+    ASSERT_TRUE(wire::readFrame(fds[1], frame).ok());
+    EXPECT_EQ(frame.type, wire::FrameType::Hello);
+
+    // A stream that is not frame-aligned can never recover; the
+    // server must drop this connection (and count it), not die.
+    const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::write(fds[1], garbage, sizeof(garbage) - 1), 0);
+    server.join();
+    EXPECT_EQ(stats.corrupt_frames, 1u);
+    EXPECT_FALSE(stats.shutdown);
+    ::close(fds[1]);
+}
+
+TEST(WireListeners, UnixListenerProbesBeforeUnlinking)
+{
+    setQuiet(true);
+    std::string path =
+        ::testing::TempDir() + "/qsurf_wire_probe.sock";
+    std::remove(path.c_str());
+
+    {
+        // A live listener on the path: binding over it would steal
+        // its clients, so a second listener must refuse.
+        wire::UnixListener live(path);
+        EXPECT_THROW({ wire::UnixListener second(path); },
+                     FatalError);
+    }
+
+    // A stale socket file (server long dead): safe to unlink and
+    // reuse.  The destructor above unlinked; recreate a dead one.
+    {
+        wire::UnixListener first(path);
+    } // Unlinked again on destruction.
+    int raw = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(raw, 0);
+    struct sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(raw, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(raw); // Dead socket file left behind, nobody listening.
+    {
+        wire::UnixListener reclaimed(path);
+        EXPECT_EQ(reclaimed.path(), path);
+    }
+
+    // A plain file is never unlinked — it is not ours to destroy.
+    {
+        std::ofstream f(path);
+        f << "precious data";
+    }
+    EXPECT_THROW({ wire::UnixListener hijack(path); }, FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(WireListeners, TcpEphemeralPortRoundTrip)
+{
+    setQuiet(true);
+    wire::TcpListener listener("127.0.0.1:0");
+    ASSERT_GT(listener.port(), 0);
+
+    std::thread client([&] {
+        int fd = wire::connectTcp("127.0.0.1", listener.port());
+        ASSERT_GE(fd, 0);
+        EXPECT_TRUE(wire::writeFrame(fd, wire::FrameType::Row,
+                                     R"({"index":7})")
+                        .ok());
+        ::close(fd);
+    });
+    int conn = listener.accept();
+    ASSERT_GE(conn, 0);
+    wire::Frame frame;
+    ASSERT_TRUE(wire::readFrame(conn, frame).ok());
+    EXPECT_EQ(frame.type, wire::FrameType::Row);
+    EXPECT_EQ(frame.payload, R"({"index":7})");
+    ::close(conn);
+    client.join();
+}
+
+TEST(WireListeners, ParseHostPortClassifiesSpecs)
+{
+    std::string host;
+    uint16_t port = 0;
+    EXPECT_TRUE(wire::parseHostPort("127.0.0.1:7700", host, port));
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 7700);
+    EXPECT_TRUE(wire::parseHostPort("[::1]:80", host, port));
+    EXPECT_EQ(host, "::1");
+    EXPECT_EQ(port, 80);
+    EXPECT_TRUE(wire::parseHostPort("node3:0", host, port));
+    EXPECT_EQ(port, 0);
+    // Unix-socket paths and junk are not host:port.
+    EXPECT_FALSE(wire::parseHostPort("/tmp/qsurf.sock", host, port));
+    EXPECT_FALSE(
+        wire::parseHostPort("./dir:with/colon.sock", host, port));
+    EXPECT_FALSE(wire::parseHostPort("no-port", host, port));
+    EXPECT_FALSE(wire::parseHostPort("host:99999", host, port));
+    EXPECT_FALSE(wire::parseHostPort("host:abc", host, port));
+}
+
+TEST(WireListeners, ConnectWithRetryBacksOffThenGivesUp)
+{
+    setQuiet(true);
+    // Nobody home: every attempt fails, the retry counter proves
+    // the backoff loop actually ran.
+    wire::RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.base_delay_ms = 1;
+    policy.max_delay_ms = 4;
+    uint64_t retries = 0;
+    EXPECT_EQ(wire::connectWithRetry(
+                  ::testing::TempDir() + "/qsurf_absent.sock",
+                  policy, &retries),
+              -1);
+    EXPECT_EQ(retries, 3u);
+
+    // Somebody home: first attempt connects, zero retries.
+    std::string path =
+        ::testing::TempDir() + "/qsurf_retry_live.sock";
+    std::remove(path.c_str());
+    wire::UnixListener listener(path);
+    retries = 0;
+    int fd = wire::connectWithRetry(path, policy, &retries);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(retries, 0u);
+    if (fd >= 0)
+        ::close(fd);
+}
+
+TEST(WireCodec, SweepGridRoundTripsWithEqualFingerprint)
+{
+    engine::SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""},
+                 {apps::AppKind::GSE, {16, 3}, "labelled"}};
+    grid.backends = {engine::backends::surgery_sim,
+                     engine::backends::planar};
+    grid.policies = {2, 6};
+    grid.arbiters = {0, 1};
+    grid.layout_objectives = {0, 2};
+    grid.distances = {3, 5};
+    grid.epr_windows = {-1, 32};
+    grid.sizes = {0, 1e6};
+    grid.base.seed = 77;
+    grid.base.code_distance = 7;
+    grid.base.tech.p_physical = 1e-5;
+
+    engine::SweepGrid back =
+        wire::decodeSweepGrid(wire::encodeSweepGrid(grid));
+    // Fingerprint equality is the contract the shard parent checks:
+    // the decoded grid expands to the identical experiment.
+    EXPECT_EQ(engine::sweepGridFingerprint(back),
+              engine::sweepGridFingerprint(grid));
+    ASSERT_EQ(back.apps.size(), grid.apps.size());
+    EXPECT_EQ(back.apps[1].label, grid.apps[1].label);
+    EXPECT_EQ(back.backends, grid.backends);
+    EXPECT_EQ(back.distances, grid.distances);
+
+    // Caller-built circuits cannot cross the wire.
+    engine::SweepGrid with_circuit;
+    with_circuit.apps = {engine::AppPoint(
+        std::make_shared<const circuit::Circuit>(
+            apps::generate(apps::AppKind::SQ, {8, 1})),
+        "caller")};
+    with_circuit.backends = {engine::backends::surgery_sim};
+    EXPECT_THROW(wire::encodeSweepGrid(with_circuit), FatalError);
 }
 
 } // namespace
