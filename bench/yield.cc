@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Yield sweep over defective fabrics: the Figure-8 application pair
+ * on braided double-defect, lattice-surgery and hybrid backends,
+ * across fabric defect densities (fraction of mesh tiles knocked
+ * out, plus the links the generator disables around them) — the
+ * question a foundry asks of an architecture: how fast do schedule
+ * length and the logical-error proxy degrade as the fabric yield
+ * drops, and which communication scheme degrades most gracefully?
+ *
+ * Expected shape: the braided backend pays the most (every braid
+ * crosses the damaged interior), surgery recovers some slack through
+ * defect-free corridor re-routing, and the hybrid arbiter degrades
+ * most gracefully because its defect surcharge shifts traffic onto
+ * the off-mesh teleport overlay as exposure grows.
+ *
+ * Acceptance, enforced in full and smoke runs alike:
+ *  - density-0 rows are byte-identical to a grid without the defect
+ *    axis (today's perfect-mesh results) for every backend, and
+ *  - the whole defect grid is bit-identical at 1, 2 and 8 threads
+ * (canonicalSweepRows() compares both).  Emits BENCH_yield.json
+ * with per-point cycles, degradation ratios and logical-error
+ * proxies per density, plus the graceful-degradation ranking.
+ *
+ * Pass --smoke for the CI-sized subset of the grid.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "circuit/decompose.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "engine/sweep.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qsurf;
+    setQuiet(true);
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    // The application pair at simulatable sizes on the three
+    // simulated-communication backends, over the defect-density
+    // axis; density 0 is the perfect mesh every previous bench ran.
+    engine::SweepGrid grid;
+    grid.apps = smoke
+        ? std::vector<engine::AppPoint>{{apps::AppKind::SQ, {8, 2}, ""}}
+        : std::vector<engine::AppPoint>{
+              {apps::AppKind::SQ, {8, 2}, ""},
+              {apps::AppKind::IsingFull, {12, 2}, ""}};
+    grid.backends = {engine::backends::double_defect,
+                     engine::backends::surgery_sim,
+                     engine::backends::hybrid_mixed};
+    grid.policies = {6};
+    grid.distances = smoke ? std::vector<int>{3}
+                           : std::vector<int>{5};
+    grid.defects = smoke ? std::vector<double>{0, 0.06}
+                         : std::vector<double>{0, 0.03, 0.06, 0.1};
+    grid.base.seed = 1234;
+    grid.base.defect_seed = 7;
+    grid.base.tech = qec::tech_points::futureOptimistic();
+    const double top_density = grid.defects.back();
+
+    // The perfect-mesh control: the same grid without the defect
+    // axis, exactly what this bench's callers ran before the axis
+    // existed.  Its rows are the byte-identity baseline.
+    engine::SweepGrid control = grid;
+    control.defects = {0};
+
+    engine::SweepOptions copts;
+    copts.num_threads = 1;
+    auto control_results = engine::SweepDriver().run(control, copts);
+    const std::string control_canon =
+        engine::canonicalSweepRows(control_results);
+
+    // The defect grid at 1, 2 and 8 threads: the full grid must be
+    // bit-identical across thread counts, and its density-0 subset
+    // byte-identical to the control at every thread count.
+    std::vector<engine::SweepPoint> results;
+    std::string canon_t1;
+    bool thread_identical = true;
+    bool density0_identical = true;
+    for (int threads : {1, 2, 8}) {
+        engine::SweepOptions opts;
+        opts.num_threads = threads;
+        auto r = engine::SweepDriver().run(grid, opts);
+        std::string canon = engine::canonicalSweepRows(r);
+        if (threads == 1) {
+            canon_t1 = canon;
+            results = std::move(r);
+        } else if (canon != canon_t1) {
+            thread_identical = false;
+        }
+        std::vector<engine::SweepPoint> zero;
+        for (const engine::SweepPoint &p :
+             threads == 1 ? results : r)
+            if (p.defect == 0)
+                zero.push_back(p);
+        if (engine::canonicalSweepRows(zero) != control_canon)
+            density0_identical = false;
+    }
+
+    // Logical qubit counts per app point, the way the sweep items
+    // see them (density-0 rows carry no proxy extra — the perfect
+    // mesh emits nothing new — so the bench recomputes it).
+    std::vector<double> app_qubits;
+    for (const engine::AppPoint &a : grid.apps)
+        app_qubits.push_back(static_cast<double>(
+            circuit::decompose(apps::generate(a.kind, a.gen))
+                .numQubits()));
+
+    // Index results: per (app, d, backend), one run per density.
+    struct Point
+    {
+        std::string app;
+        std::string backend;
+        int d = 0;
+        std::vector<uint64_t> cycles;
+        std::vector<double> proxy;
+        std::vector<const engine::Metrics *> metrics;
+
+        double
+        degradation(size_t di) const
+        {
+            return cycles[0] ? static_cast<double>(cycles[di])
+                    / static_cast<double>(cycles[0])
+                             : 0.0;
+        }
+    };
+    std::vector<Point> points;
+    const size_t nd = grid.defects.size();
+    for (const engine::SweepPoint &r : results) {
+        auto it = std::find_if(
+            points.begin(), points.end(), [&](const Point &p) {
+                return p.app == r.app_name && p.backend == r.backend
+                    && p.d == r.metrics.code_distance;
+            });
+        if (it == points.end()) {
+            points.push_back(Point{r.app_name, r.backend,
+                                   r.metrics.code_distance,
+                                   std::vector<uint64_t>(nd, 0),
+                                   std::vector<double>(nd, 0),
+                                   std::vector<const engine::Metrics *>(
+                                       nd, nullptr)});
+            it = points.end() - 1;
+        }
+        size_t di = static_cast<size_t>(
+            std::find(grid.defects.begin(), grid.defects.end(),
+                      r.defect)
+            - grid.defects.begin());
+        it->cycles[di] = r.metrics.schedule_cycles;
+        it->metrics[di] = &r.metrics;
+        it->proxy[di] = r.defect > 0
+            ? r.metrics.extra("logical_error_proxy")
+            : engine::logicalErrorProxy(
+                  app_qubits[r.app_index],
+                  r.metrics.schedule_cycles,
+                  r.metrics.code_distance,
+                  grid.base.tech.p_physical, 1.0);
+    }
+
+    // Graceful-degradation ranking: per backend, the worst
+    // cycles(top density)/cycles(0) across design points.  Smallest
+    // worst-case wins.
+    struct Rank
+    {
+        std::string backend;
+        double worst = 0;
+    };
+    std::vector<Rank> ranking;
+    for (const std::string &b : grid.backends) {
+        Rank rk{b, 0};
+        for (const Point &p : points)
+            if (p.backend == b)
+                rk.worst = std::max(rk.worst, p.degradation(nd - 1));
+        ranking.push_back(rk);
+    }
+    std::sort(ranking.begin(), ranking.end(),
+              [](const Rank &a, const Rank &b) {
+                  return a.worst < b.worst;
+              });
+    const std::string &most_graceful = ranking.front().backend;
+
+    Table t("Yield sweep (schedule cycles by defect density)");
+    {
+        std::vector<std::string> head{"app", "backend", "d"};
+        for (double den : grid.defects)
+            head.push_back("p=" + Table::fixed(den, 2));
+        head.push_back("degradation");
+        head.push_back("proxy x");
+        t.header(head);
+    }
+    for (const Point &p : points) {
+        std::vector<std::string> row{p.app, p.backend,
+                                     Table::num(p.d)};
+        for (size_t di = 0; di < nd; ++di)
+            row.push_back(Table::num(p.cycles[di]));
+        row.push_back(Table::fixed(p.degradation(nd - 1), 3));
+        row.push_back(Table::fixed(
+            p.proxy[0] > 0 ? p.proxy[nd - 1] / p.proxy[0] : 0, 1));
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::cout << "density-0 rows "
+              << (density0_identical ? "byte-identical"
+                                     : "DIVERGED FROM")
+              << " vs the perfect-mesh grid; thread counts 1/2/8 "
+              << (thread_identical ? "bit-identical" : "DIVERGED")
+              << "\n";
+    std::cout << "most graceful under damage: " << most_graceful
+              << " (worst degradation "
+              << Table::fixed(ranking.front().worst, 3) << "x at p="
+              << Table::fixed(top_density, 2) << ")\n";
+
+    const char *json_path = "BENCH_yield.json";
+    std::ofstream os(json_path);
+    fatalIf(!os, "cannot open '", json_path, "' for writing");
+    {
+        JsonWriter j(os);
+        j.beginObject();
+        j.field("title",
+                "Yield sweep: schedule and logical-error degradation "
+                "on defective fabrics");
+        j.field("smoke", smoke);
+        j.field("defect_seed", grid.base.defect_seed);
+        j.key("densities");
+        j.beginArray();
+        for (double den : grid.defects)
+            j.value(den);
+        j.endArray();
+        j.field("density0_byte_identical", density0_identical);
+        j.field("thread_identical", thread_identical);
+        j.field("most_graceful", most_graceful);
+        j.key("ranking");
+        j.beginArray();
+        for (const Rank &rk : ranking) {
+            j.beginObject();
+            j.field("backend", rk.backend);
+            j.field("worst_degradation", rk.worst);
+            j.endObject();
+        }
+        j.endArray();
+        j.key("results");
+        j.beginArray();
+        for (const Point &p : points) {
+            j.beginObject();
+            j.field("app", p.app);
+            j.field("backend", p.backend);
+            j.field("code_distance", p.d);
+            j.key("by_density");
+            j.beginArray();
+            for (size_t di = 0; di < nd; ++di) {
+                const engine::Metrics *m = p.metrics[di];
+                j.beginObject();
+                j.field("density", grid.defects[di]);
+                j.field("schedule_cycles", p.cycles[di]);
+                j.field("degradation", p.degradation(di));
+                j.field("logical_error_proxy", p.proxy[di]);
+                j.field("defect_dead_fraction",
+                        m->extra("defect_dead_fraction"));
+                j.field("defect_avg_multiplier",
+                        m->extra("defect_avg_multiplier", 1.0));
+                j.field("defective_nodes",
+                        m->extra("defective_nodes"));
+                j.field("defective_links",
+                        m->extra("defective_links"));
+                j.endObject();
+            }
+            j.endArray();
+            j.field("worst_degradation", p.degradation(nd - 1));
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        os << "\n";
+    }
+    std::cout << "wrote " << json_path << "\n";
+
+    // The identity checks are determinism properties, not workload
+    // measurements: they hold on the smoke grid too, so both modes
+    // enforce them.
+    return density0_identical && thread_identical ? 0 : 1;
+}

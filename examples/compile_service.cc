@@ -95,6 +95,38 @@ runClient(const std::string &spec)
                  Table::fixed(r.run_ms, 2), r.batch_size);
     }
     t.print(std::cout);
+
+    // A damaged-fabric request: the defect spec crosses the wire
+    // and must come back priced.  The defect extras only exist when
+    // the server saw the spec, so a codec that dropped the field
+    // fails here rather than silently compiling a perfect mesh.
+    service::CompileRequest damaged;
+    damaged.app = apps::AppKind::SQ;
+    damaged.gen = {8, 2};
+    damaged.backend = engine::backends::surgery_sim;
+    damaged.config.code_distance = 3;
+    damaged.config.defect_spec =
+        "{\"dead_tiles\": [[0, 0], [1, 1]], "
+        "\"disabled_links\": [[2, 0, 2, 1]]}";
+    service::CompileResponse dr = client.compile(damaged);
+    if (!dr.ok()) {
+        std::cerr << "defect-spec request failed: " << dr.error
+                  << "\n";
+        return 1;
+    }
+    if (dr.metrics.extra("defective_nodes") <= 0
+        || dr.metrics.extra("defective_links") <= 0) {
+        std::cerr << "defect spec did not survive the wire round "
+                     "trip\n";
+        return 1;
+    }
+    std::cout << "\ndefect-spec round trip: "
+              << dr.metrics.extra("defective_nodes")
+              << " dead nodes, "
+              << dr.metrics.extra("defective_links")
+              << " disabled links priced into "
+              << dr.metrics.schedule_cycles << " cycles\n";
+
     std::cout << "\nserver telemetry: " << client.telemetry()
               << "\n";
     client.shutdown();

@@ -100,6 +100,7 @@ checkHeatmap(const JsonValue &root)
     if (!runs || !runs->isArray())
         return fail("missing runs array");
     size_t links = 0;
+    size_t defects = 0;
     double busy_total = 0;
     for (size_t r = 0; r < runs->items.size(); ++r) {
         const JsonValue &run = runs->items[r];
@@ -116,6 +117,37 @@ checkHeatmap(const JsonValue &root)
         const JsonValue *backend = run.find("backend");
         if (!backend || !backend->isString())
             return fail(at + " has no backend");
+        const JsonValue *dead_nodes = run.find("defective_nodes");
+        if (!dead_nodes || !dead_nodes->isArray())
+            return fail(at + " has no defective_nodes array");
+        for (size_t n = 0; n < dead_nodes->items.size(); ++n) {
+            const JsonValue &node = dead_nodes->items[n];
+            std::string nat = at + ".defective_nodes["
+                + std::to_string(n) + "]";
+            const JsonValue *x = node.find("x");
+            const JsonValue *y = node.find("y");
+            if (!isUint(x) || x->num >= w->num || !isUint(y)
+                || y->num >= h->num)
+                return fail(nat + " is out of mesh bounds");
+            ++defects;
+        }
+        const JsonValue *dead_links = run.find("defective_links");
+        if (!dead_links || !dead_links->isArray())
+            return fail(at + " has no defective_links array");
+        for (size_t l = 0; l < dead_links->items.size(); ++l) {
+            const JsonValue &link = dead_links->items[l];
+            std::string lat = at + ".defective_links["
+                + std::to_string(l) + "]";
+            const JsonValue *x = link.find("x");
+            const JsonValue *y = link.find("y");
+            const JsonValue *dir = link.find("dir");
+            if (!isUint(x) || x->num >= w->num || !isUint(y)
+                || y->num >= h->num)
+                return fail(lat + " is out of mesh bounds");
+            if (!isUint(dir) || dir->num > 1)
+                return fail(lat + " has bad dir");
+            ++defects;
+        }
         const JsonValue *ls = run.find("links");
         if (!ls || !ls->isArray())
             return fail(at + " has no links array");
@@ -149,7 +181,8 @@ checkHeatmap(const JsonValue &root)
     }
     std::cout << "heatmap OK: " << runs->items.size() << " runs, "
               << links << " busy links, " << busy_total
-              << " link-busy cycles\n";
+              << " link-busy cycles, " << defects
+              << " defective resources\n";
     return true;
 }
 

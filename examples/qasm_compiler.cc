@@ -10,7 +10,10 @@
  *
  * Pass --trace=PATH and/or --metrics=PATH to also write the
  * observability sinks for the backend comparison (see README,
- * "Observability").
+ * "Observability").  Pass --defects=DENSITY (and optionally
+ * --defect-seed=N) to run on a randomly damaged fabric, or
+ * --defect-spec=PATH to load an explicit device defect map (see
+ * README, "Faulty fabrics").
  */
 
 #include <fstream>
@@ -39,11 +42,27 @@ main(int argc, char **argv)
             config.trace_path = arg.substr(8);
         } else if (arg.compare(0, 10, "--metrics=") == 0) {
             config.metrics_path = arg.substr(10);
+        } else if (arg.compare(0, 10, "--defects=") == 0) {
+            config.defect_density = std::stod(arg.substr(10));
+        } else if (arg.compare(0, 14, "--defect-seed=") == 0) {
+            config.defect_seed = std::stoull(arg.substr(14));
+        } else if (arg.compare(0, 14, "--defect-spec=") == 0) {
+            std::ifstream spec(arg.substr(14));
+            if (!spec) {
+                std::cerr << "cannot open " << arg.substr(14)
+                          << "\n";
+                return 1;
+            }
+            std::ostringstream buf;
+            buf << spec.rdbuf();
+            config.defect_spec = buf.str();
         } else if (input_path.empty()) {
             input_path = arg;
         } else {
             std::cerr << "usage: qasm_compiler [--trace=PATH] "
-                         "[--metrics=PATH] [program.qasm]\n";
+                         "[--metrics=PATH] [--defects=DENSITY] "
+                         "[--defect-seed=N] [--defect-spec=PATH] "
+                         "[program.qasm]\n";
             return 2;
         }
     }

@@ -96,8 +96,10 @@ class Simulator
           claimer(mesh, claim_opts), crit(prep.crit),
           trace(opts.trace)
     {
-        if (trace)
+        if (trace) {
             trace->meshDims(mesh.width(), mesh.height());
+            obs::traceMeshDefects(trace, mesh);
+        }
         // Factory preference orders are a pure function of the
         // static layout; memoize them per qubit so a stalled T gate
         // doesn't re-sort the factory list every failed attempt.
@@ -153,6 +155,13 @@ class Simulator
         out.magic_starvations = magic_starvations;
         out.layout_cost = arch.layoutCost(graph);
         out.ff_skipped_cycles = ff.skipped();
+        out.defect_dead_fraction = arch.defects().deadFraction();
+        out.defect_avg_multiplier =
+            arch.defects().avgErrorMultiplier();
+        out.defective_nodes =
+            static_cast<uint64_t>(mesh.numDefectiveNodes());
+        out.defective_links =
+            static_cast<uint64_t>(mesh.numDefectiveLinks());
         return out;
     }
 
@@ -576,6 +585,7 @@ braidArchOptions(Policy policy, const BraidOptions &opts)
     a.tiles_per_factory = opts.tiles_per_factory;
     a.optimized_layout = static_cast<int>(policy) >= 2;
     a.seed = opts.seed;
+    a.defects = opts.defects;
     return a;
 }
 

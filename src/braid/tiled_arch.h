@@ -18,6 +18,7 @@
 
 #include "circuit/interaction.h"
 #include "common/geometry.h"
+#include "fabric/defect.h"
 #include "network/mesh.h"
 #include "partition/layout.h"
 
@@ -34,6 +35,10 @@ struct TiledArchOptions
 
     /** Layout RNG seed. */
     uint64_t seed = 1;
+
+    /** Fabric damage: dead tiles are never placed on, their routers
+     *  never claimed; the grid grows until the live cells fit. */
+    fabric::DefectParams defects;
 };
 
 /**
@@ -86,6 +91,9 @@ class TiledArch
      */
     double layoutCost(const circuit::InteractionGraph &graph) const;
 
+    /** @return the materialized defect map (empty when healthy). */
+    const fabric::DefectMap &defects() const { return defect_map; }
+
   private:
     static Coord tileCenter(const Coord &tile);
 
@@ -94,6 +102,7 @@ class TiledArch
     int th;
     std::vector<Coord> qubit_tile;
     std::vector<Coord> factories;
+    fabric::DefectMap defect_map;
 };
 
 } // namespace qsurf::braid

@@ -1,5 +1,8 @@
 #include "engine/backend.h"
 
+#include <functional>
+#include <sstream>
+
 #include "common/logging.h"
 
 namespace qsurf::engine {
@@ -79,6 +82,33 @@ physicalQubits(qec::CodeKind code, double logical_qubits, int d)
 {
     return logical_qubits * qec::spaceOverheadFactor(code)
         * static_cast<double>(qec::tileQubits(code, d));
+}
+
+std::string
+defectKeySuffix(const fabric::DefectParams &p)
+{
+    if (!p.enabled())
+        return {};
+    std::ostringstream os;
+    os << "/defd=" << p.density << "/defs=" << std::hex << p.seed
+       << std::dec;
+    if (!p.spec_json.empty())
+        os << "/spec=" << std::hex
+           << std::hash<std::string>{}(p.spec_json) << std::dec;
+    return os.str();
+}
+
+double
+logicalErrorProxy(double logical_qubits, uint64_t schedule_cycles,
+                  int d, double p_physical, double error_multiplier)
+{
+    if (d < 1)
+        return 0;
+    double timesteps = static_cast<double>(schedule_cycles)
+        / static_cast<double>(d);
+    return logical_qubits * timesteps
+        * qec::CodeModel::logicalErrorPerOp(
+              p_physical * error_multiplier, d);
 }
 
 uint64_t

@@ -30,6 +30,7 @@
 
 #include "apps/apps.h"
 #include "circuit/circuit.h"
+#include "fabric/defect.h"
 #include "qec/code.h"
 #include "qec/technology.h"
 
@@ -202,8 +203,32 @@ struct RunConfig
      *  (layout_objective 2). */
     int lane_spacing = 4;
 
+    /**
+     * Fabric defect density for the simulated mesh backends: the
+     * fraction of tiles knocked out (and half that of tile-to-tile
+     * links).  0 is the perfect fabric every run assumed before
+     * defect awareness; the analytic models ignore it.
+     */
+    double defect_density = 0;
+
+    /** Defect-map generator seed — independent of the layout seed,
+     *  so the damage stays fixed while layouts vary. */
+    uint64_t defect_seed = 0;
+
+    /** Explicit device defect spec as JSON (see
+     *  fabric::DefectParams::spec_json); non-empty overrides the
+     *  generated map. */
+    std::string defect_spec;
+
     /** Layout / tie-break RNG seed. */
     uint64_t seed = 1;
+
+    /** @return the fabric damage recipe of this run. */
+    fabric::DefectParams
+    defectParams() const
+    {
+        return {defect_density, defect_seed, defect_spec};
+    }
 
     /**
      * Structured-event trace hook (see obs/trace.h); null disables
@@ -363,6 +388,27 @@ double physicalQubits(qec::CodeKind code, double logical_qubits,
  * regardless of execution order.
  */
 uint64_t mixSeed(uint64_t base_seed, uint64_t index);
+
+/**
+ * @return the "/defd=.../defs=.../spec=..." artifact-key suffix of
+ * @p p, or "" when the fabric is perfect — so defect-free keys stay
+ * byte-identical to their pre-defect-awareness form and every cache
+ * entry built before this axis existed remains valid.
+ */
+std::string defectKeySuffix(const fabric::DefectParams &p);
+
+/**
+ * @return a crude end-to-end logical-error proxy for a run of
+ * @p schedule_cycles cycles on @p logical_qubits logical qubits at
+ * distance @p d: logical qubits x logical timesteps (cycles / d) x
+ * the per-op logical error rate at the defect-inflated physical
+ * rate @p p_physical * @p error_multiplier.  A comparative yield
+ * metric (lower is better), not an absolute failure probability.
+ */
+double logicalErrorProxy(double logical_qubits,
+                         uint64_t schedule_cycles, int d,
+                         double p_physical,
+                         double error_multiplier);
 
 } // namespace qsurf::engine
 

@@ -91,7 +91,8 @@ class DoubleDefectBackend : public Backend
            << "/seed=" << item.config.seed << std::dec
            << "/d=" << item.resolveDistance()
            << "/opt=" << (item.config.policy >= 2 ? 1 : 0)
-           << "/tpf=" << braid::BraidOptions{}.tiles_per_factory;
+           << "/tpf=" << braid::BraidOptions{}.tiles_per_factory
+           << defectKeySuffix(item.config.defectParams());
         return os.str();
     }
 
@@ -100,6 +101,7 @@ class DoubleDefectBackend : public Backend
     {
         braid::BraidOptions opts;
         opts.seed = item.config.seed;
+        opts.defects = item.config.defectParams();
         return std::make_shared<const BraidArtifact>(
             *item.circuit,
             braid::braidArchOptions(
@@ -125,6 +127,7 @@ class DoubleDefectBackend : public Backend
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =
             item.config.magic_buffer_capacity;
+        opts.defects = item.config.defectParams();
         opts.trace = item.config.trace;
         auto policy =
             static_cast<braid::Policy>(item.config.policy);
@@ -168,6 +171,23 @@ class DoubleDefectBackend : public Backend
                   ? static_cast<double>(r.ff_skipped_cycles)
                       / static_cast<double>(r.schedule_cycles)
                   : 0.0);
+        // Only on damaged fabrics, so defect-free rows stay
+        // byte-identical to pre-defect-awareness output.
+        if (item.config.defectParams().enabled()) {
+            m.set("defect_dead_fraction", r.defect_dead_fraction);
+            m.set("defect_avg_multiplier", r.defect_avg_multiplier);
+            m.set("defective_nodes",
+                  static_cast<double>(r.defective_nodes));
+            m.set("defective_links",
+                  static_cast<double>(r.defective_links));
+            m.set("logical_error_proxy",
+                  logicalErrorProxy(
+                      static_cast<double>(
+                          item.circuit->numQubits()),
+                      r.schedule_cycles, d,
+                      item.config.tech.p_physical,
+                      r.defect_avg_multiplier));
+        }
         return m;
     }
 };

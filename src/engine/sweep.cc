@@ -105,7 +105,7 @@ SweepGrid::points() const
     return apps.size() * sizes.size() * distances.size()
         * policies.size() * arbiters.size()
         * layout_objectives.size() * epr_windows.size()
-        * backends.size();
+        * defects.size() * backends.size();
 }
 
 uint64_t
@@ -135,6 +135,8 @@ sweepGridFingerprint(const SweepGrid &grid)
         hashValue(h, v);
     for (double v : grid.sizes)
         hashValue(h, v);
+    for (double v : grid.defects)
+        hashValue(h, v);
     const RunConfig &c = grid.base;
     hashValue(h, c.tech.p_physical);
     hashValue(h, c.tech.t_two_qubit_ns);
@@ -158,6 +160,9 @@ sweepGridFingerprint(const SweepGrid &grid)
     hashValue(h, c.hybrid_arbiter);
     hashValue(h, c.layout_objective);
     hashValue(h, c.lane_spacing);
+    hashValue(h, c.defect_density);
+    hashValue(h, c.defect_seed);
+    hashString(h, c.defect_spec);
     hashValue(h, c.seed);
     return h;
 }
@@ -175,7 +180,8 @@ expandPoints(const SweepGrid &grid, const Registry &registry,
     fatalIf(grid.policies.empty() || grid.arbiters.empty()
                 || grid.layout_objectives.empty()
                 || grid.epr_windows.empty()
-                || grid.distances.empty() || grid.sizes.empty(),
+                || grid.distances.empty() || grid.sizes.empty()
+                || grid.defects.empty(),
             "sweep grid axes must be non-empty");
     grid.base.tech.check();
 
@@ -186,7 +192,8 @@ expandPoints(const SweepGrid &grid, const Registry &registry,
         backends.push_back(&registry.get(name));
 
     // Expand the grid: app (outer) x size x distance x policy x
-    // arbiter x layout objective x EPR window x backend (inner).
+    // arbiter x layout objective x EPR window x defect density x
+    // backend (inner).
     std::vector<SweepPoint> points;
     points.reserve(grid.points());
     if (item_backend)
@@ -204,6 +211,7 @@ expandPoints(const SweepGrid &grid, const Registry &registry,
                     for (int arbiter : grid.arbiters) {
                         for (int objective : grid.layout_objectives) {
                             for (int window : grid.epr_windows) {
+                              for (double defect : grid.defects) {
                                 for (size_t b = 0;
                                      b < backends.size(); ++b) {
                                     SweepPoint p;
@@ -217,11 +225,13 @@ expandPoints(const SweepGrid &grid, const Registry &registry,
                                     p.epr_window = window;
                                     p.distance = d;
                                     p.kq = kq;
+                                    p.defect = defect;
                                     points.push_back(std::move(p));
                                     if (item_backend)
                                         item_backend->push_back(
                                             backends[b]);
                                 }
+                              }
                             }
                         }
                     }
@@ -333,6 +343,9 @@ SweepDriver::run(const SweepGrid &grid, const SweepOptions &opts) const
             item.config.epr_window_steps = p.epr_window;
         item.config.code_distance = p.distance;
         item.config.kq = p.kq;
+        // The defect axis sets the density; map seed and explicit
+        // spec ride along from the base config.
+        item.config.defect_density = p.defect;
         // Seeds vary per application point, never along the policy/
         // distance/size axes: a figure compares those on the *same*
         // seeded machine layout (the paper's methodology), and the
@@ -530,6 +543,10 @@ writeSweepRow(JsonWriter &j, const SweepPoint &p, bool timing)
     j.field("code_distance", p.metrics.code_distance);
     if (p.kq > 0)
         j.field("kq", p.kq);
+    // Emitted only when damaged, like the optional axes above, so
+    // density-0 rows stay byte-identical to pre-defect output.
+    if (p.defect > 0)
+        j.field("defect", p.defect);
     j.field("schedule_cycles", p.metrics.schedule_cycles);
     j.field("critical_path_cycles", p.metrics.critical_path_cycles);
     j.field("ratio", p.metrics.ratio());
@@ -591,6 +608,7 @@ parseSweepRowLine(const std::string &line)
     p.metrics.code_distance =
         static_cast<int>(numberField(*row, "code_distance"));
     p.kq = numberField(*row, "kq", false, 0);
+    p.defect = numberField(*row, "defect", false, 0);
     p.metrics.schedule_cycles = static_cast<uint64_t>(
         numberField(*row, "schedule_cycles"));
     p.metrics.critical_path_cycles = static_cast<uint64_t>(
@@ -718,7 +736,8 @@ loadSweepRows(const std::string &path, const SweepGrid &grid,
                     || row.policy != dst.policy
                     || row.arbiter != dst.arbiter
                     || row.layout_objective != dst.layout_objective
-                    || row.epr_window != dst.epr_window,
+                    || row.epr_window != dst.epr_window
+                    || row.defect != dst.defect,
                 "row stream '", path, "' row ", row.index,
                 " disagrees with the grid expansion");
         size_t index = dst.index;

@@ -116,6 +116,14 @@ struct SweepGrid
      */
     std::vector<double> sizes = {0};
 
+    /**
+     * Fabric defect densities (the yield-sweep axis); 0 is the
+     * perfect mesh, and the default {0} leaves grids without the
+     * axis unchanged.  Map seed and explicit spec come from the base
+     * config (base.defect_seed / base.defect_spec).
+     */
+    std::vector<double> defects = {0};
+
     /** Shared run parameters (technology, windows, base seed). */
     RunConfig base;
 
@@ -136,6 +144,7 @@ struct SweepPoint
     int epr_window = -1;  ///< Grid value (-1 = base config's).
     int distance = 0;     ///< Grid value (0 = auto; see metrics).
     double kq = 0;        ///< Grid value (0 = from circuit).
+    double defect = 0;    ///< Fabric defect density (0 = perfect).
     Metrics metrics;
 
     /**

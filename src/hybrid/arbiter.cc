@@ -55,6 +55,17 @@ inflation(const ArbiterCosts &k, double mesh_load)
     return std::max(1.0, mesh_load / k.mesh_saturation);
 }
 
+/**
+ * Defect surcharge of a mesh-borne corridor: exactly 1 at zero
+ * exposure, so a perfect fabric prices identically to the
+ * pre-defect-awareness arbiter.
+ */
+double
+defectSurcharge(const ArbiterCosts &k, const OpContext &ctx)
+{
+    return 1.0 + k.defect_penalty * ctx.defect_exposure;
+}
+
 } // namespace
 
 double
@@ -65,7 +76,8 @@ braidCost(const ArbiterCosts &k, const OpContext &ctx)
     // the open/close overhead for a CNOT — distance-insensitive.
     double base = ctx.t_gate ? d + 1.0
                              : 2.0 * d + k.braid_overhead_cycles;
-    return base * inflation(k, ctx.mesh_load);
+    return base * inflation(k, ctx.mesh_load)
+        * defectSurcharge(k, ctx);
 }
 
 double
@@ -89,7 +101,8 @@ surgeryCost(const ArbiterCosts &k, const OpContext &ctx)
     double base = k.rounds_per_hop * d
             * static_cast<double>(std::max(1, ctx.tiles))
         + 1.0;
-    return base * inflation(k, ctx.mesh_load);
+    return base * inflation(k, ctx.mesh_load)
+        * defectSurcharge(k, ctx);
 }
 
 namespace {

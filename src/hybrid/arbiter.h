@@ -87,6 +87,15 @@ struct ArbiterCosts
      * saturate early because nothing buffers).
      */
     double mesh_saturation = 0.08;
+
+    /**
+     * Cost penalty per unit of defect exposure on the mesh-borne
+     * schemes: a corridor whose bounding box is fraction f dead
+     * costs (1 + defect_penalty * f) times its clean price — dead
+     * tiles force detours and narrow the set of claimable routes.
+     * The teleport overlay is off-mesh and never pays it.
+     */
+    double defect_penalty = 2.0;
 };
 
 /** One decision's inputs, gathered by the scheduler per attempt. */
@@ -106,6 +115,14 @@ struct OpContext
 
     /** True for a T gate (factory merge/track/teleport). */
     bool t_gate = false;
+
+    /**
+     * Dead-tile fraction of the corridor's bounding box (see
+     * PatchArch::defectExposure), in [0, 1]; 0 on a perfect fabric,
+     * so defect-free arbitration is bit-identical to before the
+     * fabric could be damaged.
+     */
+    double defect_exposure = 0;
 };
 
 /**
@@ -146,6 +163,11 @@ class Arbiter
  *    op's own d rounds — none of it touches the mesh;
  *  - surgery: rounds_per_hop * d per corridor tile, inflated like
  *    the braid (chains congest identically).
+ *
+ * Both mesh-borne schemes additionally pay the defect surcharge
+ * (1 + defect_penalty * ctx.defect_exposure); the off-mesh teleport
+ * never does — which is exactly the mechanism that shifts hybrid
+ * arbitration toward the overlay as the fabric degrades.
  */
 double braidCost(const ArbiterCosts &k, const OpContext &ctx);
 double teleportCost(const ArbiterCosts &k, const OpContext &ctx);

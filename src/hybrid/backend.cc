@@ -100,6 +100,7 @@ class HybridBackend : public engine::Backend
         opts.fast_forward = item.config.fast_forward;
         opts.legacy_paths = item.config.legacy_baseline;
         opts.seed = item.config.seed;
+        opts.defects = item.config.defectParams();
         opts.trace = item.config.trace;
         HybridResult r;
         if (artifact) {
@@ -158,6 +159,23 @@ class HybridBackend : public engine::Backend
                   ? static_cast<double>(r.ff_skipped_cycles)
                       / static_cast<double>(r.schedule_cycles)
                   : 0.0);
+        // Only on damaged fabrics, so defect-free rows stay
+        // byte-identical to pre-defect-awareness output.
+        if (item.config.defectParams().enabled()) {
+            m.set("defect_dead_fraction", r.defect_dead_fraction);
+            m.set("defect_avg_multiplier", r.defect_avg_multiplier);
+            m.set("defective_nodes",
+                  static_cast<double>(r.defective_nodes));
+            m.set("defective_links",
+                  static_cast<double>(r.defective_links));
+            m.set("logical_error_proxy",
+                  engine::logicalErrorProxy(
+                      static_cast<double>(
+                          item.circuit->numQubits()),
+                      r.schedule_cycles, d,
+                      item.config.tech.p_physical,
+                      r.defect_avg_multiplier));
+        }
         return m;
     }
 };

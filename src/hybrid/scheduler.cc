@@ -100,6 +100,7 @@ makeCosts(const HybridOptions &opts)
     k.teleport_cycles = opts.teleport_overhead_cycles;
     k.swap_hop_cycles = opts.swap_hop_cycles;
     k.mesh_saturation = opts.mesh_saturation;
+    k.defect_penalty = opts.defect_penalty;
     return k;
 }
 
@@ -215,8 +216,10 @@ class Simulator
           channels(channelSlots(opts, arch)), crit(prep.crit),
           trace(opts.trace)
     {
-        if (trace)
+        if (trace) {
             trace->meshDims(mesh.width(), mesh.height());
+            obs::traceMeshDefects(trace, mesh);
+        }
         for (const Coord &terminal : arch.reservedTerminals())
             claimer.reserveTerminal(terminal);
         factory_order.resize(
@@ -274,6 +277,13 @@ class Simulator
         out.corridor_cost = arch.corridorCost(graph);
         out.lane_area_factor = arch.laneAreaFactor();
         out.ff_skipped_cycles = ff.skipped();
+        out.defect_dead_fraction = arch.defects().deadFraction();
+        out.defect_avg_multiplier =
+            arch.defects().avgErrorMultiplier();
+        out.defective_nodes =
+            static_cast<uint64_t>(mesh.numDefectiveNodes());
+        out.defective_links =
+            static_cast<uint64_t>(mesh.numDefectiveLinks());
         return out;
     }
 
@@ -381,6 +391,10 @@ class Simulator
                 ctx.tiles = manhattan(arch.patchOf(op.qa),
                                       arch.factoryPatch(fac));
         }
+        // Dead-tile fraction around the corridor: 0 on a perfect
+        // fabric, so clean-machine arbitration is unchanged.
+        ctx.defect_exposure = arch.defectExposure(
+            op.qa, op.qb >= 0 ? op.qb : op.qa);
         return ctx;
     }
 
@@ -760,6 +774,7 @@ patchArchOptions(const HybridOptions &opts)
     a.layout_objective = opts.layout_objective;
     a.lane_spacing = opts.lane_spacing;
     a.seed = opts.seed;
+    a.defects = opts.defects;
     return a;
 }
 

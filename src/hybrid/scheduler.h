@@ -130,6 +130,14 @@ struct HybridOptions
     /** Layout RNG seed. */
     uint64_t seed = 1;
 
+    /** Fabric damage recipe (see fabric/defect.h).  The default is
+     *  the perfect mesh every run assumed before defect awareness. */
+    fabric::DefectParams defects;
+
+    /** Cost penalty per unit of per-route defect exposure on the
+     *  mesh-borne schemes (ArbiterCosts::defect_penalty). */
+    double defect_penalty = 2.0;
+
     /** Structured-event trace hook; null disables tracing (see
      *  obs/trace.h).  Never changes results. */
     obs::TraceRecorder *trace = nullptr;
@@ -194,6 +202,19 @@ struct HybridResult
 
     /** Cycles elided by the event-driven fast-forward. */
     uint64_t ff_skipped_cycles = 0;
+
+    /** Fraction of fabric tiles dead (0 on a perfect fabric). */
+    double defect_dead_fraction = 0;
+
+    /** Mean per-tile error-rate multiplier over live tiles (1 on a
+     *  perfect fabric). */
+    double defect_avg_multiplier = 1;
+
+    /** Permanently defective mesh routers. */
+    uint64_t defective_nodes = 0;
+
+    /** Permanently defective mesh links. */
+    uint64_t defective_links = 0;
 
     /** @return schedule length / critical path. */
     double

@@ -106,6 +106,31 @@ Mesh::linkAvailable(const Coord &a, const Coord &b, int owner) const
     return cur == no_owner || cur == owner;
 }
 
+void
+Mesh::disableNode(const Coord &c)
+{
+    auto &slot = node_owner[static_cast<size_t>(nodeIndex(c))];
+    if (slot == defect_owner)
+        return;
+    panicIf(slot != no_owner,
+            "cannot disable claimed router ", c.x, ",", c.y);
+    slot = defect_owner;
+    defect_nodes.push_back(
+        static_cast<int32_t>(nodeIndex(c)));
+}
+
+void
+Mesh::disableLink(const Coord &a, const Coord &b)
+{
+    int li = linkIndex(a, b);
+    auto &slot = link_owner[static_cast<size_t>(li)];
+    if (slot == defect_owner)
+        return;
+    panicIf(slot != no_owner, "cannot disable a claimed link");
+    slot = defect_owner;
+    defect_links.push_back(static_cast<int32_t>(li));
+}
+
 bool
 Mesh::routeFree(const Path &path, int owner) const
 {
@@ -215,6 +240,11 @@ Mesh::reset()
 {
     std::fill(node_owner.begin(), node_owner.end(), no_owner);
     std::fill(link_owner.begin(), link_owner.end(), no_owner);
+    // Damage is permanent: a reset clears ownership, not physics.
+    for (int32_t ni : defect_nodes)
+        node_owner[static_cast<size_t>(ni)] = defect_owner;
+    for (int32_t li : defect_links)
+        link_owner[static_cast<size_t>(li)] = defect_owner;
     busy_links = 0;
     peak_busy_links = 0;
     ticks = 0;

@@ -63,6 +63,15 @@ class Mesh
     /** No-owner sentinel. */
     static constexpr int no_owner = -1;
 
+    /**
+     * Permanent-defect sentinel.  A defective node or link carries
+     * this owner forever: every availability check, tryClaim() walk
+     * and BFS expansion sees it as "held by someone else" (real
+     * owner ids are >= 0), release() cannot free it, and reset()
+     * re-applies it — so damage needs no branch on any hot path.
+     */
+    static constexpr int defect_owner = -2;
+
     Mesh(int width, int height);
 
     int width() const { return w; }
@@ -112,6 +121,44 @@ class Mesh
 
     /** @return true if link a-b is free or owned by @p owner. */
     bool linkAvailable(const Coord &a, const Coord &b, int owner) const;
+
+    /**
+     * Mark router @p c permanently defective (idempotent).  Apply
+     * before simulation starts: the router must not be claimed.
+     */
+    void disableNode(const Coord &c);
+
+    /** Mark link a-b permanently defective (idempotent, adjacent
+     *  routers, must not be claimed). */
+    void disableLink(const Coord &a, const Coord &b);
+
+    /** @return true when router @p c is defective. */
+    bool
+    nodeDefective(const Coord &c) const
+    {
+        return nodeOwner(c) == defect_owner;
+    }
+
+    /** @return true when link a-b is defective. */
+    bool
+    linkDefective(const Coord &a, const Coord &b) const
+    {
+        return linkOwner(a, b) == defect_owner;
+    }
+
+    /** @return permanently defective routers. */
+    int
+    numDefectiveNodes() const
+    {
+        return static_cast<int>(defect_nodes.size());
+    }
+
+    /** @return permanently defective links. */
+    int
+    numDefectiveLinks() const
+    {
+        return static_cast<int>(defect_links.size());
+    }
 
     /** Advance time one cycle, accumulating busy-link statistics. */
     void tick() { tick(1); }
@@ -186,6 +233,10 @@ class Mesh
     /** tryClaim() scratch: indices recorded by the validation walk. */
     std::vector<int32_t> walk_nodes;
     std::vector<int32_t> walk_links;
+
+    /** Defective resource indices, re-applied by reset(). */
+    std::vector<int32_t> defect_nodes;
+    std::vector<int32_t> defect_links;
 
     int busy_links = 0;
     int peak_busy_links = 0;

@@ -209,6 +209,35 @@ RunRecorder::meshDims(int width, int height)
 }
 
 void
+RunRecorder::meshDefect(int x, int y, int dir)
+{
+    defects_.push_back({x, y, dir});
+}
+
+void
+traceMeshDefects(TraceRecorder *trace, const network::Mesh &mesh)
+{
+    if (!trace
+        || mesh.numDefectiveNodes() + mesh.numDefectiveLinks() == 0)
+        return;
+    // Scan order (row-major, node before its +x then +y link) is the
+    // canonical emission order, independent of how the damage was
+    // applied.
+    for (int y = 0; y < mesh.height(); ++y)
+        for (int x = 0; x < mesh.width(); ++x) {
+            Coord c{x, y};
+            if (mesh.nodeDefective(c))
+                trace->meshDefect(x, y, -1);
+            if (x + 1 < mesh.width()
+                && mesh.linkDefective(c, {x + 1, y}))
+                trace->meshDefect(x, y, 0);
+            if (y + 1 < mesh.height()
+                && mesh.linkDefective(c, {x, y + 1}))
+                trace->meshDefect(x, y, 1);
+        }
+}
+
+void
 RunRecorder::routeHeld(const network::Path &route, uint64_t start,
                        uint64_t duration)
 {
@@ -434,6 +463,27 @@ TraceSession::writeHeatmap(std::ostream &os) const
         j.field("width", hm.width());
         j.field("height", hm.height());
         j.field("bucket_cycles", hm.bucketCycles());
+        j.key("defective_nodes");
+        j.beginArray();
+        for (const RunRecorder::Defect &d : run->defects())
+            if (d.dir < 0) {
+                j.beginObject();
+                j.field("x", d.x);
+                j.field("y", d.y);
+                j.endObject();
+            }
+        j.endArray();
+        j.key("defective_links");
+        j.beginArray();
+        for (const RunRecorder::Defect &d : run->defects())
+            if (d.dir >= 0) {
+                j.beginObject();
+                j.field("x", d.x);
+                j.field("y", d.y);
+                j.field("dir", d.dir);
+                j.endObject();
+            }
+        j.endArray();
         j.key("links");
         j.beginArray();
         for (int y = 0; y < hm.height(); ++y)

@@ -46,6 +46,7 @@
 #include "obs/metrics.h"
 
 namespace qsurf::network {
+class Mesh;
 struct Path;
 } // namespace qsurf::network
 
@@ -132,6 +133,13 @@ class TraceRecorder
     virtual void meshDims(int /*width*/, int /*height*/) {}
 
     /**
+     * Announce one permanently defective mesh resource, after
+     * meshDims(): @p dir is -1 for the router at (x, y), 0 for its
+     * +x link, 1 for its +y link — the heatmap's link addressing.
+     */
+    virtual void meshDefect(int /*x*/, int /*y*/, int /*dir*/) {}
+
+    /**
      * A route's links are held for [start, start + duration) —
      * the heatmap's input.  Called alongside the RouteClaim /
      * ChainHold event for the same claim.
@@ -145,6 +153,15 @@ class TraceRecorder
 
 /** Alias making "null recorder" call sites self-describing. */
 using NullTraceRecorder = TraceRecorder;
+
+/**
+ * Emit @p mesh's permanent damage through @p trace->meshDefect() —
+ * the schedulers call this right after meshDims() so the heatmap
+ * sinks can overlay defective resources on the congestion grid.
+ * Null @p trace or a pristine mesh is a no-op.
+ */
+void traceMeshDefects(TraceRecorder *trace,
+                      const network::Mesh &mesh);
 
 /**
  * Per-link busy-cycle accumulator with time bucketing.  Link ids are
@@ -205,8 +222,21 @@ class RunRecorder final : public TraceRecorder
     {
     }
 
+    /** One defective mesh resource: dir -1 names the router at
+     *  (x, y), 0/1 its +x / +y link (heatmap link addressing). */
+    struct Defect
+    {
+        int x = 0;
+        int y = 0;
+        int dir = -1;
+
+        friend bool operator==(const Defect &,
+                               const Defect &) = default;
+    };
+
     void record(const TraceEvent &e) override;
     void meshDims(int width, int height) override;
+    void meshDefect(int x, int y, int dir) override;
     void routeHeld(const network::Path &route, uint64_t start,
                    uint64_t duration) override;
 
@@ -224,6 +254,7 @@ class RunRecorder final : public TraceRecorder
     const std::string &backend() const { return backend_; }
     const std::vector<TraceEvent> &events() const { return events_; }
     const HeatmapAccumulator &heatmap() const { return heatmap_; }
+    const std::vector<Defect> &defects() const { return defects_; }
 
   private:
     size_t run_index_;
@@ -231,6 +262,7 @@ class RunRecorder final : public TraceRecorder
     std::string backend_;
     std::vector<TraceEvent> events_;
     HeatmapAccumulator heatmap_;
+    std::vector<Defect> defects_;
 };
 
 /**

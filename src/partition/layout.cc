@@ -164,6 +164,31 @@ naiveLayout(int num_vertices, int width, int height)
 }
 
 GridLayout
+naiveLayout(int num_vertices, int width, int height,
+            const CellMask &dead)
+{
+    if (dead.empty())
+        return naiveLayout(num_vertices, width, height);
+    fatalIf(dead.size() != static_cast<size_t>(width * height),
+            "cell mask covers ", dead.size(), " cells of a ", width,
+            "x", height, " grid");
+    GridLayout out = emptyLayout(num_vertices, width, height);
+    int v = 0;
+    for (int i = 0; i < width * height && v < num_vertices; ++i) {
+        if (dead[static_cast<size_t>(i)])
+            continue;
+        out.position[static_cast<size_t>(v)] =
+            fromLinearIndex(i, width);
+        out.vertex_at[static_cast<size_t>(i)] = v;
+        ++v;
+    }
+    fatalIf(v < num_vertices, "cannot place ", num_vertices,
+            " vertices on a ", width, "x", height, " grid with only ",
+            v, " usable cells");
+    return out;
+}
+
+GridLayout
 layoutOnGrid(const Graph &g, int width, int height, uint64_t seed)
 {
     GridLayout out = emptyLayout(g.size(), width, height);
@@ -174,6 +199,56 @@ layoutOnGrid(const Graph &g, int width, int height, uint64_t seed)
     Placer(g, out, rng).place(std::move(all),
                               Rect{0, 0, width - 1, height - 1});
     return out;
+}
+
+GridLayout
+layoutOnGrid(const Graph &g, int width, int height, uint64_t seed,
+             const CellMask &dead)
+{
+    // Seed with the perfect-grid bisection (bit-identical partitions
+    // regardless of damage), then repair: interaction structure
+    // drives the placement, damage only perturbs it locally.
+    GridLayout out = layoutOnGrid(g, width, height, seed);
+    evictDeadCells(out, dead);
+    return out;
+}
+
+void
+evictDeadCells(GridLayout &layout, const CellMask &dead)
+{
+    if (dead.empty())
+        return;
+    fatalIf(dead.size() != layout.vertex_at.size(),
+            "cell mask covers ", dead.size(), " cells of a ",
+            layout.width, "x", layout.height, " grid");
+    int cells = layout.width * layout.height;
+    for (int i = 0; i < cells; ++i) {
+        if (!dead[static_cast<size_t>(i)])
+            continue;
+        int v = layout.vertex_at[static_cast<size_t>(i)];
+        if (v < 0)
+            continue;
+        Coord from = fromLinearIndex(i, layout.width);
+        int best = -1;
+        int best_dist = 0;
+        for (int j = 0; j < cells; ++j) {
+            if (dead[static_cast<size_t>(j)]
+                || layout.vertex_at[static_cast<size_t>(j)] >= 0)
+                continue;
+            int dist = manhattan(from, fromLinearIndex(j,
+                                                       layout.width));
+            if (best < 0 || dist < best_dist) {
+                best = j;
+                best_dist = dist;
+            }
+        }
+        fatalIf(best < 0, "no usable cell left to relocate vertex ",
+                v, " off dead cell ", from);
+        layout.vertex_at[static_cast<size_t>(i)] = -1;
+        layout.vertex_at[static_cast<size_t>(best)] = v;
+        layout.position[static_cast<size_t>(v)] =
+            fromLinearIndex(best, layout.width);
+    }
 }
 
 double
@@ -260,6 +335,15 @@ double
 refineForCorridors(const Graph &g, GridLayout &layout,
                    int lane_spacing, int max_passes)
 {
+    return refineForCorridors(g, layout, lane_spacing, max_passes,
+                              CellMask{});
+}
+
+double
+refineForCorridors(const Graph &g, GridLayout &layout,
+                   int lane_spacing, int max_passes,
+                   const CellMask &dead)
+{
     fatalIf(layout.position.size()
                 != static_cast<size_t>(g.size()),
             "layout/graph size mismatch: ", layout.position.size(),
@@ -281,12 +365,20 @@ refineForCorridors(const Graph &g, GridLayout &layout,
     };
 
     int cells = layout.width * layout.height;
+    bool masked = !dead.empty();
+    fatalIf(masked && dead.size() != layout.vertex_at.size(),
+            "cell mask covers ", dead.size(), " cells of a ",
+            layout.width, "x", layout.height, " grid");
     for (int pass = 0; pass < max_passes; ++pass) {
         bool improved = false;
         for (int i = 0; i < cells; ++i) {
+            if (masked && dead[static_cast<size_t>(i)])
+                continue;
             Coord ci = fromLinearIndex(i, layout.width);
             int u = layout.at(ci);
             for (int j = i + 1; j < cells; ++j) {
+                if (masked && dead[static_cast<size_t>(j)])
+                    continue;
                 Coord cj = fromLinearIndex(j, layout.width);
                 int v = layout.at(cj);
                 if (u < 0 && v < 0)

@@ -48,10 +48,22 @@ struct GridLayout
 };
 
 /**
+ * Row-major mask of cells unusable for placement (non-zero = dead);
+ * empty means every cell is usable.  Defective fabrics price their
+ * dead tiles out of seeds and refinement through this.
+ */
+using CellMask = std::vector<uint8_t>;
+
+/**
  * Naive layout: vertex i at row-major cell i (the paper's baseline
  * arrangement, used by braid Policies 0 and 1).
  */
 GridLayout naiveLayout(int num_vertices, int width, int height);
+
+/** Naive layout skipping dead cells: vertices fill the usable cells
+ *  in row-major order.  fatal()s when they do not fit. */
+GridLayout naiveLayout(int num_vertices, int width, int height,
+                       const CellMask &dead);
 
 /**
  * Interaction-optimized layout via recursive bisection.
@@ -63,6 +75,22 @@ GridLayout naiveLayout(int num_vertices, int width, int height);
  */
 GridLayout layoutOnGrid(const Graph &g, int width, int height,
                         uint64_t seed = 1);
+
+/** Bisection layout on a damaged grid: the perfect-grid seed is
+ *  computed first (bit-identical partitions), then every vertex on a
+ *  dead cell is relocated to the nearest usable empty cell
+ *  (deterministic tie-breaks).  fatal()s when the usable cells
+ *  cannot hold the graph. */
+GridLayout layoutOnGrid(const Graph &g, int width, int height,
+                        uint64_t seed, const CellMask &dead);
+
+/**
+ * Relocate every vertex of @p layout sitting on a dead cell to the
+ * nearest usable empty cell (Manhattan distance, row-major
+ * tie-break).  No-op for an empty mask; fatal()s when a vertex has
+ * nowhere to go.
+ */
+void evictDeadCells(GridLayout &layout, const CellMask &dead);
 
 /** @return sum over edges of weight * Manhattan distance. */
 double weightedManhattan(const Graph &g, const GridLayout &layout);
@@ -129,6 +157,13 @@ double weightedCorridorLength(const Graph &g,
  */
 double refineForCorridors(const Graph &g, GridLayout &layout,
                           int lane_spacing = 0, int max_passes = 8);
+
+/** Dead-cell-aware refinement: identical to the overload above, but
+ *  swaps never read from or move a vertex onto a dead cell.  An
+ *  empty mask takes the exact unmasked path. */
+double refineForCorridors(const Graph &g, GridLayout &layout,
+                          int lane_spacing, int max_passes,
+                          const CellMask &dead);
 
 /** @return the smallest near-square (width, height) covering n cells. */
 std::pair<int, int> gridShape(int n);

@@ -326,6 +326,9 @@ runShardedSweep(const SweepGrid &grid, const ShardOptions &opts,
         if (stats.connect_retries)
             mreg.inc("service.shard.connect_retries",
                      stats.connect_retries);
+        if (stats.remote_redials)
+            mreg.inc("service.shard.remote_redials",
+                     stats.remote_redials);
         if (opts.stats)
             *opts.stats = stats;
     };
@@ -622,7 +625,8 @@ runShardedSweep(const SweepGrid &grid, const ShardOptions &opts,
                     || row.policy != dst.policy
                     || row.arbiter != dst.arbiter
                     || row.layout_objective != dst.layout_objective
-                    || row.epr_window != dst.epr_window,
+                    || row.epr_window != dst.epr_window
+                    || row.defect != dst.defect,
                 "worker row ", row.index,
                 " disagrees with the grid expansion");
         // Rows stream to disk as they land, so a killed sharded
@@ -650,8 +654,39 @@ runShardedSweep(const SweepGrid &grid, const ShardOptions &opts,
         static_cast<size_t>(std::max(0, opts.max_worker_restarts));
     bool fault_pending = opts.fault_kill_worker >= 0;
     auto last_progress = std::chrono::steady_clock::now();
+    auto last_redial = last_progress;
 
     while (remaining > 0 || anyBusy()) {
+        // Redial dead remote workers while orphaned work exists: a
+        // restarted `compile_server --sweep-worker` on the same
+        // address rejoins the fleet here and picks up a slice
+        // through the normal orphan dispatch below.  One connect
+        // attempt per probe — the live fleet must keep draining.
+        if (opts.remote_redial_interval_sec > 0 && !orphans.empty()
+            && std::chrono::steady_clock::now() - last_redial
+                >= std::chrono::seconds(
+                    opts.remote_redial_interval_sec)) {
+            last_redial = std::chrono::steady_clock::now();
+            for (WorkerProc &w : fleet) {
+                if (!w.remote || !w.dead || w.fd >= 0)
+                    continue;
+                wire::RetryPolicy probe;
+                probe.max_attempts = 1;
+                int fd = wire::connectWithRetry(w.spec, probe);
+                if (fd < 0)
+                    continue;
+                w.fd = fd;
+                w.dead = false;
+                w.busy = false;
+                w.killed_by_us = false;
+                w.buf.clear();
+                w.last_frame = std::chrono::steady_clock::now();
+                ++stats.remote_redials;
+                ++stats.workers_started;
+                inform("sharded sweep: remote worker '", w.spec,
+                       "' rejoined the fleet");
+            }
+        }
         // Re-dispatch orphaned residue classes: an idle survivor if
         // one exists, else a respawned local while the restart
         // budget lasts, else wait for a busy survivor to free up.
@@ -680,10 +715,19 @@ runShardedSweep(const SweepGrid &grid, const ShardOptions &opts,
                 assignSlice(fleet[static_cast<size_t>(idle)],
                             std::move(slice));
             } else if (!anyBusy()) {
-                fail("sharded sweep unrecoverable: "
-                     + std::to_string(remaining)
-                     + " points remain with no live workers and "
-                       "the restart budget exhausted");
+                // A dead remote with redial configured may yet
+                // rejoin; only a fleet with no such hope is
+                // unrecoverable.
+                bool redialable = false;
+                if (opts.remote_redial_interval_sec > 0)
+                    for (const WorkerProc &w : fleet)
+                        if (w.remote && w.dead && w.fd < 0)
+                            redialable = true;
+                if (!redialable)
+                    fail("sharded sweep unrecoverable: "
+                         + std::to_string(remaining)
+                         + " points remain with no live workers "
+                           "and the restart budget exhausted");
             }
         }
 
@@ -700,6 +744,18 @@ runShardedSweep(const SweepGrid &grid, const ShardOptions &opts,
                 fail("internal: sharded sweep lost track of "
                      + std::to_string(remaining)
                      + " unfinished points");
+            // Nothing to poll: everyone is dead and the orphans
+            // wait on a redial probe.  Sleep instead of spinning,
+            // and keep the hang guard armed — a remote that never
+            // comes back must not wedge the sweep.
+            if (opts.idle_timeout_sec > 0
+                && std::chrono::steady_clock::now() - last_progress
+                    > std::chrono::seconds(opts.idle_timeout_sec))
+                fail("sharded sweep hung: no worker progress in "
+                     + std::to_string(opts.idle_timeout_sec)
+                     + "s waiting for a remote redial; fleet "
+                       "killed");
+            ::poll(nullptr, 0, 50);
             continue;
         }
         int ready =

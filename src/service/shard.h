@@ -57,6 +57,7 @@ struct FleetStats
     uint64_t reassignments = 0;    ///< Orphaned slices re-dispatched.
     uint64_t points_reassigned = 0; ///< Unfinished points moved.
     uint64_t connect_retries = 0;  ///< Failed remote dial attempts.
+    uint64_t remote_redials = 0;   ///< Dead remotes that rejoined.
 
     /** Any worker was lost along the way: the rows are still exact,
      *  but wall clock ran under reduced parallelism. */
@@ -94,11 +95,23 @@ struct ShardOptions
      * --sweep-worker --tcp=...` processes on other machines.  The
      * parent dials them with connectWithRetry() and ships the grid
      * as JSON, so grids with caller-built circuits (not
-     * representable on the wire) fatal() here.  Remote workers that
-     * die are not redialed; their slices fall back to local
-     * respawns or survivors.
+     * representable on the wire) fatal() here.  A remote worker
+     * that dies falls back to local respawns or survivors — and is
+     * periodically redialed when remote_redial_interval_sec is set,
+     * so a restarted process on the same address rejoins the fleet.
      */
     std::vector<std::string> remote_workers;
+
+    /**
+     * Seconds between redial probes of dead remote workers while
+     * orphaned work exists.  Each probe is a single connect attempt
+     * (no backoff — the poll loop must keep draining live workers);
+     * a probe that connects puts the worker back in rotation, where
+     * the normal orphan dispatch hands it a slice.  Counted in
+     * FleetStats::remote_redials.  0 disables redialing (a dead
+     * remote stays dead, the historical behavior).
+     */
+    int remote_redial_interval_sec = 0;
 
     /**
      * Fork local workers that connect back over TCP loopback

@@ -239,6 +239,10 @@ writeRunConfig(JsonWriter &j, const engine::RunConfig &c)
     j.field("hybrid_arbiter", c.hybrid_arbiter);
     j.field("layout_objective", c.layout_objective);
     j.field("lane_spacing", c.lane_spacing);
+    j.field("defect_density", c.defect_density);
+    j.field("defect_seed", c.defect_seed);
+    if (!c.defect_spec.empty())
+        j.field("defect_spec", c.defect_spec);
     j.field("seed", c.seed);
     j.endObject();
 }
@@ -296,6 +300,12 @@ readRunConfig(const JsonValue &cfg, engine::RunConfig &c)
         num(cfg, "layout_objective", c.layout_objective));
     c.lane_spacing = static_cast<int>(
         num(cfg, "lane_spacing", c.lane_spacing));
+    c.defect_density =
+        num(cfg, "defect_density", c.defect_density);
+    c.defect_seed = static_cast<uint64_t>(
+        num(cfg, "defect_seed",
+            static_cast<double>(c.defect_seed)));
+    c.defect_spec = text(cfg, "defect_spec", c.defect_spec);
     c.seed = static_cast<uint64_t>(
         num(cfg, "seed", static_cast<double>(c.seed)));
 }
@@ -615,6 +625,11 @@ encodeSweepGrid(const engine::SweepGrid &grid)
     for (double v : grid.sizes)
         j.value(v);
     j.endArray();
+    j.key("defects");
+    j.beginArray();
+    for (double v : grid.defects)
+        j.value(v);
+    j.endArray();
     j.key("base");
     writeRunConfig(j, grid.base);
     j.endObject();
@@ -676,6 +691,16 @@ decodeSweepGrid(const std::string &json)
             fatalIf(!e.isNumber(),
                     "wire grid 'sizes' element is not a number");
             grid.sizes.push_back(e.num);
+        }
+    }
+    if (const JsonValue *defects = doc.find("defects")) {
+        fatalIf(!defects->isArray(),
+                "wire grid 'defects' is not an array");
+        grid.defects.clear();
+        for (const JsonValue &e : defects->items) {
+            fatalIf(!e.isNumber(),
+                    "wire grid 'defects' element is not a number");
+            grid.defects.push_back(e.num);
         }
     }
     if (const JsonValue *base = doc.find("base"))

@@ -79,6 +79,7 @@ class SurgerySimBackend : public engine::Backend
             item.config.magic_production_cycles;
         opts.magic_buffer_capacity =
             item.config.magic_buffer_capacity;
+        opts.defects = item.config.defectParams();
         opts.trace = item.config.trace;
         SurgeryResult r;
         if (artifact) {
@@ -131,6 +132,23 @@ class SurgerySimBackend : public engine::Backend
                   ? static_cast<double>(r.ff_skipped_cycles)
                       / static_cast<double>(r.schedule_cycles)
                   : 0.0);
+        // Only on damaged fabrics, so defect-free rows stay
+        // byte-identical to pre-defect-awareness output.
+        if (item.config.defectParams().enabled()) {
+            m.set("defect_dead_fraction", r.defect_dead_fraction);
+            m.set("defect_avg_multiplier", r.defect_avg_multiplier);
+            m.set("defective_nodes",
+                  static_cast<double>(r.defective_nodes));
+            m.set("defective_links",
+                  static_cast<double>(r.defective_links));
+            m.set("logical_error_proxy",
+                  engine::logicalErrorProxy(
+                      static_cast<double>(
+                          item.circuit->numQubits()),
+                      r.schedule_cycles, d,
+                      item.config.tech.p_physical,
+                      r.defect_avg_multiplier));
+        }
         return m;
     }
 };
@@ -200,7 +218,8 @@ patchArtifactKey(const engine::WorkItem &item)
        << "/opt=" << (c.policy >= 2 ? 1 : 0)
        << "/obj=" << c.layout_objective
        << "/lane=" << c.lane_spacing
-       << "/ppf=" << PatchArchOptions{}.patches_per_factory;
+       << "/ppf=" << PatchArchOptions{}.patches_per_factory
+       << engine::defectKeySuffix(c.defectParams());
     return os.str();
 }
 
@@ -216,6 +235,7 @@ buildPatchArtifact(const engine::WorkItem &item)
         partition::layoutObjective(item.config.layout_objective);
     opts.lane_spacing = item.config.lane_spacing;
     opts.seed = item.config.seed;
+    opts.defects = item.config.defectParams();
     return std::make_shared<const PatchArtifact>(
         *item.circuit, patchArchOptions(opts));
 }

@@ -68,8 +68,10 @@ class Simulator
           claimer(mesh, claim_opts), corridors(arch),
           crit(prep.crit), trace(opts.trace)
     {
-        if (trace)
+        if (trace) {
             trace->meshDims(mesh.width(), mesh.height());
+            obs::traceMeshDefects(trace, mesh);
+        }
         for (const Coord &terminal : arch.reservedTerminals())
             claimer.reserveTerminal(terminal);
         // Factory preference orders are a pure function of the
@@ -127,6 +129,13 @@ class Simulator
         out.corridor_cost = arch.corridorCost(graph);
         out.lane_area_factor = arch.laneAreaFactor();
         out.ff_skipped_cycles = ff.skipped();
+        out.defect_dead_fraction = arch.defects().deadFraction();
+        out.defect_avg_multiplier =
+            arch.defects().avgErrorMultiplier();
+        out.defective_nodes =
+            static_cast<uint64_t>(mesh.numDefectiveNodes());
+        out.defective_links =
+            static_cast<uint64_t>(mesh.numDefectiveLinks());
         return out;
     }
 
@@ -538,6 +547,7 @@ patchArchOptions(const SurgeryOptions &opts)
     a.layout_objective = opts.layout_objective;
     a.lane_spacing = opts.lane_spacing;
     a.seed = opts.seed;
+    a.defects = opts.defects;
     return a;
 }
 

@@ -134,25 +134,93 @@ PatchArch::PatchArch(const circuit::InteractionGraph &graph,
             "lane_spacing must be >= 1, got ", opts.lane_spacing);
 
     // Near-square data region plus one factory column on the right,
-    // mirroring the braid machine's Figure 3b arrangement.
-    auto [dw, dh] = partition::gridShape(nq);
-    int nfac = std::max(1, nq / opts.patches_per_factory);
-    pw = dw + 1;
-    ph = dh;
+    // mirroring the braid machine's Figure 3b arrangement.  On a
+    // damaged fabric the grid grows one data row at a time until the
+    // live cells hold every qubit and at least one factory patch
+    // survives; the map re-materializes per candidate grid, so the
+    // machine is still a pure function of (graph, options).
+    auto [dw, dh0] = partition::gridShape(nq);
+    int dh = dh0;
+    int want_fac = std::max(1, nq / opts.patches_per_factory);
+    for (int grow = 0;; ++grow) {
+        fatalIf(grow > 256, "defect map leaves no room for ", nq,
+                " qubits");
+        pw = dw + 1;
+        ph = dh;
+        defect_map = fabric::DefectMap::materialize(opts.defects, pw,
+                                                    ph);
+        int live = 0;
+        for (int y = 0; y < dh; ++y)
+            for (int x = 0; x < dw; ++x)
+                live += !defect_map.deadTile(x, y);
+        if (live < nq) {
+            ++dh;
+            continue;
+        }
+
+        // Factory patches: a dead nominal position slides to the
+        // nearest live row in the column (below first on ties); dead
+        // rows beyond that drop the factory.
+        factories.clear();
+        int nfac = std::min(want_fac, ph);
+        std::vector<uint8_t> used(static_cast<size_t>(ph), 0);
+        for (int i = 0; i < nfac; ++i) {
+            int y = nfac == 1 ? ph / 2 : i * (ph - 1) / (nfac - 1);
+            int pick = -1;
+            for (int d = 0; d < ph && pick < 0; ++d)
+                for (int s : {y + d, y - d}) {
+                    if (s < 0 || s >= ph
+                        || used[static_cast<size_t>(s)]
+                        || defect_map.deadTile(pw - 1, s))
+                        continue;
+                    pick = s;
+                    break;
+                }
+            if (pick >= 0) {
+                used[static_cast<size_t>(pick)] = 1;
+                factories.push_back(Coord{pw - 1, pick});
+            }
+        }
+        if (factories.empty()) {
+            ++dh;
+            continue;
+        }
+        break;
+    }
     lane_spacing = lanes ? opts.lane_spacing : 0;
     buildCoordinateMaps(lane_spacing);
 
-    nfac = std::min(nfac, ph);
-    for (int i = 0; i < nfac; ++i) {
-        int y = nfac == 1 ? ph / 2 : i * (ph - 1) / (nfac - 1);
-        factories.push_back(Coord{pw - 1, y});
+    // Project the patch-level damage onto the mesh: a dead patch
+    // loses its center router, a broken coupler every link of the
+    // straight segment between the two centers.
+    if (!defect_map.empty()) {
+        bad_node_.assign(static_cast<size_t>(mw * mh), 0);
+        for (const Coord &t : defect_map.deadTiles())
+            bad_node_[static_cast<size_t>(
+                linearIndex(center(t), mw))] = 1;
+        for (const auto &[a, b] : defectiveMeshLinks()) {
+            auto la = static_cast<uint64_t>(
+                static_cast<uint32_t>(linearIndex(a, mw)));
+            auto lb = static_cast<uint64_t>(
+                static_cast<uint32_t>(linearIndex(b, mw)));
+            bad_link_.insert(std::min(la, lb) << 32
+                             | std::max(la, lb));
+        }
     }
 
+    partition::CellMask mask;
+    if (!defect_map.empty()) {
+        mask.assign(static_cast<size_t>(dw * dh), 0);
+        for (int y = 0; y < dh; ++y)
+            for (int x = 0; x < dw; ++x)
+                if (defect_map.deadTile(x, y))
+                    mask[static_cast<size_t>(y * dw + x)] = 1;
+    }
     qubit_patch.resize(static_cast<size_t>(nq));
     partition::GridLayout layout;
     if (opts.optimized_layout) {
         partition::Graph pg = toPartitionGraph(graph);
-        layout = partition::layoutOnGrid(pg, dw, dh, opts.seed);
+        layout = partition::layoutOnGrid(pg, dw, dh, opts.seed, mask);
         // The corridor objectives refine the bisection seed against
         // the around-patch corridor metric — lane-aware when lanes
         // are on, so the refinement prices the machine actually
@@ -160,13 +228,63 @@ PatchArch::PatchArch(const circuit::InteractionGraph &graph,
         // objective keeps the seed untouched.
         if (opts.layout_objective
             != partition::LayoutObjective::BraidManhattan)
-            partition::refineForCorridors(pg, layout, lane_spacing);
+            partition::refineForCorridors(pg, layout, lane_spacing,
+                                          8, mask);
     } else {
-        layout = partition::naiveLayout(nq, dw, dh);
+        layout = partition::naiveLayout(nq, dw, dh, mask);
     }
     for (int q = 0; q < nq; ++q)
         qubit_patch[static_cast<size_t>(q)] =
             layout.position[static_cast<size_t>(q)];
+}
+
+std::vector<std::pair<Coord, Coord>>
+PatchArch::defectiveMeshLinks() const
+{
+    std::vector<std::pair<Coord, Coord>> out;
+    for (const auto &[a, b] : defect_map.disabledLinks()) {
+        Coord at = center(a);
+        Coord to = center(b);
+        int dx = to.x > at.x ? 1 : to.x < at.x ? -1 : 0;
+        int dy = to.y > at.y ? 1 : to.y < at.y ? -1 : 0;
+        while (at != to) {
+            Coord next{at.x + dx, at.y + dy};
+            out.emplace_back(at, next);
+            at = next;
+        }
+    }
+    return out;
+}
+
+bool
+PatchArch::routeDefectFree(const network::Path &path) const
+{
+    if (bad_node_.empty())
+        return true;
+    int prev = -1;
+    for (const Coord &c : path.nodes) {
+        int ni = linearIndex(c, mw);
+        if (bad_node_[static_cast<size_t>(ni)])
+            return false;
+        if (prev >= 0 && !bad_link_.empty()) {
+            auto la = static_cast<uint64_t>(
+                static_cast<uint32_t>(std::min(prev, ni)));
+            auto lb = static_cast<uint64_t>(
+                static_cast<uint32_t>(std::max(prev, ni)));
+            if (bad_link_.count(la << 32 | lb))
+                return false;
+        }
+        prev = ni;
+    }
+    return true;
+}
+
+double
+PatchArch::defectExposure(int32_t qa, int32_t qb) const
+{
+    if (defect_map.empty())
+        return 0.0;
+    return defect_map.routeExposure(patchOf(qa), patchOf(qb));
 }
 
 Coord
@@ -215,7 +333,14 @@ PatchArch::factoriesByDistance(int32_t q) const
 network::Mesh
 PatchArch::makeMesh() const
 {
-    return network::Mesh(meshWidth(), meshHeight());
+    network::Mesh mesh(meshWidth(), meshHeight());
+    if (defect_map.empty())
+        return mesh;
+    for (const Coord &t : defect_map.deadTiles())
+        mesh.disableNode(center(t));
+    for (const auto &[a, b] : defectiveMeshLinks())
+        mesh.disableLink(a, b);
+    return mesh;
 }
 
 bool
@@ -324,30 +449,61 @@ PatchArch::corridorRoute(const Coord &src, const Coord &dst,
     // a clamp here would silently collapse the two geometries back
     // onto one corridor, so fail loudly instead.
     if (pay == pby) {
-        int ry = src.y + tie;
-        panicIf(ry < 0 || ry >= mh,
-                "collinear side corridor row off the mesh");
-        walkTo(path.nodes, Coord{src.x, ry});
-        walkTo(path.nodes, Coord{dst.x, ry});
-        walkTo(path.nodes, dst);
-        return path;
+        auto side = [&](int t) {
+            network::Path p;
+            append(p.nodes, src);
+            int ry = src.y + t;
+            panicIf(ry < 0 || ry >= mh,
+                    "collinear side corridor row off the mesh");
+            walkTo(p.nodes, Coord{src.x, ry});
+            walkTo(p.nodes, Coord{dst.x, ry});
+            walkTo(p.nodes, dst);
+            return p;
+        };
+        // A damaged preferred side flips to the other corridor when
+        // that one is clear (deeper damage escalates to BFS).
+        network::Path p = side(tie);
+        if (!routeDefectFree(p)) {
+            network::Path alt = side(-tie);
+            if (routeDefectFree(alt))
+                return alt;
+        }
+        return p;
     }
     if (pax == pbx) {
-        int cx = src.x + tie;
-        panicIf(cx < 0 || cx >= mw,
-                "collinear side corridor column off the mesh");
-        walkTo(path.nodes, Coord{cx, src.y});
-        walkTo(path.nodes, Coord{cx, dst.y});
-        walkTo(path.nodes, dst);
-        return path;
+        auto side = [&](int t) {
+            network::Path p;
+            append(p.nodes, src);
+            int cx = src.x + t;
+            panicIf(cx < 0 || cx >= mw,
+                    "collinear side corridor column off the mesh");
+            walkTo(p.nodes, Coord{cx, src.y});
+            walkTo(p.nodes, Coord{cx, dst.y});
+            walkTo(p.nodes, dst);
+            return p;
+        };
+        network::Path p = side(tie);
+        if (!routeDefectFree(p)) {
+            network::Path alt = side(-tie);
+            if (routeDefectFree(alt))
+                return alt;
+        }
+        return p;
     }
 
     // Long hauls whose span crosses a dedicated ancilla lane ride it
     // (same hop count as the classic geometry when the lane lies
-    // between) instead of fighting over patch-adjacent rings.
-    if (laneRoute(path.nodes, src, dst, yx_first)) {
-        walkTo(path.nodes, dst);
-        return path;
+    // between) instead of fighting over patch-adjacent rings.  A
+    // damaged lane band is skipped: the ring geometry below takes
+    // over.
+    {
+        network::Path lane_path;
+        append(lane_path.nodes, src);
+        if (laneRoute(lane_path.nodes, src, dst, yx_first)) {
+            walkTo(lane_path.nodes, dst);
+            if (routeDefectFree(lane_path))
+                return lane_path;
+        }
     }
 
     // General case: exit into the corridor ring next to the source

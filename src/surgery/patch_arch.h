@@ -33,11 +33,13 @@
 #define QSURF_SURGERY_PATCH_ARCH_H
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "circuit/dag.h"
 #include "circuit/interaction.h"
 #include "common/geometry.h"
+#include "fabric/defect.h"
 #include "network/mesh.h"
 #include "partition/layout.h"
 
@@ -64,6 +66,11 @@ struct PatchArchOptions
 
     /** Layout RNG seed. */
     uint64_t seed = 1;
+
+    /** Fabric damage: dead patches are never placed on, broken
+     *  corridor couplers never claimed; the grid grows until the
+     *  live cells fit. */
+    fabric::DefectParams defects;
 };
 
 /**
@@ -196,6 +203,19 @@ class PatchArch
      */
     double corridorCost(const circuit::InteractionGraph &graph) const;
 
+    /** @return the materialized defect map (empty when healthy). */
+    const fabric::DefectMap &defects() const { return defect_map; }
+
+    /** @return true when no node or link of @p path is defective —
+     *  always true on the healthy fabric. */
+    bool routeDefectFree(const network::Path &path) const;
+
+    /** @return the dead-patch fraction of the bounding box spanned
+     *  by the patches of qubits @p qa and @p qb — the static
+     *  per-route defect exposure the hybrid arbiter prices mesh
+     *  schemes with (0 on the healthy fabric). */
+    double defectExposure(int32_t qa, int32_t qb) const;
+
   private:
     /** @return the mesh router at the center of patch cell @p patch. */
     Coord center(const Coord &patch) const;
@@ -207,6 +227,10 @@ class PatchArch
      *  no lane lies across the span of this geometry. */
     bool laneRoute(network::Path::Nodes &nodes, const Coord &src,
                    const Coord &dst, bool yx_first) const;
+
+    /** Mesh links lost to broken patch-to-patch couplers: every link
+     *  of the straight segment between the two patch centers. */
+    std::vector<std::pair<Coord, Coord>> defectiveMeshLinks() const;
 
     int nq;
     int pw;
@@ -226,6 +250,16 @@ class PatchArch
 
     /** Patch rows/columns between lanes; 0 when lanes are off. */
     int lane_spacing = 0;
+
+    /** Materialized fabric damage (empty when healthy). */
+    fabric::DefectMap defect_map;
+
+    /** Defective mesh routers, row-major over mw x mh (empty on the
+     *  healthy fabric). */
+    std::vector<uint8_t> bad_node_;
+
+    /** Defective mesh links, keyed lo_index << 32 | hi_index. */
+    std::unordered_set<uint64_t> bad_link_;
 };
 
 /**

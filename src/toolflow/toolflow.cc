@@ -96,6 +96,9 @@ run(const circuit::Circuit &logical, const Config &config)
     item.config.hybrid_arbiter = config.hybrid_arbiter;
     item.config.layout_objective = config.layout_objective;
     item.config.lane_spacing = config.lane_spacing;
+    item.config.defect_density = config.defect_density;
+    item.config.defect_seed = config.defect_seed;
+    item.config.defect_spec = config.defect_spec;
     item.config.seed = config.seed;
 
     const std::vector<std::string> default_backends{

@@ -82,6 +82,17 @@ struct Config
     /** Layout / tie-break RNG seed. */
     uint64_t seed = 1;
 
+    /** Fabric defect density for the simulated mesh backends
+     *  (fraction of tiles knocked out; 0 = perfect fabric). */
+    double defect_density = 0;
+
+    /** Defect-map generator seed (independent of `seed`). */
+    uint64_t defect_seed = 0;
+
+    /** Explicit device defect spec as JSON (see
+     *  fabric::DefectParams::spec_json); overrides the generator. */
+    std::string defect_spec;
+
     /**
      * Engine backends to dispatch to, by registry name; empty runs
      * the two simulation backends the paper compares ("planar" and

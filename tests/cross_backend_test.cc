@@ -199,6 +199,39 @@ TEST(CrossBackend, LayoutObjectiveSweepIsBitIdentical)
     expectThreadCountInvariant(grid);
 }
 
+TEST(CrossBackend, DefectAxisSweepIsBitIdentical)
+{
+    // The bench/yield grid shape: the defect-density axis over the
+    // three simulated-communication backends.  Damage generation,
+    // masked layout, defect-aware routing and the arbiter surcharge
+    // all run per point and must stay deterministic across sweep
+    // thread counts; the density-0 rows must also match a grid
+    // without the axis byte for byte.
+    SweepGrid grid;
+    grid.apps = {{apps::AppKind::SQ, {8, 2}, ""}};
+    grid.backends = {backends::double_defect, backends::surgery_sim,
+                     backends::hybrid_mixed};
+    grid.policies = {6};
+    grid.distances = {3};
+    grid.defects = {0, 0.05, 0.1};
+    grid.base.seed = 1234;
+    grid.base.defect_seed = 7;
+    expectThreadCountInvariant(grid);
+
+    SweepGrid control = grid;
+    control.defects = {0};
+    SweepOptions opts;
+    opts.num_threads = 1;
+    auto with_axis = SweepDriver().run(grid, opts);
+    auto without = SweepDriver().run(control, opts);
+    std::vector<SweepPoint> zero;
+    for (const SweepPoint &p : with_axis)
+        if (p.defect == 0)
+            zero.push_back(p);
+    EXPECT_EQ(canonicalSweepRows(zero), canonicalSweepRows(without))
+        << "density-0 rows differ from the no-defect-axis grid";
+}
+
 TEST(CrossBackend, FastForwardMatchesSteppedEverywhere)
 {
     Registry &registry = Registry::global();

@@ -112,6 +112,84 @@ TEST(Layout, WeightedManhattanOfKnownPlacement)
     EXPECT_DOUBLE_EQ(weightedManhattan(g, l), 3.0);
 }
 
+/** @return a mask over w x h with the given cells dead. */
+CellMask
+maskOf(int w, int h, std::initializer_list<Coord> dead)
+{
+    CellMask m(static_cast<size_t>(w * h), 0);
+    for (const Coord &c : dead)
+        m[static_cast<size_t>(c.y * w + c.x)] = 1;
+    return m;
+}
+
+void
+expectNoDeadPlacement(const GridLayout &layout, const CellMask &dead)
+{
+    for (const Coord &c : layout.position)
+        EXPECT_FALSE(dead[static_cast<size_t>(
+            c.y * layout.width + c.x)])
+            << "vertex placed on dead cell " << c;
+}
+
+TEST(NaiveLayout, SkipsDeadCells)
+{
+    CellMask dead = maskOf(3, 2, {{1, 0}});
+    GridLayout l = naiveLayout(5, 3, 2, dead);
+    expectValidPlacement(l, 5);
+    expectNoDeadPlacement(l, dead);
+    // Row-major fill skips the hole: (0,0), (2,0), (0,1), ...
+    EXPECT_EQ(l.position[0], (Coord{0, 0}));
+    EXPECT_EQ(l.position[1], (Coord{2, 0}));
+    EXPECT_EQ(l.position[2], (Coord{0, 1}));
+    // 5 vertices into 5 live cells fits exactly; a 6th cannot.
+    EXPECT_THROW(naiveLayout(6, 3, 2, dead), qsurf::FatalError);
+}
+
+TEST(OptimizedLayout, RelocatesOffDeadCells)
+{
+    Graph g = clusteredGraph(3, 4);
+    CellMask dead = maskOf(4, 4, {{0, 0}, {2, 1}, {3, 3}});
+    GridLayout l = layoutOnGrid(g, 4, 4, 7, dead);
+    expectValidPlacement(l, 12);
+    expectNoDeadPlacement(l, dead);
+    // An empty mask is the exact unmasked layout.
+    GridLayout unmasked = layoutOnGrid(g, 4, 4, 7);
+    GridLayout empty_mask = layoutOnGrid(g, 4, 4, 7, CellMask{});
+    EXPECT_EQ(unmasked.position, empty_mask.position);
+}
+
+TEST(EvictDeadCells, MovesToNearestLiveCell)
+{
+    GridLayout l = naiveLayout(2, 3, 2); // (0,0) and (1,0)
+    CellMask dead = maskOf(3, 2, {{1, 0}});
+    evictDeadCells(l, dead);
+    EXPECT_EQ(l.position[0], (Coord{0, 0})) << "live cell untouched";
+    EXPECT_EQ(l.position[1], (Coord{2, 0}))
+        << "evicted vertex takes the nearest empty live cell";
+    EXPECT_EQ(l.at(Coord{2, 0}), 1);
+    // Nowhere to go: every cell dead or occupied.
+    GridLayout full = naiveLayout(6, 3, 2);
+    EXPECT_THROW(evictDeadCells(full, dead), qsurf::FatalError);
+}
+
+TEST(CorridorObjective, MaskedRefinementAvoidsDeadCells)
+{
+    Graph g = clusteredGraph(3, 4);
+    CellMask dead = maskOf(4, 4, {{1, 1}, {3, 0}});
+    GridLayout l = layoutOnGrid(g, 4, 4, 11, dead);
+    double before = weightedCorridorLength(g, l);
+    double after = refineForCorridors(g, l, 0, 8, dead);
+    EXPECT_LE(after, before);
+    expectValidPlacement(l, 12);
+    expectNoDeadPlacement(l, dead);
+    // The masked path with an empty mask is the unmasked path.
+    GridLayout a = layoutOnGrid(g, 4, 4, 11);
+    GridLayout b = layoutOnGrid(g, 4, 4, 11);
+    refineForCorridors(g, a);
+    refineForCorridors(g, b, 0, 8, CellMask{});
+    EXPECT_EQ(a.position, b.position);
+}
+
 TEST(CorridorTiles, MatchesRoutingGeometry)
 {
     // Adjacent patches merge through the shared boundary: one tile.

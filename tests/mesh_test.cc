@@ -176,6 +176,77 @@ TEST(Mesh, VerticalLinksOnOneWideMesh)
     EXPECT_EQ(m.busyLinks(), 0);
 }
 
+TEST(Mesh, DefectiveNodeIsNeverClaimable)
+{
+    Mesh m(5, 5);
+    m.disableNode(Coord{2, 2});
+    EXPECT_TRUE(m.nodeDefective(Coord{2, 2}));
+    EXPECT_EQ(m.numDefectiveNodes(), 1);
+    Path p = straightPath(2, 0, 4); // crosses (2,2)
+    EXPECT_FALSE(m.routeFree(p, 1));
+    EXPECT_FALSE(m.tryClaim(p, 1));
+    // The failed walk must not leave partial claims behind.
+    EXPECT_EQ(m.nodeOwner(Coord{0, 2}), Mesh::no_owner);
+    EXPECT_EQ(m.busyLinks(), 0);
+    // Routes that stay clear of the damage are unaffected.
+    EXPECT_TRUE(m.tryClaim(straightPath(0, 0, 4), 1));
+}
+
+TEST(Mesh, DefectiveLinkBlocksOnlyThatSegment)
+{
+    Mesh m(5, 5);
+    m.disableLink(Coord{1, 2}, Coord{2, 2});
+    EXPECT_TRUE(m.linkDefective(Coord{1, 2}, Coord{2, 2}));
+    EXPECT_TRUE(m.linkDefective(Coord{2, 2}, Coord{1, 2}))
+        << "defect is direction-agnostic";
+    EXPECT_EQ(m.numDefectiveLinks(), 1);
+    EXPECT_FALSE(m.routeFree(straightPath(2, 0, 4), 1));
+    // Both endpoint routers are still usable by other routes.
+    Path vertical;
+    for (int y = 0; y <= 4; ++y)
+        vertical.nodes.push_back(Coord{2, y});
+    EXPECT_TRUE(m.tryClaim(vertical, 1));
+}
+
+TEST(Mesh, ReleaseCannotFreeDefects)
+{
+    Mesh m(4, 4);
+    m.disableNode(Coord{1, 1});
+    Path p;
+    p.nodes.push_back(Coord{0, 1});
+    p.nodes.push_back(Coord{1, 1});
+    // Release with any owner id must leave the defect in place.
+    m.release(p, 7);
+    EXPECT_TRUE(m.nodeDefective(Coord{1, 1}));
+    EXPECT_FALSE(m.routeFree(p, 7));
+}
+
+TEST(Mesh, ResetReappliesDamage)
+{
+    Mesh m(4, 4);
+    m.disableNode(Coord{1, 1});
+    m.disableLink(Coord{2, 2}, Coord{3, 2});
+    m.claim(straightPath(0, 0, 3), 1);
+    m.tick();
+    m.reset();
+    EXPECT_EQ(m.busyLinks(), 0);
+    EXPECT_TRUE(m.nodeDefective(Coord{1, 1}));
+    EXPECT_TRUE(m.linkDefective(Coord{2, 2}, Coord{3, 2}));
+    EXPECT_EQ(m.numDefectiveNodes(), 1);
+    EXPECT_EQ(m.numDefectiveLinks(), 1);
+}
+
+TEST(Mesh, DisableIsIdempotent)
+{
+    Mesh m(3, 3);
+    m.disableNode(Coord{0, 0});
+    m.disableNode(Coord{0, 0});
+    m.disableLink(Coord{1, 0}, Coord{1, 1});
+    m.disableLink(Coord{1, 1}, Coord{1, 0});
+    EXPECT_EQ(m.numDefectiveNodes(), 1);
+    EXPECT_EQ(m.numDefectiveLinks(), 1);
+}
+
 TEST(Mesh, BulkTickMatchesRepeatedTicks)
 {
     Mesh a(3, 3), b(3, 3);

@@ -193,5 +193,66 @@ TEST(ShardFault, RemoteTcpWorkerReceivesGridOverTheWire)
         << "remote worker exit status " << status;
 }
 
+TEST(ShardFault, DeadRemoteWorkerIsRedialedAndRejoins)
+{
+    setQuiet(true);
+    engine::SweepGrid grid = faultGrid();
+    std::string expected = singleProcessRows(grid);
+
+    // A remote worker that drops its first connection cold (the
+    // parent sees EOF and orphans the slice), then accepts again and
+    // serves properly — what a crashed-and-restarted process on the
+    // same address looks like.  The listener survives pre-fork so
+    // both connections land on the same spec.
+    wire::TcpListener listener("127.0.0.1:0");
+    std::string spec =
+        "127.0.0.1:" + std::to_string(listener.port());
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Watchdog: if the parent dies before the second dial, the
+        // child must not sit in accept() holding the test's pipes.
+        ::alarm(120);
+        int first = listener.accept();
+        if (first < 0)
+            ::_exit(2);
+        ::close(first);
+        int fd = listener.accept();
+        if (fd < 0)
+            ::_exit(2);
+        service::SweepWorkerEnv env; // env.grid == nullptr.
+        env.base.num_threads = 1;
+        bool orderly = service::serveSweepWorker(fd, env);
+        ::close(fd);
+        ::_exit(orderly ? 0 : 1);
+    }
+
+    service::FleetStats stats;
+    service::ShardOptions shard;
+    // No locals and no respawn budget: the orphaned slice can only
+    // finish if the redial probe puts the remote back in rotation.
+    shard.workers = 0;
+    shard.max_worker_restarts = 0;
+    shard.sweep.num_threads = 1;
+    shard.idle_timeout_sec = 120;
+    shard.remote_workers = {spec};
+    shard.remote_redial_interval_sec = 1;
+    shard.stats = &stats;
+
+    std::vector<engine::SweepPoint> merged =
+        service::runShardedSweep(grid, shard);
+    EXPECT_EQ(engine::canonicalSweepRows(merged), expected);
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_GE(stats.worker_failures, 1u);
+    EXPECT_EQ(stats.remote_redials, 1u);
+    EXPECT_EQ(stats.worker_restarts, 0u);
+    EXPECT_GE(stats.points_reassigned, 1u);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "remote worker exit status " << status;
+}
+
 } // namespace
 } // namespace qsurf

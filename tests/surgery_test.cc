@@ -684,6 +684,105 @@ TEST(Sweep, SurgeryDeterministicAcrossThreadCounts)
     }
 }
 
+TEST(PatchArch, LayoutNeverPlacesOnDeadPatches)
+{
+    circuit::Circuit c("probe", 9);
+    for (int32_t q = 0; q + 1 < 9; ++q)
+        c.addGate(circuit::GateKind::CNOT, q, q + 1);
+    for (bool optimized : {false, true}) {
+        PatchArchOptions opts;
+        opts.optimized_layout = optimized;
+        opts.defects.density = 0.2;
+        opts.defects.seed = 11;
+        PatchArch arch(circuit::interactionGraph(c), opts);
+        ASSERT_GT(arch.defects().numDeadTiles(), 0)
+            << "damage did not materialize; pick another seed";
+        std::set<Coord> seen;
+        for (int32_t q = 0; q < arch.numQubits(); ++q) {
+            Coord p = arch.patchOf(q);
+            EXPECT_FALSE(arch.defects().deadTile(p.x, p.y))
+                << "qubit " << q << " placed on dead patch " << p;
+            EXPECT_TRUE(seen.insert(p).second)
+                << "qubit " << q << " shares patch " << p;
+        }
+        for (int f = 0; f < arch.numFactories(); ++f) {
+            Coord p = arch.factoryPatch(f);
+            EXPECT_FALSE(arch.defects().deadTile(p.x, p.y))
+                << "factory " << f << " on dead patch " << p;
+        }
+    }
+}
+
+TEST(PatchArch, CorridorRouteFlipsAwayFromDisabledCoupler)
+{
+    // A chain machine wide enough for a same-row non-adjacent pair.
+    circuit::Circuit c("probe", 6);
+    for (int32_t q = 0; q + 1 < 6; ++q)
+        c.addGate(circuit::GateKind::CNOT, q, q + 1);
+    PatchArchOptions healthy_opts;
+    healthy_opts.optimized_layout = false;
+    PatchArch healthy(circuit::interactionGraph(c), healthy_opts);
+
+    // Find a same-row pair at least two columns apart; its primary
+    // corridor runs along the +1 side row, stepping down from the
+    // source column first.
+    int32_t qa = -1, qb = -1;
+    for (int32_t a = 0; a < 6 && qa < 0; ++a)
+        for (int32_t b = 0; b < 6; ++b) {
+            Coord pa = healthy.patchOf(a), pb = healthy.patchOf(b);
+            if (pa.y == pb.y && pb.x - pa.x >= 2
+                && pa.y + 1 < healthy.patchHeight()) {
+                qa = a;
+                qb = b;
+                break;
+            }
+        }
+    ASSERT_GE(qa, 0) << "no same-row pair in the naive layout";
+    Coord pa = healthy.patchOf(qa);
+
+    // Break the coupler below the source patch: its straight mesh
+    // segment crosses the +1 side corridor's entry column.
+    PatchArchOptions opts = healthy_opts;
+    opts.defects.spec_json = "{\"disabled_links\": [["
+        + std::to_string(pa.x) + ", " + std::to_string(pa.y) + ", "
+        + std::to_string(pa.x) + ", " + std::to_string(pa.y + 1)
+        + "]]}";
+    PatchArch arch(circuit::interactionGraph(c), opts);
+    ASSERT_GT(arch.defects().numDisabledLinks(), 0);
+    ASSERT_EQ(arch.patchOf(qa), pa) << "damage moved the layout";
+
+    network::Path healthy_route = healthy.corridorRoute(
+        healthy.terminal(qa), healthy.terminal(qb), false);
+    ASSERT_FALSE(arch.routeDefectFree(healthy_route))
+        << "the broken coupler misses the healthy primary route; "
+           "the flip has nothing to prove";
+    network::Path p =
+        arch.corridorRoute(arch.terminal(qa), arch.terminal(qb),
+                           false);
+    EXPECT_TRUE(arch.routeDefectFree(p))
+        << "corridor route crosses the disabled coupler";
+    EXPECT_EQ(p.source(), arch.terminal(qa));
+    EXPECT_EQ(p.dest(), arch.terminal(qb));
+}
+
+TEST(Scheduler, DamagedFabricStillSchedulesEveryGate)
+{
+    circuit::Circuit c("probe", 6);
+    for (int32_t q = 0; q + 1 < 6; ++q)
+        c.addGate(circuit::GateKind::CNOT, q, q + 1);
+    SurgeryOptions opts = naiveOptions();
+    opts.defects.density = 0.15;
+    opts.defects.seed = 11;
+    SurgeryResult r = scheduleSurgery(c, opts);
+    EXPECT_GT(r.schedule_cycles, 0u);
+    EXPECT_GT(r.defective_nodes + r.defective_links, 0u);
+    EXPECT_GT(r.defect_dead_fraction, 0.0);
+
+    // The same workload on the healthy fabric is never slower.
+    SurgeryResult healthy = scheduleSurgery(c, naiveOptions());
+    EXPECT_GE(r.schedule_cycles, healthy.schedule_cycles);
+}
+
 TEST(Scheduler, RejectsBadInput)
 {
     circuit::Circuit empty("empty", 2);

@@ -212,6 +212,11 @@ TEST(WireCodec, CompileRequestRoundTripsEveryField)
     req.config.hybrid_arbiter = 2;
     req.config.layout_objective = 2;
     req.config.lane_spacing = 3;
+    req.config.defect_density = 0.07;
+    req.config.defect_seed = 99;
+    req.config.defect_spec =
+        "{\"dead_tiles\": [[1, 2]], \"disabled_links\": "
+        "[[0, 0, 1, 0]]}";
     req.config.seed = 424242;
 
     service::CompileRequest back =
@@ -243,6 +248,10 @@ TEST(WireCodec, CompileRequestRoundTripsEveryField)
     EXPECT_EQ(back.config.layout_objective,
               req.config.layout_objective);
     EXPECT_EQ(back.config.lane_spacing, req.config.lane_spacing);
+    EXPECT_DOUBLE_EQ(back.config.defect_density,
+                     req.config.defect_density);
+    EXPECT_EQ(back.config.defect_seed, req.config.defect_seed);
+    EXPECT_EQ(back.config.defect_spec, req.config.defect_spec);
     EXPECT_EQ(back.config.seed, req.config.seed);
 }
 
@@ -598,9 +607,12 @@ TEST(WireCodec, SweepGridRoundTripsWithEqualFingerprint)
     grid.distances = {3, 5};
     grid.epr_windows = {-1, 32};
     grid.sizes = {0, 1e6};
+    grid.defects = {0, 0.04, 0.08};
     grid.base.seed = 77;
     grid.base.code_distance = 7;
     grid.base.tech.p_physical = 1e-5;
+    grid.base.defect_seed = 13;
+    grid.base.defect_spec = "{\"dead_tiles\": [[0, 1]]}";
 
     engine::SweepGrid back =
         wire::decodeSweepGrid(wire::encodeSweepGrid(grid));
@@ -612,6 +624,9 @@ TEST(WireCodec, SweepGridRoundTripsWithEqualFingerprint)
     EXPECT_EQ(back.apps[1].label, grid.apps[1].label);
     EXPECT_EQ(back.backends, grid.backends);
     EXPECT_EQ(back.distances, grid.distances);
+    EXPECT_EQ(back.defects, grid.defects);
+    EXPECT_EQ(back.base.defect_seed, grid.base.defect_seed);
+    EXPECT_EQ(back.base.defect_spec, grid.base.defect_spec);
 
     // Caller-built circuits cannot cross the wire.
     engine::SweepGrid with_circuit;
